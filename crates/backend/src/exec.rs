@@ -1,0 +1,719 @@
+//! The native kernel executor.
+//!
+//! Runs a compiled tape over a block: the moral equivalent of the paper's
+//! generated C/OpenMP code. Loads and stores are resolved to (array, linear
+//! offset) pairs once per launch; the spatial loops then execute the tape's
+//! level sections at the right loop depths (LICM hoisting), serially or
+//! parallelized over the outermost loop with rayon (the OpenMP analogue).
+//!
+//! The only `unsafe` in the whole workspace lives here: the parallel path
+//! writes disjoint outer-loop slabs of the destination arrays through a
+//! shared pointer. The disjointness invariant is asserted before entering
+//! the parallel region (all stores target the centre cell, so two different
+//! outer-loop indices can never write the same address).
+
+use crate::store::FieldStore;
+use pf_fields::FieldArray;
+use pf_ir::{Tape, TapeOp};
+use pf_rng::CellRng;
+use rayon::prelude::*;
+
+/// Per-launch execution context.
+#[derive(Clone, Copy, Debug)]
+pub struct RunCtx {
+    /// Simulation time at this step.
+    pub time: f64,
+    /// Time step index (Philox counter component).
+    pub timestep: u64,
+    /// Grid spacing.
+    pub dx: [f64; 3],
+    /// Global index of this block's (0,0,0) cell (multi-block runs).
+    pub origin: [i64; 3],
+    /// RNG seed.
+    pub seed: u32,
+}
+
+impl Default for RunCtx {
+    fn default() -> Self {
+        RunCtx {
+            time: 0.0,
+            timestep: 0,
+            dx: [1.0; 3],
+            origin: [0; 3],
+            seed: 0,
+        }
+    }
+}
+
+/// How to run the spatial loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    Serial,
+    /// Parallelize the outermost spatial loop across the rayon pool.
+    Parallel,
+}
+
+/// A tape instruction with its memory accesses resolved.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Op(TapeOp),
+    /// Load from read-array `arr` at `cell_base + delta`.
+    Load { arr: u16, delta: isize },
+    /// Store to write-array `arr` at `cell_base + delta`.
+    Store { arr: u16, delta: isize, val: u32 },
+}
+
+struct Plan {
+    steps: Vec<Step>,
+    /// level boundaries: steps[..sec[0]] = level 0, ..sec[1] = ≤1, etc.
+    sec: [usize; 4],
+    /// strides (x,y,z) of each read array
+    read_strides: Vec<[isize; 3]>,
+    read_base: Vec<isize>,
+    write_strides: Vec<[isize; 3]>,
+    write_base: Vec<isize>,
+}
+
+fn resolve(tape: &Tape, reads: &[&FieldArray], writes: &[FieldArray], read_map: &[usize], write_map: &[usize]) -> Plan {
+    let mut steps = Vec::with_capacity(tape.instrs.len());
+    for op in &tape.instrs {
+        match *op {
+            TapeOp::Load { field, comp, off } => {
+                let arr_idx = read_map[field as usize];
+                let arr = reads[arr_idx];
+                let [sc, sx, sy, sz] = arr.strides();
+                let delta = comp as isize * sc
+                    + off[0] as isize * sx
+                    + off[1] as isize * sy
+                    + off[2] as isize * sz;
+                steps.push(Step::Load {
+                    arr: arr_idx as u16,
+                    delta,
+                });
+            }
+            TapeOp::Store {
+                field,
+                comp,
+                off,
+                val,
+            } => {
+                let arr_idx = write_map[field as usize];
+                let arr = &writes[arr_idx];
+                let [sc, sx, sy, sz] = arr.strides();
+                let delta = comp as isize * sc
+                    + off[0] as isize * sx
+                    + off[1] as isize * sy
+                    + off[2] as isize * sz;
+                steps.push(Step::Store {
+                    arr: arr_idx as u16,
+                    delta,
+                    val: val.0,
+                });
+            }
+            other => steps.push(Step::Op(other)),
+        }
+    }
+    // Level sections are only usable when levels are monotone (the LICM
+    // pass sorts them; GPU-oriented reschedules may not preserve this — then
+    // everything runs per cell, which is always correct).
+    let monotone = tape.levels.windows(2).all(|w| w[0] <= w[1]);
+    let mut sec = [tape.instrs.len(); 4];
+    if monotone {
+        for lvl in 0..4usize {
+            sec[lvl] = tape
+                .levels
+                .iter()
+                .position(|&l| l as usize > lvl)
+                .unwrap_or(tape.instrs.len());
+        }
+    } else {
+        sec[0] = 0;
+        sec[1] = 0;
+        sec[2] = 0;
+    }
+    let base_of = |arr: &FieldArray| -> isize { arr.index(0, 0, 0, 0) as isize };
+    Plan {
+        steps,
+        sec,
+        read_strides: reads
+            .iter()
+            .map(|a| {
+                let [_, sx, sy, sz] = a.strides();
+                [sx, sy, sz]
+            })
+            .collect(),
+        read_base: reads.iter().map(|a| base_of(a)).collect(),
+        write_strides: writes
+            .iter()
+            .map(|a| {
+                let [_, sx, sy, sz] = a.strides();
+                [sx, sy, sz]
+            })
+            .collect(),
+        write_base: writes.iter().map(base_of).collect(),
+    }
+}
+
+/// Shared mutable view over a write array for the parallel path. Safety rests
+/// on the caller guaranteeing disjoint index sets per thread.
+#[derive(Clone, Copy)]
+struct RawSlice {
+    ptr: *mut f64,
+    len: usize,
+}
+unsafe impl Send for RawSlice {}
+unsafe impl Sync for RawSlice {}
+
+impl RawSlice {
+    #[inline]
+    unsafe fn write(&self, idx: usize, v: f64) {
+        debug_assert!(idx < self.len);
+        unsafe { *self.ptr.add(idx) = v }
+    }
+}
+
+#[inline]
+fn f32_div(a: f64, b: f64) -> f64 {
+    (a as f32 / b as f32) as f64
+}
+
+#[inline]
+fn f32_sqrt(a: f64) -> f64 {
+    (a as f32).sqrt() as f64
+}
+
+#[inline]
+fn f32_rsqrt(a: f64) -> f64 {
+    (1.0 / (a as f32).sqrt()) as f64
+}
+
+/// Execute `tape` over the block interior (plus its `iter_extent`).
+///
+/// `domain` is the block's interior cell shape; the written arrays must be
+/// sized to accept the extended iteration range of face kernels.
+pub fn run_kernel(
+    tape: &Tape,
+    store: &mut FieldStore,
+    params: &[f64],
+    domain: [usize; 3],
+    ctx: &RunCtx,
+    mode: ExecMode,
+) {
+    assert_eq!(
+        params.len(),
+        tape.params.len(),
+        "kernel {} expects {} parameters",
+        tape.name,
+        tape.params.len()
+    );
+
+    // Partition fields into read-only and written.
+    let mut written: Vec<u16> = Vec::new();
+    for op in &tape.instrs {
+        if let TapeOp::Store { field, .. } = op {
+            if !written.contains(field) {
+                written.push(*field);
+            }
+        }
+    }
+    for op in &tape.instrs {
+        if let TapeOp::Load { field, .. } = op {
+            assert!(
+                !written.contains(field),
+                "kernel {} reads and writes field {} — Jacobi-style kernels only",
+                tape.name,
+                tape.fields[*field as usize].name()
+            );
+        }
+    }
+
+    // Split borrows: take written arrays out of the store.
+    let mut write_map = vec![usize::MAX; tape.fields.len()];
+    let mut writes: Vec<FieldArray> = Vec::new();
+    for (slot, f) in tape.fields.iter().enumerate() {
+        if written.contains(&(slot as u16)) {
+            write_map[slot] = writes.len();
+            writes.push(store.take(*f));
+        }
+    }
+    {
+        let mut read_map = vec![usize::MAX; tape.fields.len()];
+        let mut reads: Vec<&FieldArray> = Vec::new();
+        for (slot, f) in tape.fields.iter().enumerate() {
+            if write_map[slot] == usize::MAX {
+                read_map[slot] = reads.len();
+                reads.push(store.get(*f));
+            }
+        }
+        let plan = resolve(tape, &reads, &writes, &read_map, &write_map);
+        let read_data: Vec<&[f64]> = reads.iter().map(|a| a.data()).collect();
+
+        let ext = [
+            domain[0] + tape.iter_extent[0],
+            domain[1] + tape.iter_extent[1],
+            domain[2] + tape.iter_extent[2],
+        ];
+        let order = tape.loop_order;
+        let outer_n = ext[order[0]];
+
+        match mode {
+            ExecMode::Serial => {
+                let mut write_data: Vec<&mut [f64]> =
+                    writes.iter_mut().map(|a| a.data_mut()).collect();
+                let mut regs = vec![0.0f64; tape.instrs.len()];
+                let mut cell = CellCursor::new(tape, &plan, params, ctx, ext);
+                cell.exec_section(&mut regs, &read_data, 0, plan.sec[0], [0; 3]);
+                for o in 0..outer_n {
+                    cell.run_outer(
+                        &mut regs,
+                        &read_data,
+                        &mut |idx, v, arr| write_data[arr][idx] = v,
+                        o,
+                    );
+                }
+            }
+            ExecMode::Parallel => {
+                // Disjointness: every store writes the centre cell along the
+                // outer dimension, so distinct outer indices are disjoint.
+                for op in &tape.instrs {
+                    if let TapeOp::Store { off, .. } = op {
+                        assert_eq!(
+                            off[order[0]], 0,
+                            "parallel execution requires centre stores along the outer loop"
+                        );
+                    }
+                }
+                let raw: Vec<RawSlice> = writes
+                    .iter_mut()
+                    .map(|a| {
+                        let d = a.data_mut();
+                        RawSlice {
+                            ptr: d.as_mut_ptr(),
+                            len: d.len(),
+                        }
+                    })
+                    .collect();
+                let raw = &raw;
+                let plan_ref = &plan;
+                let read_data = &read_data;
+                (0..outer_n).into_par_iter().for_each(|o| {
+                    let mut regs = vec![0.0f64; tape.instrs.len()];
+                    let mut cell = CellCursor::new(tape, plan_ref, params, ctx, ext);
+                    cell.exec_section(&mut regs, read_data, 0, plan_ref.sec[0], [0; 3]);
+                    cell.run_outer(
+                        &mut regs,
+                        read_data,
+                        // SAFETY: distinct `o` values write disjoint cells
+                        // (asserted above), and each array index is in
+                        // bounds by construction of the plan deltas.
+                        &mut |idx, v, arr| unsafe { raw[arr].write(idx, v) },
+                        o,
+                    );
+                });
+            }
+        }
+    }
+
+    // Re-insert written arrays.
+    let mut w = writes.into_iter();
+    for (slot, f) in tape.fields.iter().enumerate() {
+        if write_map[slot] != usize::MAX {
+            store.insert(*f, w.next().expect("one array per written field"));
+        }
+    }
+}
+
+/// Loop driver holding the per-launch constants.
+struct CellCursor<'a> {
+    tape: &'a Tape,
+    plan: &'a Plan,
+    params: &'a [f64],
+    ctx: &'a RunCtx,
+    ext: [usize; 3],
+    rng: CellRng,
+}
+
+impl<'a> CellCursor<'a> {
+    fn new(
+        tape: &'a Tape,
+        plan: &'a Plan,
+        params: &'a [f64],
+        ctx: &'a RunCtx,
+        ext: [usize; 3],
+    ) -> Self {
+        CellCursor {
+            tape,
+            plan,
+            params,
+            ctx,
+            ext,
+            rng: CellRng::new(ctx.seed),
+        }
+    }
+
+    /// Execute one outer-loop iteration (levels 1..3 at the right depths).
+    fn run_outer(
+        &mut self,
+        regs: &mut [f64],
+        read_data: &[&[f64]],
+        write: &mut impl FnMut(usize, f64, usize),
+        o: usize,
+    ) {
+        let order = self.tape.loop_order;
+        let (s0, s1, s2, s3) = (
+            self.plan.sec[0],
+            self.plan.sec[1],
+            self.plan.sec[2],
+            self.plan.sec[3],
+        );
+        let mut idx3 = [0usize; 3];
+        idx3[order[0]] = o;
+        self.exec_section_rw(regs, read_data, write, s0, s1, idx3);
+        for m in 0..self.ext[order[1]] {
+            idx3[order[1]] = m;
+            self.exec_section_rw(regs, read_data, write, s1, s2, idx3);
+            for x in 0..self.ext[order[2]] {
+                idx3[order[2]] = x;
+                self.exec_section_rw(regs, read_data, write, s2, s3, idx3);
+            }
+        }
+    }
+
+    fn exec_section(
+        &mut self,
+        regs: &mut [f64],
+        read_data: &[&[f64]],
+        from: usize,
+        to: usize,
+        idx3: [usize; 3],
+    ) {
+        self.exec_section_rw(regs, read_data, &mut |_, _, _| {}, from, to, idx3);
+    }
+
+    #[inline]
+    fn exec_section_rw(
+        &mut self,
+        regs: &mut [f64],
+        read_data: &[&[f64]],
+        write: &mut impl FnMut(usize, f64, usize),
+        from: usize,
+        to: usize,
+        idx3: [usize; 3],
+    ) {
+        let ctx = self.ctx;
+        let approx = self.tape.approx;
+        for i in from..to {
+            let v = match self.plan.steps[i] {
+                Step::Op(op) => match op {
+                    TapeOp::Const(c) => c.0,
+                    TapeOp::Param(p) => self.params[p as usize],
+                    TapeOp::Coord(d) => {
+                        let dd = d as usize;
+                        (ctx.origin[dd] as f64 + idx3[dd] as f64 + 0.5) * ctx.dx[dd]
+                    }
+                    TapeOp::Time => ctx.time,
+                    TapeOp::CellIdx(d) => {
+                        let dd = d as usize;
+                        ctx.origin[dd] as f64 + idx3[dd] as f64
+                    }
+                    TapeOp::Rand(lane) => self.rng.uniform_pm1(
+                        [
+                            ctx.origin[0] + idx3[0] as i64,
+                            ctx.origin[1] + idx3[1] as i64,
+                            ctx.origin[2] + idx3[2] as i64,
+                        ],
+                        ctx.timestep,
+                        lane as u32,
+                    ),
+                    TapeOp::Add(a, b) => regs[a.0 as usize] + regs[b.0 as usize],
+                    TapeOp::Sub(a, b) => regs[a.0 as usize] - regs[b.0 as usize],
+                    TapeOp::Mul(a, b) => regs[a.0 as usize] * regs[b.0 as usize],
+                    TapeOp::Div(a, b) => {
+                        if approx.fast_div {
+                            f32_div(regs[a.0 as usize], regs[b.0 as usize])
+                        } else {
+                            regs[a.0 as usize] / regs[b.0 as usize]
+                        }
+                    }
+                    TapeOp::Neg(a) => -regs[a.0 as usize],
+                    TapeOp::Sqrt(a) => {
+                        if approx.fast_sqrt {
+                            f32_sqrt(regs[a.0 as usize])
+                        } else {
+                            regs[a.0 as usize].sqrt()
+                        }
+                    }
+                    TapeOp::RSqrt(a) => {
+                        if approx.fast_rsqrt {
+                            f32_rsqrt(regs[a.0 as usize])
+                        } else {
+                            1.0 / regs[a.0 as usize].sqrt()
+                        }
+                    }
+                    TapeOp::Abs(a) => regs[a.0 as usize].abs(),
+                    TapeOp::Min(a, b) => regs[a.0 as usize].min(regs[b.0 as usize]),
+                    TapeOp::Max(a, b) => regs[a.0 as usize].max(regs[b.0 as usize]),
+                    TapeOp::Exp(a) => regs[a.0 as usize].exp(),
+                    TapeOp::Ln(a) => regs[a.0 as usize].ln(),
+                    TapeOp::Sin(a) => regs[a.0 as usize].sin(),
+                    TapeOp::Cos(a) => regs[a.0 as usize].cos(),
+                    TapeOp::Tanh(a) => regs[a.0 as usize].tanh(),
+                    TapeOp::Sign(a) => {
+                        let x = regs[a.0 as usize];
+                        if x > 0.0 {
+                            1.0
+                        } else if x < 0.0 {
+                            -1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    TapeOp::Floor(a) => regs[a.0 as usize].floor(),
+                    TapeOp::Powf(a, b) => regs[a.0 as usize].powf(regs[b.0 as usize]),
+                    TapeOp::CmpSelect { op, l, r, t, f } => {
+                        if op.eval(regs[l.0 as usize], regs[r.0 as usize]) {
+                            regs[t.0 as usize]
+                        } else {
+                            regs[f.0 as usize]
+                        }
+                    }
+                    TapeOp::Fence => 0.0,
+                    TapeOp::Load { .. } | TapeOp::Store { .. } => {
+                        unreachable!("resolved in plan")
+                    }
+                },
+                Step::Load { arr, delta } => {
+                    let a = arr as usize;
+                    let s = self.plan.read_strides[a];
+                    let idx = self.plan.read_base[a]
+                        + idx3[0] as isize * s[0]
+                        + idx3[1] as isize * s[1]
+                        + idx3[2] as isize * s[2]
+                        + delta;
+                    read_data[a][idx as usize]
+                }
+                Step::Store { arr, delta, val } => {
+                    let a = arr as usize;
+                    let s = self.plan.write_strides[a];
+                    let idx = self.plan.write_base[a]
+                        + idx3[0] as isize * s[0]
+                        + idx3[1] as isize * s[1]
+                        + idx3[2] as isize * s[2]
+                        + delta;
+                    let v = regs[val as usize];
+                    write(idx as usize, v, a);
+                    v
+                }
+            };
+            regs[i] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_fields::Layout;
+    use pf_ir::{generate, GenOptions};
+    use pf_stencil::{Assignment, Discretization, StencilKernel};
+    use pf_symbolic::{Access, Expr, Field};
+
+    /// Jacobi heat step: dst = src + dt·Δsrc (2D).
+    fn heat_tapes() -> (Field, Field, pf_ir::Tape) {
+        let src = Field::new("ex_src", 1, 2);
+        let dst = Field::new("ex_dst", 1, 2);
+        let disc = Discretization::isotropic(2, 1.0);
+        let u = Expr::access(Access::center(src, 0));
+        let rhs: Expr = (0..2)
+            .map(|d| Expr::d(Expr::num(1.0) * Expr::d(u.clone(), d), d))
+            .sum();
+        let update = disc.explicit_euler(Access::center(src, 0), &rhs, 0.1);
+        let k = StencilKernel::new(
+            "heat",
+            vec![Assignment::store(Access::center(dst, 0), update)],
+        );
+        let tape = generate(&k, &GenOptions::default());
+        (src, dst, tape)
+    }
+
+    fn setup(src: Field, dst: Field, n: usize) -> FieldStore {
+        let mut store = FieldStore::new();
+        store
+            .allocate(src, [n, n, 1], 1, Layout::Fzyx)
+            .fill_with(0, |x, y, _| ((x * 31 + y * 17) % 7) as f64);
+        store.get_mut(src).apply_periodic(0);
+        store.get_mut(src).apply_periodic(1);
+        store.allocate(dst, [n, n, 1], 1, Layout::Fzyx);
+        store
+    }
+
+    #[test]
+    fn heat_step_conserves_mass_with_periodic_bc() {
+        let (src, dst, tape) = heat_tapes();
+        let mut store = setup(src, dst, 16);
+        let before = store.get(src).interior_sum(0);
+        run_kernel(
+            &tape,
+            &mut store,
+            &[],
+            [16, 16, 1],
+            &RunCtx::default(),
+            ExecMode::Serial,
+        );
+        let after = store.get(dst).interior_sum(0);
+        assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bitwise() {
+        let (src, dst, tape) = heat_tapes();
+        let mut s1 = setup(src, dst, 20);
+        let mut s2 = setup(src, dst, 20);
+        run_kernel(
+            &tape,
+            &mut s1,
+            &[],
+            [20, 20, 1],
+            &RunCtx::default(),
+            ExecMode::Serial,
+        );
+        run_kernel(
+            &tape,
+            &mut s2,
+            &[],
+            [20, 20, 1],
+            &RunCtx::default(),
+            ExecMode::Parallel,
+        );
+        assert_eq!(s1.get(dst).max_abs_diff(s2.get(dst)), 0.0);
+    }
+
+    #[test]
+    fn matches_reference_interpreter_per_cell() {
+        let (src, dst, tape) = heat_tapes();
+        let mut store = setup(src, dst, 8);
+        let src_copy = store.get(src).clone();
+        run_kernel(
+            &tape,
+            &mut store,
+            &[],
+            [8, 8, 1],
+            &RunCtx::default(),
+            ExecMode::Serial,
+        );
+        // Reference: interpret per cell with a MapCtx-backed env.
+        for y in 0..8isize {
+            for x in 0..8isize {
+                let mut ctx = pf_symbolic::MapCtx::new();
+                for op in &tape.instrs {
+                    if let TapeOp::Load { field, comp, off } = op {
+                        let f = tape.fields[*field as usize];
+                        let acc = Access::at(
+                            f,
+                            *comp as usize,
+                            [off[0] as i32, off[1] as i32, off[2] as i32],
+                        );
+                        ctx.set_access(
+                            acc,
+                            src_copy.get(
+                                *comp as usize,
+                                x + off[0] as isize,
+                                y + off[1] as isize,
+                                0,
+                            ),
+                        );
+                    }
+                }
+                let r = pf_ir::interp_expr_context(&tape, &ctx);
+                let want = r.stores[0].1;
+                let got = store.get(dst).get(0, x, y, 0);
+                assert!(
+                    (got - want).abs() < 1e-14,
+                    "cell ({x},{y}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fluctuation_kernels_are_reproducible() {
+        let dst = Field::new("ex_rand_dst", 1, 2);
+        let k = StencilKernel::new(
+            "noise",
+            vec![Assignment::store(
+                Access::center(dst, 0),
+                Expr::rand(0) * 0.01,
+            )],
+        );
+        let tape = generate(&k, &GenOptions::default());
+        let run = |mode| {
+            let mut store = FieldStore::new();
+            store.allocate(dst, [6, 6, 1], 1, Layout::Fzyx);
+            run_kernel(&tape, &mut store, &[], [6, 6, 1], &RunCtx::default(), mode);
+            store.take(dst)
+        };
+        let a = run(ExecMode::Serial);
+        let b = run(ExecMode::Parallel);
+        assert_eq!(a.max_abs_diff(&b), 0.0, "Philox must be order-independent");
+        // And nonzero noise was actually produced.
+        assert!(a.interior_sum(0).abs() > 0.0 || a.get(0, 1, 1, 0) != 0.0);
+    }
+
+    #[test]
+    fn approx_division_changes_low_bits_only() {
+        let src = Field::new("ex_ap_src", 1, 2);
+        let dst = Field::new("ex_ap_dst", 1, 2);
+        let rhs = Expr::one() / (Expr::access(Access::center(src, 0)) + 3.0);
+        let k = StencilKernel::new(
+            "ap",
+            vec![Assignment::store(Access::center(dst, 0), rhs)],
+        );
+        let mut exact = generate(&k, &GenOptions::default());
+        let mut approx = exact.clone();
+        approx.approx.fast_div = true;
+        let _ = &mut exact;
+
+        let run = |tape: &pf_ir::Tape| {
+            let mut store = FieldStore::new();
+            store
+                .allocate(src, [4, 4, 1], 1, Layout::Fzyx)
+                .fill_with(0, |x, y, _| (x + y) as f64 * 0.37);
+            store.allocate(dst, [4, 4, 1], 1, Layout::Fzyx);
+            run_kernel(tape, &mut store, &[], [4, 4, 1], &RunCtx::default(), ExecMode::Serial);
+            store.take(dst)
+        };
+        let e = run(&exact);
+        let a = run(&approx);
+        let diff = e.max_abs_diff(&a);
+        assert!(diff > 0.0, "approx mode should differ slightly");
+        assert!(diff < 1e-6, "but only in low bits, got {diff}");
+    }
+
+    #[test]
+    fn face_kernel_iterates_extended_domain() {
+        // A staggered-style kernel writing x-faces (extent+1 along x).
+        let src = Field::new("ex_fc_src", 1, 2);
+        let flux = Field::new("ex_fc_flux", 1, 2);
+        let d = Expr::access(Access::center(src, 0))
+            - Expr::access(Access::at(src, 0, [-1, 0, 0]));
+        let mut k = StencilKernel::new(
+            "faces",
+            vec![Assignment::store(Access::center(flux, 0), d)],
+        );
+        k.iter_extent = [1, 0, 0];
+        let tape = generate(&k, &GenOptions::default());
+        let mut store = FieldStore::new();
+        store
+            .allocate(src, [4, 4, 1], 1, Layout::Fzyx)
+            .fill_with(0, |x, _, _| (x * x) as f64);
+        store.get_mut(src).apply_periodic(0);
+        store.allocate(flux, [5, 5, 1], 0, Layout::Fzyx);
+        run_kernel(&tape, &mut store, &[], [4, 4, 1], &RunCtx::default(), ExecMode::Serial);
+        // interior face 2 = u(2) − u(1) = 4 − 1
+        assert_eq!(store.get(flux).get(0, 2, 0, 0), 3.0);
+        // extended face 4 = u(4) − u(3) = ghost(= u(0)) − u(3) = 0 − 9
+        assert_eq!(store.get(flux).get(0, 4, 0, 0), -9.0);
+        // face 0 = u(0) − u(−1) = 0 − ghost(= u(3)) = −9
+        assert_eq!(store.get(flux).get(0, 0, 0, 0), -9.0);
+    }
+}

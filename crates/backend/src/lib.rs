@@ -1,0 +1,22 @@
+//! `pf-backend` — kernel backends (§3.5 of the paper).
+//!
+//! Three consumers of the optimized kernel tape:
+//!
+//! * [`run_kernel`] — the native executor: the tape interpreted over real
+//!   field arrays, serially or rayon-parallel (the OpenMP analogue). This
+//!   is what simulations and benchmarks in this reproduction actually run.
+//! * [`emit_c`] — readable C/OpenMP source, with LICM-hoisted sections
+//!   placed at the right loop depths.
+//! * [`emit_cuda`] — CUDA source with selectable thread-to-cell mappings,
+//!   `__threadfence()` scheduling fences, and approximate-math intrinsics
+//!   (`__fdividef`, `__frsqrt_rn`).
+
+mod emit;
+mod exec;
+mod simd;
+mod store;
+
+pub use emit::{emit_c, emit_cuda, ThreadMapping};
+pub use simd::{emit_c_simd, SimdIsa};
+pub use exec::{run_kernel, ExecMode, RunCtx};
+pub use store::FieldStore;

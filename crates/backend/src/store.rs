@@ -1,0 +1,115 @@
+//! Binding symbolic fields to storage.
+//!
+//! A [`FieldStore`] owns the `FieldArray`s of one block and maps the
+//! symbolic `Field` handles appearing in tapes to them. Kernels never see
+//! names — binding is by handle, established once when the block is set up.
+
+use pf_fields::{FieldArray, Layout};
+use pf_symbolic::Field;
+use std::collections::HashMap;
+
+/// Owns all arrays of one block.
+#[derive(Default, Debug)]
+pub struct FieldStore {
+    map: HashMap<u32, FieldArray>,
+}
+
+impl FieldStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate storage for `field` with the given interior shape and ghost
+    /// layers and bind it.
+    pub fn allocate(
+        &mut self,
+        field: Field,
+        shape: [usize; 3],
+        ghost: usize,
+        layout: Layout,
+    ) -> &mut FieldArray {
+        let arr = FieldArray::new(&field.name(), shape, field.components(), ghost, layout);
+        self.map.insert(field.id(), arr);
+        self.map.get_mut(&field.id()).expect("just inserted")
+    }
+
+    /// Bind an existing array (e.g. a staggered temporary).
+    pub fn insert(&mut self, field: Field, arr: FieldArray) {
+        assert_eq!(
+            arr.components(),
+            field.components(),
+            "component mismatch binding {}",
+            field.name()
+        );
+        self.map.insert(field.id(), arr);
+    }
+
+    pub fn get(&self, field: Field) -> &FieldArray {
+        self.map
+            .get(&field.id())
+            .unwrap_or_else(|| panic!("field {} not bound", field.name()))
+    }
+
+    pub fn get_mut(&mut self, field: Field) -> &mut FieldArray {
+        self.map
+            .get_mut(&field.id())
+            .unwrap_or_else(|| panic!("field {} not bound", field.name()))
+    }
+
+    pub fn contains(&self, field: Field) -> bool {
+        self.map.contains_key(&field.id())
+    }
+
+    /// Temporarily remove an array (the executor takes write arrays out to
+    /// split borrows); must be re-inserted afterwards.
+    pub fn take(&mut self, field: Field) -> FieldArray {
+        self.map
+            .remove(&field.id())
+            .unwrap_or_else(|| panic!("field {} not bound", field.name()))
+    }
+
+    /// Swap the storage of two fields (src/dst exchange at end of timestep).
+    pub fn swap(&mut self, a: Field, b: Field) {
+        let mut arr_a = self.take(a);
+        let arr_b = self.get_mut(b);
+        arr_a.swap(arr_b);
+        self.map.insert(a.id(), arr_a);
+    }
+
+    pub fn fields(&self) -> impl Iterator<Item = u32> + '_ {
+        self.map.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_get_roundtrip() {
+        let f = Field::new("st_f", 2, 3);
+        let mut s = FieldStore::new();
+        s.allocate(f, [4, 4, 4], 1, Layout::Fzyx);
+        s.get_mut(f).set(1, 0, 0, 0, 3.5);
+        assert_eq!(s.get(f).get(1, 0, 0, 0), 3.5);
+    }
+
+    #[test]
+    fn swap_moves_data_between_fields() {
+        let a = Field::new("st_a", 1, 3);
+        let b = Field::new("st_b", 1, 3);
+        let mut s = FieldStore::new();
+        s.allocate(a, [2, 2, 2], 1, Layout::Fzyx).fill(1.0);
+        s.allocate(b, [2, 2, 2], 1, Layout::Fzyx).fill(2.0);
+        s.swap(a, b);
+        assert_eq!(s.get(a).get(0, 0, 0, 0), 2.0);
+        assert_eq!(s.get(b).get(0, 0, 0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn unbound_field_panics() {
+        let f = Field::new("st_unbound", 1, 3);
+        FieldStore::new().get(f);
+    }
+}

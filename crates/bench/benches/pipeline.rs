@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the code-generation pipeline itself: model
+//! building, full kernel generation (the paper's "30 to 60 seconds"
+//! recompilation budget), the GPU register transformations, and the
+//! performance-model machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_core::{build_model, p1};
+use pf_ir::{generate, rematerialize, schedule_min_live, GenOptions};
+use pf_machine::skylake_8174;
+use pf_perfmodel::simulate_sweep;
+use pf_stencil::{discretize_full, Discretization, StencilKernel};
+
+fn bench_generation(c: &mut Criterion) {
+    let p = p1();
+    let mut g = c.benchmark_group("codegen");
+    g.sample_size(10);
+    g.bench_function("build_model_p1", |b| b.iter(|| build_model(&p)));
+
+    let m = build_model(&p);
+    let disc = Discretization::new(p.dim, [p.dx; 3]);
+    g.bench_function("discretize_mu_full", |b| {
+        b.iter(|| discretize_full(&disc, &m.mu_updates))
+    });
+    let k = StencilKernel::new("bench_mu", discretize_full(&disc, &m.mu_updates));
+    g.bench_function("generate_mu_full", |b| {
+        b.iter(|| generate(&k, &GenOptions::default()))
+    });
+    g.finish();
+}
+
+fn bench_gpu_transforms(c: &mut Criterion) {
+    let p = p1();
+    let m = build_model(&p);
+    let disc = Discretization::new(p.dim, [p.dx; 3]);
+    let k = StencilKernel::new("bench_mu_t", discretize_full(&disc, &m.mu_updates));
+    let tape = generate(&k, &GenOptions::default());
+    let mut g = c.benchmark_group("gpu_transforms");
+    g.sample_size(10);
+    g.bench_function("schedule_beam20", |b| b.iter(|| schedule_min_live(&tape, 20)));
+    g.bench_function("rematerialize", |b| b.iter(|| rematerialize(&tape, 2)));
+    g.finish();
+}
+
+fn bench_perfmodel(c: &mut Criterion) {
+    let p = p1();
+    let m = build_model(&p);
+    let disc = Discretization::new(p.dim, [p.dx; 3]);
+    let k = StencilKernel::new("bench_mu_pm", discretize_full(&disc, &m.mu_updates));
+    let tape = generate(&k, &GenOptions::default());
+    let sock = skylake_8174();
+    let mut g = c.benchmark_group("perfmodel");
+    g.sample_size(10);
+    g.bench_function("cache_simulation_16x16x4", |b| {
+        b.iter(|| simulate_sweep(&tape, &sock, [16, 16, 4]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_gpu_transforms, bench_perfmodel);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **Fig. 2 (right)** — effectiveness of the GPU register-pressure
+//! transformation sequences on the µ-full kernel.
+//!
+//! "Rescheduling of statements is the most effective GPU register usage
+//! transformation on its own, as it manages to reduce both the number of
+//! alive intermediates and allocated registers below 255. This eliminates
+//! spilling, which increases performance by 50 %. … In this case
+//! [dupl+sched+fence], the allocated register count drops below 128, which
+//! doubles the occupancy, for a total performance improvement of a factor
+//! of 2."
+//!
+//! Series printed per transformation sequence: live-value analysis count
+//! (×2 = 32-bit registers), modelled allocated registers (the "nvcc"
+//! series), and modelled runtime for a 256³ block on a P100.
+
+use pf_bench::kernels_for;
+use pf_core::p1;
+use pf_ir::{insert_fences, rematerialize, schedule_min_live, Tape};
+use pf_machine::tesla_p100;
+use pf_perfmodel::gpu_kernel_model;
+
+fn main() {
+    let p = p1();
+    let ks = kernels_for(&p);
+    let gpu = tesla_p100();
+    let base = &ks.mu_full;
+    let mem_bytes_per_cell = 8.0 * (8.0 + 2.0); // streams: φ×2 gens + µ src/dst
+
+    let variants: Vec<(&str, Tape)> = vec![
+        ("none", base.clone()),
+        ("sched", schedule_min_live(base, 20)),
+        ("dupl", rematerialize(base, 2)),
+        ("fence", insert_fences(base, 48)),
+        (
+            "dupl+sched+fence",
+            insert_fences(&schedule_min_live(&rematerialize(base, 2), 20), 48),
+        ),
+    ];
+
+    println!("Fig. 2 (right) — GPU register transformations on the µ-full kernel (P1)");
+    println!(
+        "{:<18} {:>14} {:>14} {:>10} {:>12} {:>14}",
+        "sequence", "analysis(x2)", "nvcc regs", "spilled", "occupancy", "runtime [ms]"
+    );
+    let cells = 256usize.pow(3);
+    let mut runtimes = Vec::new();
+    for (name, tape) in &variants {
+        let m = gpu_kernel_model(tape, &gpu, mem_bytes_per_cell, 256);
+        println!(
+            "{:<18} {:>14} {:>14} {:>10} {:>11.0}% {:>14.1}",
+            name,
+            2 * m.regs.analysis_live,
+            m.regs.allocated,
+            m.regs.spilled,
+            m.occupancy * 100.0,
+            m.runtime_ms(cells)
+        );
+        runtimes.push((*name, m.runtime_ms(cells)));
+    }
+
+    let t_none = runtimes[0].1;
+    let t_sched = runtimes[1].1;
+    let t_combo = runtimes[4].1;
+    println!("\nspeedups vs `none`: sched {:.2}x, dupl+sched+fence {:.2}x", t_none / t_sched, t_none / t_combo);
+    println!("paper: sched alone ≈1.5x (spilling eliminated); full combination ≈2x");
+    println!("(register count below 128 doubles occupancy).");
+
+    // Beam-width sensitivity: "some of that effect can already be seen for
+    // a reordering search breadth of one, effectively a greedy search, and
+    // there is no consistent improvement for values above 20".
+    println!("\nbeam-width sweep (peak live doubles after scheduling):");
+    print!("  width:");
+    for w in [1usize, 2, 4, 8, 20, 40] {
+        let s = schedule_min_live(base, w);
+        print!("  {w}->{}", pf_ir::liveness(&s).peak);
+    }
+    println!();
+}

@@ -1,0 +1,201 @@
+//! `pf-bench` — the experiment harness.
+//!
+//! One binary per table/figure of the paper's evaluation section (see
+//! DESIGN.md §5 for the index and EXPERIMENTS.md for paper-vs-measured):
+//!
+//! | binary       | reproduces |
+//! |--------------|------------|
+//! | `table1`     | Table 1 — per-cell operation counts of all kernel variants |
+//! | `fig2_left`  | Fig. 2 left — ECM vs measurement, µ-split/µ-full scaling |
+//! | `fig2_middle`| Fig. 2 middle — φ variants under P1 and P2 |
+//! | `fig2_right` | Fig. 2 right — GPU register transformations |
+//! | `table2`     | Table 2 — communication options on 128 GPUs |
+//! | `fig3`       | Fig. 3 — weak/strong scaling on both machines |
+//! | `gpu_approx` | §6.2 — approximate div/sqrt speedup on the µ kernels |
+//! | `ablation`   | DESIGN.md §6 — pipeline-pass ablations |
+//!
+//! This library holds the shared plumbing: canonical kernel builds, the
+//! measured-executor timing loop, and text rendering of series/tables.
+
+use pf_backend::{run_kernel, ExecMode, FieldStore, RunCtx};
+use pf_core::{generate_kernels, KernelSet, ModelParams};
+use pf_fields::{FieldArray, Layout};
+use pf_ir::{insert_fences, rematerialize, schedule_min_live, GenOptions, Tape};
+use std::time::Instant;
+
+/// The full GPU register-pressure transformation chain the CUDA backend
+/// applies before launching a kernel (§3.5): rematerialize cheap values,
+/// reschedule for minimal liveness, fence against compiler re-hoisting.
+/// GPU-side experiments model kernels in this form.
+pub fn gpu_optimized(tape: &Tape) -> Tape {
+    insert_fences(&schedule_min_live(&rematerialize(tape, 2), 20), 48)
+}
+
+/// Build the canonical kernel set for a parameterization (defaults).
+pub fn kernels_for(p: &ModelParams) -> KernelSet {
+    generate_kernels(p, &GenOptions::default())
+}
+
+/// Allocate and initialize a realistic simulation state on one block:
+/// solid fingers growing into liquid, smooth µ field. Ghosts are filled
+/// periodically so every kernel variant can run stand-alone.
+pub fn workload_store(p: &ModelParams, ks: &KernelSet, shape: [usize; 3]) -> FieldStore {
+    let mut store = FieldStore::new();
+    let f = ks.fields;
+    for field in [f.phi_src, f.phi_dst, f.mu_src, f.mu_dst] {
+        store.allocate(field, shape, 1, Layout::Fzyx);
+    }
+    let stag_shape = [
+        shape[0] + 1,
+        shape[1] + 1,
+        if p.dim == 3 { shape[2] + 1 } else { shape[2] },
+    ];
+    for sf in [ks.phi_split.stag_field, ks.mu_split.stag_field] {
+        store.insert(
+            sf,
+            FieldArray::new(&sf.name(), stag_shape, sf.components(), 0, Layout::Fzyx),
+        );
+    }
+    let n = p.phases;
+    for alpha in 0..n {
+        let arr = store.get_mut(f.phi_src);
+        arr.fill_with(alpha, |x, y, z| {
+            // Lamellar fingers along x, front along z.
+            let lane = (x / 6) % (n - 1) + 1;
+            let front = 0.5 * (1.0 - ((z as f64 - shape[2] as f64 * 0.4) / 3.0).tanh());
+            let solid = if lane == alpha { front } else { 0.0 };
+            let liquid = 1.0 - front;
+            let v = if alpha == p.liquid_phase {
+                liquid
+            } else {
+                solid
+            };
+            // Mild transverse modulation keeps gradients non-trivial.
+            v * (1.0 - 1e-3 * ((x + 2 * y) % 7) as f64)
+        });
+    }
+    // Normalize φ to the simplex.
+    {
+        let arr = store.get_mut(f.phi_src);
+        for z in 0..shape[2] as isize {
+            for y in 0..shape[1] as isize {
+                for x in 0..shape[0] as isize {
+                    let mut s = 0.0;
+                    for a in 0..n {
+                        s += arr.get(a, x, y, z).max(0.0);
+                    }
+                    if s <= 1e-12 {
+                        for a in 0..n {
+                            arr.set(a, x, y, z, if a == p.liquid_phase { 1.0 } else { 0.0 });
+                        }
+                    } else {
+                        for a in 0..n {
+                            let v = arr.get(a, x, y, z).max(0.0) / s;
+                            arr.set(a, x, y, z, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..p.num_mu() {
+        store
+            .get_mut(f.mu_src)
+            .fill_with(i, |x, y, z| 0.05 * ((x + y + z) % 11) as f64 / 11.0);
+    }
+    // φ_dst slightly evolved (the µ kernel reads it).
+    let phi_src = store.get(f.phi_src).clone();
+    let dst = store.get_mut(f.phi_dst);
+    for a in 0..n {
+        for z in 0..shape[2] as isize {
+            for y in 0..shape[1] as isize {
+                for x in 0..shape[0] as isize {
+                    dst.set(a, x, y, z, phi_src.get(a, x, y, z));
+                }
+            }
+        }
+    }
+    for field in [f.phi_src, f.phi_dst, f.mu_src] {
+        for d in 0..3 {
+            store.get_mut(field).apply_periodic(d);
+        }
+    }
+    store
+}
+
+/// Measured executor throughput of one kernel variant, MLUP/s.
+pub fn measure_mlups(
+    p: &ModelParams,
+    ks: &KernelSet,
+    tapes: &[&Tape],
+    shape: [usize; 3],
+    sweeps: usize,
+    mode: ExecMode,
+) -> f64 {
+    let mut store = workload_store(p, ks, shape);
+    let ctx = RunCtx {
+        dx: [p.dx; 3],
+        ..RunCtx::default()
+    };
+    // Warmup.
+    for t in tapes {
+        run_kernel(t, &mut store, &[], shape, &ctx, mode);
+    }
+    let t0 = Instant::now();
+    for _ in 0..sweeps {
+        for t in tapes {
+            run_kernel(t, &mut store, &[], shape, &ctx, mode);
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let cells = (shape[0] * shape[1] * shape[2]) as f64 * sweeps as f64;
+    cells / secs / 1e6
+}
+
+/// Run `f` inside a rayon pool of `threads` threads (per-core scaling
+/// measurements).
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+/// Render a two-column series as an aligned text block.
+pub fn render_series(title: &str, xlabel: &str, ylabel: &str, pts: &[(f64, f64)]) -> String {
+    let mut out = format!("# {title}\n# {xlabel:>12} {ylabel:>16}\n");
+    for (x, y) in pts {
+        out.push_str(&format!("{x:>14.2} {y:>16.3}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_store_respects_simplex() {
+        let p = pf_core::p1();
+        let ks = kernels_for(&p);
+        let store = workload_store(&p, &ks, [8, 8, 8]);
+        let phi = store.get(ks.fields.phi_src);
+        for z in 0..8isize {
+            for y in 0..8isize {
+                for x in 0..8isize {
+                    let s: f64 = (0..4).map(|a| phi.get(a, x, y, z)).sum();
+                    assert!((s - 1.0).abs() < 1e-12, "simplex violated: {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measured_throughput_is_positive() {
+        let p = pf_core::p1();
+        let ks = kernels_for(&p);
+        let m = measure_mlups(&p, &ks, &[&ks.mu_full], [8, 8, 8], 1, ExecMode::Serial);
+        assert!(m > 0.0);
+    }
+}

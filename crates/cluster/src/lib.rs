@@ -1,0 +1,349 @@
+//! `pf-cluster` — cluster-scale performance simulation.
+//!
+//! The paper's scaling experiments (Fig. 3) ran on up to half of
+//! SuperMUC-NG and 2400 Piz Daint nodes; Table 2 compares communication
+//! strategies on 128 GPUs. Those machines are not available here, so this
+//! crate prices a timestep of Algorithm 1 analytically on the machine
+//! models of `pf-machine`:
+//!
+//! * per-rank kernel times come from the ECM / GPU models (or measured
+//!   executor rates), supplied by the caller;
+//! * halo-exchange time = per-phase message latencies (with a topology
+//!   term for crossing fat-tree islands / dragonfly groups) + volume over
+//!   the injection bandwidth + host staging when GPUDirect is off + the
+//!   packing kernel;
+//! * the communication-hiding schedule of §4.3 overlaps the µ halo
+//!   exchange with the φ kernel and the φ exchange with the inner part of
+//!   the µ kernel;
+//! * per-rank "system noise" jitter makes the simulated step time the
+//!   maximum over ranks, reproducing the mild efficiency loss of real
+//!   weak-scaling curves.
+
+#![forbid(unsafe_code)]
+
+use pf_grid::CommOptions;
+use pf_machine::{Cluster, NodeKind, Topology};
+
+/// Per-rank workload of one timestep of Algorithm 1.
+#[derive(Clone, Copy, Debug)]
+pub struct StepWorkload {
+    /// φ-kernel compute time, seconds.
+    pub t_phi: f64,
+    /// µ-kernel compute time, seconds.
+    pub t_mu: f64,
+    /// Halo bytes exchanged for φ per step (all neighbours).
+    pub phi_halo_bytes: u64,
+    /// Halo bytes exchanged for µ per step.
+    pub mu_halo_bytes: u64,
+    /// Cells per rank (for MLUP/s reporting).
+    pub cells: u64,
+    /// Fraction of the µ kernel that can run on the inner region without
+    /// φ ghost values (§4.3: "µ is first updated in the inner part").
+    pub mu_inner_fraction: f64,
+}
+
+/// Deterministic per-rank jitter in [0, 1): OS noise, clock variation.
+fn jitter(rank: usize) -> f64 {
+    let mut x = rank as u64 ^ 0x5EED_5EED_5EED_5EED;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    (x % 10_000) as f64 / 10_000.0
+}
+
+/// Relative compute-time noise amplitude (±0.5 %).
+const NOISE: f64 = 0.005;
+
+/// Topology congestion/latency factor for a job of `ranks` ranks.
+fn topology_factor(cluster: &Cluster, ranks: usize) -> f64 {
+    let ranks_per_node = match &cluster.node {
+        NodeKind::Cpu { sockets, socket } => sockets * socket.cores,
+        NodeKind::Gpu { gpus, .. } => *gpus,
+    };
+    let nodes = ranks.div_ceil(ranks_per_node);
+    match cluster.network.topology {
+        Topology::FatTree { nodes_per_island } => {
+            if nodes > nodes_per_island {
+                1.0 + cluster.network.cross_boundary_latency_us / cluster.network.latency_us
+            } else {
+                1.0
+            }
+        }
+        Topology::Dragonfly => {
+            // Adaptive routing spreads load; mild logarithmic growth.
+            1.0 + 0.02 * (nodes.max(1) as f64).log2()
+        }
+    }
+}
+
+/// Halo-exchange cost split into the part that asynchronous MPI can hide
+/// behind computation (wire latency + volume + pack kernel) and the part
+/// that stays serial on the rank even with overlap (host staging keeps the
+/// copy engine and driver busy — exactly why GPUDirect still pays off on
+/// top of overlap in Table 2).
+pub fn halo_time_parts(
+    cluster: &Cluster,
+    bytes: u64,
+    opts: CommOptions,
+    ranks: usize,
+) -> (f64, f64) {
+    let net = &cluster.network;
+    // Three phases, two messages each; phases are serialized.
+    let latency = 3.0 * 2.0 * net.latency_us * 1e-6 * topology_factor(cluster, ranks);
+    let bw = bytes as f64 / (net.bw_gbs * 1e9);
+    // Host staging (no GPUDirect) adds the device-to-host copy of the send
+    // buffers over PCIe; GPUDirect sends straight from device memory.
+    let staging = match (&cluster.node, opts.gpudirect) {
+        (NodeKind::Gpu { .. }, false) => bytes as f64 / (cluster.pcie_bw_gbs * 1e9),
+        _ => 0.0,
+    };
+    let pack = bytes as f64 / 200e9; // memcpy-speed pack/unpack kernels
+    (latency + bw + pack, staging)
+}
+
+/// Total (blocking) halo-exchange time.
+pub fn halo_time(cluster: &Cluster, bytes: u64, opts: CommOptions, ranks: usize) -> f64 {
+    let (hidable, serial) = halo_time_parts(cluster, bytes, opts, ranks);
+    hidable + serial
+}
+
+/// One timestep of Algorithm 1 on a single rank (no noise), honouring the
+/// communication-hiding schedule when `opts.overlap` is set.
+pub fn rank_step_time(w: &StepWorkload, cluster: &Cluster, opts: CommOptions, ranks: usize) -> f64 {
+    let (phi_hide, phi_serial) = halo_time_parts(cluster, w.phi_halo_bytes, opts, ranks);
+    let (mu_hide, mu_serial) = halo_time_parts(cluster, w.mu_halo_bytes, opts, ranks);
+    if opts.overlap {
+        // φ kernel ‖ µ halo exchange, then µ-inner ‖ φ halo exchange,
+        // then the µ outer shell. Staging copies never overlap.
+        let stage1 = w.t_phi.max(mu_hide) + mu_serial;
+        let mu_inner = w.t_mu * w.mu_inner_fraction;
+        let mu_outer = w.t_mu - mu_inner;
+        let stage2 = mu_inner.max(phi_hide) + phi_serial;
+        stage1 + stage2 + mu_outer
+    } else {
+        w.t_phi + phi_hide + phi_serial + w.t_mu + mu_hide + mu_serial
+    }
+}
+
+/// Simulated step time across `ranks` ranks: the slowest rank gates the
+/// step (bulk-synchronous execution).
+pub fn step_time(w: &StepWorkload, cluster: &Cluster, opts: CommOptions, ranks: usize) -> f64 {
+    let base = rank_step_time(w, cluster, opts, ranks);
+    // Sample the noise maximum over ranks deterministically. The maximum of
+    // `ranks` samples approaches the amplitude; evaluate exactly for small
+    // counts, asymptotically for large ones.
+    let max_jitter = if ranks <= 4096 {
+        (0..ranks).map(jitter).fold(0.0, f64::max)
+    } else {
+        1.0 - 1.0 / ranks as f64
+    };
+    base * (1.0 + NOISE * max_jitter)
+}
+
+/// Per-unit (core/GPU) performance in MLUP/s at a given scale.
+pub fn mlups_per_unit(w: &StepWorkload, cluster: &Cluster, opts: CommOptions, ranks: usize) -> f64 {
+    let t = step_time(w, cluster, opts, ranks);
+    w.cells as f64 / t / 1e6
+}
+
+/// A weak-scaling series: the per-rank workload is constant.
+pub fn weak_scaling(
+    w: &StepWorkload,
+    cluster: &Cluster,
+    opts: CommOptions,
+    rank_counts: &[usize],
+) -> Vec<(usize, f64)> {
+    rank_counts
+        .iter()
+        .map(|&r| (r, mlups_per_unit(w, cluster, opts, r)))
+        .collect()
+}
+
+/// A strong-scaling series over a fixed global domain: the caller supplies
+/// a function producing the per-rank workload for each rank count (block
+/// shape and kernel times shrink with the block). Returns
+/// `(ranks, MLUP/s per unit, steps per second)` triples.
+pub fn strong_scaling(
+    cluster: &Cluster,
+    opts: CommOptions,
+    rank_counts: &[usize],
+    mut workload_for: impl FnMut(usize) -> StepWorkload,
+) -> Vec<(usize, f64, f64)> {
+    rank_counts
+        .iter()
+        .map(|&r| {
+            let w = workload_for(r);
+            let t = step_time(&w, cluster, opts, r);
+            (r, w.cells as f64 / t / 1e6, 1.0 / t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_machine::{piz_daint, supermuc_ng};
+
+    fn gpu_workload() -> StepWorkload {
+        // 400³ block per GPU (the paper's weak-scaling configuration).
+        let cells = 400u64.pow(3);
+        StepWorkload {
+            t_phi: 0.055,
+            t_mu: 0.085,
+            phi_halo_bytes: pf_grid::halo_bytes([400, 400, 400], 1, 4),
+            mu_halo_bytes: pf_grid::halo_bytes([400, 400, 400], 1, 2),
+            cells,
+            mu_inner_fraction: 0.9,
+        }
+    }
+
+    #[test]
+    fn overlap_improves_gpu_throughput() {
+        let c = piz_daint();
+        let w = gpu_workload();
+        let base = mlups_per_unit(&w, &c, CommOptions::default(), 128);
+        let ov = mlups_per_unit(
+            &w,
+            &c,
+            CommOptions {
+                overlap: true,
+                gpudirect: false,
+            },
+            128,
+        );
+        assert!(ov > base, "{ov} vs {base}");
+    }
+
+    #[test]
+    fn gpudirect_improves_gpu_throughput() {
+        let c = piz_daint();
+        let w = gpu_workload();
+        for overlap in [false, true] {
+            let off = mlups_per_unit(
+                &w,
+                &c,
+                CommOptions {
+                    overlap,
+                    gpudirect: false,
+                },
+                128,
+            );
+            let on = mlups_per_unit(
+                &w,
+                &c,
+                CommOptions {
+                    overlap,
+                    gpudirect: true,
+                },
+                128,
+            );
+            assert!(on > off, "overlap={overlap}: {on} vs {off}");
+        }
+    }
+
+    #[test]
+    fn table2_ordering_holds() {
+        // 395 (no/no) < 403 (no/yes) < 422 (yes/no) < 440 (yes/yes)
+        let c = piz_daint();
+        let w = gpu_workload();
+        let combo = |overlap, gpudirect| {
+            mlups_per_unit(&w, &c, CommOptions { overlap, gpudirect }, 128)
+        };
+        let (nn, ny, yn, yy) = (
+            combo(false, false),
+            combo(false, true),
+            combo(true, false),
+            combo(true, true),
+        );
+        assert!(nn < ny && ny < yy, "{nn} {ny} {yy}");
+        assert!(nn < yn && yn < yy, "{nn} {yn} {yy}");
+        assert!(yn > ny, "overlap should matter more than GPUDirect: {yn} vs {ny}");
+    }
+
+    #[test]
+    fn weak_scaling_is_nearly_flat() {
+        let c = supermuc_ng();
+        // 60³ per core.
+        let w = StepWorkload {
+            t_phi: 0.012,
+            t_mu: 0.020,
+            phi_halo_bytes: pf_grid::halo_bytes([60, 60, 60], 1, 4),
+            mu_halo_bytes: pf_grid::halo_bytes([60, 60, 60], 1, 2),
+            cells: 60u64.pow(3),
+            mu_inner_fraction: 0.85,
+        };
+        let series = weak_scaling(
+            &w,
+            &c,
+            CommOptions {
+                overlap: true,
+                gpudirect: false,
+            },
+            &[16, 1024, 65_536, 262_144],
+        );
+        let first = series[0].1;
+        let last = series.last().expect("non-empty").1;
+        assert!(
+            last > 0.9 * first,
+            "weak scaling efficiency below 90%: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn strong_scaling_gains_then_saturates() {
+        let c = supermuc_ng();
+        // Fixed 512×256×256 domain (Fig. 3 right).
+        let total_cells = 512u64 * 256 * 256;
+        let series = strong_scaling(
+            &c,
+            CommOptions {
+                overlap: true,
+                gpudirect: false,
+            },
+            &[48, 768, 12_288, 152_064],
+            |ranks| {
+                let cells = total_cells / ranks as u64;
+                let side = (cells as f64).cbrt();
+                let s = side.max(2.0) as usize;
+                // Kernel time scales with cells at a fixed per-core rate.
+                let rate = 6.5e6; // LUP/s per core for the combined kernels
+                StepWorkload {
+                    t_phi: cells as f64 / rate * 0.4,
+                    t_mu: cells as f64 / rate * 0.6,
+                    phi_halo_bytes: pf_grid::halo_bytes([s, s, s], 1, 4),
+                    mu_halo_bytes: pf_grid::halo_bytes([s, s, s], 1, 2),
+                    cells,
+                    mu_inner_fraction: 0.8,
+                }
+            },
+        );
+        // Steps/s must increase monotonically with rank count …
+        for w in series.windows(2) {
+            assert!(w[1].2 > w[0].2, "{series:?}");
+        }
+        // … and reach hundreds of steps per second at full scale (the paper
+        // reports 460 steps/s on 152 064 cores).
+        let steps_per_s = series.last().expect("non-empty").2;
+        assert!(
+            steps_per_s > 100.0,
+            "full-scale strong scaling too slow: {steps_per_s} steps/s"
+        );
+    }
+
+    #[test]
+    fn noise_makes_bigger_jobs_slightly_slower() {
+        let c = supermuc_ng();
+        let w = StepWorkload {
+            t_phi: 0.01,
+            t_mu: 0.02,
+            phi_halo_bytes: 1 << 20,
+            mu_halo_bytes: 1 << 19,
+            cells: 60u64.pow(3),
+            mu_inner_fraction: 0.8,
+        };
+        let t_small = step_time(&w, &c, CommOptions::default(), 2);
+        let t_large = step_time(&w, &c, CommOptions::default(), 100_000);
+        assert!(t_large >= t_small);
+        assert!(t_large < t_small * 1.02, "noise model too aggressive");
+    }
+}

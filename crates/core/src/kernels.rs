@@ -1,0 +1,182 @@
+//! Kernel generation: model expressions → executable tapes.
+//!
+//! Produces the four compute kernels of Algorithm 1 — φ-full, φ-split,
+//! µ-full, µ-split — by driving the discretization (full inline vs.
+//! staggered-flux extraction) and the IR pipeline. "Each kernel can
+//! optionally be split into two parts to prevent re-computation of
+//! staggered values" (§4.2).
+
+use crate::model::{build_model, ModelExprs, ModelFields};
+use crate::params::ModelParams;
+use pf_ir::{generate, GenOptions, Tape};
+use pf_stencil::{discretize_full, split_fluxes, Discretization, StencilKernel};
+use pf_symbolic::Field;
+
+/// The split variant of one kernel: face (flux) tapes plus the update tape.
+#[derive(Clone, Debug)]
+pub struct SplitTapes {
+    /// One face kernel per direction (iter_extent = 1 along its direction).
+    pub flux_tapes: Vec<Tape>,
+    pub update: Tape,
+    /// Symbolic handle of the staggered temporary (bind an array of shape
+    /// `block + 1` per dimension, no ghosts).
+    pub stag_field: Field,
+    pub slots: usize,
+}
+
+/// All generated kernels for one model instance.
+#[derive(Clone, Debug)]
+pub struct KernelSet {
+    pub fields: ModelFields,
+    pub phi_full: Tape,
+    pub mu_full: Tape,
+    pub phi_split: SplitTapes,
+    pub mu_split: SplitTapes,
+}
+
+fn full_kernel(
+    name: &str,
+    disc: &Discretization,
+    updates: &[(pf_symbolic::Access, pf_symbolic::Expr)],
+    opts: &GenOptions,
+) -> Tape {
+    let assignments = discretize_full(disc, updates);
+    let k = StencilKernel::new(name, assignments);
+    generate(&k, opts)
+}
+
+fn split_kernel(
+    name: &str,
+    disc: &Discretization,
+    updates: &[(pf_symbolic::Access, pf_symbolic::Expr)],
+    opts: &GenOptions,
+) -> SplitTapes {
+    let r = split_fluxes(disc, &format!("{name}_stag"), updates);
+    let flux_tapes = r
+        .flux_kernels
+        .iter()
+        .map(|k| generate(k, opts))
+        .collect();
+    let mut uk = StencilKernel::new(&format!("{name}_update"), r.updates);
+    uk.iter_extent = [0, 0, 0];
+    SplitTapes {
+        flux_tapes,
+        update: generate(&uk, opts),
+        stag_field: r.stag_field,
+        slots: r.slots.len().max(1),
+    }
+}
+
+/// Generate all four kernels for a model.
+pub fn generate_kernels(p: &ModelParams, opts: &GenOptions) -> KernelSet {
+    let m: ModelExprs = build_model(p);
+    generate_kernels_from(p, &m, opts)
+}
+
+/// Generate kernels from pre-built model expressions (lets callers modify
+/// the PDE layer first — the paper's "user can extend the description on
+/// each level").
+pub fn generate_kernels_from(
+    p: &ModelParams,
+    m: &ModelExprs,
+    opts: &GenOptions,
+) -> KernelSet {
+    let disc = Discretization::new(p.dim, [p.dx; 3]);
+    KernelSet {
+        fields: m.fields,
+        phi_full: full_kernel("phi_full", &disc, &m.phi_updates, opts),
+        mu_full: full_kernel("mu_full", &disc, &m.mu_updates, opts),
+        phi_split: split_kernel("phi", &disc, &m.phi_updates, opts),
+        mu_split: split_kernel("mu", &disc, &m.mu_updates, opts),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::params::{p1, ModelParams, TempModel};
+
+    /// A minimal 2-phase / 2-component 2D model so unit tests stay fast;
+    /// the full P1/P2 generations are exercised by integration tests.
+    pub fn mini_model() -> ModelParams {
+        ModelParams {
+            name: "mini".into(),
+            phases: 2,
+            components: 2,
+            dim: 2,
+            dx: 1.0,
+            dt: 0.01,
+            eps: 3.0,
+            gamma: vec![vec![0.0, 0.4], vec![0.4, 0.0]],
+            gamma_third: 0.0,
+            tau: vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+            diffusivity: vec![1.0, 0.1],
+            a_coeff: vec![vec![-0.5], vec![-0.5]],
+            // Solid (phase 1) has the lower grand potential at µ > 0, so a
+            // positive chemical potential drives solidification; at µ = 0
+            // the bulk potentials are equal (pure curvature flow).
+            b_coeff: vec![vec![(0.0, 0.05)], vec![(-0.3, 0.05)]],
+            c_coeff: vec![(0.01, 0.0), (0.01, 0.0)],
+            anisotropy: None,
+            orientation: vec![0.0, 0.0],
+            temperature: TempModel {
+                t0: 1.0,
+                gradient: 0.0,
+                velocity: 0.0,
+            },
+            fluctuation_amplitude: 0.0,
+            liquid_phase: 0,
+            antitrapping: true,
+            eta: 1e-9,
+        }
+    }
+
+    #[test]
+    fn mini_kernels_generate_and_have_stores() {
+        let ks = generate_kernels(&mini_model(), &GenOptions::default());
+        assert!(ks.phi_full.stores().count() == 2);
+        assert!(ks.mu_full.stores().count() == 1);
+        assert!(!ks.phi_split.flux_tapes.is_empty());
+        assert!(ks.mu_split.slots >= 2, "one flux slot per direction");
+    }
+
+    #[test]
+    fn split_flux_tapes_iterate_extended_ranges() {
+        let ks = generate_kernels(&mini_model(), &GenOptions::default());
+        for (d, t) in ks.mu_split.flux_tapes.iter().enumerate() {
+            let mut expect = [0usize; 3];
+            expect[d] = 1;
+            assert_eq!(t.iter_extent, expect);
+        }
+    }
+
+    #[test]
+    fn mu_kernel_reads_both_phi_generations() {
+        let ks = generate_kernels(&mini_model(), &GenOptions::default());
+        let fields: Vec<_> = ks.mu_full.fields.clone();
+        assert!(fields.contains(&ks.fields.phi_src));
+        assert!(fields.contains(&ks.fields.phi_dst));
+        assert!(fields.contains(&ks.fields.mu_src));
+    }
+
+    #[test]
+    fn split_update_is_smaller_than_full() {
+        // The whole point of splitting: the update pass re-reads cached
+        // staggered values instead of recomputing them.
+        let ks = generate_kernels(&mini_model(), &GenOptions::default());
+        assert!(
+            ks.mu_split.update.instrs.len() < ks.mu_full.instrs.len(),
+            "{} vs {}",
+            ks.mu_split.update.instrs.len(),
+            ks.mu_full.instrs.len()
+        );
+    }
+
+    #[test]
+    #[ignore = "heavy symbolic generation; run with --ignored or the integration suite"]
+    fn p1_kernels_generate() {
+        let ks = generate_kernels(&p1(), &GenOptions::default());
+        assert_eq!(ks.phi_full.stores().count(), 4);
+        assert_eq!(ks.mu_full.stores().count(), 2);
+    }
+}

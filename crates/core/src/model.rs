@@ -1,0 +1,411 @@
+//! The energy-functional and PDE layers of the pipeline (§3.1, §3.2).
+//!
+//! From a [`ModelParams`] this module builds, symbolically:
+//!
+//! * the energy density `ε·a(φ,∇φ) + ω(φ)/ε + ψ(φ,µ,T)` (Eq. 3) with the
+//!   gradient energy over generalized gradients `q_αβ = φ_α∇φ_β − φ_β∇φ_α`
+//!   (Eq. 4, optionally with rotated cubic anisotropy), the multi-obstacle
+//!   potential (Eq. 5), and the grand-potential driving force from
+//!   parabolic fits (Eq. 6);
+//! * the Allen–Cahn update for every φ_α via **automatic variational
+//!   derivatives**, Lagrange multiplier and Philox fluctuation (Eq. 7);
+//! * the non-variational µ evolution (Eq. 8) with the concentration-based
+//!   mobility (Eq. 9) and the anti-trapping current (Eq. 10).
+//!
+//! Everything is returned as continuous expressions over symbolic fields —
+//! the discretization and IR layers downstream neither know nor care that
+//! this is a phase-field model.
+
+use crate::params::ModelParams;
+use pf_symbolic::{Access, Expr, Field};
+
+/// The four simulation fields of Algorithm 1.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelFields {
+    pub phi_src: Field,
+    pub phi_dst: Field,
+    pub mu_src: Field,
+    pub mu_dst: Field,
+}
+
+impl ModelFields {
+    pub fn declare(p: &ModelParams) -> ModelFields {
+        ModelFields {
+            phi_src: Field::new("phi_src", p.phases, p.dim),
+            phi_dst: Field::new("phi_dst", p.phases, p.dim),
+            mu_src: Field::new("mu_src", p.num_mu(), p.dim),
+            mu_dst: Field::new("mu_dst", p.num_mu(), p.dim),
+        }
+    }
+}
+
+/// Continuous update expressions: `dst = expr(src …)` per destination
+/// component, ready for the discretization layer.
+#[derive(Clone, Debug)]
+pub struct ModelExprs {
+    pub fields: ModelFields,
+    /// The full energy density (diagnostics, tests, documentation).
+    pub energy_density: Expr,
+    /// φ_dst_α = … (explicit Euler folded in).
+    pub phi_updates: Vec<(Access, Expr)>,
+    /// µ_dst_i = … (reads φ_src *and* φ_dst for ∂φ/∂t).
+    pub mu_updates: Vec<(Access, Expr)>,
+}
+
+/// Interpolation function h(φ) = φ²(3 − 2φ): zero slope at 0 and 1,
+/// h(0)=0, h(1)=1.
+pub fn h_interp(phi: &Expr) -> Expr {
+    Expr::powi(phi.clone(), 2) * (Expr::num(3.0) - 2.0 * phi.clone())
+}
+
+/// h'(φ) = 6φ(1 − φ).
+pub fn h_interp_prime(phi: &Expr) -> Expr {
+    6.0 * phi.clone() * (Expr::one() - phi.clone())
+}
+
+/// The analytic frozen-gradient temperature T(z, t).
+pub fn temperature_expr(p: &ModelParams) -> Expr {
+    let t = &p.temperature;
+    Expr::num(t.t0)
+        + Expr::num(t.gradient) * (Expr::coord(2) - Expr::num(t.velocity) * Expr::time())
+}
+
+/// Grand potential density of phase α: ψ_α = Σ_i A_{αi} µ_i² + B_{αi}(T) µ_i + C_α(T).
+fn psi_alpha(p: &ModelParams, alpha: usize, mu: &[Expr], temp: &Expr) -> Expr {
+    let mut acc = Expr::num(p.c_coeff[alpha].0) + Expr::num(p.c_coeff[alpha].1) * temp.clone();
+    for (i, m) in mu.iter().enumerate() {
+        let a = p.a_coeff[alpha][i];
+        let (b0, b1) = p.b_coeff[alpha][i];
+        acc = acc
+            + Expr::num(a) * Expr::powi(m.clone(), 2)
+            + (Expr::num(b0) + Expr::num(b1) * temp.clone()) * m.clone();
+    }
+    acc
+}
+
+/// Concentration of component i in phase α: c_{αi} = −∂ψ_α/∂µ_i.
+fn c_alpha(p: &ModelParams, alpha: usize, i: usize, mu_i: &Expr, temp: &Expr) -> Expr {
+    let a = p.a_coeff[alpha][i];
+    let (b0, b1) = p.b_coeff[alpha][i];
+    -(2.0 * Expr::num(a) * mu_i.clone() + Expr::num(b0) + Expr::num(b1) * temp.clone())
+}
+
+/// Build all continuous model expressions for `p`.
+pub fn build_model(p: &ModelParams) -> ModelExprs {
+    p.validate();
+    let fields = ModelFields::declare(p);
+    let n = p.phases;
+    let dim = p.dim;
+
+    let phi_acc: Vec<Access> = (0..n).map(|a| Access::center(fields.phi_src, a)).collect();
+    let phi: Vec<Expr> = phi_acc.iter().map(|&a| Expr::access(a)).collect();
+    let phi_dst: Vec<Expr> = (0..n)
+        .map(|a| Expr::access(Access::center(fields.phi_dst, a)))
+        .collect();
+    let mu: Vec<Expr> = (0..p.num_mu())
+        .map(|i| Expr::access(Access::center(fields.mu_src, i)))
+        .collect();
+    let grad = |f: &Expr, d: usize| Expr::d(f.clone(), d);
+    let temp = temperature_expr(p);
+
+    // ---- gradient energy a(φ, ∇φ) — Eq. (4) -------------------------------
+    let mut a_energy = Expr::zero();
+    for alpha in 0..n {
+        for beta in (alpha + 1)..n {
+            // q_αβ,d = φ_α ∂_d φ_β − φ_β ∂_d φ_α
+            let q: Vec<Expr> = (0..dim)
+                .map(|d| {
+                    phi[alpha].clone() * grad(&phi[beta], d)
+                        - phi[beta].clone() * grad(&phi[alpha], d)
+                })
+                .collect();
+            let q2: Expr = q.iter().map(|c| Expr::powi(c.clone(), 2)).sum::<Expr>();
+            let aniso = match p.anisotropy {
+                None => Expr::one(),
+                Some(delta) => {
+                    // Rotate q by the solid phase's orientation (about z),
+                    // then the cubic anisotropy
+                    //   A = 1 − δ(3 − 4 Σ_d q'_d⁴ / (|q|² + η)²).
+                    let solid = if alpha == p.liquid_phase { beta } else { alpha };
+                    let th = p.orientation[solid];
+                    let (c, s) = (th.cos(), th.sin());
+                    let qr: Vec<Expr> = if dim == 3 {
+                        vec![
+                            Expr::num(c) * q[0].clone() - Expr::num(s) * q[1].clone(),
+                            Expr::num(s) * q[0].clone() + Expr::num(c) * q[1].clone(),
+                            q[2].clone(),
+                        ]
+                    } else {
+                        vec![
+                            Expr::num(c) * q[0].clone() - Expr::num(s) * q[1].clone(),
+                            Expr::num(s) * q[0].clone() + Expr::num(c) * q[1].clone(),
+                        ]
+                    };
+                    let q4: Expr = qr
+                        .iter()
+                        .map(|c| Expr::powi(c.clone(), 4))
+                        .sum::<Expr>();
+                    let denom = Expr::powi(q2.clone() + Expr::num(p.eta), 2);
+                    Expr::one()
+                        - Expr::num(delta)
+                            * (Expr::num(3.0) - Expr::num(4.0) * q4 / denom)
+                }
+            };
+            a_energy = a_energy
+                + Expr::num(p.gamma[alpha][beta]) * Expr::powi(aniso, 2) * q2;
+        }
+    }
+
+    // ---- obstacle potential ω(φ) — Eq. (5) ---------------------------------
+    let mut omega = Expr::zero();
+    let pre = 16.0 / (std::f64::consts::PI * std::f64::consts::PI);
+    for alpha in 0..n {
+        for beta in (alpha + 1)..n {
+            omega = omega
+                + Expr::num(pre * p.gamma[alpha][beta]) * phi[alpha].clone() * phi[beta].clone();
+        }
+    }
+    for alpha in 0..n {
+        for beta in (alpha + 1)..n {
+            for delta in (beta + 1)..n {
+                omega = omega
+                    + Expr::num(p.gamma_third)
+                        * phi[alpha].clone()
+                        * phi[beta].clone()
+                        * phi[delta].clone();
+            }
+        }
+    }
+
+    // ---- driving force ψ(φ, µ, T) — Eq. (6) --------------------------------
+    let mut psi = Expr::zero();
+    for alpha in 0..n {
+        psi = psi + psi_alpha(p, alpha, &mu, &temp) * h_interp(&phi[alpha]);
+    }
+
+    let energy_density =
+        Expr::num(p.eps) * a_energy + omega / p.eps + psi;
+
+    // ---- Allen–Cahn updates — Eq. (7) --------------------------------------
+    // δΨ/δφ_α for every phase, then the Lagrange multiplier Λ = (1/N) Σ δΨ/δφ.
+    let fd: Vec<Expr> = (0..n)
+        .map(|alpha| energy_density.functional_derivative(phi_acc[alpha], dim))
+        .collect();
+    let fd_sum: Expr = fd.iter().cloned().sum();
+
+    // τ interpolated from pairwise coefficients (the `interpolate(τ, …)`
+    // of the paper's PDE-layer listing).
+    let mut tau_num = Expr::zero();
+    let mut tau_den = Expr::zero();
+    for alpha in 0..n {
+        for beta in (alpha + 1)..n {
+            let pp = phi[alpha].clone() * phi[beta].clone();
+            tau_num = tau_num + Expr::num(p.tau[alpha][beta]) * pp.clone();
+            tau_den = tau_den + pp;
+        }
+    }
+    let tau_ip = (tau_num + Expr::num(p.eta)) / (tau_den + Expr::num(p.eta));
+
+    let phi_updates: Vec<(Access, Expr)> = (0..n)
+        .map(|alpha| {
+            let mut rhs = -fd[alpha].clone() + fd_sum.clone() / n as f64;
+            if p.fluctuation_amplitude > 0.0 {
+                // ξ: one Philox lane per phase, sampled per cell and step.
+                rhs = rhs + Expr::num(p.fluctuation_amplitude) * Expr::rand(alpha);
+            }
+            // τε ∂φ/∂t = rhs  ⇒  φ(t+dt) = φ + dt/(τε)·rhs
+            let update = phi[alpha].clone()
+                + Expr::num(p.dt) / (tau_ip.clone() * Expr::num(p.eps)) * rhs;
+            (Access::center(fields.phi_dst, alpha), update)
+        })
+        .collect();
+
+    // ---- µ evolution — Eqs. (8)–(10) ----------------------------------------
+    let dtdt = temperature_expr(p).diff(&Expr::time());
+    let mu_updates: Vec<(Access, Expr)> = (0..p.num_mu())
+        .map(|i| {
+            // Susceptibility χ_i = ∂c_i/∂µ_i = Σ_α (−2A_{αi}) h_α(φ).
+            let chi: Expr = (0..n)
+                .map(|alpha| {
+                    Expr::num(-2.0 * p.a_coeff[alpha][i]) * h_interp(&phi[alpha])
+                })
+                .sum();
+            // Mobility — Eq. (9), with the simpler interpolation g_α = φ_α:
+            // M_i = Σ_α D_α (−2A_{αi}) g_α(φ).
+            let mobility: Expr = (0..n)
+                .map(|alpha| {
+                    Expr::num(p.diffusivity[alpha] * (-2.0 * p.a_coeff[alpha][i]))
+                        * phi[alpha].clone()
+                })
+                .sum();
+
+            // Flux per direction: M ∂_d µ − J_at,d.
+            let mut divergence = Expr::zero();
+            for d in 0..dim {
+                let mut flux = mobility.clone() * grad(&mu[i], d);
+                if p.antitrapping {
+                    // Anti-trapping current — Eq. (10), regularized.
+                    let l = p.liquid_phase;
+                    let c_l = c_alpha(p, l, i, &mu[i], &temp);
+                    let gphi_l: Vec<Expr> =
+                        (0..dim).map(|dd| grad(&phi[l], dd)).collect();
+                    let norm_l: Expr = gphi_l
+                        .iter()
+                        .map(|g| Expr::powi(g.clone(), 2))
+                        .sum::<Expr>()
+                        + Expr::num(p.eta);
+                    for alpha in 0..n {
+                        if alpha == l {
+                            continue;
+                        }
+                        let c_a = c_alpha(p, alpha, i, &mu[i], &temp);
+                        let dphidt =
+                            (phi_dst[alpha].clone() - phi[alpha].clone()) / p.dt;
+                        let gphi_a: Vec<Expr> =
+                            (0..dim).map(|dd| grad(&phi[alpha], dd)).collect();
+                        let norm_a: Expr = gphi_a
+                            .iter()
+                            .map(|g| Expr::powi(g.clone(), 2))
+                            .sum::<Expr>()
+                            + Expr::num(p.eta);
+                        // Alignment factor (φ̂_α · φ̂_l).
+                        let dot: Expr = gphi_a
+                            .iter()
+                            .zip(&gphi_l)
+                            .map(|(a, b)| a.clone() * b.clone())
+                            .sum();
+                        let align =
+                            dot * Expr::rsqrt(norm_a.clone()) * Expr::rsqrt(norm_l.clone());
+                        // g_α h_l / sqrt(φ_α φ_l):
+                        let weight = phi[alpha].clone() * h_interp(&phi[l])
+                            * Expr::rsqrt(
+                                phi[alpha].clone() * phi[l].clone() + Expr::num(p.eta),
+                            );
+                        let normal_d = gphi_a[d].clone() * Expr::rsqrt(norm_a);
+                        flux = flux
+                            - Expr::num(std::f64::consts::PI * p.eps / 4.0)
+                                * weight
+                                * dphidt
+                                * align
+                                * (c_l.clone() - c_a)
+                                * normal_d;
+                    }
+                }
+                divergence = divergence + Expr::d(flux, d);
+            }
+
+            // Σ_α c_{αi} ∂h_α/∂t, with ∂h/∂t from the fresh φ_dst.
+            let mut source = Expr::zero();
+            for alpha in 0..n {
+                let dhdt =
+                    (h_interp(&phi_dst[alpha]) - h_interp(&phi[alpha])) / p.dt;
+                source = source + c_alpha(p, alpha, i, &mu[i], &temp) * dhdt;
+            }
+
+            // (∂c_i/∂T)(∂T/∂t) with ∂c/∂T = Σ_α −b1_{αi} h_α.
+            let dcdt_t: Expr = (0..n)
+                .map(|alpha| {
+                    Expr::num(-p.b_coeff[alpha][i].1) * h_interp(&phi[alpha])
+                })
+                .sum::<Expr>()
+                * dtdt.clone();
+
+            let rhs = (divergence - source - dcdt_t) / chi;
+            let update = mu[i].clone() + Expr::num(p.dt) * rhs;
+            (Access::center(fields.mu_dst, i), update)
+        })
+        .collect();
+
+    ModelExprs {
+        fields,
+        energy_density,
+        phi_updates,
+        mu_updates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{p1, p2};
+
+    #[test]
+    fn interpolation_function_properties() {
+        let x = Expr::sym("md_h");
+        let h = h_interp(&x);
+        let mut ctx = pf_symbolic::MapCtx::new();
+        ctx.set("md_h", 0.0);
+        assert_eq!(h.eval(&ctx), 0.0);
+        ctx.set("md_h", 1.0);
+        assert_eq!(h.eval(&ctx), 1.0);
+        ctx.set("md_h", 0.5);
+        assert_eq!(h.eval(&ctx), 0.5);
+        // h' from the closed form matches symbolic differentiation.
+        let hp = h.diff(&x);
+        let hp2 = h_interp_prime(&x);
+        for v in [0.1, 0.4, 0.9] {
+            ctx.set("md_h", v);
+            assert!((hp.eval(&ctx) - hp2.eval(&ctx)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn p1_model_builds_with_expected_structure() {
+        let p = p1();
+        let m = build_model(&p);
+        assert_eq!(m.phi_updates.len(), 4);
+        assert_eq!(m.mu_updates.len(), 2);
+        // φ updates are still continuous (contain Diff nodes to discretize).
+        assert!(m.phi_updates[0].1.has_diff());
+        assert!(m.mu_updates[0].1.has_diff());
+        // µ updates read the freshly written φ_dst (Algorithm 1).
+        let reads_dst = m.mu_updates[0]
+            .1
+            .accesses()
+            .iter()
+            .any(|a| a.field == m.fields.phi_dst);
+        assert!(reads_dst, "µ must read φ_dst for ∂φ/∂t");
+    }
+
+    #[test]
+    fn p2_energy_contains_anisotropy_divisions() {
+        let m1 = build_model(&p1());
+        let m2 = build_model(&p2());
+        // The anisotropic energy has quartic/normalized terms the isotropic
+        // one lacks — its expression is substantially larger per pair.
+        let s1 = m1.energy_density.size() / 6; // 6 pairs at N=4
+        let s2 = m2.energy_density.size() / 3; // 3 pairs at N=3
+        assert!(
+            s2 > 2 * s1,
+            "anisotropy should blow up the per-pair energy: {s2} vs {s1}"
+        );
+    }
+
+    #[test]
+    fn temperature_time_derivative_is_analytic() {
+        let p = p1();
+        let dtdt = temperature_expr(&p).diff(&Expr::time());
+        // ∂T/∂t = −G·v (a pure number).
+        assert_eq!(
+            dtdt.as_num(),
+            Some(-p.temperature.gradient * p.temperature.velocity)
+        );
+    }
+
+    #[test]
+    fn fluctuations_only_when_requested() {
+        let mut p = p2();
+        p.fluctuation_amplitude = 0.0;
+        let m = build_model(&p);
+        let has_rand = m.phi_updates.iter().any(|(_, e)| {
+            let mut found = false;
+            e.visit(&mut |x| {
+                if matches!(x.node(), pf_symbolic::Node::Rand(_)) {
+                    found = true;
+                }
+            });
+            found
+        });
+        assert!(!has_rand);
+    }
+}

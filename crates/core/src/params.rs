@@ -1,0 +1,270 @@
+//! Model parameterizations.
+//!
+//! `ModelParams` holds everything the energy-functional layer needs to
+//! instantiate the thermodynamically consistent grand-potential model of
+//! §3.1: pairwise surface energies and kinetics, per-phase diffusivities,
+//! the parabolic grand-potential fits ψ_α(µ,T) = µ·A µ + B(T)·µ + C(T)
+//! (A constant, B and C affine-linear in T), the analytic frozen-gradient
+//! temperature field, and the optional cubic anisotropy of the gradient
+//! energy.
+//!
+//! `p1()` and `p2()` reproduce the paper's two benchmark configurations
+//! (§5.1): P1 = 4 phases / 3 components, isotropic, analytic temperature
+//! gradient (ternary eutectic solidification, the setup hand-optimized in
+//! [Bauer et al. 2015]); P2 = 3 phases / 2 components with anisotropic
+//! gradient energy (dendritic solidification).
+
+/// Frozen-temperature model `T(z, t) = T0 + G·(z − v·t)` (§3.2: "an
+/// analytic temperature gradient depending on time and one spatial
+/// coordinate").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TempModel {
+    pub t0: f64,
+    /// Gradient along z (0 = isothermal).
+    pub gradient: f64,
+    /// Pulling velocity of the temperature frame.
+    pub velocity: f64,
+}
+
+/// Full parameterization of the grand-potential multi-phase-field model.
+#[derive(Clone, Debug)]
+pub struct ModelParams {
+    pub name: String,
+    /// Number of phases N (φ has N components; index `liquid` is the melt).
+    pub phases: usize,
+    /// Number of chemical components K (K−1 independent potentials µ).
+    pub components: usize,
+    pub dim: usize,
+    pub dx: f64,
+    pub dt: f64,
+    /// Interface width parameter ε.
+    pub eps: f64,
+    /// Pairwise surface energies γ_αβ (symmetric, diagonal unused).
+    pub gamma: Vec<Vec<f64>>,
+    /// Third-phase suppression coefficient γ_αβδ (one value for all triples).
+    pub gamma_third: f64,
+    /// Pairwise kinetic coefficients τ_αβ.
+    pub tau: Vec<Vec<f64>>,
+    /// Per-phase diffusivities D_α.
+    pub diffusivity: Vec<f64>,
+    /// A_{α,i} of the parabolic fit (negative: ψ concave in µ so that
+    /// c = −∂ψ/∂µ is positive).
+    pub a_coeff: Vec<Vec<f64>>,
+    /// B_{α,i}(T) = b0 + b1·T.
+    pub b_coeff: Vec<Vec<(f64, f64)>>,
+    /// C_α(T) = c0 + c1·T.
+    pub c_coeff: Vec<(f64, f64)>,
+    /// Cubic anisotropy strength δ of the gradient energy (None = isotropic,
+    /// `A_αβ = 1`).
+    pub anisotropy: Option<f64>,
+    /// Per-phase crystal orientation: rotation angle around the z axis
+    /// applied to the generalized gradient before the anisotropy function
+    /// (the paper's `R q_αβ`). Ignored for isotropic models.
+    pub orientation: Vec<f64>,
+    pub temperature: TempModel,
+    /// Amplitude of the Philox fluctuation term ξ (0 = off).
+    pub fluctuation_amplitude: f64,
+    /// Index of the liquid phase (anti-trapping flows solid → liquid).
+    pub liquid_phase: usize,
+    /// Include the anti-trapping current J_at (Eq. 10).
+    pub antitrapping: bool,
+    /// Regularization η for gradient normalizations.
+    pub eta: f64,
+}
+
+impl ModelParams {
+    /// Number of independent chemical potentials.
+    pub fn num_mu(&self) -> usize {
+        self.components - 1
+    }
+
+    /// The configuration-parameter count of §5.1: "the specific form of the
+    /// driving force (6) requires 2(N²+N+1) configuration parameters.
+    /// Phase-dependent mobility matrices M increase this value by
+    /// N·(K−1)²."
+    pub fn config_parameter_count(&self) -> usize {
+        let n = self.phases;
+        let k = self.components;
+        2 * (n * n + n + 1) + n * (k - 1) * (k - 1)
+    }
+
+    /// Basic consistency checks.
+    pub fn validate(&self) {
+        let n = self.phases;
+        assert!(n >= 2, "need at least two phases");
+        assert!(self.components >= 2, "need at least two components");
+        assert_eq!(self.gamma.len(), n);
+        assert_eq!(self.tau.len(), n);
+        assert_eq!(self.diffusivity.len(), n);
+        assert_eq!(self.a_coeff.len(), n);
+        assert_eq!(self.b_coeff.len(), n);
+        assert_eq!(self.c_coeff.len(), n);
+        assert!(self.liquid_phase < n);
+        assert!((2..=3).contains(&self.dim));
+        for row in &self.a_coeff {
+            assert_eq!(row.len(), self.num_mu());
+            assert!(
+                row.iter().all(|&a| a < 0.0),
+                "A must be negative definite so concentrations are positive"
+            );
+        }
+        for (g, t) in self.gamma.iter().zip(&self.tau) {
+            assert_eq!(g.len(), n);
+            assert_eq!(t.len(), n);
+        }
+        assert!(self.eps > 0.0 && self.dx > 0.0 && self.dt > 0.0);
+    }
+}
+
+/// Uniform symmetric pair matrix with zero diagonal.
+fn pair_matrix(n: usize, v: f64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|a| (0..n).map(|b| if a == b { 0.0 } else { v }).collect())
+        .collect()
+}
+
+/// **P1**: 4 phases, 3 components, isotropic gradient energy, analytic
+/// temperature gradient — the ternary eutectic directional solidification
+/// setup the paper validates against the manually optimized solver of
+/// Bauer et al. (2015).
+pub fn p1() -> ModelParams {
+    let n = 4;
+    let num_mu = 2;
+    // Three solid phases with staggered equilibrium potentials, one liquid.
+    let a_coeff: Vec<Vec<f64>> = (0..n).map(|_| vec![-0.5; num_mu]).collect();
+    let b_coeff: Vec<Vec<(f64, f64)>> = (0..n)
+        .map(|alpha| {
+            (0..num_mu)
+                .map(|i| {
+                    // Solid phases prefer different compositions; B couples
+                    // to T so the driving force follows the gradient.
+                    let base = match (alpha, i) {
+                        (0, _) => 0.0,              // liquid reference
+                        (a, i) if a - 1 == i => 0.45,
+                        _ => -0.25,
+                    };
+                    (base, 0.08)
+                })
+                .collect()
+        })
+        .collect();
+    let c_coeff: Vec<(f64, f64)> = (0..n)
+        .map(|alpha| if alpha == 0 { (0.0, 0.25) } else { (0.02, 0.0) })
+        .collect();
+    ModelParams {
+        name: "P1".into(),
+        phases: n,
+        components: 3,
+        dim: 3,
+        dx: 1.0,
+        dt: 0.02,
+        eps: 4.0,
+        gamma: pair_matrix(n, 0.36),
+        gamma_third: 12.0,
+        tau: pair_matrix(n, 1.0),
+        diffusivity: vec![1.0, 0.05, 0.05, 0.05],
+        a_coeff,
+        b_coeff,
+        c_coeff,
+        anisotropy: None,
+        orientation: vec![0.0; n],
+        temperature: TempModel {
+            t0: 1.0,
+            gradient: -0.002,
+            velocity: 0.001,
+        },
+        fluctuation_amplitude: 0.0,
+        liquid_phase: 0,
+        antitrapping: true,
+        eta: 1e-9,
+    }
+}
+
+/// **P2**: 3 phases, 2 components, **anisotropic** gradient energy —
+/// dendritic directional solidification of a binary alloy with misoriented
+/// seeds ("this drastically increases the amount of computation required
+/// for the evolution of φ", §5.1).
+pub fn p2() -> ModelParams {
+    let n = 3;
+    let num_mu = 1;
+    let a_coeff: Vec<Vec<f64>> = (0..n).map(|_| vec![-0.5; num_mu]).collect();
+    let b_coeff: Vec<Vec<(f64, f64)>> = (0..n)
+        .map(|alpha| {
+            (0..num_mu)
+                .map(|_| {
+                    let base = if alpha == 0 { 0.0 } else { 0.4 };
+                    (base, 0.1)
+                })
+                .collect()
+        })
+        .collect();
+    let c_coeff: Vec<(f64, f64)> = (0..n)
+        .map(|alpha| if alpha == 0 { (0.0, 0.3) } else { (0.015, 0.0) })
+        .collect();
+    ModelParams {
+        name: "P2".into(),
+        phases: n,
+        components: 2,
+        dim: 3,
+        dx: 1.0,
+        dt: 0.015,
+        eps: 4.0,
+        gamma: pair_matrix(n, 0.30),
+        gamma_third: 10.0,
+        tau: pair_matrix(n, 1.0),
+        diffusivity: vec![1.0, 0.02, 0.02],
+        a_coeff,
+        b_coeff,
+        c_coeff,
+        anisotropy: Some(0.3),
+        // Three orientations as in the dendrite simulation (Fig. 4): one
+        // aligned with the gradient, two misoriented.
+        orientation: vec![0.0, 0.35, -0.6],
+        temperature: TempModel {
+            t0: 1.0,
+            gradient: -0.0025,
+            velocity: 0.0012,
+        },
+        fluctuation_amplitude: 1e-4,
+        liquid_phase: 0,
+        antitrapping: true,
+        eta: 1e-9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p1_and_p2_validate() {
+        p1().validate();
+        p2().validate();
+    }
+
+    #[test]
+    fn p1_matches_paper_shape() {
+        let p = p1();
+        assert_eq!(p.phases, 4);
+        assert_eq!(p.components, 3);
+        assert!(p.anisotropy.is_none());
+        assert!(p.temperature.gradient != 0.0);
+    }
+
+    #[test]
+    fn p2_matches_paper_shape() {
+        let p = p2();
+        assert_eq!(p.phases, 3);
+        assert_eq!(p.components, 2);
+        assert!(p.anisotropy.is_some());
+    }
+
+    #[test]
+    fn config_parameter_count_formula() {
+        // "For a model with 4 phases, 3 components … more than 50
+        // material-dependent quantities are required" (§5.1).
+        let p = p1();
+        assert_eq!(p.config_parameter_count(), 2 * (16 + 4 + 1) + 4 * 4);
+        assert!(p.config_parameter_count() > 50);
+    }
+}

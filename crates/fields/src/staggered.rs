@@ -1,0 +1,112 @@
+//! Staggered (face-centred) temporary fields.
+//!
+//! The split kernel variants precompute fluxes "at staggered positions …
+//! cached in a temporary staggered field" (§3.4). A block of `Nx×Ny×Nz`
+//! cells has `(Nx+1)·Ny·Nz` x-face values, `Nx·(Ny+1)·Nz` y-face values,
+//! etc. We store all directions of one logical staggered field in a single
+//! allocation extended by one cell in every dimension, indexed so that
+//! face `(d, x, y, z)` is the face between cell `x-1` and `x` along `d`
+//! (for d = 0; analogously for the others).
+
+use crate::array::{FieldArray, Layout};
+
+/// Face-centred storage for `comps` scalar quantities per direction.
+#[derive(Clone, Debug)]
+pub struct StaggeredField {
+    inner: FieldArray,
+    dim: usize,
+    comps: usize,
+}
+
+impl StaggeredField {
+    /// `shape` is the *cell* shape of the block; `dim` the spatial
+    /// dimensionality (2 or 3); `comps` the number of scalar flux components
+    /// stored per face.
+    pub fn new(name: &str, shape: [usize; 3], dim: usize, comps: usize) -> Self {
+        assert!((2..=3).contains(&dim));
+        let ext = [
+            shape[0] + 1,
+            shape[1] + 1,
+            if dim == 3 { shape[2] + 1 } else { shape[2] } ,
+        ];
+        // One component block per (direction, comp) pair; no ghost layers —
+        // staggered temporaries live strictly inside one block pass.
+        let inner = FieldArray::new(name, ext, dim * comps, 0, Layout::Fzyx);
+        StaggeredField { inner, dim, comps }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn components(&self) -> usize {
+        self.comps
+    }
+
+    #[inline]
+    fn slot(&self, dir: usize, comp: usize) -> usize {
+        debug_assert!(dir < self.dim && comp < self.comps);
+        dir * self.comps + comp
+    }
+
+    /// Value on the `dir`-face between cell `(x-1..)` and `(x..)`.
+    #[inline]
+    pub fn get(&self, dir: usize, comp: usize, x: isize, y: isize, z: isize) -> f64 {
+        self.inner.get(self.slot(dir, comp), x, y, z)
+    }
+
+    #[inline]
+    pub fn set(&mut self, dir: usize, comp: usize, x: isize, y: isize, z: isize, v: f64) {
+        self.inner.set(self.slot(dir, comp), x, y, z, v);
+    }
+
+    pub fn fill(&mut self, v: f64) {
+        self.inner.fill(v);
+    }
+
+    /// Borrow the backing array (the executor binds it like any other field).
+    pub fn as_array(&self) -> &FieldArray {
+        &self.inner
+    }
+
+    pub fn as_array_mut(&mut self) -> &mut FieldArray {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_one_extra_face_per_dim() {
+        let s = StaggeredField::new("flux", [4, 5, 6], 3, 2);
+        // Faces 0..=4 valid along x.
+        s.get(0, 0, 4, 0, 0);
+        s.get(1, 1, 0, 5, 0);
+        s.get(2, 0, 0, 0, 6);
+    }
+
+    #[test]
+    fn directions_do_not_alias() {
+        let mut s = StaggeredField::new("flux", [2, 2, 2], 3, 1);
+        s.set(0, 0, 1, 1, 1, 5.0);
+        assert_eq!(s.get(0, 0, 1, 1, 1), 5.0);
+        assert_eq!(s.get(1, 0, 1, 1, 1), 0.0);
+        assert_eq!(s.get(2, 0, 1, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn components_do_not_alias() {
+        let mut s = StaggeredField::new("flux", [2, 2, 2], 2, 3);
+        s.set(1, 2, 0, 0, 0, -1.0);
+        assert_eq!(s.get(1, 2, 0, 0, 0), -1.0);
+        assert_eq!(s.get(1, 1, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn two_d_keeps_z_extent() {
+        let s = StaggeredField::new("flux", [4, 4, 1], 2, 1);
+        assert_eq!(s.as_array().shape(), [5, 5, 1]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Message passing between ranks — the MPI substitute.
+//!
+//! Each rank is a thread; messages travel over crossbeam channels. The API
+//! mirrors the subset of MPI the paper's runtime uses: tagged non-blocking
+//! sends, tag-matched receives, barrier, and all-reduce. Communication
+//! statistics (messages, bytes) are recorded per rank, because the cluster
+//! simulator consumes them to model network time at scale.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One tagged message.
+struct Msg {
+    from: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// Per-rank communication statistics.
+#[derive(Default, Debug)]
+pub struct CommStats {
+    pub messages_sent: AtomicU64,
+    pub bytes_sent: AtomicU64,
+}
+
+/// A rank's endpoint.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    /// Out-of-order receive buffer for tag matching.
+    pending: HashMap<(usize, u64), Vec<Vec<f64>>>,
+    pub stats: Arc<CommStats>,
+}
+
+impl Comm {
+    /// Create all endpoints of a `size`-rank world.
+    pub fn world(size: usize) -> Vec<Comm> {
+        let channels: Vec<(Sender<Msg>, Receiver<Msg>)> =
+            (0..size).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Msg>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        channels
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, receiver))| Comm {
+                rank,
+                size,
+                senders: senders.clone(),
+                receiver,
+                pending: HashMap::new(),
+                stats: Arc::new(CommStats::default()),
+            })
+            .collect()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Non-blocking tagged send (the `MPI_Isend` analogue — channel sends
+    /// never block).
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        self.senders[to]
+            .send(Msg {
+                from: self.rank,
+                tag,
+                data,
+            })
+            .expect("receiver alive for the duration of the run");
+    }
+
+    /// Blocking tag-matched receive.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        if let Some(q) = self.pending.get_mut(&(from, tag)) {
+            if !q.is_empty() {
+                return q.remove(0);
+            }
+        }
+        loop {
+            let m = self
+                .receiver
+                .recv()
+                .expect("senders alive for the duration of the run");
+            if m.from == from && m.tag == tag {
+                return m.data;
+            }
+            self.pending.entry((m.from, m.tag)).or_default().push(m.data);
+        }
+    }
+
+    /// Dissemination barrier.
+    pub fn barrier(&mut self, epoch: u64) {
+        let tag = u64::MAX - epoch;
+        let mut round = 1usize;
+        while round < self.size {
+            let to = (self.rank + round) % self.size;
+            let from = (self.rank + self.size - round) % self.size;
+            self.send(to, tag.wrapping_sub(round as u64), Vec::new());
+            let _ = self.recv(from, tag.wrapping_sub(round as u64));
+            round *= 2;
+        }
+    }
+
+    /// All-reduce a vector of doubles with a binary op (sum/max/min).
+    pub fn allreduce(&mut self, epoch: u64, mut data: Vec<f64>, op: fn(f64, f64) -> f64) -> Vec<f64> {
+        // Gather to rank 0, reduce, broadcast — O(P) but simple and exact.
+        let tag_up = 0xA11D_0000u64 ^ (epoch << 8);
+        let tag_down = 0xA11D_0001u64 ^ (epoch << 8);
+        if self.rank == 0 {
+            for r in 1..self.size {
+                let other = self.recv(r, tag_up);
+                assert_eq!(other.len(), data.len());
+                for (a, b) in data.iter_mut().zip(other) {
+                    *a = op(*a, b);
+                }
+            }
+            for r in 1..self.size {
+                self.send(r, tag_down, data.clone());
+            }
+            data
+        } else {
+            self.send(0, tag_up, data);
+            self.recv(0, tag_down)
+        }
+    }
+}
+
+/// Run `f` on `size` rank threads and join (the `mpirun` analogue).
+/// Panics in any rank propagate.
+pub fn run_ranks<F>(size: usize, f: F)
+where
+    F: Fn(Comm) + Sync,
+{
+    let world = Comm::world(size);
+    std::thread::scope(|s| {
+        let f = &f;
+        for comm in world {
+            s.spawn(move || f(comm));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        run_ranks(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0, 2.0, 3.0]);
+                let back = c.recv(1, 8);
+                assert_eq!(back, vec![6.0]);
+            } else {
+                let v = c.recv(0, 7);
+                c.send(0, 8, vec![v.iter().sum()]);
+            }
+        });
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        run_ranks(2, |mut c| {
+            if c.rank() == 0 {
+                // Send tags in one order …
+                c.send(1, 1, vec![1.0]);
+                c.send(1, 2, vec![2.0]);
+            } else {
+                // … receive them in the other.
+                let b = c.recv(0, 2);
+                let a = c.recv(0, 1);
+                assert_eq!((a[0], b[0]), (1.0, 2.0));
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        run_ranks(4, |mut c| {
+            let mine = vec![c.rank() as f64, 1.0];
+            let total = c.allreduce(0, mine, |a, b| a + b);
+            assert_eq!(total, vec![6.0, 4.0]);
+        });
+    }
+
+    #[test]
+    fn allreduce_max() {
+        run_ranks(3, |mut c| {
+            let m = c.allreduce(1, vec![c.rank() as f64], f64::max);
+            assert_eq!(m, vec![2.0]);
+        });
+    }
+
+    #[test]
+    fn barrier_completes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BEFORE: AtomicUsize = AtomicUsize::new(0);
+        run_ranks(4, |mut c| {
+            BEFORE.fetch_add(1, Ordering::SeqCst);
+            c.barrier(0);
+            assert_eq!(BEFORE.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        run_ranks(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![0.0; 100]);
+                assert_eq!(c.stats.bytes_sent.load(Ordering::Relaxed), 800);
+            } else {
+                let _ = c.recv(0, 3);
+            }
+        });
+    }
+}

@@ -1,0 +1,213 @@
+//! Block-structured domain partitioning (§4.1).
+//!
+//! waLBerla's domain model: the global grid is split into equal rectangular
+//! blocks, one (or more) per process, with a structured grid inside each
+//! block. This module computes the process grid, each rank's block extent
+//! and origin, and the 6-neighbourhood used by the phased ghost-layer
+//! exchange. A weight-driven assignment of blocks to ranks provides the
+//! (static) load-balancing hook.
+
+/// The global domain split into a process grid.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    pub global: [usize; 3],
+    pub grid: [usize; 3],
+    pub periodic: [bool; 3],
+}
+
+/// One rank's block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockInfo {
+    pub rank: usize,
+    /// Position in the process grid.
+    pub coords: [usize; 3],
+    /// Interior cell shape of this block.
+    pub shape: [usize; 3],
+    /// Global index of the block's (0,0,0) cell.
+    pub origin: [i64; 3],
+}
+
+impl Decomposition {
+    /// Split `global` cells over `nranks` ranks, choosing the process grid
+    /// with the most cubic blocks (minimal surface-to-volume, like
+    /// `MPI_Dims_create` but surface-optimal for the actual domain shape).
+    pub fn new(global: [usize; 3], nranks: usize, periodic: [bool; 3]) -> Self {
+        assert!(nranks >= 1);
+        let mut best: Option<([usize; 3], f64)> = None;
+        for px in 1..=nranks {
+            if !nranks.is_multiple_of(px) || !global[0].is_multiple_of(px) {
+                continue;
+            }
+            let rest = nranks / px;
+            for py in 1..=rest {
+                if !rest.is_multiple_of(py) || !global[1].is_multiple_of(py) {
+                    continue;
+                }
+                let pz = rest / py;
+                if !global[2].is_multiple_of(pz) {
+                    continue;
+                }
+                let b = [global[0] / px, global[1] / py, global[2] / pz];
+                // Communication cost ∝ block surface.
+                let surface =
+                    2.0 * (b[0] * b[1] + b[1] * b[2] + b[0] * b[2]) as f64;
+                if best.is_none() || surface < best.expect("checked").1 {
+                    best = Some(([px, py, pz], surface));
+                }
+            }
+        }
+        let (grid, _) = best.unwrap_or_else(|| {
+            panic!("cannot split {global:?} cells over {nranks} ranks evenly")
+        });
+        Decomposition {
+            global,
+            grid,
+            periodic,
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.grid.iter().product()
+    }
+
+    /// Block shape (equal for all ranks).
+    pub fn block_shape(&self) -> [usize; 3] {
+        [
+            self.global[0] / self.grid[0],
+            self.global[1] / self.grid[1],
+            self.global[2] / self.grid[2],
+        ]
+    }
+
+    pub fn coords_of(&self, rank: usize) -> [usize; 3] {
+        let x = rank % self.grid[0];
+        let y = (rank / self.grid[0]) % self.grid[1];
+        let z = rank / (self.grid[0] * self.grid[1]);
+        [x, y, z]
+    }
+
+    pub fn rank_of(&self, coords: [usize; 3]) -> usize {
+        coords[0] + self.grid[0] * (coords[1] + self.grid[1] * coords[2])
+    }
+
+    pub fn block(&self, rank: usize) -> BlockInfo {
+        let coords = self.coords_of(rank);
+        let shape = self.block_shape();
+        BlockInfo {
+            rank,
+            coords,
+            shape,
+            origin: [
+                (coords[0] * shape[0]) as i64,
+                (coords[1] * shape[1]) as i64,
+                (coords[2] * shape[2]) as i64,
+            ],
+        }
+    }
+
+    /// Neighbour rank in direction `±1` along `dim`, honouring periodicity.
+    pub fn neighbor(&self, rank: usize, dim: usize, side: i32) -> Option<usize> {
+        let mut c = self.coords_of(rank);
+        let n = self.grid[dim] as i64;
+        let pos = c[dim] as i64 + side as i64;
+        let wrapped = if self.periodic[dim] {
+            pos.rem_euclid(n)
+        } else if (0..n).contains(&pos) {
+            pos
+        } else {
+            return None;
+        };
+        c[dim] = wrapped as usize;
+        Some(self.rank_of(c))
+    }
+
+    /// Assign `blocks` weighted work items to `nranks` ranks, greedily
+    /// filling the least-loaded rank (waLBerla's static load balancing for
+    /// heterogeneous block weights).
+    pub fn balance(weights: &[f64], nranks: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
+        let mut load = vec![0.0f64; nranks];
+        let mut assign = vec![0usize; weights.len()];
+        for b in order {
+            let (r, _) = load
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .expect("nranks >= 1");
+            assign[b] = r;
+            load[r] += weights[b];
+        }
+        assign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_cubic_blocks() {
+        let d = Decomposition::new([64, 64, 64], 8, [true; 3]);
+        assert_eq!(d.grid, [2, 2, 2]);
+        assert_eq!(d.block_shape(), [32, 32, 32]);
+    }
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let d = Decomposition::new([48, 32, 16], 12, [true; 3]);
+        for r in 0..d.nranks() {
+            assert_eq!(d.rank_of(d.coords_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn origins_tile_the_domain() {
+        let d = Decomposition::new([32, 32, 8], 4, [true; 3]);
+        let mut covered = 0usize;
+        for r in 0..d.nranks() {
+            let b = d.block(r);
+            covered += b.shape.iter().product::<usize>();
+            for dim in 0..3 {
+                assert_eq!(
+                    b.origin[dim] as usize % b.shape[dim],
+                    0,
+                    "misaligned origin"
+                );
+            }
+        }
+        assert_eq!(covered, 32 * 32 * 8);
+    }
+
+    #[test]
+    fn periodic_neighbors_wrap() {
+        let d = Decomposition::new([32, 16, 16], 4, [true, false, false]);
+        // grid should be [4,1,1] or [2,2,1]; test generic wrap on x if 4.
+        let r0 = 0;
+        let left = d.neighbor(r0, 0, -1).expect("periodic");
+        let right = d.neighbor(left, 0, 1).expect("periodic");
+        assert_eq!(right, r0);
+        // Non-periodic y has no neighbour at the boundary.
+        assert_eq!(d.neighbor(r0, 1, -1), None);
+    }
+
+    #[test]
+    fn balance_spreads_weighted_blocks() {
+        let weights = [5.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let assign = Decomposition::balance(&weights, 2);
+        let load0: f64 = weights
+            .iter()
+            .zip(&assign)
+            .filter(|(_, &r)| r == 0)
+            .map(|(w, _)| w)
+            .sum();
+        let load1: f64 = weights.iter().sum::<f64>() - load0;
+        assert!((load0 - load1).abs() <= 1.0, "{load0} vs {load1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn uneven_split_is_rejected() {
+        Decomposition::new([30, 30, 30], 7, [true; 3]);
+    }
+}

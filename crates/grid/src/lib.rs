@@ -1,0 +1,20 @@
+//! `pf-grid` — the distributed-memory runtime (the waLBerla substitute,
+//! §4 of the paper).
+//!
+//! Block-structured domain partitioning with static load balancing,
+//! a thread-backed message-passing layer (tagged async sends, tag-matched
+//! receives, barrier, all-reduce) standing in for MPI, and the phased
+//! ghost-layer exchange whose six face messages also fill the edge/corner
+//! ghosts the D3C19 µ-kernel stencil needs. Communication options mirror
+//! Table 2 (overlap, GPUDirect-style device packing); their *timing* impact
+//! is priced by `pf-cluster`, their functional behaviour is identical.
+
+#![forbid(unsafe_code)]
+
+pub mod comm;
+pub mod decompose;
+pub mod exchange;
+
+pub use comm::{run_ranks, Comm, CommStats};
+pub use decompose::{BlockInfo, Decomposition};
+pub use exchange::{exchange_halo, halo_bytes, pack_face, unpack_face, CommOptions};

@@ -1,0 +1,160 @@
+//! Reference scalar interpreter for kernel tapes.
+//!
+//! Executes one cell's worth of a tape against an abstract environment.
+//! This is the semantic ground truth the fast executors in `pf-backend`
+//! (and every transformation pass in this crate) are tested against.
+
+use crate::tape::{Tape, TapeOp};
+use pf_symbolic::{Access, EvalCtx, MapCtx};
+
+/// Environment supplying leaf values for one cell.
+pub trait TapeEnv {
+    fn param(&self, slot: usize) -> f64;
+    fn load(&self, field_slot: usize, comp: u16, off: [i16; 3]) -> f64;
+    fn coord(&self, _d: usize) -> f64 {
+        0.0
+    }
+    fn time(&self) -> f64 {
+        0.0
+    }
+    fn cell_idx(&self, _d: usize) -> f64 {
+        0.0
+    }
+    fn rand(&self, _lane: usize) -> f64 {
+        0.0
+    }
+}
+
+/// Result of interpreting a tape for one cell.
+#[derive(Debug, Clone)]
+pub struct TapeResult {
+    /// `(field_slot, comp, off)` and the stored value, in store order.
+    pub stores: Vec<((u16, u16, [i16; 3]), f64)>,
+    /// Final register file (diagnostics).
+    pub regs: Vec<f64>,
+}
+
+/// Interpret every instruction of `tape` once (single cell).
+pub fn interp_cell(tape: &Tape, env: &impl TapeEnv) -> TapeResult {
+    let mut regs = vec![0.0f64; tape.instrs.len()];
+    let mut stores = Vec::new();
+    for (i, op) in tape.instrs.iter().enumerate() {
+        let v = match *op {
+            TapeOp::Const(c) => c.0,
+            TapeOp::Param(p) => env.param(p as usize),
+            TapeOp::Load { field, comp, off } => env.load(field as usize, comp, off),
+            TapeOp::Coord(d) => env.coord(d as usize),
+            TapeOp::Time => env.time(),
+            TapeOp::CellIdx(d) => env.cell_idx(d as usize),
+            TapeOp::Rand(k) => env.rand(k as usize),
+            TapeOp::Add(a, b) => regs[a.0 as usize] + regs[b.0 as usize],
+            TapeOp::Sub(a, b) => regs[a.0 as usize] - regs[b.0 as usize],
+            TapeOp::Mul(a, b) => regs[a.0 as usize] * regs[b.0 as usize],
+            TapeOp::Div(a, b) => regs[a.0 as usize] / regs[b.0 as usize],
+            TapeOp::Neg(a) => -regs[a.0 as usize],
+            TapeOp::Sqrt(a) => regs[a.0 as usize].sqrt(),
+            TapeOp::RSqrt(a) => 1.0 / regs[a.0 as usize].sqrt(),
+            TapeOp::Abs(a) => regs[a.0 as usize].abs(),
+            TapeOp::Min(a, b) => regs[a.0 as usize].min(regs[b.0 as usize]),
+            TapeOp::Max(a, b) => regs[a.0 as usize].max(regs[b.0 as usize]),
+            TapeOp::Exp(a) => regs[a.0 as usize].exp(),
+            TapeOp::Ln(a) => regs[a.0 as usize].ln(),
+            TapeOp::Sin(a) => regs[a.0 as usize].sin(),
+            TapeOp::Cos(a) => regs[a.0 as usize].cos(),
+            TapeOp::Tanh(a) => regs[a.0 as usize].tanh(),
+            TapeOp::Sign(a) => {
+                let x = regs[a.0 as usize];
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            TapeOp::Floor(a) => regs[a.0 as usize].floor(),
+            TapeOp::Powf(a, b) => regs[a.0 as usize].powf(regs[b.0 as usize]),
+            TapeOp::CmpSelect { op, l, r, t, f } => {
+                if op.eval(regs[l.0 as usize], regs[r.0 as usize]) {
+                    regs[t.0 as usize]
+                } else {
+                    regs[f.0 as usize]
+                }
+            }
+            TapeOp::Store {
+                field,
+                comp,
+                off,
+                val,
+            } => {
+                stores.push(((field, comp, off), regs[val.0 as usize]));
+                regs[val.0 as usize]
+            }
+            TapeOp::Fence => 0.0,
+        };
+        regs[i] = v;
+    }
+    TapeResult { stores, regs }
+}
+
+/// Adapter: interpret a tape against the symbolic layer's `MapCtx` so tests
+/// can compare against `Expr::eval` directly.
+pub struct MapEnv<'a> {
+    pub tape: &'a Tape,
+    pub ctx: &'a MapCtx,
+}
+
+impl TapeEnv for MapEnv<'_> {
+    fn param(&self, slot: usize) -> f64 {
+        self.ctx.sym(self.tape.params[slot])
+    }
+
+    fn load(&self, field_slot: usize, comp: u16, off: [i16; 3]) -> f64 {
+        let field = self.tape.fields[field_slot];
+        let acc = Access::at(
+            field,
+            comp as usize,
+            [off[0] as i32, off[1] as i32, off[2] as i32],
+        );
+        self.ctx.access(acc)
+    }
+
+    fn coord(&self, d: usize) -> f64 {
+        self.ctx.coords[d]
+    }
+
+    fn time(&self) -> f64 {
+        self.ctx.time
+    }
+}
+
+/// Convenience used across tests: interpret `tape` against a `MapCtx`.
+pub fn interp_expr_context(tape: &Tape, ctx: &MapCtx) -> TapeResult {
+    interp_cell(tape, &MapEnv { tape, ctx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_kernel;
+    use pf_stencil::{Assignment, StencilKernel};
+    use pf_symbolic::{Expr, Field};
+
+    #[test]
+    fn store_order_is_preserved() {
+        let f = Field::new("itp_f", 2, 3);
+        let k = StencilKernel::new(
+            "t",
+            vec![
+                Assignment::store(Access::center(f, 1), Expr::num(2.0)),
+                Assignment::store(Access::center(f, 0), Expr::num(1.0)),
+            ],
+        );
+        let tape = lower_kernel(&k);
+        let r = interp_expr_context(&tape, &MapCtx::new());
+        assert_eq!(r.stores.len(), 2);
+        assert_eq!(r.stores[0].0 .1, 1);
+        assert_eq!(r.stores[0].1, 2.0);
+        assert_eq!(r.stores[1].1, 1.0);
+    }
+}

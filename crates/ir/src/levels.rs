@@ -1,0 +1,170 @@
+//! Loop-invariant code motion via level classification.
+//!
+//! "Base pointers and other subexpressions that are constant w.r.t. the
+//! current iteration are pulled before loops. In combination with CSE, this
+//! step is crucial to automatically exploit special functional forms of the
+//! temperature. For example, if the temperature depends on one spatial
+//! coordinate only, the loop over this coordinate is chosen as the
+//! outermost loop and all temperature-dependent subexpressions are pulled
+//! out of the inner loops." (§3.4)
+//!
+//! Every tape instruction gets a *level*: 0 = invariant over the whole
+//! sweep, 1 = recompute per outermost-loop iteration, 2 = per mid-loop
+//! iteration, 3 = per cell. Because an instruction's level is the max of
+//! its arguments' levels, a stable sort by level preserves SSA order, and
+//! executors simply re-run the prefix sections at the right loop depths.
+
+use crate::tape::{Tape, TapeOp};
+
+/// Compute instruction levels for a given loop order (outermost first; the
+/// last entry must be dimension 0 = x, the unit-stride dimension).
+pub fn compute_levels(tape: &Tape, loop_order: [usize; 3]) -> Vec<u8> {
+    assert_eq!(loop_order[2], 0, "x must remain the innermost loop");
+    // depth_of_dim[d] = 1 + position of dimension d in the loop order.
+    let mut depth_of_dim = [3u8; 3];
+    for (pos, d) in loop_order.iter().enumerate() {
+        depth_of_dim[*d] = pos as u8 + 1;
+    }
+    let mut levels = vec![0u8; tape.instrs.len()];
+    for (i, op) in tape.instrs.iter().enumerate() {
+        let own = match *op {
+            TapeOp::Const(_) | TapeOp::Param(_) | TapeOp::Time => 0,
+            TapeOp::Coord(d) | TapeOp::CellIdx(d) => depth_of_dim[d as usize],
+            // Loads/stores/randoms touch per-cell state.
+            TapeOp::Load { .. } | TapeOp::Rand(_) | TapeOp::Store { .. } | TapeOp::Fence => 3,
+            _ => 0,
+        };
+        let arg_max = op
+            .args()
+            .iter()
+            .map(|a| levels[a.0 as usize])
+            .max()
+            .unwrap_or(0);
+        levels[i] = own.max(arg_max);
+    }
+    levels
+}
+
+/// Per-level instruction counts (diagnostics and cost model input).
+pub fn level_histogram(levels: &[u8]) -> [usize; 4] {
+    let mut h = [0usize; 4];
+    for &l in levels {
+        h[l as usize] += 1;
+    }
+    h
+}
+
+/// Choose the loop order that minimizes per-cell work (then per-mid-loop
+/// work), apply it, and stably sort the instructions by level so executors
+/// can hoist prefix sections out of inner loops.
+pub fn apply_licm(tape: &mut Tape) {
+    let candidates = [[2usize, 1, 0], [1, 2, 0]];
+    let mut best: Option<([usize; 3], Vec<u8>, [usize; 4])> = None;
+    for order in candidates {
+        let levels = compute_levels(tape, order);
+        let h = level_histogram(&levels);
+        let better = match &best {
+            None => true,
+            Some((_, _, bh)) => (h[3], h[2], h[1]) < (bh[3], bh[2], bh[1]),
+        };
+        if better {
+            best = Some((order, levels, h));
+        }
+    }
+    let (order, levels, _) = best.expect("candidate list is non-empty");
+
+    // Stable sort by level. Levels are monotone along def-use edges, so the
+    // sorted order still defines every register before its uses.
+    let n = tape.instrs.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by_key(|&i| levels[i]);
+    let mut remap = vec![0u32; n];
+    for (new_pos, &old) in perm.iter().enumerate() {
+        remap[old] = new_pos as u32;
+    }
+    let mut new_instrs = Vec::with_capacity(n);
+    let mut new_levels = Vec::with_capacity(n);
+    for &old in &perm {
+        new_instrs.push(tape.instrs[old].map_args(&mut |r| crate::tape::VReg(remap[r.0 as usize])));
+        new_levels.push(levels[old]);
+    }
+    tape.instrs = new_instrs;
+    tape.levels = new_levels;
+    tape.loop_order = order;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_kernel;
+    use pf_stencil::{Assignment, StencilKernel};
+    use pf_symbolic::{Access, Expr, Field};
+
+    /// A kernel whose expensive part depends only on z (and t): the analytic
+    /// temperature scenario.
+    fn temperature_kernel() -> Tape {
+        let f = Field::new("lv_phi", 1, 3);
+        let out = Field::new("lv_out", 1, 3);
+        // T = T0 + G·(z − v·t); expensive = exp(T)·ln(T+2)
+        let temp = Expr::sym("lv_T0")
+            + Expr::sym("lv_G") * (Expr::coord(2) - Expr::sym("lv_v") * Expr::time());
+        let expensive = Expr::func(pf_symbolic::Func::Exp, vec![temp.clone()])
+            * Expr::func(pf_symbolic::Func::Ln, vec![temp + 2.0]);
+        let rhs = expensive * Expr::access(Access::center(f, 0));
+        let k = StencilKernel::new(
+            "temp_k",
+            vec![Assignment::store(Access::center(out, 0), rhs)],
+        );
+        lower_kernel(&k)
+    }
+
+    #[test]
+    fn z_dependent_work_hoists_to_level_one_with_z_outermost() {
+        let tape = temperature_kernel();
+        let levels = compute_levels(&tape, [2, 1, 0]);
+        let h = level_histogram(&levels);
+        // exp, ln, adds, muls of the temperature chain are all ≤ level 1;
+        // only the load, final mul and store stay per-cell.
+        assert_eq!(h[3], 3, "histogram {h:?}");
+        assert!(h[1] >= 4, "histogram {h:?}");
+    }
+
+    #[test]
+    fn wrong_loop_order_keeps_work_at_level_two() {
+        let tape = temperature_kernel();
+        let levels = compute_levels(&tape, [1, 2, 0]);
+        let h = level_histogram(&levels);
+        // With y outermost, z is the mid loop: the chain lands on level 2.
+        assert!(h[2] >= 4, "histogram {h:?}");
+    }
+
+    #[test]
+    fn apply_licm_picks_z_outermost_and_sorts() {
+        let mut tape = temperature_kernel();
+        apply_licm(&mut tape);
+        assert_eq!(tape.loop_order, [2, 1, 0]);
+        // Levels must be non-decreasing after the stable sort.
+        assert!(tape.levels.windows(2).all(|w| w[0] <= w[1]));
+        // Still a valid SSA order: every arg defined earlier.
+        for (i, op) in tape.instrs.iter().enumerate() {
+            for a in op.args() {
+                assert!((a.0 as usize) < i);
+            }
+        }
+    }
+
+    #[test]
+    fn purely_constant_instructions_are_level_zero() {
+        let out = Field::new("lv_c", 1, 3);
+        let rhs = Expr::sym("lv_p") * 3.0 + 1.0;
+        let k = StencilKernel::new(
+            "const_k",
+            vec![Assignment::store(Access::center(out, 0), rhs)],
+        );
+        let tape = lower_kernel(&k);
+        let levels = compute_levels(&tape, [2, 1, 0]);
+        let h = level_histogram(&levels);
+        // Everything except the store itself is invariant.
+        assert_eq!(h[3], 1);
+    }
+}

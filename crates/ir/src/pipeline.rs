@@ -1,0 +1,262 @@
+//! The kernel generation pipeline: stencil assignments → optimized tape.
+//!
+//! Mirrors §3.3–3.5 of the paper: per-term expansion and simplification,
+//! compile-time parameter binding (constant folding on expression level),
+//! global CSE across all assignments, lowering, loop-invariant code motion,
+//! and dead-code elimination. GPU-specific register transformations
+//! (`schedule`, `rematerialize`, `insert_fences`) are applied separately by
+//! the CUDA backend path.
+
+use crate::levels::apply_licm;
+use crate::lower::lower_kernel;
+use crate::tape::{ApproxOptions, Tape};
+use pf_stencil::{Assignment, StencilKernel};
+use pf_symbolic::{cse_with_prefix, expand, Expr, Symbol};
+use std::collections::HashMap;
+
+/// Code generation options for one kernel.
+#[derive(Clone, Debug)]
+pub struct GenOptions {
+    /// Expand products of sums before simplification (per-term rewrite).
+    pub expand: bool,
+    /// Run global common subexpression elimination across all assignments.
+    pub cse: bool,
+    /// Hoist loop-invariant instructions and pick the loop order.
+    pub licm: bool,
+    /// Numeric values substituted at generation time ("the symbolic
+    /// parameters which remain fixed during a simulation run are substituted
+    /// by numeric values", §3.3). Symbols *not* listed stay runtime kernel
+    /// arguments.
+    pub params: HashMap<Symbol, f64>,
+    /// Approximate-math options forwarded to backends and the perf model.
+    pub approx: ApproxOptions,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            expand: true,
+            cse: true,
+            licm: true,
+            params: HashMap::new(),
+            approx: ApproxOptions::default(),
+        }
+    }
+}
+
+impl GenOptions {
+    pub fn with_params(mut self, params: HashMap<Symbol, f64>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Disable all optimizations — the "generic application without code
+    /// generation" baseline the paper compares against (§5.1).
+    pub fn naive() -> Self {
+        GenOptions {
+            expand: false,
+            cse: false,
+            licm: false,
+            params: HashMap::new(),
+            approx: ApproxOptions::default(),
+        }
+    }
+}
+
+/// Run the expression-level passes of the pipeline, returning the rewritten
+/// stencil kernel (with CSE temporaries prepended).
+pub fn optimize_stencil(kernel: &StencilKernel, opts: &GenOptions) -> StencilKernel {
+    // 1. Bind compile-time parameters, then simplify each term (binding
+    //    alone re-canonicalizes, folding constants).
+    let bound: Vec<Assignment> = kernel
+        .assignments
+        .iter()
+        .map(|a| {
+            let mut rhs = a.rhs.bind_params(&opts.params);
+            // "Terms are simplified individually by expansion or factoring"
+            // (§3.3): expansion often cancels terms, but can also blow up
+            // polynomial factors — expand each top-level term separately and
+            // keep whichever form is smaller, skipping intractable terms.
+            if opts.expand {
+                let try_expand = |t: &Expr| -> Expr {
+                    if t.size() >= 50_000 {
+                        return t.clone();
+                    }
+                    let ex = expand(t);
+                    // Compare *DAG* sizes: expansion can shrink the tree by
+                    // cancelling terms while destroying the subexpression
+                    // sharing the value-numbered lowering exploits — the
+                    // generated code cost tracks unique nodes, not tree
+                    // nodes. Only accept clear wins; marginal expansions
+                    // trade shared products for long add chains.
+                    if 4 * ex.dag_size() <= 3 * t.dag_size() {
+                        ex
+                    } else {
+                        t.clone()
+                    }
+                };
+                rhs = match rhs.node() {
+                    pf_symbolic::Node::Add(terms) => {
+                        Expr::add(terms.iter().map(try_expand).collect())
+                    }
+                    _ => try_expand(&rhs),
+                };
+            }
+            Assignment {
+                lhs: a.lhs,
+                rhs,
+            }
+        })
+        .collect();
+
+    // 2. Global CSE across all right-hand sides.
+    let assignments = if opts.cse {
+        let roots: Vec<Expr> = bound.iter().map(|a| a.rhs.clone()).collect();
+        let res = cse_with_prefix(&roots, &format!("{}_c", kernel.name));
+        let mut out: Vec<Assignment> =
+            res.temps.iter().map(|(s, e)| Assignment::temp(*s, e.clone())).collect();
+        for (a, rhs) in bound.iter().zip(res.exprs) {
+            out.push(Assignment { lhs: a.lhs, rhs });
+        }
+        out
+    } else {
+        bound
+    };
+
+    let mut out = StencilKernel::new(&kernel.name, assignments);
+    out.iter_extent = kernel.iter_extent;
+    out
+}
+
+/// Full pipeline: stencil kernel → optimized executable tape.
+pub fn generate(kernel: &StencilKernel, opts: &GenOptions) -> Tape {
+    let optimized = optimize_stencil(kernel, opts);
+    let mut tape = lower_kernel(&optimized);
+    if opts.licm {
+        apply_licm(&mut tape);
+    }
+    tape.dead_code_eliminate();
+    tape.approx = opts.approx;
+    debug_assert_eq!(tape.validate(), Ok(()), "generated tape failed validation");
+    tape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::interp_expr_context;
+    use crate::tape::TapeOp;
+    use pf_symbolic::{Access, Field, MapCtx};
+
+    #[test]
+    fn parameter_binding_simplifies_the_kernel() {
+        // With A == 0 bound at compile time the whole anisotropy branch
+        // folds away — the paper's central flexibility-vs-speed argument.
+        let f = Field::new("pl_in", 1, 3);
+        let out = Field::new("pl_out", 1, 3);
+        let a = Expr::sym("pl_A");
+        let phi = Expr::access(Access::center(f, 0));
+        let rhs = phi.clone() + a * Expr::sqrt(phi.clone() + 3.0) * Expr::powi(phi, 5);
+        let k = StencilKernel::new(
+            "bind",
+            vec![Assignment::store(Access::center(out, 0), rhs)],
+        );
+
+        let generic = generate(&k, &GenOptions::default());
+        let mut params = HashMap::new();
+        params.insert(Symbol::new("pl_A"), 0.0);
+        let special = generate(&k, &GenOptions::default().with_params(params));
+        assert!(
+            special.instrs.len() < generic.instrs.len() / 2,
+            "{} vs {}",
+            special.instrs.len(),
+            generic.instrs.len()
+        );
+        assert!(!special
+            .instrs
+            .iter()
+            .any(|op| matches!(op, TapeOp::Sqrt(_))));
+    }
+
+    #[test]
+    fn cse_reduces_instruction_count() {
+        let f = Field::new("pl_cse_in", 1, 3);
+        let out = Field::new("pl_cse_out", 2, 3);
+        let phi = Expr::access(Access::center(f, 0));
+        let shared = Expr::sqrt(phi.clone() * 3.0 + 1.0);
+        let k = StencilKernel::new(
+            "cse",
+            vec![
+                Assignment::store(
+                    Access::center(out, 0),
+                    shared.clone() + phi.clone(),
+                ),
+                Assignment::store(Access::center(out, 1), shared * 2.0),
+            ],
+        );
+        let with = generate(&k, &GenOptions::default());
+        let without = generate(
+            &k,
+            &GenOptions {
+                cse: false,
+                ..GenOptions::default()
+            },
+        );
+        // Note: tape-level value numbering also dedupes, so compare the
+        // stencil-level results instead for the CSE-off case — both end up
+        // equal here, which itself is worth asserting:
+        assert!(with.instrs.len() <= without.instrs.len());
+    }
+
+    #[test]
+    fn full_pipeline_preserves_semantics() {
+        let f = Field::new("pl_sem_in", 2, 3);
+        let out = Field::new("pl_sem_out", 1, 3);
+        let a = Expr::access(Access::center(f, 0));
+        let b = Expr::access(Access::at(f, 1, [1, 0, 0]));
+        let g = Expr::sym("pl_gamma");
+        let rhs = Expr::powi(a.clone() + b.clone(), 2) * g.clone()
+            - Expr::sqrt(Expr::abs(a.clone() * b.clone()) + 1.0)
+            + g / (a.clone() + 2.0);
+        let k = StencilKernel::new(
+            "sem",
+            vec![Assignment::store(Access::center(out, 0), rhs.clone())],
+        );
+        let mut ctx = MapCtx::new();
+        ctx.set("pl_gamma", 0.35);
+        ctx.set_access(Access::center(f, 0), 0.8);
+        ctx.set_access(Access::at(f, 1, [1, 0, 0]), -0.3);
+
+        for opts in [
+            GenOptions::default(),
+            GenOptions::naive(),
+            GenOptions {
+                expand: false,
+                ..GenOptions::default()
+            },
+        ] {
+            let tape = generate(&k, &opts);
+            let got = interp_expr_context(&tape, &ctx).stores[0].1;
+            let want = rhs.eval(&ctx);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "opts {opts:?}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn licm_levels_are_populated() {
+        let f = Field::new("pl_licm_in", 1, 3);
+        let out = Field::new("pl_licm_out", 1, 3);
+        let temp = Expr::sym("pl_T0") + Expr::coord(2) * Expr::sym("pl_G");
+        let rhs = Expr::access(Access::center(f, 0)) * Expr::powi(temp, 3);
+        let k = StencilKernel::new(
+            "licm",
+            vec![Assignment::store(Access::center(out, 0), rhs)],
+        );
+        let tape = generate(&k, &GenOptions::default());
+        assert!(tape.levels.iter().any(|&l| l < 3), "nothing hoisted");
+        assert!(tape.levels.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,675 @@
+//! Register-pressure transformations for the GPU backend (§3.5, Fig. 2
+//! right): statement rescheduling (a beam-search variant of Kessler's
+//! optimal expression-DAG scheduling), rematerialization of cheap
+//! subexpressions ("dupl"), and scheduling fences ("fence").
+//!
+//! All passes operate on the SSA tape and preserve semantics exactly; the
+//! companion `simulate_compiler_order` models the downstream compiler's
+//! load-hoisting behaviour that the fences exist to suppress.
+
+use crate::tape::{Tape, TapeOp, VReg};
+
+/// Live-register statistics of a tape in its current instruction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Liveness {
+    /// Maximum number of simultaneously live f64 values.
+    pub peak: usize,
+    /// Number of instructions that define a live value.
+    pub defs: usize,
+}
+
+/// Compute liveness in the current order. A register is live from its
+/// definition until its last use; stores and fences define nothing.
+pub fn liveness(tape: &Tape) -> Liveness {
+    let n = tape.instrs.len();
+    let mut last_use = vec![usize::MAX; n];
+    for (i, op) in tape.instrs.iter().enumerate() {
+        for a in op.args() {
+            last_use[a.0 as usize] = i;
+        }
+    }
+    let mut live = 0usize;
+    let mut peak = 0usize;
+    let mut defs = 0usize;
+    for (i, op) in tape.instrs.iter().enumerate() {
+        // Values whose last use is this instruction die here …
+        let dies = op
+            .args()
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .iter()
+            .filter(|a| last_use[a.0 as usize] == i)
+            .count();
+        // … and the definition (if any, and if ever used) is born here.
+        let born = usize::from(op.is_pure() && last_use[i] != usize::MAX);
+        live = live + born - dies.min(live);
+        peak = peak.max(live);
+        defs += born;
+    }
+    Liveness { peak, defs }
+}
+
+// ---------------------------------------------------------------------------
+// Beam-search scheduling
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct BeamState {
+    order: Vec<u32>,
+    remaining_uses: Vec<u16>,
+    indeg: Vec<u16>,
+    ready: Vec<u32>,
+    cur_live: usize,
+    peak_live: usize,
+    hash: u64,
+    /// Index of the current fence region (instructions of region r must all
+    /// be scheduled before region r+1 opens).
+    region: u16,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Dependency structure: argument edges plus a serial chain through stores
+/// (stores may not be reordered among themselves — they may alias).
+struct Dag {
+    /// users[i] = instructions reading register i (plus ordering users).
+    users: Vec<Vec<u32>>,
+    indeg: Vec<u16>,
+    /// Fence region of each instruction.
+    region: Vec<u16>,
+    uses_of: Vec<u16>,
+}
+
+fn build_dag(tape: &Tape) -> Dag {
+    let n = tape.instrs.len();
+    let mut users: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut indeg = vec![0u16; n];
+    let mut uses_of = vec![0u16; n];
+    let mut prev_store: Option<usize> = None;
+    let mut region = vec![0u16; n];
+    let mut cur_region = 0u16;
+    for (i, op) in tape.instrs.iter().enumerate() {
+        if op.is_fence() {
+            cur_region += 1;
+        }
+        region[i] = cur_region;
+        let mut deps: Vec<usize> = op.args().iter().map(|a| a.0 as usize).collect();
+        for &d in &deps {
+            uses_of[d] += 1;
+        }
+        if op.is_store() {
+            if let Some(p) = prev_store {
+                deps.push(p);
+            }
+            prev_store = Some(i);
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        for d in deps {
+            users[d].push(i as u32);
+            indeg[i] += 1;
+        }
+    }
+    Dag {
+        users,
+        indeg,
+        region,
+        uses_of,
+    }
+}
+
+/// Depth-first (Sethi–Ullman-flavoured) schedule: every store's dependency
+/// cone is emitted depth-first, visiting higher-register-need operands
+/// first, each instruction exactly once. On the wide, CSE-heavy DAGs of
+/// generated kernels this collapses the "all temporaries live at once"
+/// layout the naive assignment order produces.
+pub fn schedule_dfs(tape: &Tape) -> Tape {
+    let n = tape.instrs.len();
+    if n == 0 {
+        return tape.clone();
+    }
+    // Sethi–Ullman labels (exact on trees, a good heuristic on DAGs).
+    let mut need = vec![0u32; n];
+    for (i, op) in tape.instrs.iter().enumerate() {
+        let mut ch: Vec<u32> = op.args().iter().map(|a| need[a.0 as usize]).collect();
+        if ch.is_empty() {
+            need[i] = 1;
+            continue;
+        }
+        ch.sort_unstable_by(|a, b| b.cmp(a));
+        need[i] = ch
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| c + k as u32)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+    }
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut emitted = vec![false; n];
+    // Iterative DFS with explicit stack: (instr, next_arg_index, sorted args).
+    let emit = |root: usize, order: &mut Vec<u32>, emitted: &mut Vec<bool>| {
+        if emitted[root] {
+            return;
+        }
+        let mut stack: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        let sorted_args = |i: usize| -> Vec<usize> {
+            let mut a: Vec<usize> = tape.instrs[i].args().iter().map(|r| r.0 as usize).collect();
+            a.sort_unstable_by(|&x, &y| need[y].cmp(&need[x]));
+            a.dedup();
+            a
+        };
+        stack.push((root, 0, sorted_args(root)));
+        while let Some((i, k, args)) = stack.pop() {
+            if emitted[i] {
+                continue;
+            }
+            if k < args.len() {
+                stack.push((i, k + 1, args.clone()));
+                let a = args[k];
+                if !emitted[a] {
+                    let sa = sorted_args(a);
+                    stack.push((a, 0, sa));
+                }
+            } else {
+                emitted[i] = true;
+                order.push(i as u32);
+            }
+        }
+    };
+    // Roots in original order: stores, fences, and any other sink.
+    for (i, op) in tape.instrs.iter().enumerate() {
+        if op.is_store() || op.is_fence() {
+            emit(i, &mut order, &mut emitted);
+        }
+    }
+    for i in 0..n {
+        if !emitted[i] {
+            emit(i, &mut order, &mut emitted);
+        }
+    }
+    reorder(tape, &order)
+}
+
+/// Reorder the tape's instructions to minimize peak register pressure:
+/// the better of a depth-first Sethi–Ullman schedule and a beam search of
+/// width `beam` seeded on it (width 1 = greedy; the paper found no
+/// consistent improvement beyond ~20). Returns the rescheduled tape.
+pub fn schedule_min_live(tape: &Tape, beam: usize) -> Tape {
+    let dfs = schedule_dfs(tape);
+    let beam_result = schedule_beam(tape, beam);
+    if liveness(&dfs).peak <= liveness(&beam_result).peak {
+        dfs
+    } else {
+        beam_result
+    }
+}
+
+/// The raw beam-search scheduler (Kessler's breadth-first search with
+/// same-prefix deduplication, converted to a beam heuristic).
+pub fn schedule_beam(tape: &Tape, beam: usize) -> Tape {
+    let n = tape.instrs.len();
+    if n == 0 {
+        return tape.clone();
+    }
+    let dag = build_dag(tape);
+    let max_region = *dag.region.iter().max().unwrap_or(&0);
+
+    let init_ready: Vec<u32> = (0..n)
+        .filter(|&i| dag.indeg[i] == 0 && dag.region[i] == 0)
+        .map(|i| i as u32)
+        .collect();
+    let init = BeamState {
+        order: Vec::with_capacity(n),
+        remaining_uses: dag.uses_of.clone(),
+        indeg: dag.indeg.clone(),
+        ready: init_ready,
+        cur_live: 0,
+        peak_live: 0,
+        hash: 0,
+        region: 0,
+    };
+    let mut states = vec![init];
+
+    for _step in 0..n {
+        // Generate candidates: (parent index, instruction, projected score).
+        let mut cands: Vec<(usize, u32, usize, usize)> = Vec::new();
+        for (si, s) in states.iter().enumerate() {
+            for &i in &s.ready {
+                let op = &tape.instrs[i as usize];
+                let mut uniq_args: Vec<u32> =
+                    op.args().iter().map(|a| a.0).collect();
+                uniq_args.sort_unstable();
+                uniq_args.dedup();
+                let occ = |r: u32| -> u16 {
+                    op.args().iter().filter(|a| a.0 == r).count() as u16
+                };
+                let released = uniq_args
+                    .iter()
+                    .filter(|&&a| s.remaining_uses[a as usize] == occ(a))
+                    .count();
+                let born = usize::from(op.is_pure() && dag.uses_of[i as usize] > 0);
+                let new_live = s.cur_live + born - released.min(s.cur_live);
+                let new_peak = s.peak_live.max(new_live);
+                cands.push((si, i, new_peak, new_live));
+            }
+        }
+        if cands.is_empty() {
+            // Only possible if a fence region must open: advance regions.
+            for s in states.iter_mut() {
+                if s.region < max_region {
+                    s.region += 1;
+                    s.ready = (0..n)
+                        .filter(|&i| {
+                            s.indeg[i] == 0
+                                && dag.region[i] == s.region
+                                && !s.order.contains(&(i as u32))
+                        })
+                        .map(|i| i as u32)
+                        .collect();
+                }
+            }
+            let still_empty = states.iter().all(|s| s.ready.is_empty());
+            if still_empty {
+                break;
+            }
+            continue;
+        }
+        cands.sort_by_key(|&(_, _, peak, live)| (peak, live));
+
+        // Materialize up to `beam` distinct next states, deduplicating
+        // schedules that cover the same instruction set (Kessler's pruning).
+        let mut next: Vec<BeamState> = Vec::with_capacity(beam);
+        let mut seen = std::collections::HashSet::new();
+        for &(si, i, new_peak, new_live) in &cands {
+            if next.len() >= beam {
+                break;
+            }
+            let parent = &states[si];
+            let h = parent.hash ^ splitmix64(i as u64);
+            if !seen.insert(h) {
+                continue;
+            }
+            let mut s = parent.clone();
+            s.order.push(i);
+            s.hash = h;
+            s.cur_live = new_live;
+            s.peak_live = new_peak;
+            let op = &tape.instrs[i as usize];
+            for a in op.args() {
+                s.remaining_uses[a.0 as usize] =
+                    s.remaining_uses[a.0 as usize].saturating_sub(1);
+            }
+            s.ready.retain(|&r| r != i);
+            for &u in &dag.users[i as usize] {
+                s.indeg[u as usize] -= 1;
+                if s.indeg[u as usize] == 0 && dag.region[u as usize] <= s.region {
+                    s.ready.push(u);
+                }
+            }
+            // Open the next fence region once the current one drains.
+            while s.ready.is_empty() && s.region < max_region {
+                s.region += 1;
+                let reg = s.region;
+                for i2 in 0..n {
+                    if s.indeg[i2] == 0
+                        && dag.region[i2] == reg
+                        && !s.order.contains(&(i2 as u32))
+                    {
+                        s.ready.push(i2 as u32);
+                    }
+                }
+            }
+            next.push(s);
+        }
+        states = next;
+    }
+
+    let best = states
+        .into_iter()
+        .min_by_key(|s| s.peak_live)
+        .expect("at least one schedule survives");
+    assert_eq!(best.order.len(), n, "incomplete schedule");
+    reorder(tape, &best.order)
+}
+
+/// Rebuild a tape following `order` (a permutation of instruction indices).
+fn reorder(tape: &Tape, order: &[u32]) -> Tape {
+    let n = tape.instrs.len();
+    let mut remap = vec![0u32; n];
+    for (new_pos, &old) in order.iter().enumerate() {
+        remap[old as usize] = new_pos as u32;
+    }
+    let mut out = tape.clone();
+    out.instrs = order
+        .iter()
+        .map(|&old| tape.instrs[old as usize].map_args(&mut |r| VReg(remap[r.0 as usize])))
+        .collect();
+    out.levels = order
+        .iter()
+        .map(|&old| *tape.levels.get(old as usize).unwrap_or(&3))
+        .collect();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rematerialization ("dupl")
+// ---------------------------------------------------------------------------
+
+/// Recompute cost of an instruction's value, counting arithmetic ops in its
+/// private dependency cone (shared leaves are free).
+fn recompute_cost(tape: &Tape, i: usize, memo: &mut Vec<Option<u32>>) -> u32 {
+    if let Some(c) = memo[i] {
+        return c;
+    }
+    let op = &tape.instrs[i];
+    let own = match op {
+        TapeOp::Const(_)
+        | TapeOp::Param(_)
+        | TapeOp::Coord(_)
+        | TapeOp::Time
+        | TapeOp::CellIdx(_) => 0,
+        TapeOp::Load { .. } => 1,
+        _ => 1,
+    };
+    let c = own
+        + op.args()
+            .iter()
+            .map(|a| recompute_cost(tape, a.0 as usize, memo))
+            .sum::<u32>();
+    memo[i] = Some(c);
+    c
+}
+
+/// Undo CSE for values that are cheap to recompute: every use of a
+/// multi-use register with recompute cost ≤ `max_cost` gets its own private
+/// copy of the defining cone, shortening live ranges at the price of extra
+/// arithmetic. ("It essentially takes back some effects of the CSE, by
+/// rematerializing expressions that are cheap to compute." §3.5)
+pub fn rematerialize(tape: &Tape, max_cost: u32) -> Tape {
+    let n = tape.instrs.len();
+    let mut memo = vec![None; n];
+    let uses = tape.use_counts();
+    let is_cand: Vec<bool> = (0..n)
+        .map(|i| {
+            tape.instrs[i].is_pure()
+                && !matches!(
+                    tape.instrs[i],
+                    TapeOp::Rand(_) // randomness must not be re-sampled
+                )
+                && uses[i] >= 2
+                && recompute_cost(tape, i, &mut memo) <= max_cost
+                && recompute_cost(tape, i, &mut memo) > 0
+        })
+        .collect();
+
+    let mut out = Tape {
+        instrs: Vec::with_capacity(n * 2),
+        levels: Vec::with_capacity(n * 2),
+        ..tape.clone()
+    };
+    // remap of non-candidate instructions
+    let mut remap: Vec<Option<VReg>> = vec![None; n];
+
+    fn materialize(
+        tape: &Tape,
+        i: usize,
+        is_cand: &[bool],
+        remap: &[Option<VReg>],
+        out: &mut Tape,
+        level: u8,
+    ) -> VReg {
+        let op = &tape.instrs[i];
+        let new_op = op.map_args(&mut |a: VReg| {
+            let j = a.0 as usize;
+            if is_cand[j] {
+                materialize(tape, j, is_cand, remap, out, level)
+            } else {
+                remap[j].expect("non-candidate argument already emitted")
+            }
+        });
+        let r = VReg(out.instrs.len() as u32);
+        out.instrs.push(new_op);
+        out.levels.push(level);
+        r
+    }
+
+    for i in 0..n {
+        if is_cand[i] {
+            continue; // emitted lazily at each use
+        }
+        let level = *tape.levels.get(i).unwrap_or(&3);
+        let op = &tape.instrs[i];
+        let new_op = op.map_args(&mut |a: VReg| {
+            let j = a.0 as usize;
+            if is_cand[j] {
+                materialize(tape, j, &is_cand, &remap, &mut out, level)
+            } else {
+                remap[j].expect("argument already emitted")
+            }
+        });
+        let r = VReg(out.instrs.len() as u32);
+        out.instrs.push(new_op);
+        out.levels.push(level);
+        remap[i] = Some(r);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fences and the modelled compiler reordering
+// ---------------------------------------------------------------------------
+
+/// Insert a scheduling fence every `every` instructions (the
+/// `__threadfence()` insertion transformation).
+pub fn insert_fences(tape: &Tape, every: usize) -> Tape {
+    assert!(every > 0);
+    let mut out = tape.clone();
+    let mut instrs = Vec::with_capacity(tape.instrs.len() + tape.instrs.len() / every + 1);
+    let mut levels = Vec::with_capacity(instrs.capacity());
+    let mut remap = vec![0u32; tape.instrs.len()];
+    for (i, op) in tape.instrs.iter().enumerate() {
+        if i > 0 && i % every == 0 {
+            instrs.push(TapeOp::Fence);
+            levels.push(3);
+        }
+        remap[i] = instrs.len() as u32;
+        instrs.push(op.map_args(&mut |r: VReg| VReg(remap[r.0 as usize])));
+        levels.push(*tape.levels.get(i).unwrap_or(&3));
+    }
+    out.instrs = instrs;
+    out.levels = levels;
+    out
+}
+
+/// Model of the downstream compiler's instruction scheduling: within each
+/// fence-delimited region, all loads (and other zero-dependency leaf
+/// instructions) are hoisted to the region start "so that they can overlap
+/// with each other and independent computations" (§3.5) — the behaviour
+/// that inflates register pressure and that fences suppress.
+pub fn simulate_compiler_order(tape: &Tape) -> Tape {
+    let n = tape.instrs.len();
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut region_start = 0usize;
+    for i in 0..=n {
+        let at_boundary = i == n || tape.instrs[i].is_fence();
+        if at_boundary {
+            let mut leaves: Vec<u32> = Vec::new();
+            let mut rest: Vec<u32> = Vec::new();
+            for j in region_start..i {
+                if matches!(tape.instrs[j], TapeOp::Load { .. }) {
+                    leaves.push(j as u32);
+                } else {
+                    rest.push(j as u32);
+                }
+            }
+            order.extend(leaves);
+            order.extend(rest);
+            if i < n {
+                order.push(i as u32); // the fence itself
+            }
+            region_start = i + 1;
+        }
+    }
+    reorder(tape, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{interp_expr_context, TapeResult};
+    use crate::lower::lower_kernel;
+    use pf_stencil::{Assignment, StencilKernel};
+    use pf_symbolic::{Access, Expr, Field, MapCtx};
+
+    /// A kernel with deliberately bad pressure when loads are hoisted: many
+    /// independent (load·const) pairs summed at the end.
+    fn wide_kernel(nloads: usize) -> (Tape, MapCtx) {
+        let f = Field::new("sc_in", nloads, 3);
+        let out = Field::new("sc_out", 1, 3);
+        let mut ctx = MapCtx::new();
+        let mut rhs = Expr::zero();
+        for c in 0..nloads {
+            let a = Access::center(f, c);
+            ctx.set_access(a, c as f64 + 0.5);
+            rhs = rhs + Expr::access(a) * Expr::num((c + 2) as f64);
+        }
+        let k = StencilKernel::new(
+            "wide",
+            vec![Assignment::store(Access::center(out, 0), rhs)],
+        );
+        (lower_kernel(&k), ctx)
+    }
+
+    fn stored(r: &TapeResult) -> f64 {
+        r.stores[0].1
+    }
+
+    #[test]
+    fn scheduling_preserves_semantics() {
+        let (tape, ctx) = wide_kernel(10);
+        let base = stored(&interp_expr_context(&tape, &ctx));
+        for beam in [1, 4, 16] {
+            let s = schedule_min_live(&tape, beam);
+            assert_eq!(s.instrs.len(), tape.instrs.len());
+            let v = stored(&interp_expr_context(&s, &ctx));
+            assert!((v - base).abs() < 1e-12, "beam {beam}: {v} vs {base}");
+        }
+    }
+
+    #[test]
+    fn scheduling_beats_compiler_hoisting() {
+        let (tape, _) = wide_kernel(24);
+        let hoisted = simulate_compiler_order(&tape);
+        let scheduled = schedule_min_live(&tape, 8);
+        let p_hoist = liveness(&hoisted).peak;
+        let p_sched = liveness(&scheduled).peak;
+        assert!(
+            p_sched < p_hoist,
+            "scheduled {p_sched} should beat hoisted {p_hoist}"
+        );
+    }
+
+    #[test]
+    fn beam_width_never_hurts_much() {
+        let (tape, _) = wide_kernel(16);
+        let p1 = liveness(&schedule_min_live(&tape, 1)).peak;
+        let p20 = liveness(&schedule_min_live(&tape, 20)).peak;
+        assert!(p20 <= p1, "wider beam regressed: {p20} > {p1}");
+    }
+
+    #[test]
+    fn remat_preserves_semantics_and_duplicates_cheap_values() {
+        let x = Expr::sym("sc_rx");
+        let shared = x.clone() * 2.0; // cheap, multi-use
+        let f = Field::new("sc_rout", 2, 3);
+        let k = StencilKernel::new(
+            "remat",
+            vec![
+                Assignment::store(
+                    Access::center(f, 0),
+                    Expr::sqrt(shared.clone()) + shared.clone(),
+                ),
+                Assignment::store(Access::center(f, 1), shared.clone() * 3.0),
+            ],
+        );
+        let tape = lower_kernel(&k);
+        let r = rematerialize(&tape, 2);
+        assert!(r.instrs.len() > tape.instrs.len(), "nothing duplicated");
+        let mut ctx = MapCtx::new();
+        ctx.set("sc_rx", 1.7);
+        let a = interp_expr_context(&tape, &ctx);
+        let b = interp_expr_context(&r, &ctx);
+        assert_eq!(a.stores.len(), b.stores.len());
+        for (x, y) in a.stores.iter().zip(&b.stores) {
+            assert!((x.1 - y.1).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn fences_limit_hoisting() {
+        let (tape, ctx) = wide_kernel(24);
+        let free = simulate_compiler_order(&tape);
+        let fenced = simulate_compiler_order(&insert_fences(&tape, 8));
+        let p_free = liveness(&free).peak;
+        let p_fenced = liveness(&fenced).peak;
+        assert!(
+            p_fenced < p_free,
+            "fences should reduce hoisted pressure: {p_fenced} vs {p_free}"
+        );
+        // And semantics hold.
+        let v0 = stored(&interp_expr_context(&tape, &ctx));
+        let v1 = stored(&interp_expr_context(&fenced, &ctx));
+        assert!((v0 - v1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_order_survives_scheduling() {
+        let f = Field::new("sc_so", 2, 3);
+        let k = StencilKernel::new(
+            "stores",
+            vec![
+                Assignment::store(Access::center(f, 0), Expr::num(1.0)),
+                Assignment::store(Access::center(f, 1), Expr::num(2.0)),
+            ],
+        );
+        let tape = lower_kernel(&k);
+        let s = schedule_min_live(&tape, 4);
+        let r = interp_expr_context(&s, &MapCtx::new());
+        assert_eq!(r.stores[0].1, 1.0);
+        assert_eq!(r.stores[1].1, 2.0);
+    }
+}
+
+#[cfg(test)]
+mod validator_tests {
+    use super::*;
+    use crate::lower::lower_kernel;
+    use pf_stencil::{Assignment, StencilKernel};
+    use pf_symbolic::{Access, Expr, Field};
+
+    #[test]
+    fn all_transforms_produce_valid_ssa() {
+        let f = Field::new("vt_in", 4, 3);
+        let out = Field::new("vt_out", 1, 3);
+        let rhs: Expr = (0..4)
+            .map(|c| Expr::sqrt(Expr::access(Access::center(f, c)) + 1.0) * (c + 1) as f64)
+            .sum();
+        let k = StencilKernel::new(
+            "vt",
+            vec![Assignment::store(Access::center(out, 0), rhs)],
+        );
+        let base = lower_kernel(&k);
+        assert_eq!(base.validate(), Ok(()));
+        assert_eq!(schedule_min_live(&base, 4).validate(), Ok(()));
+        assert_eq!(schedule_dfs(&base).validate(), Ok(()));
+        assert_eq!(rematerialize(&base, 2).validate(), Ok(()));
+        assert_eq!(insert_fences(&base, 3).validate(), Ok(()));
+        assert_eq!(simulate_compiler_order(&base).validate(), Ok(()));
+    }
+}

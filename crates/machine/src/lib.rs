@@ -1,0 +1,267 @@
+//! `pf-machine` — models of the hardware the paper evaluates on.
+//!
+//! The original experiments ran on SuperMUC-NG (Intel Xeon Platinum 8174,
+//! Skylake-SP) and Piz Daint (NVIDIA Tesla P100, Cray Aries). Neither is
+//! available here, so these descriptions drive the analytic performance
+//! models (`pf-perfmodel`) and the cluster-scale discrete-event simulator
+//! (`pf-cluster`) instead. Parameters are taken from the paper's §6 and
+//! public spec sheets.
+
+#![forbid(unsafe_code)]
+
+/// One CPU socket as seen by the ECM model.
+#[derive(Clone, Debug)]
+pub struct CpuSocket {
+    pub name: String,
+    pub cores: usize,
+    /// Sustained AVX-512 clock in GHz (Skylake downclocks under AVX-512).
+    pub freq_ghz: f64,
+    /// f64 lanes per SIMD vector (8 for AVX-512).
+    pub simd_f64: usize,
+    /// Fused multiply-add available.
+    pub fma: bool,
+    pub cacheline_bytes: usize,
+    pub l1_kib: usize,
+    pub l2_kib: usize,
+    /// Shared L3 size for the whole socket.
+    pub l3_mib: usize,
+    /// Skylake's L3 is a non-inclusive victim cache — the paper notes this
+    /// makes predictions less certain; the cache simulator models it.
+    pub l3_victim: bool,
+    /// L1↔L2 bandwidth, bytes per cycle.
+    pub l2_bytes_per_cycle: f64,
+    /// L2↔L3 bandwidth, bytes per cycle.
+    pub l3_bytes_per_cycle: f64,
+    /// Sustained main-memory bandwidth for the full socket, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Vector instruction reciprocal throughputs in cycles per (full-width)
+    /// vector instruction, following Fog's tables for Skylake-SP.
+    pub thr: VecThroughput,
+}
+
+/// Cycles per full-width vector instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct VecThroughput {
+    pub add: f64,
+    pub mul: f64,
+    pub fma: f64,
+    pub div: f64,
+    pub sqrt: f64,
+    /// `vrsqrt14pd` — the approximate reciprocal sqrt the backend uses.
+    pub rsqrt: f64,
+    /// Loads the L1 can serve per cycle.
+    pub loads_per_cycle: f64,
+    /// Stores the L1 can absorb per cycle.
+    pub stores_per_cycle: f64,
+    /// Transcendental (exp/log/trig) — software sequences.
+    pub transcendental: f64,
+}
+
+/// Intel Xeon Platinum 8174 (SuperMUC-NG node socket).
+pub fn skylake_8174() -> CpuSocket {
+    CpuSocket {
+        name: "Xeon Platinum 8174 (Skylake-SP)".into(),
+        cores: 24,
+        freq_ghz: 2.3,
+        simd_f64: 8,
+        fma: true,
+        cacheline_bytes: 64,
+        l1_kib: 32,
+        l2_kib: 1024,
+        l3_mib: 33,
+        l3_victim: true,
+        l2_bytes_per_cycle: 64.0,
+        l3_bytes_per_cycle: 16.0,
+        mem_bw_gbs: 110.0,
+        thr: VecThroughput {
+            add: 0.5,
+            mul: 0.5,
+            fma: 0.5,
+            div: 16.0,
+            sqrt: 10.0,
+            rsqrt: 2.0,
+            loads_per_cycle: 2.0,
+            stores_per_cycle: 1.0,
+            transcendental: 20.0,
+        },
+    }
+}
+
+/// A GPU as seen by the occupancy/roofline model.
+#[derive(Clone, Debug)]
+pub struct Gpu {
+    pub name: String,
+    pub sms: usize,
+    pub freq_ghz: f64,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Hard per-thread register limit (255 on NVIDIA); beyond this the
+    /// compiler spills to local memory.
+    pub max_regs_per_thread: u32,
+    pub max_threads_per_sm: u32,
+    pub max_blocks_per_sm: u32,
+    /// FP64 FLOPs per cycle per SM (P100: 32 DP cores × 2 for FMA).
+    pub dp_flops_per_cycle_per_sm: f64,
+    /// HBM bandwidth GB/s.
+    pub mem_bw_gbs: f64,
+    /// Occupancy (fraction of max threads) needed to hide memory latency.
+    pub latency_hiding_occupancy: f64,
+}
+
+/// NVIDIA Tesla P100 (Piz Daint).
+pub fn tesla_p100() -> Gpu {
+    Gpu {
+        name: "Tesla P100".into(),
+        sms: 56,
+        freq_ghz: 1.328,
+        regs_per_sm: 65_536,
+        max_regs_per_thread: 255,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 32,
+        dp_flops_per_cycle_per_sm: 64.0,
+        mem_bw_gbs: 720.0,
+        latency_hiding_occupancy: 0.25,
+    }
+}
+
+/// Interconnect topologies of the two systems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// SuperMUC-NG: islands in a fat tree.
+    FatTree { nodes_per_island: usize },
+    /// Piz Daint: Cray Aries dragonfly.
+    Dragonfly,
+}
+
+#[derive(Clone, Debug)]
+pub struct Interconnect {
+    pub name: String,
+    pub topology: Topology,
+    /// Point-to-point latency, microseconds.
+    pub latency_us: f64,
+    /// Per-node injection bandwidth, GB/s.
+    pub bw_gbs: f64,
+    /// Extra latency when crossing the top level (island/group boundary).
+    pub cross_boundary_latency_us: f64,
+}
+
+pub fn omnipath_fat_tree() -> Interconnect {
+    Interconnect {
+        name: "Intel Omni-Path fat tree".into(),
+        topology: Topology::FatTree {
+            nodes_per_island: 810,
+        },
+        latency_us: 1.1,
+        bw_gbs: 12.5,
+        cross_boundary_latency_us: 0.8,
+    }
+}
+
+pub fn aries_dragonfly() -> Interconnect {
+    Interconnect {
+        name: "Cray Aries dragonfly".into(),
+        topology: Topology::Dragonfly,
+        latency_us: 1.3,
+        // Sustained per-node MPI halo bandwidth (well below the 10+ GB/s
+        // peak injection rate for medium-sized face messages).
+        bw_gbs: 5.0,
+        cross_boundary_latency_us: 0.5,
+    }
+}
+
+/// Node composition of a cluster.
+#[derive(Clone, Debug)]
+pub enum NodeKind {
+    Cpu { sockets: usize, socket: CpuSocket },
+    Gpu { gpus: usize, gpu: Gpu },
+}
+
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    pub name: String,
+    pub nodes: usize,
+    pub node: NodeKind,
+    pub network: Interconnect,
+    /// Host↔device transfer bandwidth (GPU nodes), GB/s; staging buffers
+    /// pass through here when GPUDirect is off.
+    pub pcie_bw_gbs: f64,
+}
+
+/// SuperMUC-NG (rank 8 on the Nov'18 TOP500 used in the paper).
+pub fn supermuc_ng() -> Cluster {
+    Cluster {
+        name: "SuperMUC-NG".into(),
+        nodes: 6480,
+        node: NodeKind::Cpu {
+            sockets: 2,
+            socket: skylake_8174(),
+        },
+        network: omnipath_fat_tree(),
+        pcie_bw_gbs: 0.0,
+    }
+}
+
+/// Piz Daint (rank 5 on the Nov'18 TOP500 used in the paper).
+pub fn piz_daint() -> Cluster {
+    Cluster {
+        name: "Piz Daint".into(),
+        nodes: 5704,
+        node: NodeKind::Gpu {
+            gpus: 1,
+            gpu: tesla_p100(),
+        },
+        network: aries_dragonfly(),
+        pcie_bw_gbs: 11.0,
+    }
+}
+
+impl Cluster {
+    /// Total cores (CPU clusters) or GPUs (GPU clusters) available.
+    pub fn total_units(&self) -> usize {
+        match &self.node {
+            NodeKind::Cpu { sockets, socket } => self.nodes * sockets * socket.cores,
+            NodeKind::Gpu { gpus, .. } => self.nodes * gpus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_matches_paper_cache_sizes() {
+        let s = skylake_8174();
+        assert_eq!(s.cores, 24);
+        assert_eq!(s.l2_kib, 1024, "1 MB L2 drives the N<67 blocking bound");
+        assert!(s.l3_victim);
+    }
+
+    #[test]
+    fn p100_register_file_limits() {
+        let g = tesla_p100();
+        assert_eq!(g.max_regs_per_thread, 255);
+        assert_eq!(g.regs_per_sm, 65_536);
+    }
+
+    #[test]
+    fn supermuc_core_count_covers_the_strong_scaling_run() {
+        // The paper time-steps on 152 064 cores; the machine must have them.
+        assert!(supermuc_ng().total_units() >= 152_064);
+    }
+
+    #[test]
+    fn piz_daint_has_the_2400_nodes_used() {
+        assert!(piz_daint().total_units() >= 2400);
+    }
+
+    #[test]
+    fn normalized_flop_weights_match_throughputs() {
+        // Table 1 normalizes: div=16, sqrt=10, rsqrt=2 — "approximately
+        // matching their throughput on the Skylake architecture".
+        let t = skylake_8174().thr;
+        assert_eq!(t.div, 16.0);
+        assert_eq!(t.sqrt, 10.0);
+        assert_eq!(t.rsqrt, 2.0);
+    }
+}

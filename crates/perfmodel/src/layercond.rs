@@ -1,0 +1,102 @@
+//! Analytical layer conditions and spatial-blocking derivation (§6.1).
+//!
+//! "For configuration P1, the most demanding kernel µ-full has a cache
+//! storage demand of 232·N² Bytes to fulfill the 3D layer condition,
+//! assuming a loop length of N for the two innermost loops. Applying it to
+//! Skylake's 1 MB L2 cache, we find suitable blocking sizes of N < 67."
+//!
+//! The 3D layer condition requires that for every access stream
+//! (field, component), all z-planes it touches stay cached while the two
+//! inner loops sweep an N×N tile: each distinct z-offset of the stream
+//! contributes one N² plane of doubles.
+
+use pf_ir::{Tape, TapeOp};
+use std::collections::HashSet;
+
+/// Coefficient c such that the cache demand is `c · N²` bytes.
+pub fn layer_condition_coefficient(tape: &Tape) -> usize {
+    let mut planes: HashSet<(u16, u16, i16)> = HashSet::new();
+    for op in &tape.instrs {
+        match op {
+            TapeOp::Load { field, comp, off } | TapeOp::Store { field, comp, off, .. } => {
+                planes.insert((*field, *comp, off[2]));
+            }
+            _ => {}
+        }
+    }
+    planes.len() * std::mem::size_of::<f64>()
+}
+
+/// Cache demand in bytes for inner-loop length `n`.
+pub fn layer_condition_demand(tape: &Tape, n: usize) -> usize {
+    layer_condition_coefficient(tape) * n * n
+}
+
+/// Largest inner-loop block length whose working set fits `cache_bytes`.
+pub fn max_block_size(tape: &Tape, cache_bytes: usize) -> usize {
+    let c = layer_condition_coefficient(tape);
+    if c == 0 {
+        return usize::MAX;
+    }
+    ((cache_bytes as f64) / c as f64).sqrt().floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_ir::{generate, GenOptions};
+    use pf_stencil::{Assignment, Discretization, StencilKernel};
+    use pf_symbolic::{Access, Expr, Field};
+
+    /// 3D 7-point Laplacian update: the textbook layer-condition example.
+    fn laplacian_tape() -> Tape {
+        let src = Field::new("lc_src", 1, 3);
+        let dst = Field::new("lc_dst", 1, 3);
+        let disc = Discretization::isotropic(3, 1.0);
+        let u = Expr::access(Access::center(src, 0));
+        let rhs: Expr = (0..3)
+            .map(|d| Expr::d(Expr::num(1.0) * Expr::d(u.clone(), d), d))
+            .sum();
+        let update = disc.explicit_euler(Access::center(src, 0), &rhs, 0.1);
+        let k = StencilKernel::new(
+            "lap",
+            vec![Assignment::store(Access::center(dst, 0), update)],
+        );
+        generate(&k, &GenOptions::default())
+    }
+
+    #[test]
+    fn laplacian_has_four_planes() {
+        // src touches z ∈ {−1, 0, 1} (3 planes) + dst z = 0 (1 plane).
+        let t = laplacian_tape();
+        assert_eq!(layer_condition_coefficient(&t), 4 * 8);
+    }
+
+    #[test]
+    fn demand_is_quadratic_in_n() {
+        let t = laplacian_tape();
+        assert_eq!(
+            layer_condition_demand(&t, 60),
+            layer_condition_coefficient(&t) * 3600
+        );
+    }
+
+    #[test]
+    fn blocking_bound_matches_inverse_of_demand() {
+        let t = laplacian_tape();
+        let cache = 1024 * 1024; // Skylake L2
+        let n = max_block_size(&t, cache);
+        assert!(layer_condition_demand(&t, n) <= cache);
+        assert!(layer_condition_demand(&t, n + 1) > cache);
+        // 32 B/N² → N = 181 for the plain Laplacian.
+        assert_eq!(n, 181);
+    }
+
+    #[test]
+    fn paper_coefficient_implies_n67() {
+        // Independent of our kernels: the paper's 232 B/N² coefficient and
+        // 1 MB L2 must give N < 67 — a consistency check of the formula.
+        let n = ((1024.0 * 1024.0) / 232.0_f64).sqrt().floor() as usize;
+        assert_eq!(n, 67);
+    }
+}

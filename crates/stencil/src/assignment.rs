@@ -1,0 +1,161 @@
+//! Stencil-level assignments.
+//!
+//! After discretization, a kernel is "a list of assignments with
+//! instructions to be executed for every cell" (§3.4): either a write to a
+//! field at a relative offset, or a definition of a temporary symbol (the
+//! list is in static single assignment form — each temporary is defined
+//! once, before use).
+
+use pf_symbolic::{Access, Expr, Symbol};
+
+/// Left-hand side of a stencil assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lhs {
+    /// Store to a field (normally the centre cell of the destination).
+    Field(Access),
+    /// Define an SSA temporary.
+    Temp(Symbol),
+}
+
+/// One assignment of a stencil kernel.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    pub lhs: Lhs,
+    pub rhs: Expr,
+}
+
+impl Assignment {
+    pub fn store(a: Access, rhs: Expr) -> Assignment {
+        Assignment {
+            lhs: Lhs::Field(a),
+            rhs,
+        }
+    }
+
+    pub fn temp(s: Symbol, rhs: Expr) -> Assignment {
+        Assignment {
+            lhs: Lhs::Temp(s),
+            rhs,
+        }
+    }
+}
+
+/// A discretized stencil kernel: SSA assignment list plus the iteration
+/// extension (how far past the cell interior the kernel iterates — staggered
+/// kernels need one extra layer of faces per dimension).
+#[derive(Clone, Debug)]
+pub struct StencilKernel {
+    pub name: String,
+    pub assignments: Vec<Assignment>,
+    /// Extra iterations past the interior in each dimension (0 for
+    /// cell-centred kernels, 1 for staggered/face kernels).
+    pub iter_extent: [usize; 3],
+}
+
+impl StencilKernel {
+    pub fn new(name: &str, assignments: Vec<Assignment>) -> Self {
+        StencilKernel {
+            name: name.to_owned(),
+            assignments,
+            iter_extent: [0, 0, 0],
+        }
+    }
+
+    /// All distinct field accesses read by the kernel.
+    pub fn reads(&self) -> Vec<Access> {
+        let mut out = Vec::new();
+        for a in &self.assignments {
+            for acc in a.rhs.accesses() {
+                if !out.contains(&acc) {
+                    out.push(acc);
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct field accesses written by the kernel.
+    pub fn writes(&self) -> Vec<Access> {
+        let mut out = Vec::new();
+        for a in &self.assignments {
+            if let Lhs::Field(acc) = a.lhs {
+                if !out.contains(&acc) {
+                    out.push(acc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest absolute read offset per dimension — determines the required
+    /// number of ghost layers.
+    pub fn read_radius(&self) -> [usize; 3] {
+        let mut r = [0usize; 3];
+        for acc in self.reads() {
+            for d in 0..3 {
+                r[d] = r[d].max(acc.off[d].unsigned_abs() as usize);
+            }
+        }
+        r
+    }
+
+    /// The D-d-C-n stencil designation used in the paper's Algorithm 1
+    /// (e.g. `D3C7` for the 7-point star): number of *distinct cell offsets*
+    /// accessed on a given field.
+    pub fn stencil_designation(&self, field: pf_symbolic::Field) -> String {
+        let mut offsets: Vec<[i32; 3]> = Vec::new();
+        for acc in self.reads() {
+            if acc.field == field && !offsets.contains(&acc.off) {
+                offsets.push(acc.off);
+            }
+        }
+        format!("D{}C{}", field.dim(), offsets.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_symbolic::Field;
+
+    #[test]
+    fn reads_and_writes_are_deduplicated() {
+        let f = Field::new("asg_f", 1, 3);
+        let g = Field::new("asg_g", 1, 3);
+        let a0 = Access::center(f, 0);
+        let ar = Access::at(f, 0, [1, 0, 0]);
+        let w = Access::center(g, 0);
+        let k = StencilKernel::new(
+            "k",
+            vec![Assignment::store(
+                w,
+                Expr::access(a0) + Expr::access(ar) + Expr::access(a0),
+            )],
+        );
+        assert_eq!(k.reads().len(), 2);
+        assert_eq!(k.writes(), vec![w]);
+        assert_eq!(k.read_radius(), [1, 0, 0]);
+    }
+
+    #[test]
+    fn stencil_designation_counts_offsets() {
+        let f = Field::new("asg_d", 2, 3);
+        let g = Field::new("asg_w", 1, 3);
+        let mut rhs = Expr::zero();
+        // 7-point star on component 0 plus centre of component 1 (same cells).
+        for off in [
+            [0, 0, 0],
+            [1, 0, 0],
+            [-1, 0, 0],
+            [0, 1, 0],
+            [0, -1, 0],
+            [0, 0, 1],
+            [0, 0, -1],
+        ] {
+            rhs = rhs + Expr::access(Access::at(f, 0, off));
+        }
+        rhs = rhs + Expr::access(Access::center(f, 1));
+        let k = StencilKernel::new("k", vec![Assignment::store(Access::center(g, 0), rhs)]);
+        assert_eq!(k.stencil_designation(f), "D3C7");
+    }
+}

@@ -1,0 +1,445 @@
+//! Second-order finite-difference discretization.
+//!
+//! Transforms expression trees containing continuous `Diff` nodes into pure
+//! stencil expressions, following the application-domain best practice the
+//! paper encodes (§3.3):
+//!
+//! * first derivatives of plain field values → central differences,
+//! * derivatives of analytic (field-free) expressions → exact symbolic
+//!   differentiation w.r.t. the coordinate,
+//! * outer derivatives of compound expressions ("fluxes") → the
+//!   **divergence-of-fluxes** form: the flux is evaluated at the two
+//!   staggered (face) positions and differenced, with quantities not
+//!   available at faces interpolated — reproducing Eq. (11) of the paper.
+//!
+//! The flux expressions can either be inlined (full kernels) or extracted
+//! into face-centred temporaries (split kernels, see `split.rs`).
+
+use pf_symbolic::{Access, Expr, Node};
+use std::collections::HashMap;
+
+/// Finite-difference discretization strategy (order 2).
+#[derive(Clone, Copy, Debug)]
+pub struct Discretization {
+    /// Grid spacing per dimension.
+    pub dx: [f64; 3],
+    /// Spatial dimensionality (2 or 3).
+    pub dim: usize,
+}
+
+/// Expand when that makes the expression smaller (guarded against
+/// intractable inputs).
+fn expand_if_smaller(e: &Expr) -> Expr {
+    if e.size() >= 50_000 {
+        return e.clone();
+    }
+    let ex = pf_symbolic::expand(e);
+    // DAG size is the cost the value-numbered lowering sees; tree size can
+    // shrink under expansion while the unique-node count explodes.
+    if ex.dag_size() <= e.dag_size() {
+        ex
+    } else {
+        e.clone()
+    }
+}
+
+/// A flux produced by a divergence-of-fluxes discretization: `expr` is the
+/// flux value on the **right** face of the current cell along `dir`.
+#[derive(Clone, Debug)]
+pub struct Flux {
+    pub dir: usize,
+    pub expr: Expr,
+}
+
+impl Discretization {
+    pub fn new(dim: usize, dx: [f64; 3]) -> Self {
+        assert!((2..=3).contains(&dim));
+        Discretization { dx, dim }
+    }
+
+    pub fn isotropic(dim: usize, h: f64) -> Self {
+        Self::new(dim, [h, h, h])
+    }
+
+    /// Shift every grid-dependent leaf of `e` by `delta` cells: field
+    /// accesses move their offsets, coordinates pick up `delta·dx`, cell
+    /// indices pick up `delta`. Random nodes cannot be shifted (they are
+    /// keyed to the current cell) and panic.
+    ///
+    /// Memoized over the expression DAG (fixed `delta` per call).
+    pub fn shift(&self, e: &Expr, delta: [i32; 3]) -> Expr {
+        self.shift_memo(e, delta, &mut HashMap::new())
+    }
+
+    fn shift_memo(&self, e: &Expr, delta: [i32; 3], memo: &mut HashMap<usize, Expr>) -> Expr {
+        if let Some(hit) = memo.get(&e.node_id()) {
+            return hit.clone();
+        }
+        let out = self.shift_uncached(e, delta, memo);
+        memo.insert(e.node_id(), out.clone());
+        out
+    }
+
+    fn shift_uncached(&self, e: &Expr, delta: [i32; 3], memo: &mut HashMap<usize, Expr>) -> Expr {
+        match e.node() {
+            Node::Access(a) => Expr::access(a.shifted(delta)),
+            Node::Coord(d) => {
+                let dd = *d as usize;
+                if delta[dd] == 0 {
+                    e.clone()
+                } else {
+                    Expr::coord(dd) + Expr::num(delta[dd] as f64 * self.dx[dd])
+                }
+            }
+            Node::CellIdx(d) => {
+                let dd = *d as usize;
+                if delta[dd] == 0 {
+                    e.clone()
+                } else {
+                    Expr::cell_idx(dd) + Expr::num(delta[dd] as f64)
+                }
+            }
+            Node::Rand(_) => panic!("cannot shift a per-cell random source"),
+            _ => {
+                let ch = e.children();
+                if ch.is_empty() {
+                    e.clone()
+                } else {
+                    e.with_children(
+                        ch.iter().map(|c| self.shift_memo(c, delta, memo)).collect(),
+                    )
+                }
+            }
+        }
+    }
+
+    fn unit(d: usize, sign: i32) -> [i32; 3] {
+        let mut u = [0i32; 3];
+        u[d] = sign;
+        u
+    }
+
+    /// Central difference of a cell-centred expression:
+    /// `(e(+1) − e(−1)) / (2 dx_d)`.
+    pub fn central_diff(&self, e: &Expr, d: usize) -> Expr {
+        let plus = self.shift(e, Self::unit(d, 1));
+        let minus = self.shift(e, Self::unit(d, -1));
+        (plus - minus) / (2.0 * self.dx[d])
+    }
+
+    /// Evaluate `e` (which may contain *inner* first-order `Diff` nodes but
+    /// no deeper nesting) at the staggered position half a cell in `+d`:
+    /// interpolate plain values, use compact differences along `d`, and
+    /// interpolate central differences transverse to `d` — Eq. (11).
+    ///
+    /// Memoized over the expression DAG (fixed `d` per call).
+    pub fn staggered_eval(&self, e: &Expr, d: usize) -> Expr {
+        self.stag_memo(e, d, &mut HashMap::new())
+    }
+
+    fn stag_memo(&self, e: &Expr, d: usize, memo: &mut HashMap<usize, Expr>) -> Expr {
+        if let Some(hit) = memo.get(&e.node_id()) {
+            return hit.clone();
+        }
+        let out = self.stag_uncached(e, d, memo);
+        memo.insert(e.node_id(), out.clone());
+        out
+    }
+
+    fn stag_uncached(&self, e: &Expr, d: usize, memo: &mut HashMap<usize, Expr>) -> Expr {
+        match e.node() {
+            Node::Num(_) | Node::Sym(_) | Node::Time => e.clone(),
+            Node::Rand(_) => e.clone(), // fluctuations are sampled per cell
+            Node::Coord(cd) => {
+                let cdd = *cd as usize;
+                if cdd == d {
+                    Expr::coord(cdd) + Expr::num(self.dx[d] / 2.0)
+                } else {
+                    e.clone()
+                }
+            }
+            Node::CellIdx(_) => {
+                panic!("integer cell indices have no staggered interpolation")
+            }
+            Node::Access(a) => {
+                // Linear interpolation onto the face.
+                (Expr::access(*a) + Expr::access(a.shifted(Self::unit(d, 1)))) * 0.5
+            }
+            Node::Diff(inner, d2) => {
+                let d2 = *d2 as usize;
+                assert!(
+                    !inner.has_diff(),
+                    "nested second derivatives inside a flux are not supported \
+                     by the order-2 scheme: {inner}"
+                );
+                if d2 == d {
+                    // Compact two-point difference across the face.
+                    let plus = self.shift(inner, Self::unit(d, 1));
+                    (plus - inner.clone()) / self.dx[d]
+                } else {
+                    // Central difference transverse to the face, interpolated
+                    // from the two adjacent cells.
+                    let c0 = self.central_diff(inner, d2);
+                    let c1 = self.shift(&c0, Self::unit(d, 1));
+                    (c0 + c1) * 0.5
+                }
+            }
+            _ => {
+                let ch = e.children();
+                e.with_children(ch.iter().map(|c| self.stag_memo(c, d, memo)).collect())
+            }
+        }
+    }
+
+    /// Discretize, inlining all fluxes (the "full" kernel form).
+    pub fn apply(&self, e: &Expr) -> Expr {
+        self.apply_with(e, &mut |_flux| None)
+    }
+
+    /// Discretize, calling `hook` for every divergence-of-fluxes site. If
+    /// the hook returns `Some(replacement)`, that expression is used for the
+    /// *right-face* flux value instead of the inline form — this is how the
+    /// split-kernel builder reroutes fluxes through a staggered temporary
+    /// field. The replacement must obey the same convention: it represents
+    /// the flux on the right face of the current cell.
+    ///
+    /// Memoized over the expression DAG; the hook fires once per *unique*
+    /// divergence site.
+    pub fn apply_with(&self, e: &Expr, hook: &mut impl FnMut(&Flux) -> Option<Expr>) -> Expr {
+        self.apply_memo(e, hook, &mut HashMap::new())
+    }
+
+    fn apply_memo(
+        &self,
+        e: &Expr,
+        hook: &mut impl FnMut(&Flux) -> Option<Expr>,
+        memo: &mut HashMap<usize, Expr>,
+    ) -> Expr {
+        if let Some(hit) = memo.get(&e.node_id()) {
+            return hit.clone();
+        }
+        let out = self.apply_uncached(e, hook, memo);
+        memo.insert(e.node_id(), out.clone());
+        out
+    }
+
+    fn apply_uncached(
+        &self,
+        e: &Expr,
+        hook: &mut impl FnMut(&Flux) -> Option<Expr>,
+        memo: &mut HashMap<usize, Expr>,
+    ) -> Expr {
+        match e.node() {
+            Node::Diff(inner, d) => {
+                let d = *d as usize;
+                assert!(d < self.dim, "derivative along dim {d} in a {}D model", self.dim);
+                if inner.accesses().is_empty() && !inner.has_diff() {
+                    // Purely analytic dependence (e.g. temperature T(z, t)):
+                    // differentiate exactly.
+                    return inner.diff(&Expr::coord(d));
+                }
+                if let Node::Access(_) = inner.node() {
+                    // First derivative of a plain field value.
+                    return self.central_diff(inner, d);
+                }
+                // Compound expression: divergence-of-fluxes. The staggered
+                // evaluator consumes the inner Diff nodes directly; the
+                // resulting face expression is then simplified by expansion
+                // when that cancels terms ("terms are simplified
+                // individually by expansion", §3.3) — this is what keeps the
+                // inline (full) kernel competitive with the split variant.
+                let flux_inline = expand_if_smaller(&self.staggered_eval(inner, d));
+                let flux = Flux {
+                    dir: d,
+                    expr: flux_inline.clone(),
+                };
+                let right = hook(&flux).unwrap_or(flux_inline);
+                let left = self.shift(&right, Self::unit(d, -1));
+                (right - left) / self.dx[d]
+            }
+            _ => {
+                let ch = e.children();
+                if ch.is_empty() {
+                    e.clone()
+                } else {
+                    e.with_children(
+                        ch.iter().map(|c| self.apply_memo(c, hook, memo)).collect(),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Discretize the right-hand side of `∂u/∂t = rhs` with an explicit
+    /// Euler step: returns the stencil expression for `u(t+dt)`.
+    pub fn explicit_euler(&self, src: Access, rhs: &Expr, dt: f64) -> Expr {
+        Expr::access(src) + Expr::num(dt) * self.apply(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_symbolic::{Field, MapCtx};
+
+    fn disc() -> Discretization {
+        Discretization::isotropic(3, 1.0)
+    }
+
+    /// Bind a quadratic test field u(x,y,z) = x² + 2y² + 3z² on the accesses
+    /// an expression needs.
+    fn bind_quadratic(ctx: &mut MapCtx, e: &Expr, at: [f64; 3]) {
+        for a in e.accesses() {
+            let p = [
+                at[0] + a.off[0] as f64,
+                at[1] + a.off[1] as f64,
+                at[2] + a.off[2] as f64,
+            ];
+            let v = p[0] * p[0] + 2.0 * p[1] * p[1] + 3.0 * p[2] * p[2];
+            ctx.set_access(a, v);
+        }
+    }
+
+    #[test]
+    fn central_difference_is_exact_for_quadratics() {
+        let f = Field::new("dz_q", 1, 3);
+        let acc = Access::center(f, 0);
+        let d = disc();
+        let e = d.apply(&Expr::d(Expr::access(acc), 0));
+        let mut ctx = MapCtx::new();
+        bind_quadratic(&mut ctx, &e, [2.0, 0.0, 0.0]);
+        // du/dx at x=2 is 4 (central differences are exact on quadratics).
+        assert!((e.eval(&ctx) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_via_divergence_of_fluxes() {
+        // ∂x(∂x u) must become the compact 3-point stencil, not the wide
+        // 5-point one a naive repeated central difference would give.
+        let f = Field::new("dz_l", 1, 3);
+        let acc = Access::center(f, 0);
+        let u = Expr::access(acc);
+        let d = disc();
+        let lap = d.apply(&Expr::d(Expr::d(u, 0) * Expr::one(), 0));
+        // Check radius 1 (compact).
+        let max_off = lap
+            .accesses()
+            .iter()
+            .map(|a| a.off[0].abs())
+            .max()
+            .unwrap();
+        assert_eq!(max_off, 1, "stencil not compact: {lap}");
+        let mut ctx = MapCtx::new();
+        bind_quadratic(&mut ctx, &lap, [5.0, 1.0, 1.0]);
+        assert!((lap.eval(&ctx) - 2.0).abs() < 1e-12, "got {}", lap.eval(&ctx));
+    }
+
+    #[test]
+    fn analytic_derivative_is_exact() {
+        // ∂z of T = T0 + G·(z − v·t) → G, with no field accesses involved.
+        let t0 = Expr::sym("dz_T0");
+        let g = Expr::sym("dz_G");
+        let v = Expr::sym("dz_v");
+        let temp = t0 + g.clone() * (Expr::coord(2) - v * Expr::time());
+        let d = disc();
+        let out = d.apply(&Expr::d(temp, 2));
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn paper_equation_11_structure() {
+        // ∂x( p(x)·∂x f + ∂y f ): right-face flux must be
+        //   p(x+dx/2)·(f(1,0,0)−f(0,0,0))/dx
+        //   + ½[ (f(0,1,0)−f(0,−1,0))/(2dy) + (f(1,1,0)−f(1,−1,0))/(2dy) ]
+        let fld = Field::new("dz_e11", 1, 3);
+        let facc = Access::center(fld, 0);
+        let f = Expr::access(facc);
+        // p(x) = x² (analytic)
+        let p = Expr::powi(Expr::coord(0), 2);
+        let flux = p * Expr::d(f.clone(), 0) + Expr::d(f.clone(), 1);
+        let d = disc();
+        let rhs = d.apply(&Expr::d(flux, 0));
+
+        // Evaluate against the analytic solution for f = x²+2y²+3z², p = x²:
+        // ∂x(p ∂x f + ∂y f) = ∂x(x²·2x + 4y) = 6x².
+        // The FD form is not exact for the cubic p·∂xf term, so compare with
+        // a tolerance at a point and check convergence with h instead.
+        let mut errs = Vec::new();
+        for h in [0.5, 0.25] {
+            let dh = Discretization::isotropic(3, h);
+            let rhs_h = dh.apply(&Expr::d(
+                Expr::powi(Expr::coord(0), 2) * Expr::d(f.clone(), 0) + Expr::d(f.clone(), 1),
+                0,
+            ));
+            let at = [2.0, 1.0, 1.0];
+            let mut ctx = MapCtx::new();
+            ctx.coords = at;
+            for a in rhs_h.accesses() {
+                let pnt = [
+                    at[0] + a.off[0] as f64 * h,
+                    at[1] + a.off[1] as f64 * h,
+                    at[2] + a.off[2] as f64 * h,
+                ];
+                ctx.set_access(a, pnt[0] * pnt[0] + 2.0 * pnt[1] * pnt[1] + 3.0 * pnt[2] * pnt[2]);
+            }
+            let exact = 6.0 * at[0] * at[0];
+            errs.push((rhs_h.eval(&ctx) - exact).abs());
+        }
+        // Second-order convergence: halving h should shrink the error ~4x.
+        assert!(
+            errs[1] < errs[0] / 3.0 || errs[1] < 1e-10,
+            "no 2nd-order convergence: {errs:?}"
+        );
+        // Structural check on the compactness of the x-extent.
+        let max_x = rhs.accesses().iter().map(|a| a.off[0].abs()).max().unwrap();
+        assert_eq!(max_x, 1);
+    }
+
+    #[test]
+    fn staggered_interpolation_of_plain_values() {
+        let fld = Field::new("dz_si", 1, 3);
+        let acc = Access::center(fld, 0);
+        let d = disc();
+        let s = d.staggered_eval(&Expr::access(acc), 0);
+        let expected =
+            (Expr::access(acc) + Expr::access(acc.shifted([1, 0, 0]))) * 0.5;
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn shift_moves_coordinates_and_accesses() {
+        let fld = Field::new("dz_sh", 1, 3);
+        let acc = Access::center(fld, 0);
+        let d = disc();
+        let e = Expr::access(acc) * Expr::coord(0);
+        let s = d.shift(&e, [1, 0, 0]);
+        let expected =
+            Expr::access(acc.shifted([1, 0, 0])) * (Expr::coord(0) + 1.0);
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn variational_to_stencil_pipeline_on_allen_cahn() {
+        // Full mini-pipeline: E = ε|∇φ|² + (1/ε)·φ²(1−φ)²,
+        // δE/δφ discretized must be a compact 7-point stencil in 3D.
+        let eps = 0.5;
+        let fld = Field::new("dz_ac", 1, 3);
+        let acc = Access::center(fld, 0);
+        let phi = Expr::access(acc);
+        let grad2: Expr = (0..3)
+            .map(|dd| Expr::powi(Expr::d(phi.clone(), dd), 2))
+            .sum();
+        let energy = Expr::num(eps) * grad2
+            + Expr::num(1.0 / eps)
+                * Expr::powi(phi.clone(), 2)
+                * Expr::powi(Expr::one() - phi.clone(), 2);
+        let force = energy.functional_derivative(acc, 3);
+        let d = disc();
+        let st = d.apply(&force);
+        assert!(!st.has_diff());
+        let offsets: std::collections::HashSet<[i32; 3]> =
+            st.accesses().iter().map(|a| a.off).collect();
+        // 7-point star: centre + 6 face neighbours.
+        assert_eq!(offsets.len(), 7, "offsets: {offsets:?}");
+    }
+}

@@ -1,0 +1,17 @@
+//! `pf-stencil` — the discretization layer of the code-generation pipeline.
+//!
+//! Consumes continuous PDE right-hand sides (expression trees with `Diff`
+//! nodes from `pf-symbolic`) and produces stencil kernels: second-order
+//! finite differences with the divergence-of-fluxes staggered scheme the
+//! phase-field community uses (§3.3 of the paper), explicit Euler stepping,
+//! and the full/split kernel variants of Algorithm 1.
+
+#![forbid(unsafe_code)]
+
+mod assignment;
+mod discretize;
+mod split;
+
+pub use assignment::{Assignment, Lhs, StencilKernel};
+pub use discretize::{Discretization, Flux};
+pub use split::{discretize_full, split_fluxes, FluxSlot, SplitResult};

@@ -1,0 +1,253 @@
+//! Split-kernel extraction: precompute staggered fluxes in a separate pass.
+//!
+//! "Each kernel can optionally be split into two parts to prevent
+//! re-computation of staggered values. Then, in a first pass over the
+//! domain, flux quantities at staggered positions are cached in a temporary
+//! array and used in the second iteration pass to update the destination
+//! array." (§4.2) — producing the `µ-split`/`φ-split` variants of
+//! Algorithm 1.
+//!
+//! Face kernels iterate one extra layer along their own direction only
+//! ("due to the difference in loop bounds, this transformation is
+//! non-trivial", §3.4); we generate one face kernel per direction, which the
+//! executor may fuse into a single sweep.
+
+use crate::assignment::{Assignment, StencilKernel};
+use crate::discretize::Discretization;
+use pf_symbolic::{Access, Expr, Field};
+
+/// One staggered temporary: component `slot` of the staggered field holds
+/// the flux for direction `dir`; `face_expr` is its value at face `i` (the
+/// face between cells `i-1` and `i` along `dir`).
+#[derive(Clone, Debug)]
+pub struct FluxSlot {
+    pub slot: usize,
+    pub dir: usize,
+    pub face_expr: Expr,
+}
+
+/// Result of splitting a set of update expressions.
+#[derive(Clone, Debug)]
+pub struct SplitResult {
+    /// Symbolic handle of the staggered temporary field (`slots.len()`
+    /// components, extent +1 cell, no ghosts).
+    pub stag_field: Field,
+    pub slots: Vec<FluxSlot>,
+    /// One face kernel per direction that carries fluxes, in direction
+    /// order. Each has `iter_extent = 1` along its own direction.
+    pub flux_kernels: Vec<StencilKernel>,
+    /// The update assignments, with divergence terms rewritten to read the
+    /// staggered field.
+    pub updates: Vec<Assignment>,
+}
+
+/// Discretize `updates` (pairs of destination access and *continuous*
+/// right-hand side) in the "full" form: every flux inlined.
+pub fn discretize_full(disc: &Discretization, updates: &[(Access, Expr)]) -> Vec<Assignment> {
+    updates
+        .iter()
+        .map(|(dst, rhs)| Assignment::store(*dst, disc.apply(rhs)))
+        .collect()
+}
+
+/// Discretize `updates` in the "split" form: fluxes are deduplicated and
+/// extracted into a staggered temporary field named `stag_name`.
+pub fn split_fluxes(
+    disc: &Discretization,
+    stag_name: &str,
+    updates: &[(Access, Expr)],
+) -> SplitResult {
+    // First pass: count distinct fluxes so we can declare the symbolic
+    // staggered field with the right component count. (Field declarations
+    // are immutable, so we do a dry run.)
+    let mut seen: Vec<(usize, Expr)> = Vec::new();
+    for (_, rhs) in updates {
+        disc.apply_with(rhs, &mut |flux| {
+            if !seen.iter().any(|(d, e)| *d == flux.dir && *e == flux.expr) {
+                seen.push((flux.dir, flux.expr.clone()));
+            }
+            None
+        });
+    }
+    let nslots = seen.len().max(1);
+    let stag = Field::new(stag_name, nslots, disc.dim);
+
+    // Second pass: rewrite, binding each flux site to its slot.
+    let mut slots: Vec<FluxSlot> = Vec::new();
+    let updates_rewritten: Vec<Assignment> = updates
+        .iter()
+        .map(|(dst, rhs)| {
+            let rewritten = disc.apply_with(rhs, &mut |flux| {
+                let slot = match slots
+                    .iter()
+                    .find(|s| s.dir == flux.dir && is_same_flux(disc, s, &flux.expr))
+                {
+                    Some(s) => s.slot,
+                    None => {
+                        let slot = slots.len();
+                        let mut unit = [0i32; 3];
+                        unit[flux.dir] = -1;
+                        slots.push(FluxSlot {
+                            slot,
+                            dir: flux.dir,
+                            // Face i stores the flux between cells i−1 and i,
+                            // i.e. the right-face expression shifted left.
+                            face_expr: disc.shift(&flux.expr, unit),
+                        });
+                        slot
+                    }
+                };
+                // The right face of the current cell is face (cell+1).
+                let mut plus = [0i32; 3];
+                plus[flux.dir] = 1;
+                Some(Expr::access(Access::at(stag, slot, plus)))
+            });
+            Assignment::store(*dst, rewritten)
+        })
+        .collect();
+
+    // Build one face kernel per direction present.
+    let mut flux_kernels = Vec::new();
+    for d in 0..disc.dim {
+        let in_dir: Vec<&FluxSlot> = slots.iter().filter(|s| s.dir == d).collect();
+        if in_dir.is_empty() {
+            continue;
+        }
+        let assignments = in_dir
+            .iter()
+            .map(|s| Assignment::store(Access::center(stag, s.slot), s.face_expr.clone()))
+            .collect();
+        let mut k = StencilKernel::new(&format!("{stag_name}_faces_d{d}"), assignments);
+        k.iter_extent = [0, 0, 0];
+        k.iter_extent[d] = 1;
+        flux_kernels.push(k);
+    }
+
+    SplitResult {
+        stag_field: stag,
+        slots,
+        flux_kernels,
+        updates: updates_rewritten,
+    }
+}
+
+/// Two flux sites match when their right-face expressions are structurally
+/// equal (canonical forms make this a plain comparison).
+fn is_same_flux(_disc: &Discretization, slot: &FluxSlot, right_face: &Expr) -> bool {
+    // slot.face_expr is the right-face expression shifted by −1; compare in
+    // the same frame.
+    let mut unit = [0i32; 3];
+    unit[slot.dir] = -1;
+    slot.face_expr == _disc.shift(right_face, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_symbolic::MapCtx;
+
+    /// u_t = ∇·(∇u): the classic diffusion operator in 2D.
+    fn setup() -> (Field, Access, Expr) {
+        let f = Field::new("sp_u", 1, 2);
+        let acc = Access::center(f, 0);
+        let u = Expr::access(acc);
+        // Written as an explicit divergence so the flux path triggers:
+        // Σ_d ∂_d ( 1·∂_d u ) — multiply by 1 via a symbol to keep it
+        // compound (a bare ∂_d(∂_d u) also takes the flux path).
+        let rhs: Expr = (0..2)
+            .map(|d| Expr::d(Expr::sym("sp_D") * Expr::d(u.clone(), d), d))
+            .sum();
+        (f, acc, rhs)
+    }
+
+    #[test]
+    fn split_extracts_one_flux_per_direction() {
+        let (_, acc, rhs) = setup();
+        let disc = Discretization::isotropic(2, 1.0);
+        let r = split_fluxes(&disc, "sp_stag", &[(acc, rhs)]);
+        assert_eq!(r.slots.len(), 2);
+        assert_eq!(r.flux_kernels.len(), 2);
+        assert_eq!(r.flux_kernels[0].iter_extent, [1, 0, 0]);
+        assert_eq!(r.flux_kernels[1].iter_extent, [0, 1, 0]);
+    }
+
+    #[test]
+    fn duplicate_fluxes_are_shared() {
+        // Two equations containing the same divergence term share slots.
+        let (_, acc, rhs) = setup();
+        let f2 = Field::new("sp_v", 1, 2);
+        let acc2 = Access::center(f2, 0);
+        let disc = Discretization::isotropic(2, 1.0);
+        let r = split_fluxes(
+            &disc,
+            "sp_stag2",
+            &[(acc, rhs.clone()), (acc2, rhs + Expr::one())],
+        );
+        assert_eq!(r.slots.len(), 2, "slots: {:?}", r.slots.len());
+    }
+
+    #[test]
+    fn split_equals_full_numerically() {
+        let (_, acc, rhs) = setup();
+        let disc = Discretization::isotropic(2, 0.5);
+        let full = discretize_full(&disc, &[(acc, rhs.clone())]);
+        let split = split_fluxes(&disc, "sp_stag3", &[(acc, rhs)]);
+
+        // Evaluate both forms on a synthetic field u(x,y) = sin-ish values.
+        let val = |x: f64, y: f64| (0.3 * x).sin() + 0.1 * x * y + y * y * 0.05;
+        let h = 0.5;
+
+        // Full form at cell (0,0):
+        let mut ctx = MapCtx::new();
+        ctx.set("sp_D", 1.7);
+        for a in full[0].rhs.accesses() {
+            ctx.set_access(a, val(a.off[0] as f64 * h, a.off[1] as f64 * h));
+        }
+        let full_v = full[0].rhs.eval(&ctx);
+
+        // Split form: first compute the needed staggered values.
+        let mut ctx2 = MapCtx::new();
+        ctx2.set("sp_D", 1.7);
+        // The update reads stag at offsets 0 and +1 per direction; face i is
+        // face_expr evaluated with accesses shifted by i.
+        for a in split.updates[0].rhs.accesses() {
+            if a.field == split.stag_field {
+                let slot = &split.slots[a.comp as usize];
+                let shifted = disc.shift(&slot.face_expr, a.off);
+                let mut c = MapCtx::new();
+                c.set("sp_D", 1.7);
+                for b in shifted.accesses() {
+                    c.set_access(b, val(b.off[0] as f64 * h, b.off[1] as f64 * h));
+                }
+                ctx2.set_access(a, shifted.eval(&c));
+            } else {
+                ctx2.set_access(a, val(a.off[0] as f64 * h, a.off[1] as f64 * h));
+            }
+        }
+        let split_v = split.updates[0].rhs.eval(&ctx2);
+        assert!(
+            (full_v - split_v).abs() < 1e-12,
+            "full {full_v} vs split {split_v}"
+        );
+    }
+
+    #[test]
+    fn update_reads_only_staggered_and_plain_fields() {
+        let (f, acc, rhs) = setup();
+        let disc = Discretization::isotropic(2, 1.0);
+        let r = split_fluxes(&disc, "sp_stag4", &[(acc, rhs)]);
+        for a in r.updates[0].rhs.accesses() {
+            assert!(
+                a.field == r.stag_field || a.field == f,
+                "unexpected field {:?}",
+                a.field
+            );
+        }
+        // Update must not reach beyond offset +1 on the staggered field.
+        for a in r.updates[0].rhs.accesses() {
+            if a.field == r.stag_field {
+                assert!(a.off.iter().all(|&o| (0..=1).contains(&o)));
+            }
+        }
+    }
+}

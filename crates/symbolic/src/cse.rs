@@ -1,0 +1,267 @@
+//! Global common subexpression elimination.
+//!
+//! The paper runs "a global common subexpression elimination step … across
+//! all terms" after per-term simplification (§3.3). This module provides
+//! exactly that: given the right-hand sides of all assignments of a kernel,
+//! extract repeated non-trivial subexpressions into fresh temporaries,
+//! returning definitions in dependency order.
+
+use crate::expr::{Expr, Node};
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// Textual (tree) occurrence counts of every symbol across `roots`,
+/// saturated at 2 — computed over the DAG with path-count propagation, so
+/// shared subtrees cost O(unique nodes) instead of exploding.
+fn symbol_occurrences(roots: &[Expr]) -> HashMap<Symbol, u32> {
+    // Reverse post-order = parents before children (valid topological order).
+    let mut order: Vec<Expr> = Vec::new();
+    let mut seen: HashMap<usize, ()> = HashMap::new();
+    // Iterative post-order DFS.
+    let mut stack: Vec<(Expr, bool)> = roots.iter().rev().map(|r| (r.clone(), false)).collect();
+    while let Some((e, expanded)) = stack.pop() {
+        if expanded {
+            order.push(e);
+            continue;
+        }
+        if seen.contains_key(&e.node_id()) {
+            continue;
+        }
+        seen.insert(e.node_id(), ());
+        stack.push((e.clone(), true));
+        for c in e.children() {
+            stack.push((c, false));
+        }
+    }
+    order.reverse();
+
+    let sat = |a: u32, b: u32| a.saturating_add(b).min(2);
+    let mut paths: HashMap<usize, u32> = HashMap::new();
+    for r in roots {
+        let e = paths.entry(r.node_id()).or_insert(0);
+        *e = sat(*e, 1);
+    }
+    let mut uses: HashMap<Symbol, u32> = HashMap::new();
+    for e in &order {
+        let w = *paths.get(&e.node_id()).unwrap_or(&0);
+        if w == 0 {
+            continue;
+        }
+        if let Node::Sym(sym) = e.node() {
+            let u = uses.entry(*sym).or_insert(0);
+            *u = sat(*u, w);
+        }
+        for c in e.children() {
+            let p = paths.entry(c.node_id()).or_insert(0);
+            *p = sat(*p, w);
+        }
+    }
+    uses
+}
+
+/// Result of CSE over a set of root expressions.
+#[derive(Debug, Clone)]
+pub struct CseResult {
+    /// Temporary definitions in dependency order (each may refer to earlier
+    /// temporaries only).
+    pub temps: Vec<(Symbol, Expr)>,
+    /// The root expressions rewritten in terms of the temporaries.
+    pub exprs: Vec<Expr>,
+}
+
+/// Is this subexpression worth extracting? Leaves and `coeff·leaf` products
+/// cost at most one fused multiply — rematerializing them is cheaper than a
+/// register, so we leave them inline.
+fn extractable(e: &Expr) -> bool {
+    match e.node() {
+        Node::Num(_)
+        | Node::Sym(_)
+        | Node::Coord(_)
+        | Node::Time
+        | Node::CellIdx(_)
+        | Node::Access(_)
+        | Node::Rand(_) => false,
+        Node::Mul(fs) => {
+            !(fs.len() == 2 && fs[0].as_num().is_some() && fs[1].children().is_empty())
+        }
+        _ => true,
+    }
+}
+
+fn count_occurrences(roots: &[Expr], counts: &mut HashMap<Expr, usize>) {
+    // Iterative pre-order over the *tree* view: every textual occurrence
+    // counts, because that is what the emitted code would duplicate.
+    let mut stack: Vec<Expr> = roots.to_vec();
+    while let Some(e) = stack.pop() {
+        let c = counts.entry(e.clone()).or_insert(0);
+        *c += 1;
+        // Once a subtree is known-repeated we still need to walk its children
+        // (they repeat at least as often), but walking identical subtrees
+        // repeatedly is wasted work past count 2 — the candidate set no
+        // longer changes. Cap the descent.
+        if *c > 2 {
+            continue;
+        }
+        stack.extend(e.children());
+    }
+}
+
+/// Run CSE over `roots` with temporaries named `{prefix}_N`.
+pub fn cse_with_prefix(roots: &[Expr], prefix: &str) -> CseResult {
+    let mut counts = HashMap::new();
+    count_occurrences(roots, &mut counts);
+
+    let mut candidates: Vec<Expr> = counts
+        .iter()
+        .filter(|(e, c)| **c >= 2 && extractable(e))
+        .map(|(e, _)| e.clone())
+        .collect();
+    // Smallest first: definitions of larger candidates can then refer to the
+    // temporaries of the smaller ones they contain.
+    candidates.sort_by_key(|e| (e.size(), e.clone()));
+
+    let mut map: HashMap<Expr, Expr> = HashMap::new();
+    let mut temps: Vec<(Symbol, Expr)> = Vec::new();
+    for (i, cand) in candidates.into_iter().enumerate() {
+        let def = cand.substitute(&map);
+        // Per-call numbering keeps generation deterministic: building the
+        // same kernel twice yields identical temporary names, hence
+        // identical canonical orderings and bitwise-identical tapes.
+        let t = Symbol::new(&format!("{prefix}_{i}"));
+        temps.push((t, def));
+        map.insert(cand, Expr::symbol(t));
+    }
+
+    let mut exprs: Vec<Expr> = roots.iter().map(|r| r.substitute(&map)).collect();
+
+    // Prune temporaries that ended up used at most once (e.g. both
+    // occurrences were inside one larger extracted candidate): inline them.
+    loop {
+        let roots_for_count: Vec<Expr> = temps
+            .iter()
+            .map(|(_, d)| d.clone())
+            .chain(exprs.iter().cloned())
+            .collect();
+        let uses = symbol_occurrences(&roots_for_count);
+        let dead: Vec<Symbol> = temps
+            .iter()
+            .filter(|(s, _)| uses.get(s).copied().unwrap_or(0) <= 1)
+            .map(|(s, _)| *s)
+            .collect();
+        if dead.is_empty() {
+            break;
+        }
+        // Build the inline map in definition order, resolving chains: a dead
+        // temp's definition may itself reference earlier dead temps.
+        let mut inline_map: HashMap<Expr, Expr> = HashMap::new();
+        for (s, d) in temps.iter().filter(|(s, _)| dead.contains(s)) {
+            let resolved = d.substitute(&inline_map);
+            inline_map.insert(Expr::symbol(*s), resolved);
+        }
+        temps.retain(|(s, _)| !dead.contains(s));
+        // Inline in definition order so chains collapse fully.
+        for i in 0..temps.len() {
+            temps[i].1 = temps[i].1.substitute(&inline_map);
+        }
+        for e in exprs.iter_mut() {
+            *e = e.substitute(&inline_map);
+        }
+    }
+
+    CseResult { temps, exprs }
+}
+
+/// Run CSE with the default `cse` temporary prefix.
+pub fn cse(roots: &[Expr]) -> CseResult {
+    cse_with_prefix(roots, "cse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::MapCtx;
+
+    fn x() -> Expr {
+        Expr::sym("cse_x")
+    }
+    fn y() -> Expr {
+        Expr::sym("cse_y")
+    }
+
+    fn eval_result(r: &CseResult, idx: usize, ctx: &MapCtx) -> f64 {
+        // Evaluate temp chain into an extended context.
+        let mut c = ctx.clone();
+        for (s, d) in &r.temps {
+            let v = d.eval(&c);
+            c.syms.insert(*s, v);
+        }
+        r.exprs[idx].eval(&c)
+    }
+
+    #[test]
+    fn shared_subexpression_is_extracted_once() {
+        let shared = Expr::sqrt(x() + y());
+        let a = shared.clone() * 2.0;
+        let b = shared.clone() + y();
+        let r = cse(&[a.clone(), b.clone()]);
+        assert_eq!(r.temps.len(), 1, "temps: {:?}", r.temps);
+        let mut ctx = MapCtx::new();
+        ctx.set("cse_x", 3.0).set("cse_y", 1.0);
+        assert_eq!(eval_result(&r, 0, &ctx), a.eval(&ctx));
+        assert_eq!(eval_result(&r, 1, &ctx), b.eval(&ctx));
+    }
+
+    #[test]
+    fn nested_candidates_chain_in_dependency_order() {
+        let inner = x() * y();
+        let outer = Expr::powi(inner.clone() + 1.0, 2);
+        let roots = vec![
+            outer.clone() + inner.clone(),
+            outer.clone() - inner.clone(),
+        ];
+        let r = cse(&roots);
+        assert!(!r.temps.is_empty());
+        // Every temp must only reference earlier temps.
+        for (i, (_, def)) in r.temps.iter().enumerate() {
+            for s in def.free_symbols() {
+                if let Some(pos) = r.temps.iter().position(|(t, _)| *t == s) {
+                    assert!(pos < i, "temp {i} refers to later temp {pos}");
+                }
+            }
+        }
+        let mut ctx = MapCtx::new();
+        ctx.set("cse_x", 2.0).set("cse_y", -0.5);
+        for (i, root) in roots.iter().enumerate() {
+            assert!((eval_result(&r, i, &ctx) - root.eval(&ctx)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn atoms_are_never_extracted() {
+        let a = x() + y();
+        let b = x() * y();
+        let r = cse(&[a, b]);
+        for (_, d) in &r.temps {
+            assert!(d.size() >= 2);
+        }
+    }
+
+    #[test]
+    fn single_use_temps_are_inlined_back() {
+        // (x+y) appears twice, but only inside sqrt(x+y) which also appears
+        // twice — after extracting the sqrt, the sum is single-use.
+        let s = Expr::sqrt(x() + y());
+        let r = cse(&[s.clone() * 2.0, s + 1.0]);
+        assert_eq!(r.temps.len(), 1);
+        let (_, def) = &r.temps[0];
+        // The definition should be the whole sqrt, with the sum inlined.
+        assert_eq!(*def, Expr::sqrt(x() + y()));
+    }
+
+    #[test]
+    fn no_duplicates_means_no_temps() {
+        let r = cse(&[x() + 1.0, y() * 2.0]);
+        assert!(r.temps.is_empty());
+        assert_eq!(r.exprs.len(), 2);
+    }
+}

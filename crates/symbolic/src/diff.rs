@@ -1,0 +1,278 @@
+//! Symbolic differentiation and variational (functional) derivatives.
+//!
+//! `diff` computes ∂e/∂v where `v` is an atomic expression: a symbol, a
+//! field access, a continuous gradient `Diff(access, d)`, the time symbol,
+//! or a coordinate. Field accesses and their gradients are treated as
+//! *independent* variables — exactly the convention needed for the
+//! variational derivative of an energy functional
+//!
+//! ```text
+//! δΨ/δφ = ∂ψ/∂φ − Σ_d ∂_d ( ∂ψ/∂(∂_d φ) )
+//! ```
+//!
+//! which `functional_derivative` implements (Eq. (2) of the paper).
+
+use crate::expr::{CmpOp, Cond, Expr, Func, Node};
+use crate::field::Access;
+use std::collections::HashMap;
+
+impl Expr {
+    /// Partial derivative with respect to an atomic expression `v`.
+    ///
+    /// Memoized over the expression DAG: shared subtrees are differentiated
+    /// once (the energy functionals of `pf-core` share subexpressions
+    /// heavily, and per-occurrence recursion would be exponential).
+    pub fn diff(&self, v: &Expr) -> Expr {
+        debug_assert!(
+            matches!(
+                v.node(),
+                Node::Sym(_) | Node::Access(_) | Node::Diff(_, _) | Node::Time | Node::Coord(_)
+            ),
+            "diff target must be atomic, got {v}"
+        );
+        self.diff_memo(v, &mut HashMap::new())
+    }
+
+    fn diff_memo(&self, v: &Expr, memo: &mut HashMap<usize, Expr>) -> Expr {
+        if let Some(hit) = memo.get(&self.node_id()) {
+            return hit.clone();
+        }
+        let out = self.diff_uncached(v, memo);
+        memo.insert(self.node_id(), out.clone());
+        out
+    }
+
+    fn diff_uncached(&self, v: &Expr, memo: &mut HashMap<usize, Expr>) -> Expr {
+        if self == v {
+            return Expr::one();
+        }
+        match self.node() {
+            Node::Num(_)
+            | Node::Sym(_)
+            | Node::Access(_)
+            | Node::CellIdx(_)
+            | Node::Rand(_)
+            | Node::Time => Expr::zero(),
+            Node::Coord(_) => Expr::zero(),
+            Node::Add(ts) => Expr::add(ts.iter().map(|t| t.diff_memo(v, memo)).collect()),
+            Node::Mul(fs) => {
+                let mut terms = Vec::with_capacity(fs.len());
+                for (i, f) in fs.iter().enumerate() {
+                    let df = f.diff_memo(v, memo);
+                    if df.is_zero() {
+                        continue;
+                    }
+                    let mut prod: Vec<Expr> = Vec::with_capacity(fs.len());
+                    prod.push(df);
+                    for (j, g) in fs.iter().enumerate() {
+                        if j != i {
+                            prod.push(g.clone());
+                        }
+                    }
+                    terms.push(Expr::mul(prod));
+                }
+                Expr::add(terms)
+            }
+            Node::Pow(b, e) => {
+                let db = b.diff_memo(v, memo);
+                let de = e.diff_memo(v, memo);
+                if de.is_zero() {
+                    if db.is_zero() {
+                        return Expr::zero();
+                    }
+                    // e · b^(e-1) · db
+                    e.clone() * Expr::pow(b.clone(), e.clone() - 1.0) * db
+                } else {
+                    // General: b^e (de·ln b + e·db/b)
+                    let ln_b = Expr::func(Func::Ln, vec![b.clone()]);
+                    Expr::pow(b.clone(), e.clone())
+                        * (de * ln_b + e.clone() * db / b.clone())
+                }
+            }
+            Node::Fun(f, args) => {
+                let a0 = args[0].clone();
+                let d0 = a0.diff_memo(v, memo);
+                match f {
+                    Func::Abs => Expr::func(Func::Sign, vec![a0]) * d0,
+                    Func::Exp => Expr::func(Func::Exp, vec![a0]) * d0,
+                    Func::Ln => d0 / a0,
+                    Func::Sin => Expr::func(Func::Cos, vec![a0]) * d0,
+                    Func::Cos => -(Expr::func(Func::Sin, vec![a0]) * d0),
+                    Func::Tanh => {
+                        let th = Expr::func(Func::Tanh, vec![a0]);
+                        (Expr::one() - Expr::powi(th, 2)) * d0
+                    }
+                    Func::Sign | Func::Floor => Expr::zero(),
+                    Func::Min | Func::Max => {
+                        let a1 = args[1].clone();
+                        let d1 = a1.diff_memo(v, memo);
+                        let op = if *f == Func::Min { CmpOp::Le } else { CmpOp::Ge };
+                        Expr::select(
+                            Cond {
+                                op,
+                                lhs: a0,
+                                rhs: a1,
+                            },
+                            d0,
+                            d1,
+                        )
+                    }
+                }
+            }
+            // A pending continuous derivative of something other than `v`
+            // itself: gradients are independent variables in the functional
+            // calculus, so the sensitivity is zero unless structurally equal
+            // (handled above). A Diff whose *inner* expression contains `v`
+            // is differentiated under the derivative (∂ commutes with D).
+            Node::Diff(inner, d) => {
+                let di = inner.diff_memo(v, memo);
+                if di.is_zero() {
+                    Expr::zero()
+                } else {
+                    Expr::d(di, *d as usize)
+                }
+            }
+            Node::Select(c, t, f) => {
+                Expr::select((**c).clone(), t.diff_memo(v, memo), f.diff_memo(v, memo))
+            }
+        }
+    }
+
+    /// Variational derivative δself/δφ where φ is the field access `phi`:
+    /// `∂/∂φ − Σ_d D_d(∂/∂(D_d φ))` over the grid dimensionality `dim`.
+    pub fn functional_derivative(&self, phi: Access, dim: usize) -> Expr {
+        let phi_e = Expr::access(phi);
+        let mut result = self.diff(&phi_e);
+        for d in 0..dim {
+            let grad_atom = Expr::diff_atom(phi_e.clone(), d);
+            let sens = self.diff(&grad_atom);
+            if !sens.is_zero() {
+                result = result - Expr::d(sens, d);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Field;
+
+    fn x() -> Expr {
+        Expr::sym("dif_x")
+    }
+
+    #[test]
+    fn power_rule() {
+        let e = Expr::powi(x(), 3);
+        assert_eq!(e.diff(&x()), 3.0 * Expr::powi(x(), 2));
+    }
+
+    #[test]
+    fn product_rule() {
+        let y = Expr::sym("dif_y");
+        let e = x() * y.clone();
+        assert_eq!(e.diff(&x()), y);
+    }
+
+    #[test]
+    fn chain_rule_through_sqrt() {
+        // d/dx sqrt(x^2) = x / sqrt(x^2) (no smoothing assumptions).
+        let e = Expr::sqrt(Expr::powi(x(), 2));
+        let d = e.diff(&x());
+        // 0.5 · (x²)^(-1/2) · 2x = x·(x²)^(-1/2)
+        let expected = x() * Expr::rsqrt(Expr::powi(x(), 2));
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn quotient_rule() {
+        let e = Expr::recip(x());
+        assert_eq!(e.diff(&x()), -Expr::one() * Expr::powi(x(), -2));
+    }
+
+    #[test]
+    fn derivative_of_unrelated_symbol_is_zero() {
+        assert!(Expr::sym("dif_other").diff(&x()).is_zero());
+    }
+
+    #[test]
+    fn exp_ln_rules() {
+        let e = Expr::func(Func::Exp, vec![2.0 * x()]);
+        assert_eq!(e.diff(&x()), 2.0 * Expr::func(Func::Exp, vec![2.0 * x()]));
+        let l = Expr::func(Func::Ln, vec![x()]);
+        assert_eq!(l.diff(&x()), Expr::recip(x()));
+    }
+
+    #[test]
+    fn min_diff_selects_branch_derivative() {
+        let y = Expr::sym("dif_my");
+        let e = Expr::min(Expr::powi(x(), 2), y.clone());
+        let d = e.diff(&x());
+        match d.node() {
+            Node::Select(_, t, f) => {
+                assert_eq!(*t, 2.0 * x());
+                assert!(f.is_zero());
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_accesses_are_independent_variables() {
+        let fld = Field::new("dif_phi", 2, 3);
+        let p0 = Expr::access(Access::center(fld, 0));
+        let p1 = Expr::access(Access::center(fld, 1));
+        let e = p0.clone() * p1.clone();
+        assert_eq!(e.diff(&p0), p1);
+    }
+
+    #[test]
+    fn gradient_atoms_are_independent_of_field_value() {
+        let fld = Field::new("dif_g", 1, 3);
+        let p = Expr::access(Access::center(fld, 0));
+        let gp = Expr::diff_atom(p.clone(), 0);
+        // ∂(∇φ)²/∂φ = 0, ∂(∇φ)²/∂(∇φ) = 2∇φ
+        let e = Expr::powi(gp.clone(), 2);
+        assert!(e.diff(&p).is_zero());
+        assert_eq!(e.diff(&gp), 2.0 * gp);
+    }
+
+    #[test]
+    fn functional_derivative_of_dirichlet_energy() {
+        // E = |∇φ|² ⇒ δE/δφ = -2 Σ_d D_d(D_d φ)  (−2Δφ)
+        let fld = Field::new("dif_dir", 1, 2);
+        let acc = Access::center(fld, 0);
+        let p = Expr::access(acc);
+        let e: Expr = (0..2)
+            .map(|d| Expr::powi(Expr::diff_atom(p.clone(), d as usize), 2))
+            .sum();
+        let fd = e.functional_derivative(acc, 2);
+        let expected: Expr = -(0..2)
+            .map(|d| {
+                Expr::d(
+                    2.0 * Expr::diff_atom(p.clone(), d as usize),
+                    d as usize,
+                )
+            })
+            .sum::<Expr>();
+        // Canonical form does not distribute the leading −1 over the sum, so
+        // compare the expanded (fully distributed) forms.
+        assert_eq!(crate::simplify::expand(&fd), crate::simplify::expand(&expected));
+    }
+
+    #[test]
+    fn functional_derivative_of_potential_term() {
+        // E = φ²(1-φ)² ⇒ δE/δφ = 2φ(1-φ)² - 2φ²(1-φ), no divergence part.
+        let fld = Field::new("dif_pot", 1, 3);
+        let acc = Access::center(fld, 0);
+        let p = Expr::access(acc);
+        let e = Expr::powi(p.clone(), 2) * Expr::powi(Expr::one() - p.clone(), 2);
+        let fd = e.functional_derivative(acc, 3);
+        let expected = 2.0 * p.clone() * Expr::powi(Expr::one() - p.clone(), 2)
+            - 2.0 * Expr::powi(p.clone(), 2) * (Expr::one() - p.clone());
+        // Compare after expansion (both are polynomials).
+        assert_eq!(crate::simplify::expand(&fd), crate::simplify::expand(&expected));
+    }
+}

@@ -1,0 +1,185 @@
+//! Human-readable pretty printing with minimal parentheses.
+//!
+//! The C/CUDA emitters in `pf-backend` have their own printers; this one is
+//! for diagnostics, tests, and the `codegen_inspect` example.
+
+use crate::expr::{Expr, Node};
+use std::fmt;
+
+/// Operator precedence levels for parenthesization.
+fn prec(e: &Expr) -> u8 {
+    match e.node() {
+        Node::Add(_) => 1,
+        Node::Mul(_) => 2,
+        Node::Pow(_, _) => 3,
+        Node::Num(v) if *v < 0.0 => 1, // negative literals bind like sums
+        _ => 4,
+    }
+}
+
+fn write_child(f: &mut fmt::Formatter<'_>, child: &Expr, parent_prec: u8) -> fmt::Result {
+    if prec(child) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+fn write_num(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
+    if v == v.trunc() && v.abs() < 1e15 {
+        write!(f, "{}", v as i64)
+    } else {
+        write!(f, "{v}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node() {
+            Node::Num(v) => write_num(f, *v),
+            Node::Sym(s) => write!(f, "{s}"),
+            Node::Coord(d) => write!(f, "x{d}"),
+            Node::Time => write!(f, "t"),
+            Node::CellIdx(d) => write!(f, "i{d}"),
+            Node::Access(a) => write!(f, "{a}"),
+            Node::Rand(k) => write!(f, "rand{k}()"),
+            Node::Add(terms) => {
+                for (i, t) in terms.iter().enumerate() {
+                    if i == 0 {
+                        write_child(f, t, 1)?;
+                        continue;
+                    }
+                    // Render `+ (-c)·x` as `- c·x`.
+                    if let Node::Mul(fs) = t.node() {
+                        if let Some(c) = fs.first().and_then(|x| x.as_num()) {
+                            if c < 0.0 {
+                                let pos = Expr::mul(
+                                    std::iter::once(Expr::num(-c))
+                                        .chain(fs[1..].iter().cloned())
+                                        .collect(),
+                                );
+                                write!(f, " - ")?;
+                                write_child(f, &pos, 2)?;
+                                continue;
+                            }
+                        }
+                    }
+                    if let Some(v) = t.as_num() {
+                        if v < 0.0 {
+                            write!(f, " - ")?;
+                            write_num(f, -v)?;
+                            continue;
+                        }
+                    }
+                    write!(f, " + ")?;
+                    write_child(f, t, 2)?;
+                }
+                Ok(())
+            }
+            Node::Mul(factors) => {
+                // Special-case a leading -1 coefficient.
+                let mut rest: &[Expr] = factors;
+                if let Some(c) = factors.first().and_then(|x| x.as_num()) {
+                    if c == -1.0 && factors.len() > 1 {
+                        write!(f, "-")?;
+                        rest = &factors[1..];
+                        if rest.len() == 1 {
+                            return write_child(f, &rest[0], 3);
+                        }
+                    }
+                }
+                for (i, x) in rest.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "*")?;
+                    }
+                    write_child(f, x, 3)?;
+                }
+                Ok(())
+            }
+            Node::Pow(b, e) => {
+                if let Some(v) = e.as_num() {
+                    if v == 0.5 {
+                        return write!(f, "sqrt({b})");
+                    }
+                    if v == -0.5 {
+                        return write!(f, "rsqrt({b})");
+                    }
+                    if v == -1.0 {
+                        write!(f, "1/")?;
+                        return write_child(f, b, 4);
+                    }
+                }
+                write_child(f, b, 4)?;
+                write!(f, "**")?;
+                write_child(f, e, 4)
+            }
+            Node::Fun(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Node::Diff(e, d) => write!(f, "D{d}[{e}]"),
+            Node::Select(c, t, fe) => {
+                write!(
+                    f,
+                    "select({} {} {}, {}, {})",
+                    c.lhs,
+                    c.op.symbol(),
+                    c.rhs,
+                    t,
+                    fe
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::Expr;
+
+    #[test]
+    fn renders_subtraction() {
+        let x = Expr::sym("disp_x");
+        let y = Expr::sym("disp_y");
+        let s = format!("{}", x - y);
+        assert!(s.contains('-'), "got {s}");
+        assert!(!s.contains("+ -"), "got {s}");
+    }
+
+    #[test]
+    fn renders_sqrt_and_recip() {
+        let x = Expr::sym("disp_z");
+        assert_eq!(format!("{}", Expr::sqrt(x.clone())), "sqrt(disp_z)");
+        assert_eq!(format!("{}", Expr::recip(x.clone())), "1/disp_z");
+        assert_eq!(format!("{}", Expr::rsqrt(x)), "rsqrt(disp_z)");
+    }
+
+    #[test]
+    fn parenthesizes_sum_inside_product() {
+        let x = Expr::sym("disp_a");
+        let y = Expr::sym("disp_b");
+        let e = (x + 1.0) * y;
+        let s = format!("{e}");
+        assert!(s.contains('('), "got {s}");
+    }
+
+    #[test]
+    fn integer_literals_lose_decimal_point() {
+        assert_eq!(format!("{}", Expr::num(3.0)), "3");
+        assert_eq!(format!("{}", Expr::num(2.5)), "2.5");
+    }
+
+    #[test]
+    fn diff_node_renders_dimension() {
+        let f = crate::field::Field::new("disp_f", 1, 3);
+        let a = Expr::access(crate::field::Access::center(f, 0));
+        let d = Expr::d(Expr::powi(a, 2), 1);
+        assert!(format!("{d}").starts_with("D1["));
+    }
+}

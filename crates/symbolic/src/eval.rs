@@ -1,0 +1,164 @@
+//! Direct (slow-path) evaluation of expressions.
+//!
+//! Used for testing algebraic transformations against numeric ground truth
+//! (e.g. "simplify/CSE/expand preserve the value") and as the reference
+//! executor the compiled-tape backend is validated against.
+
+use crate::expr::{Expr, Node};
+use crate::field::Access;
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// Supplies numeric values for the leaves of an expression.
+pub trait EvalCtx {
+    fn sym(&self, s: Symbol) -> f64;
+    fn access(&self, a: Access) -> f64;
+    fn coord(&self, _d: usize) -> f64 {
+        0.0
+    }
+    fn time(&self) -> f64 {
+        0.0
+    }
+    fn cell_idx(&self, _d: usize) -> f64 {
+        0.0
+    }
+    fn rand(&self, _lane: usize) -> f64 {
+        0.0
+    }
+}
+
+/// Map-backed context for tests and small drivers.
+#[derive(Default, Clone)]
+pub struct MapCtx {
+    pub syms: HashMap<Symbol, f64>,
+    pub fields: HashMap<Access, f64>,
+    pub coords: [f64; 3],
+    pub time: f64,
+}
+
+impl MapCtx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&mut self, name: &str, v: f64) -> &mut Self {
+        self.syms.insert(Symbol::new(name), v);
+        self
+    }
+
+    pub fn set_access(&mut self, a: Access, v: f64) -> &mut Self {
+        self.fields.insert(a, v);
+        self
+    }
+}
+
+impl EvalCtx for MapCtx {
+    fn sym(&self, s: Symbol) -> f64 {
+        *self
+            .syms
+            .get(&s)
+            .unwrap_or_else(|| panic!("no value bound for symbol {s}"))
+    }
+
+    fn access(&self, a: Access) -> f64 {
+        *self
+            .fields
+            .get(&a)
+            .unwrap_or_else(|| panic!("no value bound for access {a:?}"))
+    }
+
+    fn coord(&self, d: usize) -> f64 {
+        self.coords[d]
+    }
+
+    fn time(&self) -> f64 {
+        self.time
+    }
+}
+
+impl Expr {
+    /// Evaluate the expression. Panics on a pending continuous `Diff` node —
+    /// those must be discretized before numeric evaluation makes sense.
+    pub fn eval(&self, ctx: &impl EvalCtx) -> f64 {
+        match self.node() {
+            Node::Num(v) => *v,
+            Node::Sym(s) => ctx.sym(*s),
+            Node::Coord(d) => ctx.coord(*d as usize),
+            Node::Time => ctx.time(),
+            Node::CellIdx(d) => ctx.cell_idx(*d as usize),
+            Node::Access(a) => ctx.access(*a),
+            Node::Rand(k) => ctx.rand(*k as usize),
+            Node::Add(ts) => ts.iter().map(|t| t.eval(ctx)).sum(),
+            Node::Mul(fs) => fs.iter().map(|f| f.eval(ctx)).product(),
+            Node::Pow(b, e) => b.eval(ctx).powf(e.eval(ctx)),
+            Node::Fun(f, args) => {
+                let vals: Vec<f64> = args.iter().map(|a| a.eval(ctx)).collect();
+                f.eval(&vals)
+            }
+            Node::Diff(e, d) => {
+                panic!("cannot evaluate continuous derivative D{d}[{e}]; discretize first")
+            }
+            Node::Select(c, t, f) => {
+                if c.op.eval(c.lhs.eval(ctx), c.rhs.eval(ctx)) {
+                    t.eval(ctx)
+                } else {
+                    f.eval(ctx)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Cond};
+
+    #[test]
+    fn evaluates_polynomial() {
+        let x = Expr::sym("ev_x");
+        let e = Expr::powi(x.clone(), 2) + 2.0 * x - 1.0;
+        let mut ctx = MapCtx::new();
+        ctx.set("ev_x", 3.0);
+        assert_eq!(e.eval(&ctx), 14.0);
+    }
+
+    #[test]
+    fn evaluates_select() {
+        let x = Expr::sym("ev_s");
+        let e = Expr::select(
+            Cond {
+                op: CmpOp::Gt,
+                lhs: x.clone(),
+                rhs: Expr::zero(),
+            },
+            x.clone(),
+            -x,
+        );
+        let mut ctx = MapCtx::new();
+        ctx.set("ev_s", -2.5);
+        assert_eq!(e.eval(&ctx), 2.5);
+        ctx.set("ev_s", 1.5);
+        assert_eq!(e.eval(&ctx), 1.5);
+    }
+
+    #[test]
+    fn simplification_preserves_value() {
+        let x = Expr::sym("ev_p");
+        let raw = (x.clone() + 1.0) * (x.clone() - 1.0);
+        let expanded = crate::simplify::expand(&raw);
+        let mut ctx = MapCtx::new();
+        for v in [-2.0, 0.0, 0.7, 13.0] {
+            ctx.set("ev_p", v);
+            assert!((raw.eval(&ctx) - expanded.eval(&ctx)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "discretize first")]
+    fn eval_of_diff_panics() {
+        let f = crate::field::Field::new("ev_f", 1, 3);
+        let a = Expr::access(crate::field::Access::center(f, 0));
+        Expr::d(Expr::powi(a, 2), 0).eval(&MapCtx::new());
+    }
+}

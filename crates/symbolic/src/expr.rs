@@ -1,0 +1,969 @@
+//! The symbolic expression type.
+//!
+//! Expressions are immutable reference-counted trees in canonical form:
+//! sums and products are flattened, numerically folded, and sorted under a
+//! total structural order, so structurally equal expressions compare equal
+//! and hash equal. Canonicalization happens in the constructors (see
+//! `simplify`), mirroring how sympy/symengine auto-simplify on construction.
+
+use crate::field::Access;
+use crate::simplify;
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops;
+use std::rc::Rc;
+
+/// Scalar functions understood by the pipeline end-to-end (symbolic
+/// differentiation, evaluation, code emission, FLOP accounting).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Func {
+    Abs,
+    Min,
+    Max,
+    Exp,
+    Ln,
+    Sin,
+    Cos,
+    Tanh,
+    /// sign(x) ∈ {-1, 0, 1}
+    Sign,
+    Floor,
+}
+
+impl Func {
+    pub fn arity(self) -> usize {
+        match self {
+            Func::Min | Func::Max => 2,
+            _ => 1,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Abs => "abs",
+            Func::Min => "min",
+            Func::Max => "max",
+            Func::Exp => "exp",
+            Func::Ln => "ln",
+            Func::Sin => "sin",
+            Func::Cos => "cos",
+            Func::Tanh => "tanh",
+            Func::Sign => "sign",
+            Func::Floor => "floor",
+        }
+    }
+
+    pub fn eval(self, args: &[f64]) -> f64 {
+        match self {
+            Func::Abs => args[0].abs(),
+            Func::Min => args[0].min(args[1]),
+            Func::Max => args[0].max(args[1]),
+            Func::Exp => args[0].exp(),
+            Func::Ln => args[0].ln(),
+            Func::Sin => args[0].sin(),
+            Func::Cos => args[0].cos(),
+            Func::Tanh => args[0].tanh(),
+            Func::Sign => {
+                if args[0] > 0.0 {
+                    1.0
+                } else if args[0] < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            Func::Floor => args[0].floor(),
+        }
+    }
+}
+
+/// Comparison operator inside a `Select` condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// A comparison `lhs op rhs` guarding a `Select`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Cond {
+    pub op: CmpOp,
+    pub lhs: Expr,
+    pub rhs: Expr,
+}
+
+/// The expression node. Users never construct nodes directly — the `Expr`
+/// constructors canonicalize.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// Numeric literal (f64; integers are exact well past any exponent the
+    /// pipeline produces).
+    Num(f64),
+    /// Free scalar symbol (model parameter, CSE temporary, kernel argument).
+    Sym(Symbol),
+    /// Physical coordinate of the cell centre along axis `d` (x_d).
+    Coord(u8),
+    /// Simulation time `t`.
+    Time,
+    /// Integer cell index along axis `d` (used for Philox keys).
+    CellIdx(u8),
+    /// Field access (component + relative offset).
+    Access(Access),
+    /// n-ary sum, canonical: flattened, folded, sorted, no like terms.
+    Add(Vec<Expr>),
+    /// n-ary product, canonical: flattened, folded, sorted, powers merged.
+    Mul(Vec<Expr>),
+    /// base^exp.
+    Pow(Expr, Expr),
+    Fun(Func, Vec<Expr>),
+    /// Continuous spatial derivative ∂_d of the inner expression.
+    Diff(Expr, u8),
+    /// `if cond { t } else { f }` — maps to blend instructions.
+    Select(Box<Cond>, Expr, Expr),
+    /// Counter-based uniform random number in [-1, 1], lane `k` (replaced by
+    /// a Philox invocation keyed on cell index + timestep at discretization).
+    Rand(u8),
+}
+
+/// Node plus its cached structural hash. The hash is computed once at
+/// construction from the children's cached hashes, so hashing is O(1) and
+/// deep equality can bail out early — essential because canonicalization
+/// compares subexpressions constantly and expression DAGs share subtrees
+/// heavily.
+pub(crate) struct Inner {
+    pub(crate) node: Node,
+    pub(crate) hash: u64,
+}
+
+/// A symbolic expression: cheap to clone, structurally comparable/hashable.
+#[derive(Clone)]
+pub struct Expr(pub(crate) Rc<Inner>);
+
+fn mix(h: u64, v: u64) -> u64 {
+    // splitmix64-style combiner.
+    let mut x = h ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a string — symbols and fields are hashed by *name*, not by
+/// intern id, so structurally identical models built at different times (or
+/// in different processes) canonicalize identically.
+fn str_hash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn node_hash(node: &Node) -> u64 {
+    let tag = |t: u64| mix(0x1234_5678_9ABC_DEF0, t);
+    match node {
+        Node::Num(v) => mix(tag(0), v.to_bits()),
+        Node::Sym(s) => mix(tag(1), str_hash(s.name())),
+        Node::Coord(d) => mix(tag(2), *d as u64),
+        Node::Time => tag(3),
+        Node::CellIdx(d) => mix(tag(4), *d as u64),
+        Node::Access(a) => {
+            let mut h = mix(tag(5), str_hash(&a.field.name()));
+            h = mix(h, a.comp as u64);
+            for o in a.off {
+                h = mix(h, o as u64);
+            }
+            h
+        }
+        Node::Add(v) => v.iter().fold(tag(6), |h, c| mix(h, c.chash())),
+        Node::Mul(v) => v.iter().fold(tag(7), |h, c| mix(h, c.chash())),
+        Node::Pow(b, e) => mix(mix(tag(8), b.chash()), e.chash()),
+        Node::Fun(f, v) => v
+            .iter()
+            .fold(mix(tag(9), *f as u64), |h, c| mix(h, c.chash())),
+        Node::Diff(e, d) => mix(mix(tag(10), e.chash()), *d as u64),
+        Node::Select(c, t, f) => {
+            let mut h = mix(tag(11), c.op as u64);
+            h = mix(h, c.lhs.chash());
+            h = mix(h, c.rhs.chash());
+            h = mix(h, t.chash());
+            mix(h, f.chash())
+        }
+        Node::Rand(k) => mix(tag(12), *k as u64),
+    }
+}
+
+impl Expr {
+    /// Construct from a node, computing the cached hash.
+    pub(crate) fn from_node(node: Node) -> Expr {
+        let hash = node_hash(&node);
+        Expr(Rc::new(Inner { node, hash }))
+    }
+
+    /// The cached structural hash.
+    #[inline]
+    pub(crate) fn chash(&self) -> u64 {
+        self.0.hash
+    }
+
+    /// Raw continuous-derivative atom `D_d[e]` with no linearity rewriting —
+    /// use `Expr::d` for the simplifying constructor. Needed to build the
+    /// gradient atoms `∂_d φ` that variational derivatives differentiate
+    /// against.
+    pub fn diff_atom(e: Expr, d: usize) -> Expr {
+        Expr::from_node(Node::Diff(e, d as u8))
+    }
+    // ----- leaf constructors -------------------------------------------------
+
+    pub fn num(v: f64) -> Expr {
+        debug_assert!(v.is_finite(), "non-finite literal in expression");
+        Expr::from_node(Node::Num(v))
+    }
+
+    pub fn int(v: i64) -> Expr {
+        Expr::num(v as f64)
+    }
+
+    pub fn zero() -> Expr {
+        Expr::num(0.0)
+    }
+
+    pub fn one() -> Expr {
+        Expr::num(1.0)
+    }
+
+    pub fn sym(name: &str) -> Expr {
+        Expr::from_node(Node::Sym(Symbol::new(name)))
+    }
+
+    pub fn symbol(s: Symbol) -> Expr {
+        Expr::from_node(Node::Sym(s))
+    }
+
+    pub fn coord(d: usize) -> Expr {
+        Expr::from_node(Node::Coord(d as u8))
+    }
+
+    pub fn time() -> Expr {
+        Expr::from_node(Node::Time)
+    }
+
+    pub fn cell_idx(d: usize) -> Expr {
+        Expr::from_node(Node::CellIdx(d as u8))
+    }
+
+    pub fn access(a: Access) -> Expr {
+        Expr::from_node(Node::Access(a))
+    }
+
+    pub fn rand(lane: usize) -> Expr {
+        Expr::from_node(Node::Rand(lane as u8))
+    }
+
+    // ----- canonicalizing constructors --------------------------------------
+
+    pub fn add(terms: Vec<Expr>) -> Expr {
+        simplify::make_add(terms)
+    }
+
+    pub fn mul(factors: Vec<Expr>) -> Expr {
+        simplify::make_mul(factors)
+    }
+
+    pub fn pow(base: Expr, exp: Expr) -> Expr {
+        simplify::make_pow(base, exp)
+    }
+
+    pub fn powi(base: Expr, exp: i64) -> Expr {
+        Expr::pow(base, Expr::int(exp))
+    }
+
+    pub fn sqrt(x: Expr) -> Expr {
+        Expr::pow(x, Expr::num(0.5))
+    }
+
+    /// 1/sqrt(x). Emitted as a dedicated (possibly approximate) rsqrt.
+    pub fn rsqrt(x: Expr) -> Expr {
+        Expr::pow(x, Expr::num(-0.5))
+    }
+
+    pub fn recip(x: Expr) -> Expr {
+        Expr::powi(x, -1)
+    }
+
+    pub fn func(f: Func, args: Vec<Expr>) -> Expr {
+        assert_eq!(args.len(), f.arity(), "{}: wrong arity", f.name());
+        // Constant-fold when all arguments are numeric.
+        if let Some(vals) = args
+            .iter()
+            .map(|a| a.as_num())
+            .collect::<Option<Vec<f64>>>()
+        {
+            let v = f.eval(&vals);
+            if v.is_finite() {
+                return Expr::num(v);
+            }
+        }
+        Expr::from_node(Node::Fun(f, args))
+    }
+
+    pub fn abs(x: Expr) -> Expr {
+        Expr::func(Func::Abs, vec![x])
+    }
+
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::func(Func::Min, vec![a, b])
+    }
+
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::func(Func::Max, vec![a, b])
+    }
+
+    /// Continuous spatial derivative ∂_d. Derivatives of constants vanish
+    /// and space-independent factors are pulled out; sums are deliberately
+    /// *not* distributed — a divergence of a sum of fluxes stays one flux,
+    /// so the discretization layer evaluates (and the split variant caches)
+    /// one combined staggered value per face, exactly like the paper's
+    /// µ kernel (Table 1: six staggered stores, not one per flux term).
+    pub fn d(expr: Expr, dim: usize) -> Expr {
+        let d = dim as u8;
+        match expr.node() {
+            Node::Num(_) | Node::Sym(_) => Expr::zero(),
+            Node::Add(_) if expr.is_space_independent() => Expr::zero(),
+            Node::Mul(fs) => {
+                // Pull out purely numeric / symbolic (space-independent)
+                // factors: ∂(c · e) = c · ∂e.
+                let (invariant, varying): (Vec<_>, Vec<_>) =
+                    fs.iter().cloned().partition(|f| f.is_space_independent());
+                if invariant.is_empty() || varying.is_empty() {
+                    Expr::from_node(Node::Diff(expr, d))
+                } else {
+                    let inner = Expr::mul(varying);
+                    let dinner = Expr::from_node(Node::Diff(inner, d));
+                    Expr::mul(invariant.into_iter().chain([dinner]).collect())
+                }
+            }
+            _ => Expr::from_node(Node::Diff(expr, d)),
+        }
+    }
+
+    pub fn select(cond: Cond, t: Expr, f: Expr) -> Expr {
+        // Fold constant conditions.
+        if let (Some(a), Some(b)) = (cond.lhs.as_num(), cond.rhs.as_num()) {
+            return if cond.op.eval(a, b) { t } else { f };
+        }
+        if t == f {
+            return t;
+        }
+        Expr::from_node(Node::Select(Box::new(cond), t, f))
+    }
+
+    // ----- inspectors --------------------------------------------------------
+
+    pub fn node(&self) -> &Node {
+        &self.0.node
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match &self.0.node {
+            Node::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_sym(&self) -> Option<Symbol> {
+        match &self.0.node {
+            Node::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    pub fn as_access(&self) -> Option<Access> {
+        match &self.0.node {
+            Node::Access(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        matches!(self.node(), Node::Num(v) if *v == 0.0)
+    }
+
+    pub fn is_one(&self) -> bool {
+        matches!(self.node(), Node::Num(v) if *v == 1.0)
+    }
+
+    /// Stable identity of the underlying node (shared subtrees have equal
+    /// ids). Used for DAG traversals and transformation memos.
+    #[inline]
+    pub fn node_id(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
+    /// DAG traversal visiting each *unique* node once (expression trees are
+    /// heavily shared after canonicalization — per-occurrence recursion can
+    /// be exponential).
+    fn visit_unique(&self, f: &mut impl FnMut(&Expr) -> bool) {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.clone()];
+        while let Some(e) = stack.pop() {
+            if !seen.insert(e.node_id()) {
+                continue;
+            }
+            if f(&e) {
+                stack.extend(e.children());
+            }
+        }
+    }
+
+    /// True when the value cannot vary from cell to cell (no field accesses,
+    /// coordinates, cell indices, randoms, or pending derivatives).
+    pub fn is_space_independent(&self) -> bool {
+        let mut independent = true;
+        self.visit_unique(&mut |e| {
+            if !independent {
+                return false;
+            }
+            match e.node() {
+                Node::Coord(_)
+                | Node::CellIdx(_)
+                | Node::Access(_)
+                | Node::Rand(_)
+                | Node::Diff(_, _) => {
+                    independent = false;
+                    false
+                }
+                _ => true,
+            }
+        });
+        independent
+    }
+
+    /// True when the subtree contains a continuous `Diff` node (i.e. still
+    /// needs discretization).
+    pub fn has_diff(&self) -> bool {
+        let mut found = false;
+        self.visit_unique(&mut |e| {
+            if found {
+                return false;
+            }
+            if matches!(e.node(), Node::Diff(_, _)) {
+                found = true;
+                return false;
+            }
+            true
+        });
+        found
+    }
+
+    /// Children, for generic traversals.
+    pub fn children(&self) -> Vec<Expr> {
+        match &self.0.node {
+            Node::Add(v) | Node::Mul(v) | Node::Fun(_, v) => v.clone(),
+            Node::Pow(b, e) => vec![b.clone(), e.clone()],
+            Node::Diff(e, _) => vec![e.clone()],
+            Node::Select(c, t, f) => {
+                vec![c.lhs.clone(), c.rhs.clone(), t.clone(), f.clone()]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Rebuild this node with new children (same order as `children()`).
+    pub fn with_children(&self, ch: Vec<Expr>) -> Expr {
+        match &self.0.node {
+            Node::Add(_) => Expr::add(ch),
+            Node::Mul(_) => Expr::mul(ch),
+            Node::Fun(f, _) => Expr::func(*f, ch),
+            Node::Pow(_, _) => {
+                let mut it = ch.into_iter();
+                let b = it.next().expect("pow base");
+                let e = it.next().expect("pow exp");
+                Expr::pow(b, e)
+            }
+            Node::Diff(_, d) => {
+                let mut it = ch.into_iter();
+                Expr::d(it.next().expect("diff inner"), *d as usize)
+            }
+            Node::Select(c, _, _) => {
+                let mut it = ch.into_iter();
+                let lhs = it.next().expect("cond lhs");
+                let rhs = it.next().expect("cond rhs");
+                let t = it.next().expect("then");
+                let f = it.next().expect("else");
+                Expr::select(
+                    Cond {
+                        op: c.op,
+                        lhs,
+                        rhs,
+                    },
+                    t,
+                    f,
+                )
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// All distinct field accesses in the expression.
+    pub fn accesses(&self) -> Vec<Access> {
+        let mut out = Vec::new();
+        self.visit_unique(&mut |e| {
+            if let Node::Access(a) = e.node() {
+                if !out.contains(a) {
+                    out.push(*a);
+                }
+            }
+            true
+        });
+        out
+    }
+
+    /// All distinct free symbols in the expression.
+    pub fn free_symbols(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.visit_unique(&mut |e| {
+            if let Node::Sym(s) = e.node() {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            true
+        });
+        out
+    }
+
+    /// Pre-order traversal over every node (including shared subtrees once
+    /// per occurrence).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match &self.0.node {
+            Node::Add(v) | Node::Mul(v) | Node::Fun(_, v) => {
+                for c in v {
+                    c.visit(f);
+                }
+            }
+            Node::Pow(b, e) => {
+                b.visit(f);
+                e.visit(f);
+            }
+            Node::Diff(e, _) => e.visit(f),
+            Node::Select(c, t, fe) => {
+                c.lhs.visit(f);
+                c.rhs.visit(f);
+                t.visit(f);
+                fe.visit(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of nodes in the *tree* view (what emitted code would
+    /// duplicate). Can be exponentially larger than `dag_size` on shared
+    /// expressions — prefer `dag_size` for guards on large inputs.
+    pub fn size(&self) -> usize {
+        // Computed over the DAG with memoized per-node tree sizes, saturating
+        // so shared giants don't overflow.
+        let mut memo: HashMap<usize, usize> = HashMap::new();
+        fn go(e: &Expr, memo: &mut HashMap<usize, usize>) -> usize {
+            if let Some(&s) = memo.get(&e.node_id()) {
+                return s;
+            }
+            let s = 1usize.saturating_add(
+                e.children()
+                    .iter()
+                    .fold(0usize, |acc, c| acc.saturating_add(go(c, memo))),
+            );
+            memo.insert(e.node_id(), s);
+            s
+        }
+        go(self, &mut memo)
+    }
+
+    /// Number of *unique* nodes (the cost of a DAG-aware transformation).
+    pub fn dag_size(&self) -> usize {
+        let mut n = 0usize;
+        self.visit_unique(&mut |_| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// Structural total-order rank used by canonical sorting.
+    pub(crate) fn rank(&self) -> u8 {
+        match &self.0.node {
+            Node::Num(_) => 0,
+            Node::Sym(_) => 1,
+            Node::Coord(_) => 2,
+            Node::Time => 3,
+            Node::CellIdx(_) => 4,
+            Node::Rand(_) => 5,
+            Node::Access(_) => 6,
+            Node::Pow(_, _) => 7,
+            Node::Mul(_) => 8,
+            Node::Add(_) => 9,
+            Node::Fun(_, _) => 10,
+            Node::Diff(_, _) => 11,
+            Node::Select(_, _, _) => 12,
+        }
+    }
+}
+
+// ----- equality / hashing / ordering -----------------------------------------
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        // Cached hashes disagree ⇒ structurally different, O(1).
+        if self.0.hash != other.0.hash {
+            return false;
+        }
+        match (&self.0.node, &other.0.node) {
+            (Node::Num(a), Node::Num(b)) => a.to_bits() == b.to_bits(),
+            (Node::Sym(a), Node::Sym(b)) => a == b,
+            (Node::Coord(a), Node::Coord(b)) => a == b,
+            (Node::Time, Node::Time) => true,
+            (Node::CellIdx(a), Node::CellIdx(b)) => a == b,
+            (Node::Rand(a), Node::Rand(b)) => a == b,
+            (Node::Access(a), Node::Access(b)) => a == b,
+            (Node::Add(a), Node::Add(b)) | (Node::Mul(a), Node::Mul(b)) => a == b,
+            (Node::Pow(a, b), Node::Pow(c, d)) => a == c && b == d,
+            (Node::Fun(f, a), Node::Fun(g, b)) => f == g && a == b,
+            (Node::Diff(a, d), Node::Diff(b, e)) => d == e && a == b,
+            (Node::Select(c1, t1, f1), Node::Select(c2, t2, f2)) => {
+                c1 == c2 && t1 == t2 && f1 == f2
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // O(1): the structural hash is cached at construction.
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl PartialOrd for Expr {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Expr {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // The canonical order only needs to be total, deterministic, and
+        // consistent with equality — rank first (so numbers sort before
+        // symbols etc.), then the cached structural hash (O(1) for almost
+        // every comparison), with a full structural walk only to break the
+        // astronomically rare hash ties.
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return Ordering::Equal;
+        }
+        let r = self.rank().cmp(&other.rank());
+        if r != Ordering::Equal {
+            return r;
+        }
+        let h = self.0.hash.cmp(&other.0.hash);
+        if h != Ordering::Equal {
+            return h;
+        }
+        match (&self.0.node, &other.0.node) {
+            (Node::Num(a), Node::Num(b)) => a.total_cmp(b),
+            (Node::Sym(a), Node::Sym(b)) => a.cmp(b),
+            (Node::Coord(a), Node::Coord(b)) => a.cmp(b),
+            (Node::Time, Node::Time) => Ordering::Equal,
+            (Node::CellIdx(a), Node::CellIdx(b)) => a.cmp(b),
+            (Node::Rand(a), Node::Rand(b)) => a.cmp(b),
+            (Node::Access(a), Node::Access(b)) => a.cmp(b),
+            (Node::Add(a), Node::Add(b)) | (Node::Mul(a), Node::Mul(b)) => a.cmp(b),
+            (Node::Pow(a, b), Node::Pow(c, d)) => a.cmp(c).then_with(|| b.cmp(d)),
+            (Node::Fun(f, a), Node::Fun(g, b)) => f.cmp(g).then_with(|| a.cmp(b)),
+            (Node::Diff(a, d), Node::Diff(b, e)) => d.cmp(e).then_with(|| a.cmp(b)),
+            (Node::Select(c1, t1, f1), Node::Select(c2, t2, f2)) => c1
+                .op
+                .cmp(&c2.op)
+                .then_with(|| c1.lhs.cmp(&c2.lhs))
+                .then_with(|| c1.rhs.cmp(&c2.rhs))
+                .then_with(|| t1.cmp(t2))
+                .then_with(|| f1.cmp(f2)),
+            _ => unreachable!("rank equality implies same variant"),
+        }
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+// ----- operator overloads -----------------------------------------------------
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::add(vec![self, rhs])
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::add(vec![self, -rhs])
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::mul(vec![self, rhs])
+    }
+}
+
+impl ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::mul(vec![self, Expr::recip(rhs)])
+    }
+}
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::mul(vec![Expr::num(-1.0), self])
+    }
+}
+
+impl ops::Add<f64> for Expr {
+    type Output = Expr;
+    fn add(self, rhs: f64) -> Expr {
+        self + Expr::num(rhs)
+    }
+}
+
+impl ops::Sub<f64> for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: f64) -> Expr {
+        self - Expr::num(rhs)
+    }
+}
+
+impl ops::Mul<f64> for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: f64) -> Expr {
+        self * Expr::num(rhs)
+    }
+}
+
+impl ops::Div<f64> for Expr {
+    type Output = Expr;
+    fn div(self, rhs: f64) -> Expr {
+        self / Expr::num(rhs)
+    }
+}
+
+impl ops::Mul<Expr> for f64 {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::num(self) * rhs
+    }
+}
+
+impl ops::Add<Expr> for f64 {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::num(self) + rhs
+    }
+}
+
+impl ops::Sub<Expr> for f64 {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::num(self) - rhs
+    }
+}
+
+impl ops::Div<Expr> for f64 {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::num(self) / rhs
+    }
+}
+
+impl std::iter::Sum for Expr {
+    fn sum<I: Iterator<Item = Expr>>(iter: I) -> Expr {
+        Expr::add(iter.collect())
+    }
+}
+
+impl std::iter::Product for Expr {
+    fn product<I: Iterator<Item = Expr>>(iter: I) -> Expr {
+        Expr::mul(iter.collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Field;
+
+    #[test]
+    fn constant_folding_in_operators() {
+        let e = Expr::num(2.0) + Expr::num(3.0);
+        assert_eq!(e.as_num(), Some(5.0));
+        let e = Expr::num(2.0) * Expr::num(3.0) - Expr::num(6.0);
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn canonical_sum_ordering_makes_equality_structural() {
+        let a = Expr::sym("ca");
+        let b = Expr::sym("cb");
+        assert_eq!(a.clone() + b.clone(), b + a);
+    }
+
+    #[test]
+    fn like_terms_collect() {
+        let x = Expr::sym("lt_x");
+        let e = x.clone() + x.clone() + x.clone();
+        assert_eq!(e, 3.0 * x);
+    }
+
+    #[test]
+    fn product_powers_merge() {
+        let x = Expr::sym("pm_x");
+        let e = x.clone() * x.clone();
+        assert_eq!(e, Expr::powi(x, 2));
+    }
+
+    #[test]
+    fn zero_annihilates_product() {
+        let x = Expr::sym("za_x");
+        assert!((x * Expr::zero()).is_zero());
+    }
+
+    #[test]
+    fn sub_self_is_zero() {
+        let f = Field::new("ss_f", 1, 3);
+        let a = Expr::access(Access::center(f, 0));
+        assert!((a.clone() - a).is_zero());
+    }
+
+    #[test]
+    fn derivative_keeps_flux_sums_whole() {
+        // ∂_d over a sum is NOT distributed at construction: the combined
+        // sum is one flux for the staggered discretization (the linearity
+        // still holds semantically — the discretized forms agree).
+        let f = Field::new("dl_f", 1, 3);
+        let g = Field::new("dl_g", 1, 3);
+        let a = Expr::access(Access::center(f, 0));
+        let b = Expr::access(Access::center(g, 0));
+        let d = Expr::d(a.clone() + b.clone(), 0);
+        assert!(matches!(d.node(), Node::Diff(_, _)), "got {d}");
+    }
+
+    #[test]
+    fn derivative_of_constant_vanishes() {
+        assert!(Expr::d(Expr::sym("dc_c"), 1).is_zero());
+        assert!(Expr::d(Expr::num(4.2), 2).is_zero());
+    }
+
+    #[test]
+    fn derivative_pulls_out_invariant_factors() {
+        let f = Field::new("dp_f", 1, 3);
+        let a = Expr::access(Access::center(f, 0));
+        let c = Expr::sym("dp_c");
+        let d = Expr::d(c.clone() * a.clone(), 0);
+        assert_eq!(d, c * Expr::d(a, 0));
+    }
+
+    #[test]
+    fn select_folds_constant_condition() {
+        let t = Expr::sym("sel_t");
+        let f = Expr::sym("sel_f");
+        let picked = Expr::select(
+            Cond {
+                op: CmpOp::Lt,
+                lhs: Expr::num(1.0),
+                rhs: Expr::num(2.0),
+            },
+            t.clone(),
+            f,
+        );
+        assert_eq!(picked, t);
+    }
+
+    #[test]
+    fn func_constant_folds() {
+        assert_eq!(Expr::abs(Expr::num(-3.0)).as_num(), Some(3.0));
+        assert_eq!(
+            Expr::max(Expr::num(1.0), Expr::num(2.0)).as_num(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn space_independence_classification() {
+        let f = Field::new("si_f", 1, 3);
+        assert!(Expr::sym("si_p").is_space_independent());
+        assert!(Expr::time().is_space_independent());
+        assert!(!Expr::coord(0).is_space_independent());
+        assert!(!Expr::access(Access::center(f, 0)).is_space_independent());
+        assert!((Expr::sym("si_q") * Expr::time()).is_space_independent());
+    }
+
+    #[test]
+    fn with_children_roundtrip() {
+        let x = Expr::sym("wc_x");
+        let y = Expr::sym("wc_y");
+        let e = x.clone() * y.clone() + Expr::powi(x.clone(), 3);
+        let rebuilt = e.with_children(e.children());
+        assert_eq!(e, rebuilt);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let x = Expr::sym("sz_x");
+        assert_eq!(x.size(), 1);
+        let e = x.clone() + Expr::sym("sz_y");
+        assert_eq!(e.size(), 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! Symbolic field declarations and grid-relative accesses.
+//!
+//! A [`Field`] is the *symbolic* handle for a grid-resident quantity (e.g.
+//! the phase-field vector `phi` with N components, or the chemical potential
+//! `mu` with K-1 components). It says nothing about storage — the `pf-fields`
+//! crate owns the actual arrays; kernels bind symbolic fields to storage by
+//! name at execution time.
+//!
+//! An [`Access`] is a read/write of one component of a field at an offset
+//! relative to the current cell. On the continuous layers the offset is
+//! always zero; the discretization layer introduces neighbour offsets such
+//! as `phi[0](1,0,0)`.
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Interned field handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Field(u32);
+
+struct FieldInfo {
+    name: String,
+    components: usize,
+    dim: usize,
+}
+
+static REGISTRY: OnceLock<RwLock<Vec<FieldInfo>>> = OnceLock::new();
+
+fn registry() -> &'static RwLock<Vec<FieldInfo>> {
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+impl Field {
+    /// Declare a field with `components` indexed components on a `dim`-
+    /// dimensional grid. Each call creates a distinct field, even for equal
+    /// names — kernels refer to fields by handle, names are for humans and
+    /// for binding storage.
+    pub fn new(name: &str, components: usize, dim: usize) -> Field {
+        assert!(components >= 1, "field needs at least one component");
+        assert!((1..=3).contains(&dim), "only 1D/2D/3D grids supported");
+        let mut reg = registry().write();
+        let id = reg.len() as u32;
+        reg.push(FieldInfo {
+            name: name.to_owned(),
+            components,
+            dim,
+        });
+        Field(id)
+    }
+
+    pub fn name(self) -> String {
+        registry().read()[self.0 as usize].name.clone()
+    }
+
+    pub fn components(self) -> usize {
+        registry().read()[self.0 as usize].components
+    }
+
+    pub fn dim(self) -> usize {
+        registry().read()[self.0 as usize].dim
+    }
+
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.name(), self.0)
+    }
+}
+
+/// One component of a field at a cell-relative offset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Access {
+    pub field: Field,
+    pub comp: u16,
+    pub off: [i32; 3],
+}
+
+impl Access {
+    pub fn center(field: Field, comp: usize) -> Access {
+        Access {
+            field,
+            comp: comp as u16,
+            off: [0, 0, 0],
+        }
+    }
+
+    pub fn at(field: Field, comp: usize, off: [i32; 3]) -> Access {
+        Access {
+            field,
+            comp: comp as u16,
+            off,
+        }
+    }
+
+    /// The same access shifted by `delta` (used when discretizing staggered
+    /// fluxes: the left staggered value of a cell is the right staggered
+    /// value of its left neighbour).
+    pub fn shifted(self, delta: [i32; 3]) -> Access {
+        Access {
+            field: self.field,
+            comp: self.comp,
+            off: [
+                self.off[0] + delta[0],
+                self.off[1] + delta[1],
+                self.off[2] + delta[2],
+            ],
+        }
+    }
+
+    pub fn is_center(self) -> bool {
+        self.off == [0, 0, 0]
+    }
+}
+
+impl fmt::Debug for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]({},{},{})",
+            self.field.name(),
+            self.comp,
+            self.off[0],
+            self.off[1],
+            self.off[2]
+        )
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_center() {
+            write!(f, "{}[{}]", self.field.name(), self.comp)
+        } else {
+            fmt::Debug::fmt(self, f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_registry_roundtrip() {
+        let phi = Field::new("phi_t", 4, 3);
+        assert_eq!(phi.name(), "phi_t");
+        assert_eq!(phi.components(), 4);
+        assert_eq!(phi.dim(), 3);
+    }
+
+    #[test]
+    fn fields_with_equal_names_are_distinct() {
+        let a = Field::new("dup", 1, 3);
+        let b = Field::new("dup", 1, 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn access_shift_composes() {
+        let f = Field::new("f_t", 1, 3);
+        let a = Access::at(f, 0, [1, 0, -1]).shifted([-1, 2, 1]);
+        assert_eq!(a.off, [0, 2, 0]);
+        assert!(!a.is_center());
+        assert!(Access::center(f, 0).is_center());
+    }
+}

@@ -1,0 +1,46 @@
+//! `pf-symbolic` — the computer-algebra substrate of the phase-field code
+//! generation pipeline (the sympy replacement of the SC'19 paper's stack).
+//!
+//! Provides canonical-form expression trees over scalars, model parameters
+//! and grid fields; differentiation including **variational derivatives** of
+//! energy functionals; substitution (compile-time parameter binding);
+//! expansion; evaluation; and global common subexpression elimination.
+//!
+//! The layers above build on this: `pf-stencil` rewrites the continuous
+//! `Diff` nodes produced here into finite-difference accesses, `pf-ir` turns
+//! assignment lists into typed kernels, and `pf-backend` emits/executes them.
+//!
+//! # Example
+//!
+//! ```
+//! use pf_symbolic::{Expr, Field, Access};
+//!
+//! // Dirichlet energy of a scalar field: E = |∇u|²
+//! let u = Field::new("u", 1, 2);
+//! let acc = Access::center(u, 0);
+//! let grad2: Expr = (0..2).map(|d| {
+//!     let g = Expr::d(Expr::access(acc), d);
+//!     Expr::powi(g, 2)
+//! }).sum();
+//!
+//! // δE/δu = −2Δu (still continuous; discretization happens downstream)
+//! let force = grad2.functional_derivative(acc, 2);
+//! assert!(force.has_diff());
+//! ```
+
+pub mod cse;
+pub mod diff;
+pub mod display;
+pub mod eval;
+pub mod expr;
+pub mod field;
+pub mod simplify;
+pub mod subs;
+pub mod symbol;
+
+pub use cse::{cse, cse_with_prefix, CseResult};
+pub use eval::{EvalCtx, MapCtx};
+pub use expr::{CmpOp, Cond, Expr, Func, Node};
+pub use field::{Access, Field};
+pub use simplify::expand;
+pub use symbol::Symbol;

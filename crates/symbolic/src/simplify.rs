@@ -1,0 +1,552 @@
+//! Canonicalization (auto-simplification) and expansion.
+//!
+//! The constructors in `Expr` delegate here. The invariants maintained:
+//!
+//! * `Add` is flat, contains at most one leading numeric term, no two terms
+//!   with the same non-numeric part, and is sorted under the structural order.
+//! * `Mul` is flat, contains at most one leading numeric coefficient, no two
+//!   factors with the same base (exponents are merged), and is sorted.
+//! * `Pow` folds numeric cases, strips exponents 0/1, merges integer nested
+//!   exponents and distributes integer powers over products.
+//!
+//! These invariants are what make "terms cancel", "x·x → x²" and global CSE
+//! work without a search.
+
+use crate::expr::{Expr, Node};
+use std::collections::BTreeMap;
+
+/// Split a term into (numeric coefficient, remainder-product).
+/// `3·x·y → (3, x·y)`, `x → (1, x)`, `5 → (5, 1)`.
+pub(crate) fn split_coeff(term: &Expr) -> (f64, Expr) {
+    match term.node() {
+        Node::Num(v) => (*v, Expr::one()),
+        Node::Mul(fs) => {
+            if let Some(c) = fs.first().and_then(|f| f.as_num()) {
+                let rest: Vec<Expr> = fs[1..].to_vec();
+                let rest = if rest.len() == 1 {
+                    rest.into_iter().next().expect("len checked")
+                } else {
+                    // Already canonical (sorted, merged) — rebuild cheaply.
+                    Expr::from_node(Node::Mul(rest))
+                };
+                (c, rest)
+            } else {
+                (1.0, term.clone())
+            }
+        }
+        _ => (1.0, term.clone()),
+    }
+}
+
+/// Split a factor into (base, exponent). `x^3 → (x, 3)`, `x → (x, 1)`.
+fn split_pow(factor: &Expr) -> (Expr, Expr) {
+    match factor.node() {
+        Node::Pow(b, e) => (b.clone(), e.clone()),
+        _ => (factor.clone(), Expr::one()),
+    }
+}
+
+pub fn make_add(terms: Vec<Expr>) -> Expr {
+    let mut constant = 0.0f64;
+    // BTreeMap keyed on the non-numeric part keeps deterministic order.
+    let mut collected: BTreeMap<Expr, f64> = BTreeMap::new();
+
+    let mut stack = terms;
+    stack.reverse();
+    while let Some(t) = stack.pop() {
+        match t.node() {
+            Node::Num(v) => constant += v,
+            Node::Add(inner) => {
+                for x in inner.iter().rev() {
+                    stack.push(x.clone());
+                }
+            }
+            _ => {
+                let (c, rest) = split_coeff(&t);
+                if rest.is_one() {
+                    constant += c;
+                } else {
+                    *collected.entry(rest).or_insert(0.0) += c;
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Expr> = Vec::with_capacity(collected.len() + 1);
+    if constant != 0.0 {
+        out.push(Expr::num(constant));
+    }
+    for (rest, coeff) in collected {
+        if coeff == 0.0 {
+            continue;
+        }
+        if coeff == 1.0 {
+            out.push(rest);
+        } else {
+            out.push(make_mul(vec![Expr::num(coeff), rest]));
+        }
+    }
+
+    match out.len() {
+        0 => Expr::zero(),
+        1 => out.into_iter().next().expect("len checked"),
+        _ => Expr::from_node(Node::Add(out)),
+    }
+}
+
+pub fn make_mul(factors: Vec<Expr>) -> Expr {
+    let mut coeff = 1.0f64;
+    let mut collected: BTreeMap<Expr, Vec<Expr>> = BTreeMap::new();
+
+    let mut stack = factors;
+    stack.reverse();
+    while let Some(f) = stack.pop() {
+        match f.node() {
+            Node::Num(v) => {
+                coeff *= v;
+                if coeff == 0.0 {
+                    return Expr::zero();
+                }
+            }
+            Node::Mul(inner) => {
+                for x in inner.iter().rev() {
+                    stack.push(x.clone());
+                }
+            }
+            _ => {
+                let (base, exp) = split_pow(&f);
+                collected.entry(base).or_default().push(exp);
+            }
+        }
+    }
+
+    let mut out: Vec<Expr> = Vec::with_capacity(collected.len() + 1);
+    for base in collected.keys() {
+        let exps = &collected[base];
+        let total = if exps.len() == 1 {
+            exps[0].clone()
+        } else {
+            make_add(exps.clone())
+        };
+        let p = make_pow(base.clone(), total);
+        match p.node() {
+            Node::Num(v) => coeff *= v,
+            _ => out.push(p),
+        }
+    }
+    if coeff == 0.0 {
+        return Expr::zero();
+    }
+
+    out.sort();
+    // Distribute a pure numeric coefficient over a lone sum (sympy does the
+    // same): without this, `x - (c + x)` would not cancel, because the
+    // negated sum would stay opaque inside the product.
+    if coeff != 1.0 && out.len() == 1 {
+        if let Node::Add(terms) = out[0].node() {
+            let distributed: Vec<Expr> = terms
+                .iter()
+                .map(|t| make_mul(vec![Expr::num(coeff), t.clone()]))
+                .collect();
+            return make_add(distributed);
+        }
+    }
+    if coeff != 1.0 {
+        out.insert(0, Expr::num(coeff));
+    }
+    match out.len() {
+        0 => Expr::one(),
+        1 => out.into_iter().next().expect("len checked"),
+        _ => Expr::from_node(Node::Mul(out)),
+    }
+}
+
+fn is_integer(v: f64) -> bool {
+    v.fract() == 0.0 && v.abs() < 2f64.powi(52)
+}
+
+pub fn make_pow(base: Expr, exp: Expr) -> Expr {
+    if let Some(e) = exp.as_num() {
+        if e == 0.0 {
+            return Expr::one();
+        }
+        if e == 1.0 {
+            return base;
+        }
+        if let Some(b) = base.as_num() {
+            let v = b.powf(e);
+            if v.is_finite() {
+                return Expr::num(v);
+            }
+        }
+        if is_integer(e) {
+            // (x^a)^n → x^(a·n) is always valid for integer n.
+            if let Node::Pow(inner_b, inner_e) = base.node() {
+                let merged = make_mul(vec![inner_e.clone(), Expr::num(e)]);
+                return make_pow(inner_b.clone(), merged);
+            }
+            // (x·y)^n → x^n · y^n for integer n.
+            if let Node::Mul(fs) = base.node() {
+                let parts: Vec<Expr> = fs
+                    .iter()
+                    .map(|f| make_pow(f.clone(), Expr::num(e)))
+                    .collect();
+                return make_mul(parts);
+            }
+        }
+    }
+    if base.is_one() {
+        return Expr::one();
+    }
+    if base.is_zero() {
+        if let Some(e) = exp.as_num() {
+            if e > 0.0 {
+                return Expr::zero();
+            }
+        }
+    }
+    Expr::from_node(Node::Pow(base, exp))
+}
+
+/// Fully distribute products over sums and expand small integer powers of
+/// sums. Used before term-wise simplification and op counting, mirroring the
+/// paper's "terms are simplified individually by expansion" step.
+pub fn expand(e: &Expr) -> Expr {
+    // A global work budget bounds the total number of distributed terms
+    // produced across *all* nested distributions: rational/irrational
+    // factors (anisotropy terms) make full expansion both useless and
+    // explosive, so once the budget is gone the remaining nodes pass
+    // through unexpanded.
+    let mut budget = EXPAND_BUDGET;
+    expand_depth(e, 0, &mut std::collections::HashMap::new(), &mut budget)
+}
+
+const EXPAND_MAX_DEPTH: usize = 64;
+const EXPAND_MAX_TERMS: usize = 2_000;
+const EXPAND_BUDGET: usize = 100_000;
+
+fn expand_depth(
+    e: &Expr,
+    depth: usize,
+    memo: &mut std::collections::HashMap<usize, Expr>,
+    budget: &mut usize,
+) -> Expr {
+    if depth > EXPAND_MAX_DEPTH || *budget == 0 {
+        return e.clone();
+    }
+    if let Some(hit) = memo.get(&e.node_id()) {
+        return hit.clone();
+    }
+    let expanded_children: Vec<Expr> = e
+        .children()
+        .iter()
+        .map(|c| expand_depth(c, depth + 1, memo, budget))
+        .collect();
+    let rebuilt = e.with_children(expanded_children);
+    let out = expand_top(&rebuilt, depth, budget);
+    memo.insert(e.node_id(), out.clone());
+    out
+}
+
+/// Term list of an expression viewed as a sum.
+fn terms_of(e: &Expr) -> Vec<Expr> {
+    match e.node() {
+        Node::Add(ts) => ts.clone(),
+        _ => vec![e.clone()],
+    }
+}
+
+/// Does the top node still contain something to distribute?
+fn needs_expansion(e: &Expr) -> bool {
+    let pow_of_sum = |x: &Expr| {
+        matches!(
+            x.node(),
+            Node::Pow(b, ex)
+                if matches!(b.node(), Node::Add(_))
+                    && ex.as_num().is_some_and(|n| is_integer(n) && (2.0..=8.0).contains(&n))
+        )
+    };
+    match e.node() {
+        Node::Mul(fs) => fs
+            .iter()
+            .any(|f| matches!(f.node(), Node::Add(_)) || pow_of_sum(f)),
+        Node::Pow(_, _) => pow_of_sum(e),
+        _ => false,
+    }
+}
+
+/// Expand the *top* node, assuming children are already expanded.
+fn expand_top(e: &Expr, depth: usize, budget: &mut usize) -> Expr {
+    if depth > EXPAND_MAX_DEPTH || !needs_expansion(e) || *budget == 0 {
+        return e.clone();
+    }
+    let factor_lists: Vec<Vec<Expr>> = match e.node() {
+        // `Pow(Add, n)` factors are expanded first so their term lists split.
+        Node::Mul(fs) => fs
+            .iter()
+            .map(|f| terms_of(&expand_top(f, depth + 1, budget)))
+            .collect(),
+        Node::Pow(b, ex) => {
+            if let (Node::Add(ts), Some(n)) = (b.node(), ex.as_num()) {
+                if is_integer(n) && (2.0..=8.0).contains(&n) {
+                    std::iter::repeat_n(ts.clone(), n as usize).collect()
+                } else {
+                    return e.clone();
+                }
+            } else {
+                return e.clone();
+            }
+        }
+        _ => return e.clone(),
+    };
+
+    // Cross-product of the per-factor term lists. Each combination is a
+    // product of non-`Add` terms, so `make_mul` cannot re-create the node we
+    // started from — but exponent merging may still yield `Add` (flattened by
+    // `make_add`) or a `Pow(Add, n)` with a *smaller* total exponent, which
+    // we expand recursively (strictly decreasing, hence terminating).
+    let mut acc: Vec<Expr> = vec![Expr::one()];
+    for list in &factor_lists {
+        if acc.len() * list.len() > EXPAND_MAX_TERMS || acc.len() * list.len() > *budget {
+            return e.clone();
+        }
+        *budget -= acc.len() * list.len();
+        let mut next = Vec::with_capacity(acc.len() * list.len());
+        for a in &acc {
+            for t in list {
+                let prod = make_mul(vec![a.clone(), t.clone()]);
+                let prod = match prod.node() {
+                    Node::Mul(_) | Node::Pow(_, _) => expand_top(&prod, depth + 1, budget),
+                    _ => prod,
+                };
+                next.extend(terms_of(&prod));
+            }
+        }
+        acc = next;
+    }
+    make_add(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn x() -> Expr {
+        Expr::sym("simp_x")
+    }
+    fn y() -> Expr {
+        Expr::sym("simp_y")
+    }
+
+    #[test]
+    fn add_collects_and_cancels() {
+        let e = 2.0 * x() + 3.0 * x() - 5.0 * x();
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn add_folds_constants_across_nesting() {
+        let e = (x() + 1.0) + (2.0 + x());
+        assert_eq!(e, 2.0 * x() + 3.0);
+    }
+
+    #[test]
+    fn mul_merges_exponents() {
+        let e = Expr::powi(x(), 2) * Expr::powi(x(), 3);
+        assert_eq!(e, Expr::powi(x(), 5));
+    }
+
+    #[test]
+    fn mul_cancels_reciprocal() {
+        let e = x() * Expr::recip(x());
+        assert!(e.is_one());
+    }
+
+    #[test]
+    fn numeric_reciprocal_folds() {
+        let e = Expr::recip(Expr::num(4.0));
+        assert_eq!(e.as_num(), Some(0.25));
+    }
+
+    #[test]
+    fn pow_zero_and_one() {
+        assert!(Expr::powi(x(), 0).is_one());
+        assert_eq!(Expr::powi(x(), 1), x());
+        assert!(Expr::powi(Expr::zero(), 3).is_zero());
+        assert!(Expr::pow(Expr::one(), x()).is_one());
+    }
+
+    #[test]
+    fn nested_integer_pow_merges() {
+        let e = Expr::powi(Expr::powi(x(), 2), 3);
+        assert_eq!(e, Expr::powi(x(), 6));
+    }
+
+    #[test]
+    fn sqrt_squared_merges() {
+        // (x^(1/2))^2 → x (integer outer exponent).
+        let e = Expr::powi(Expr::sqrt(x()), 2);
+        assert_eq!(e, x());
+    }
+
+    #[test]
+    fn integer_pow_distributes_over_product() {
+        let e = Expr::powi(x() * y(), 2);
+        assert_eq!(e, Expr::powi(x(), 2) * Expr::powi(y(), 2));
+    }
+
+    #[test]
+    fn fractional_pow_does_not_distribute() {
+        let e = Expr::sqrt(x() * y());
+        match e.node() {
+            Node::Pow(b, _) => assert!(matches!(b.node(), Node::Mul(_))),
+            other => panic!("expected Pow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expand_binomial_square() {
+        let e = expand(&Expr::powi(x() + y(), 2));
+        let expected =
+            Expr::powi(x(), 2) + 2.0 * x() * y() + Expr::powi(y(), 2);
+        assert_eq!(e, expected);
+    }
+
+    #[test]
+    fn expand_distributes_product_of_sums() {
+        let e = expand(&((x() + 1.0) * (y() + 2.0)));
+        let expected = x() * y() + 2.0 * x() + y() + 2.0;
+        assert_eq!(e, expected);
+    }
+
+    #[test]
+    fn expand_then_cancel() {
+        // (x+y)^2 - x^2 - 2xy - y^2 == 0 only after expansion.
+        let e = Expr::powi(x() + y(), 2)
+            - Expr::powi(x(), 2)
+            - 2.0 * x() * y()
+            - Expr::powi(y(), 2);
+        assert!(expand(&e).is_zero());
+    }
+
+    #[test]
+    fn coefficient_normalization() {
+        // 6·x / 3 → 2·x via numeric folding through mul.
+        let e = (6.0 * x()) / 3.0;
+        assert_eq!(e, 2.0 * x());
+    }
+}
+
+#[cfg(test)]
+mod canonical_invariants {
+    use crate::expr::{Expr, Node};
+    use proptest::prelude::*;
+
+    fn arb_small_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-20i32..20).prop_map(|v| Expr::num(v as f64 / 4.0)),
+            Just(Expr::sym("ci_a")),
+            Just(Expr::sym("ci_b")),
+            Just(Expr::sym("ci_c")),
+        ];
+        leaf.prop_recursive(3, 24, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+                (1i64..4, inner.clone()).prop_map(|(n, a)| Expr::powi(a, n)),
+            ]
+        })
+    }
+
+    /// Check the canonical-form invariants on every node of an expression.
+    fn assert_canonical(e: &Expr) {
+        e.visit(&mut |n| match n.node() {
+            Node::Add(ts) => {
+                assert!(ts.len() >= 2, "degenerate sum");
+                // Flat: no nested Add; at most one leading numeric term; no
+                // two terms with the same non-numeric part (they'd have been
+                // collected); sorted.
+                for t in ts {
+                    assert!(!matches!(t.node(), Node::Add(_)), "nested Add in {e}");
+                }
+                assert!(
+                    ts[1..].iter().all(|t| t.as_num().is_none()),
+                    "non-leading numeric term in {e}"
+                );
+                // Terms are ordered by their coefficient-stripped parts
+                // (the BTreeMap key of `make_add`), which also implies no
+                // two terms share a non-numeric part.
+                let keys: Vec<Expr> = ts
+                    .iter()
+                    .filter(|t| t.as_num().is_none())
+                    .map(|t| crate::simplify::split_coeff(t).1)
+                    .collect();
+                assert!(
+                    keys.windows(2).all(|w| w[0] < w[1]),
+                    "unsorted or duplicate term keys in {e}"
+                );
+            }
+            Node::Mul(fs) => {
+                assert!(fs.len() >= 2, "degenerate product");
+                for f in fs {
+                    assert!(!matches!(f.node(), Node::Mul(_)), "nested Mul in {e}");
+                }
+                assert!(
+                    fs[1..].iter().all(|f| f.as_num().is_none()),
+                    "non-leading numeric factor in {e}"
+                );
+                assert!(!fs.iter().any(|f| f.is_one()), "unit factor in {e}");
+            }
+            Node::Pow(_, ex) => {
+                assert!(ex.as_num() != Some(0.0), "x^0 not folded in {e}");
+                assert!(ex.as_num() != Some(1.0), "x^1 not folded in {e}");
+            }
+            _ => {}
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn constructors_always_yield_canonical_forms(e in arb_small_expr()) {
+            assert_canonical(&e);
+            assert_canonical(&crate::simplify::expand(&e));
+        }
+
+        #[test]
+        fn structural_equality_is_an_equivalence(a in arb_small_expr(), b in arb_small_expr()) {
+            prop_assert!(a == a.clone());
+            if a == b {
+                prop_assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+                // Hash consistency.
+                use std::collections::hash_map::DefaultHasher;
+                use std::hash::{Hash, Hasher};
+                let h = |x: &Expr| {
+                    let mut s = DefaultHasher::new();
+                    x.hash(&mut s);
+                    s.finish()
+                };
+                prop_assert_eq!(h(&a), h(&b));
+            }
+        }
+
+        #[test]
+        fn addition_is_commutative_and_associative_canonically(
+            a in arb_small_expr(), b in arb_small_expr(), c in arb_small_expr()
+        ) {
+            prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+            prop_assert_eq!(
+                (a.clone() + b.clone()) + c.clone(),
+                a.clone() + (b + c)
+            );
+        }
+
+        #[test]
+        fn subtracting_self_cancels(e in arb_small_expr()) {
+            prop_assert!((e.clone() - e).is_zero());
+        }
+    }
+}

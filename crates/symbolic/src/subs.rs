@@ -1,0 +1,122 @@
+//! Substitution of subexpressions.
+//!
+//! Substitution is the workhorse of the pipeline: parameter binding
+//! ("constant folding on expression level" — §3.3 of the paper), replacement
+//! of continuous derivatives by finite-difference stencils, and rewriting of
+//! accesses during kernel splitting all use it.
+
+use crate::expr::Expr;
+use std::collections::HashMap;
+
+impl Expr {
+    /// Replace every occurrence of each key by its value, bottom-up. Matches
+    /// whole canonical subtrees (like sympy's `xreplace`): substituting `x`
+    /// in `x + y` works, substituting `x + y` in `x + y + z` does *not*
+    /// (the canonical tree is a flat 3-term sum).
+    pub fn substitute(&self, map: &HashMap<Expr, Expr>) -> Expr {
+        if map.is_empty() {
+            return self.clone();
+        }
+        self.substitute_impl(map, &mut HashMap::new())
+    }
+
+    fn substitute_impl(
+        &self,
+        map: &HashMap<Expr, Expr>,
+        memo: &mut HashMap<Expr, Expr>,
+    ) -> Expr {
+        if let Some(hit) = memo.get(self) {
+            return hit.clone();
+        }
+        let result = if let Some(rep) = map.get(self) {
+            rep.clone()
+        } else {
+            let ch = self.children();
+            if ch.is_empty() {
+                self.clone()
+            } else {
+                let new_ch: Vec<Expr> = ch
+                    .iter()
+                    .map(|c| c.substitute_impl(map, memo))
+                    .collect();
+                if new_ch == ch {
+                    self.clone()
+                } else {
+                    self.with_children(new_ch)
+                }
+            }
+        };
+        memo.insert(self.clone(), result.clone());
+        result
+    }
+
+    /// Convenience: substitute a single pair.
+    pub fn subs(&self, from: &Expr, to: &Expr) -> Expr {
+        let mut m = HashMap::new();
+        m.insert(from.clone(), to.clone());
+        self.substitute(&m)
+    }
+
+    /// Bind named parameters to numeric values — the paper's compile-time
+    /// parametrization step. Returns the folded expression.
+    pub fn bind_params(&self, params: &HashMap<crate::symbol::Symbol, f64>) -> Expr {
+        let map: HashMap<Expr, Expr> = params
+            .iter()
+            .map(|(s, v)| (Expr::symbol(*s), Expr::num(*v)))
+            .collect();
+        self.substitute(&map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    #[test]
+    fn substitute_symbol() {
+        let x = Expr::sym("sub_x");
+        let y = Expr::sym("sub_y");
+        let e = Expr::powi(x.clone(), 2) + x.clone();
+        let r = e.subs(&x, &y);
+        assert_eq!(r, Expr::powi(y.clone(), 2) + y);
+    }
+
+    #[test]
+    fn substitute_resimplifies() {
+        let x = Expr::sym("sub_a");
+        let e = x.clone() + 1.0;
+        let r = e.subs(&x, &Expr::num(2.0));
+        assert_eq!(r.as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn bind_params_folds_constants() {
+        let g = Symbol::new("sub_gamma");
+        let x = Expr::sym("sub_phi");
+        let e = Expr::symbol(g) * x.clone() * 2.0;
+        let mut params = HashMap::new();
+        params.insert(g, 0.5);
+        assert_eq!(e.bind_params(&params), x);
+    }
+
+    #[test]
+    fn substitution_is_simultaneous_not_sequential() {
+        // Swapping x and y must not cascade.
+        let x = Expr::sym("sub_sw_x");
+        let y = Expr::sym("sub_sw_y");
+        let e = x.clone() - y.clone();
+        let mut m = HashMap::new();
+        m.insert(x.clone(), y.clone());
+        m.insert(y.clone(), x.clone());
+        assert_eq!(e.substitute(&m), y - x);
+    }
+
+    #[test]
+    fn substitute_inside_function_and_pow() {
+        let x = Expr::sym("sub_fn_x");
+        let e = Expr::abs(Expr::sqrt(x.clone()));
+        let r = e.subs(&x, &Expr::num(4.0));
+        assert_eq!(r.as_num(), Some(2.0));
+    }
+}

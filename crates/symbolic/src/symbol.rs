@@ -1,0 +1,128 @@
+//! Interned symbols.
+//!
+//! Symbols are the leaves of symbolic expressions that stand for runtime
+//! scalars: model parameters (`gamma_01`, `tau`), loop-invariant quantities,
+//! or CSE temporaries. Interning makes them `Copy` and cheap to compare,
+//! which matters because canonical ordering of sums/products compares
+//! symbols constantly.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned identifier. Two symbols are equal iff their names are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    map: HashMap<&'static str, u32>,
+}
+
+static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+
+fn interner() -> &'static RwLock<Interner> {
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            map: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `name` and return its symbol. Idempotent.
+    pub fn new(name: &str) -> Symbol {
+        {
+            let int = interner().read();
+            if let Some(&id) = int.map.get(name) {
+                return Symbol(id);
+            }
+        }
+        let mut int = interner().write();
+        if let Some(&id) = int.map.get(name) {
+            return Symbol(id);
+        }
+        // Symbol names live for the program duration; leaking them gives us
+        // `&'static str` access without a lock on every `name()` call.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = int.names.len() as u32;
+        int.names.push(leaked);
+        int.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned name.
+    pub fn name(self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// Stable numeric id (useful as a map key in dense tables).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Create a fresh symbol guaranteed not to collide with any symbol
+    /// interned so far, using `prefix` for readability (e.g. CSE temps).
+    pub fn fresh(prefix: &str) -> Symbol {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let candidate = format!("{prefix}_{n}");
+            let exists = interner().read().map.contains_key(candidate.as_str());
+            if !exists {
+                return Symbol::new(&candidate);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("alpha");
+        let b = Symbol::new("alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "alpha");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::new("a1"), Symbol::new("a2"));
+    }
+
+    #[test]
+    fn fresh_does_not_collide() {
+        let taken = Symbol::new("tmp_0");
+        let f = Symbol::fresh("tmp");
+        assert_ne!(taken, f);
+        let g = Symbol::fresh("tmp");
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn symbols_are_ordered_consistently() {
+        let a = Symbol::new("ord_a");
+        let b = Symbol::new("ord_b");
+        // Ordering is by intern id, not name; it only needs to be total and
+        // stable within a process.
+        assert_eq!(a.cmp(&b), a.cmp(&b));
+    }
+}

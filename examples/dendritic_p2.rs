@@ -1,0 +1,73 @@
+//! Dendritic solidification of a binary alloy — the paper's **P2**
+//! scenario (Fig. 4 middle/right): anisotropic gradient energy, misoriented
+//! seeds competing under a temperature gradient, with Philox fluctuations
+//! promoting side-branching.
+//!
+//! Run with: `cargo run --release --example dendritic_p2`
+
+use pf_core::{generate_kernels, p2, BcKind, SimConfig, Simulation, Variant};
+use pf_ir::GenOptions;
+
+fn main() {
+    let mut params = p2();
+    params.dim = 2;
+    params.dt = 0.01;
+    params.temperature.gradient = 0.0; // isothermal slice for the demo
+    params.fluctuation_amplitude = 5e-4;
+
+    println!("generating P2 kernels (anisotropic gradient energy)…");
+    let kernels = generate_kernels(&params, &GenOptions::default());
+
+    let shape = [64usize, 48, 1];
+    let mut cfg = SimConfig::new(shape);
+    cfg.bc = [BcKind::Periodic, BcKind::Neumann, BcKind::Periodic];
+    // The paper's variant study (Fig. 2 middle): for the anisotropic P2
+    // model the split φ kernel is the right choice.
+    cfg.phi_variant = Variant::Split;
+    cfg.mu_variant = Variant::Split;
+    let mut sim = Simulation::new(params.clone(), kernels, cfg);
+
+    // Two seeds with different crystal orientations (phases 1 and 2 carry
+    // orientations 0.35 and −0.6 rad in `p2()`), competing as they grow.
+    let seeds = [(16.0f64, 6.0, 1usize), (48.0, 6.0, 2usize)];
+    sim.init_phi(|x, y, _| {
+        let mut v = vec![0.0; 3];
+        let mut solid_total: f64 = 0.0;
+        for (cx, cy, phase) in seeds {
+            let d = (((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt() - 4.0) / 2.0;
+            let s = 0.5 * (1.0 - d.tanh());
+            v[phase] += s;
+            solid_total += s;
+        }
+        v[0] = (1.0 - solid_total).max(0.0);
+        v
+    });
+    sim.init_mu(|_, _, _| vec![0.25]);
+
+    for block in 1..=4 {
+        sim.run_steps(60);
+        let f1 = pf_core::analysis::phase_fraction(sim.phi(), 1);
+        let f2 = pf_core::analysis::phase_fraction(sim.phi(), 2);
+        // Tip height: highest y where any solid exceeds 0.5.
+        let mut tip = 0usize;
+        let phi = sim.phi();
+        for y in 0..shape[1] {
+            for x in 0..shape[0] {
+                let s = phi.get(1, x as isize, y as isize, 0)
+                    + phi.get(2, x as isize, y as isize, 0);
+                if s > 0.5 {
+                    tip = tip.max(y);
+                }
+            }
+        }
+        println!(
+            "after {:3} steps: grain A {:.3}, grain B {:.3}, tip height {} cells",
+            block * 60,
+            f1,
+            f2,
+            tip
+        );
+    }
+    println!("\nboth grains grow with anisotropy-selected directions; over longer");
+    println!("runs the better-aligned orientation overgrows the other (Fig. 4).");
+}

@@ -1,0 +1,33 @@
+//! `pf-suite` — umbrella crate for the phase-field code-generation
+//! reproduction (SC '19, Bauer et al.).
+//!
+//! Re-exports the whole stack under one roof; the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`) live here.
+//!
+//! Layer map (top of Fig. 1 → bottom):
+//!
+//! | crate          | role |
+//! |----------------|------|
+//! | [`core`]       | energy functional & PDE layers, P1/P2 models, drivers |
+//! | [`symbolic`]   | computer algebra: expressions, variational derivatives, CSE |
+//! | [`stencil`]    | finite-difference discretization, split kernels |
+//! | [`ir`]         | SSA tape, LICM, scheduling, rematerialization |
+//! | [`backend`]    | native executor, C & CUDA emitters |
+//! | [`fields`]     | ghosted array storage |
+//! | [`grid`]       | block decomposition, rank communication, halo exchange |
+//! | [`rng`]        | Philox 4x32-10 counter-based RNG |
+//! | [`perfmodel`]  | op census, layer conditions, cache sim, ECM, GPU model |
+//! | [`machine`]    | SuperMUC-NG / Piz Daint hardware descriptions |
+//! | [`cluster`]    | cluster-scale timestep pricing |
+
+pub use pf_backend as backend;
+pub use pf_cluster as cluster;
+pub use pf_core as core;
+pub use pf_fields as fields;
+pub use pf_grid as grid;
+pub use pf_ir as ir;
+pub use pf_machine as machine;
+pub use pf_perfmodel as perfmodel;
+pub use pf_rng as rng;
+pub use pf_stencil as stencil;
+pub use pf_symbolic as symbolic;

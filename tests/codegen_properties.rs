@@ -1,0 +1,195 @@
+//! Property-based tests over the code-generation pipeline: randomly built
+//! expressions must evaluate identically through every representation
+//! (symbolic tree, canonical/simplified form, CSE'd form, lowered tape,
+//! rescheduled/rematerialized tapes, emitted artifacts).
+
+use pf_ir::{
+    generate, insert_fences, interp_expr_context, rematerialize, schedule_min_live, GenOptions,
+};
+use pf_stencil::{Assignment, StencilKernel};
+use pf_symbolic::{cse, expand, Access, Expr, Field, MapCtx};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Shared field for random access leaves (field registration is global, so
+/// reuse one).
+fn test_field() -> Field {
+    static F: OnceLock<Field> = OnceLock::new();
+    *F.get_or_init(|| Field::new("prop_f", 3, 3))
+}
+
+/// A recursive strategy for random, numerically tame expressions: every
+/// generated tree evaluates to a finite value for leaf bindings in
+/// [0.1, 2], by construction (denominators are ≥ 1, sqrt args are ≥ 0).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (1i32..40).prop_map(|v| Expr::num(v as f64 / 8.0)),
+        Just(Expr::sym("prop_x")),
+        Just(Expr::sym("prop_y")),
+        (0usize..3, -1i32..=1, -1i32..=1).prop_map(|(c, ox, oy)| Expr::access(Access::at(
+            test_field(),
+            c,
+            [ox, oy, 0]
+        ))),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            // Denominator ≥ 1: safe division.
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| a / (Expr::powi(b, 2) + 1.0)),
+            inner.clone().prop_map(|a| Expr::sqrt(Expr::powi(a, 2) + 0.5)),
+            inner.clone().prop_map(|a| Expr::rsqrt(Expr::powi(a, 2) + 1.0)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::max(a, b)),
+            (2i64..4, inner.clone()).prop_map(|(n, a)| Expr::powi(a, n)),
+            inner.clone().prop_map(Expr::abs),
+        ]
+    })
+}
+
+fn ctx_for(e: &Expr, x: f64, y: f64) -> MapCtx {
+    let mut ctx = MapCtx::new();
+    ctx.set("prop_x", x).set("prop_y", y);
+    for a in e.accesses() {
+        let h = (a.comp as i32 * 5 + a.off[0] * 3 + a.off[1] * 7).rem_euclid(13);
+        ctx.set_access(a, 0.1 + h as f64 / 8.0);
+    }
+    ctx
+}
+
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn expansion_preserves_value(e in arb_expr(), x in 0.1f64..2.0, y in 0.1f64..2.0) {
+        let ctx = ctx_for(&e, x, y);
+        let v1 = e.eval(&ctx);
+        let v2 = expand(&e).eval(&ctx);
+        prop_assert!(close(v1, v2), "{v1} vs {v2}");
+    }
+
+    #[test]
+    fn cse_preserves_value(a in arb_expr(), b in arb_expr(), x in 0.1f64..2.0) {
+        // Two roots sharing structure with probability — CSE must not
+        // change either.
+        let shared = a.clone() * b.clone();
+        let roots = [shared.clone() + a.clone(), shared - b.clone()];
+        let ctx = ctx_for(&(roots[0].clone() + roots[1].clone()), x, 1.3);
+        let r = cse(&roots);
+        let mut c = ctx.clone();
+        for (s, d) in &r.temps {
+            let v = d.eval(&c);
+            c.syms.insert(*s, v);
+        }
+        for (i, root) in roots.iter().enumerate() {
+            prop_assert!(close(root.eval(&ctx), r.exprs[i].eval(&c)));
+        }
+    }
+
+    #[test]
+    fn lowering_preserves_value(e in arb_expr(), x in 0.1f64..2.0, y in 0.1f64..2.0) {
+        let out = test_field();
+        let k = StencilKernel::new(
+            "prop_lower",
+            vec![Assignment::store(Access::at(out, 0, [0, 0, 0]), e.clone())],
+        );
+        let tape = generate(&k, &GenOptions::default());
+        let mut ctx = ctx_for(&e, x, y);
+        // The kernel's own store target may collide with a read in ctx —
+        // make sure all loads the tape performs are bound.
+        for op in &tape.instrs {
+            if let pf_ir::TapeOp::Load { field, comp, off } = op {
+                let acc = Access::at(
+                    tape.fields[*field as usize],
+                    *comp as usize,
+                    [off[0] as i32, off[1] as i32, off[2] as i32],
+                );
+                ctx.fields.entry(acc).or_insert(0.7);
+            }
+        }
+        let got = interp_expr_context(&tape, &ctx).stores[0].1;
+        let want = e.eval(&ctx);
+        prop_assert!(close(got, want), "{got} vs {want}");
+    }
+
+    #[test]
+    fn register_transforms_preserve_value(e in arb_expr(), x in 0.1f64..2.0) {
+        let out = test_field();
+        let k = StencilKernel::new(
+            "prop_sched",
+            vec![Assignment::store(Access::at(out, 1, [0, 0, 0]), e.clone())],
+        );
+        let base = generate(&k, &GenOptions::default());
+        let ctx = ctx_for(&e, x, 0.9);
+        let reference = interp_expr_context(&base, &ctx).stores[0].1;
+        for t in [
+            schedule_min_live(&base, 4),
+            rematerialize(&base, 2),
+            insert_fences(&base, 5),
+            schedule_min_live(&insert_fences(&rematerialize(&base, 2), 7), 4),
+        ] {
+            let got = interp_expr_context(&t, &ctx).stores[0].1;
+            prop_assert!(close(got, reference), "{got} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn scheduling_never_increases_peak_liveness(e in arb_expr()) {
+        let out = test_field();
+        let k = StencilKernel::new(
+            "prop_live",
+            vec![Assignment::store(Access::at(out, 2, [0, 0, 0]), e)],
+        );
+        let base = generate(&k, &GenOptions::default());
+        let sched = schedule_min_live(&base, 8);
+        prop_assert!(pf_ir::liveness(&sched).peak <= pf_ir::liveness(&base).peak);
+    }
+
+    #[test]
+    fn emitted_c_defines_every_register_before_use(e in arb_expr()) {
+        let out = test_field();
+        let k = StencilKernel::new(
+            "prop_emit",
+            vec![Assignment::store(Access::at(out, 0, [0, 0, 0]), e)],
+        );
+        let tape = generate(&k, &GenOptions::default());
+        let src = pf_backend::emit_c(&tape);
+        let mut defined = std::collections::HashSet::new();
+        for line in src.lines() {
+            if let Some(rest) = line.trim().strip_prefix("const double r") {
+                if let Some(end) = rest.find(' ') {
+                    if let Ok(n) = rest[..end].parse::<u32>() {
+                        defined.insert(n);
+                    }
+                }
+            }
+        }
+        for op in &tape.instrs {
+            for a in op.args() {
+                prop_assert!(defined.contains(&a.0), "r{} used undefined", a.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn philox_statelessness_under_any_call_order() {
+    use pf_rng::CellRng;
+    let rng = CellRng::new(99);
+    let cells: Vec<[i64; 3]> = (0..50).map(|i| [i, 2 * i, 100 - i]).collect();
+    let forward: Vec<f64> = cells.iter().map(|c| rng.uniform_pm1(*c, 3, 0)).collect();
+    let backward: Vec<f64> = cells
+        .iter()
+        .rev()
+        .map(|c| rng.uniform_pm1(*c, 3, 0))
+        .collect();
+    let backward_reversed: Vec<f64> = backward.into_iter().rev().collect();
+    assert_eq!(forward, backward_reversed);
+}

@@ -1,0 +1,147 @@
+//! Property tests over the runtime substrates: ghost-layer packing,
+//! domain decomposition, the LRU cache model, and field storage.
+
+use pf_fields::{FieldArray, Layout};
+use pf_grid::{pack_face, unpack_face, Decomposition};
+use pf_perfmodel::Lru;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pack on one side, unpack on the neighbour's opposite side: the
+    /// neighbour's ghost layer must equal the sender's boundary interior.
+    #[test]
+    fn halo_pack_unpack_roundtrip(
+        nx in 2usize..6,
+        ny in 2usize..6,
+        nz in 1usize..5,
+        comps in 1usize..4,
+        dim in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let shape = [nx, ny, nz];
+        let mut a = FieldArray::new("pr_a", shape, comps, 1, Layout::Fzyx);
+        let mut v = seed;
+        let mut next = move || {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (v >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for c in 0..comps {
+            a.fill_with(c, |_, _, _| next());
+        }
+        let buf = pack_face(&a, dim, 1);
+        let mut b = FieldArray::new("pr_b", shape, comps, 1, Layout::Fzyx);
+        unpack_face(&mut b, dim, -1, &buf);
+        // b's low ghost along `dim` equals a's high interior slab.
+        let hi = shape[dim] as isize - 1;
+        for c in 0..comps {
+            for t1 in 0..shape[(dim + 1) % 3] as isize {
+                for t2 in 0..shape[(dim + 2) % 3] as isize {
+                    let mut src = [0isize; 3];
+                    src[dim] = hi;
+                    src[(dim + 1) % 3] = t1;
+                    src[(dim + 2) % 3] = t2;
+                    let mut dst = src;
+                    dst[dim] = -1;
+                    prop_assert_eq!(
+                        b.get(c, dst[0], dst[1], dst[2]),
+                        a.get(c, src[0], src[1], src[2])
+                    );
+                }
+            }
+        }
+    }
+
+    /// Decompositions tile the domain exactly: every cell belongs to
+    /// exactly one block, neighbours are mutual, and rank↔coords roundtrip.
+    #[test]
+    fn decomposition_tiles_and_neighbors_are_mutual(
+        px in 1usize..5,
+        py in 1usize..4,
+        pz in 1usize..3,
+        bs in 2usize..6,
+    ) {
+        let ranks = px * py * pz;
+        let global = [px * bs, py * bs, pz * bs];
+        let dec = Decomposition::new(global, ranks, [true; 3]);
+        let mut covered = 0usize;
+        for r in 0..dec.nranks() {
+            prop_assert_eq!(dec.rank_of(dec.coords_of(r)), r);
+            let b = dec.block(r);
+            covered += b.shape.iter().product::<usize>();
+            for d in 0..3 {
+                for side in [-1i32, 1] {
+                    if let Some(nb) = dec.neighbor(r, d, side) {
+                        prop_assert_eq!(dec.neighbor(nb, d, -side), Some(r));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(covered, global.iter().product::<usize>());
+    }
+
+    /// The O(1) linked-list LRU matches a naive reference implementation.
+    #[test]
+    fn lru_matches_reference(ops in proptest::collection::vec(0u64..24, 1..250)) {
+        let cap = 6usize;
+        let mut fast = Lru::new(cap);
+        let mut reference: Vec<u64> = Vec::new(); // front = most recent
+        for line in ops {
+            let (hit, evicted) = fast.access(line);
+            // Reference semantics.
+            let ref_hit = reference.contains(&line);
+            reference.retain(|&l| l != line);
+            reference.insert(0, line);
+            let ref_evicted = if reference.len() > cap {
+                reference.pop()
+            } else {
+                None
+            };
+            prop_assert_eq!(hit, ref_hit, "hit mismatch on {}", line);
+            prop_assert_eq!(evicted, ref_evicted, "eviction mismatch on {}", line);
+        }
+    }
+
+    /// Field arrays: every (comp, cell) in the ghosted extent has a unique
+    /// linear index for both layouts.
+    #[test]
+    fn field_indexing_is_injective(
+        nx in 1usize..5,
+        ny in 1usize..5,
+        nz in 1usize..4,
+        comps in 1usize..3,
+        fzyx in any::<bool>(),
+    ) {
+        let layout = if fzyx { Layout::Fzyx } else { Layout::Zyxf };
+        let f = FieldArray::new("pr_idx", [nx, ny, nz], comps, 1, layout);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..comps {
+            for z in -1..=(nz as isize) {
+                for y in -1..=(ny as isize) {
+                    for x in -1..=(nx as isize) {
+                        let idx = f.index(c, x, y, z);
+                        prop_assert!(idx < f.len());
+                        prop_assert!(seen.insert(idx), "collision at {c},{x},{y},{z}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn load_balancing_is_within_the_largest_weight() {
+    // Greedy longest-processing-time balancing: the max/min rank load gap
+    // never exceeds the largest single block weight.
+    let weights: Vec<f64> = (0..23).map(|i| 1.0 + (i % 5) as f64).collect();
+    let ranks = 4;
+    let assign = Decomposition::balance(&weights, ranks);
+    let mut loads = vec![0.0; ranks];
+    for (w, r) in weights.iter().zip(&assign) {
+        loads[*r] += w;
+    }
+    let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+    let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max - min <= 5.0 + 1e-12, "imbalance {max} vs {min}");
+}
