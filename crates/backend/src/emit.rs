@@ -49,11 +49,7 @@ fn index_expr(tape: &Tape, slot: u16, comp: u16, off: [i16; 3], idx: [&str; 3]) 
         if off[d] == 0 {
             parts.push(format!("({iv})*s_{f}_{}", ["x", "y", "z"][d]));
         } else {
-            parts.push(format!(
-                "({iv} + {})*s_{f}_{}",
-                off[d],
-                ["x", "y", "z"][d]
-            ));
+            parts.push(format!("({iv} + {})*s_{f}_{}", off[d], ["x", "y", "z"][d]));
         }
     }
     parts.join(" + ")
@@ -125,34 +121,19 @@ fn scalar_rhs(tape: &Tape, i: usize, op: &TapeOp, idx: [&str; 3], cuda: bool) ->
         TapeOp::Sin(a) => format!("sin({})", r(a)),
         TapeOp::Cos(a) => format!("cos({})", r(a)),
         TapeOp::Tanh(a) => format!("tanh({})", r(a)),
-        TapeOp::Sign(a) => format!(
-            "({0} > 0.0 ? 1.0 : ({0} < 0.0 ? -1.0 : 0.0))",
-            r(a)
-        ),
+        TapeOp::Sign(a) => format!("({0} > 0.0 ? 1.0 : ({0} < 0.0 ? -1.0 : 0.0))", r(a)),
         TapeOp::Floor(a) => format!("floor({})", r(a)),
         TapeOp::Powf(a, b) => format!("pow({}, {})", r(a), r(b)),
-        TapeOp::CmpSelect { op, l, r: rr, t, f } => format!(
-            "({} {} {} ? {} : {})",
-            r(l),
-            op.symbol(),
-            r(rr),
-            r(t),
-            r(f)
-        ),
+        TapeOp::CmpSelect { op, l, r: rr, t, f } => {
+            format!("({} {} {} ? {} : {})", r(l), op.symbol(), r(rr), r(t), r(f))
+        }
         TapeOp::Store { .. } | TapeOp::Fence => {
             unreachable!("handled by caller (instr {i})")
         }
     }
 }
 
-fn emit_instr(
-    out: &mut String,
-    tape: &Tape,
-    i: usize,
-    idx: [&str; 3],
-    indent: &str,
-    cuda: bool,
-) {
+fn emit_instr(out: &mut String, tape: &Tape, i: usize, idx: [&str; 3], indent: &str, cuda: bool) {
     let op = &tape.instrs[i];
     match op {
         TapeOp::Store {
@@ -251,7 +232,11 @@ pub fn emit_c(tape: &Tape) -> String {
     for i in sec[0]..sec[1] {
         emit_instr(&mut out, tape, i, idx, "        ", false);
     }
-    let _ = writeln!(out, "        {}", loop_line(order[1], tape.iter_extent[order[1]]));
+    let _ = writeln!(
+        out,
+        "        {}",
+        loop_line(order[1], tape.iter_extent[order[1]])
+    );
     for i in sec[1]..sec[2] {
         emit_instr(&mut out, tape, i, idx, "            ", false);
     }
@@ -384,7 +369,14 @@ mod tests {
     #[test]
     fn cuda_kernel_has_bounds_check_and_mapping() {
         let tape = sample_tape(false);
-        let src = emit_cuda(&tape, ThreadMapping::Block3D { bx: 8, by: 8, bz: 4 });
+        let src = emit_cuda(
+            &tape,
+            ThreadMapping::Block3D {
+                bx: 8,
+                by: 8,
+                bz: 4,
+            },
+        );
         assert!(src.contains("__global__ void kernel_em_heat"));
         assert!(src.contains("blockIdx.x * blockDim.x + threadIdx.x"));
         assert!(src.contains("if (ix >= nx"));
@@ -438,11 +430,7 @@ mod tests {
         }
         for (i, op) in tape.instrs.iter().enumerate() {
             for a in op.args() {
-                assert!(
-                    defined.contains(&a.0),
-                    "instr {i} uses undefined r{}",
-                    a.0
-                );
+                assert!(defined.contains(&a.0), "instr {i} uses undefined r{}", a.0);
             }
         }
     }

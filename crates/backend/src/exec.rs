@@ -58,9 +58,16 @@ pub enum ExecMode {
 enum Step {
     Op(TapeOp),
     /// Load from read-array `arr` at `cell_base + delta`.
-    Load { arr: u16, delta: isize },
+    Load {
+        arr: u16,
+        delta: isize,
+    },
     /// Store to write-array `arr` at `cell_base + delta`.
-    Store { arr: u16, delta: isize, val: u32 },
+    Store {
+        arr: u16,
+        delta: isize,
+        val: u32,
+    },
 }
 
 struct Plan {
@@ -74,7 +81,13 @@ struct Plan {
     write_base: Vec<isize>,
 }
 
-fn resolve(tape: &Tape, reads: &[&FieldArray], writes: &[FieldArray], read_map: &[usize], write_map: &[usize]) -> Plan {
+fn resolve(
+    tape: &Tape,
+    reads: &[&FieldArray],
+    writes: &[FieldArray],
+    read_map: &[usize],
+    write_map: &[usize],
+) -> Plan {
     let mut steps = Vec::with_capacity(tape.instrs.len());
     for op in &tape.instrs {
         match *op {
@@ -119,8 +132,8 @@ fn resolve(tape: &Tape, reads: &[&FieldArray], writes: &[FieldArray], read_map: 
     let monotone = tape.levels.windows(2).all(|w| w[0] <= w[1]);
     let mut sec = [tape.instrs.len(); 4];
     if monotone {
-        for lvl in 0..4usize {
-            sec[lvl] = tape
+        for (lvl, s) in sec.iter_mut().enumerate() {
+            *s = tape
                 .levels
                 .iter()
                 .position(|&l| l as usize > lvl)
@@ -664,10 +677,7 @@ mod tests {
         let src = Field::new("ex_ap_src", 1, 2);
         let dst = Field::new("ex_ap_dst", 1, 2);
         let rhs = Expr::one() / (Expr::access(Access::center(src, 0)) + 3.0);
-        let k = StencilKernel::new(
-            "ap",
-            vec![Assignment::store(Access::center(dst, 0), rhs)],
-        );
+        let k = StencilKernel::new("ap", vec![Assignment::store(Access::center(dst, 0), rhs)]);
         let mut exact = generate(&k, &GenOptions::default());
         let mut approx = exact.clone();
         approx.approx.fast_div = true;
@@ -679,7 +689,14 @@ mod tests {
                 .allocate(src, [4, 4, 1], 1, Layout::Fzyx)
                 .fill_with(0, |x, y, _| (x + y) as f64 * 0.37);
             store.allocate(dst, [4, 4, 1], 1, Layout::Fzyx);
-            run_kernel(tape, &mut store, &[], [4, 4, 1], &RunCtx::default(), ExecMode::Serial);
+            run_kernel(
+                tape,
+                &mut store,
+                &[],
+                [4, 4, 1],
+                &RunCtx::default(),
+                ExecMode::Serial,
+            );
             store.take(dst)
         };
         let e = run(&exact);
@@ -694,12 +711,9 @@ mod tests {
         // A staggered-style kernel writing x-faces (extent+1 along x).
         let src = Field::new("ex_fc_src", 1, 2);
         let flux = Field::new("ex_fc_flux", 1, 2);
-        let d = Expr::access(Access::center(src, 0))
-            - Expr::access(Access::at(src, 0, [-1, 0, 0]));
-        let mut k = StencilKernel::new(
-            "faces",
-            vec![Assignment::store(Access::center(flux, 0), d)],
-        );
+        let d = Expr::access(Access::center(src, 0)) - Expr::access(Access::at(src, 0, [-1, 0, 0]));
+        let mut k =
+            StencilKernel::new("faces", vec![Assignment::store(Access::center(flux, 0), d)]);
         k.iter_extent = [1, 0, 0];
         let tape = generate(&k, &GenOptions::default());
         let mut store = FieldStore::new();
@@ -708,7 +722,14 @@ mod tests {
             .fill_with(0, |x, _, _| (x * x) as f64);
         store.get_mut(src).apply_periodic(0);
         store.allocate(flux, [5, 5, 1], 0, Layout::Fzyx);
-        run_kernel(&tape, &mut store, &[], [4, 4, 1], &RunCtx::default(), ExecMode::Serial);
+        run_kernel(
+            &tape,
+            &mut store,
+            &[],
+            [4, 4, 1],
+            &RunCtx::default(),
+            ExecMode::Serial,
+        );
         // interior face 2 = u(2) − u(1) = 4 − 1
         assert_eq!(store.get(flux).get(0, 2, 0, 0), 3.0);
         // extended face 4 = u(4) − u(3) = ghost(= u(0)) − u(3) = 0 − 9

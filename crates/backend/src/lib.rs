@@ -17,6 +17,6 @@ mod simd;
 mod store;
 
 pub use emit::{emit_c, emit_cuda, ThreadMapping};
-pub use simd::{emit_c_simd, SimdIsa};
 pub use exec::{run_kernel, ExecMode, RunCtx};
+pub use simd::{emit_c_simd, SimdIsa};
 pub use store::FieldStore;

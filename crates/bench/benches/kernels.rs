@@ -75,7 +75,10 @@ fn bench_parallel(c: &mut Criterion) {
     let mut g = c.benchmark_group("executor_modes");
     g.throughput(Throughput::Elements(cells));
     g.sample_size(10);
-    for (name, mode) in [("serial", ExecMode::Serial), ("parallel", ExecMode::Parallel)] {
+    for (name, mode) in [
+        ("serial", ExecMode::Serial),
+        ("parallel", ExecMode::Parallel),
+    ] {
         g.bench_with_input(BenchmarkId::new("mu_full", name), &mode, |b, &mode| {
             let mut store = workload_store(&p, &ks, shape);
             b.iter(|| run_kernel(&ks.mu_full, &mut store, &[], shape, &ctx, mode));

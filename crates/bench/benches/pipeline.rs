@@ -36,7 +36,9 @@ fn bench_gpu_transforms(c: &mut Criterion) {
     let tape = generate(&k, &GenOptions::default());
     let mut g = c.benchmark_group("gpu_transforms");
     g.sample_size(10);
-    g.bench_function("schedule_beam20", |b| b.iter(|| schedule_min_live(&tape, 20)));
+    g.bench_function("schedule_beam20", |b| {
+        b.iter(|| schedule_min_live(&tape, 20))
+    });
     g.bench_function("rematerialize", |b| b.iter(|| rematerialize(&tape, 2)));
     g.finish();
 }
@@ -56,5 +58,10 @@ fn bench_perfmodel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_gpu_transforms, bench_perfmodel);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_gpu_transforms,
+    bench_perfmodel
+);
 criterion_main!(benches);

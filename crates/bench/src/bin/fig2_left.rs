@@ -22,7 +22,11 @@ use pf_ir::Tape;
 use pf_machine::skylake_8174;
 use pf_perfmodel::{ecm_model, max_block_size, simulate_sweep, DataVolumes};
 
-fn combined_volumes(tapes: &[&Tape], sock: &pf_machine::CpuSocket, block: [usize; 3]) -> DataVolumes {
+fn combined_volumes(
+    tapes: &[&Tape],
+    sock: &pf_machine::CpuSocket,
+    block: [usize; 3],
+) -> DataVolumes {
     let mut total = DataVolumes::default();
     for t in tapes {
         let v = simulate_sweep(t, sock, block);
@@ -34,12 +38,23 @@ fn combined_volumes(tapes: &[&Tape], sock: &pf_machine::CpuSocket, block: [usize
     total
 }
 
-fn ecm_for(tapes: &[&Tape], sock: &pf_machine::CpuSocket, block: [usize; 3]) -> pf_perfmodel::EcmPrediction {
+fn ecm_for(
+    tapes: &[&Tape],
+    sock: &pf_machine::CpuSocket,
+    block: [usize; 3],
+) -> pf_perfmodel::EcmPrediction {
     // Sum compute and volumes over the passes of a (possibly split) kernel.
     let vols = combined_volumes(tapes, sock, block);
     let mut pred = ecm_model(tapes[0], sock, &vols);
     for t in &tapes[1..] {
-        let p2 = ecm_model(t, sock, &DataVolumes { cells: 1, ..Default::default() });
+        let p2 = ecm_model(
+            t,
+            sock,
+            &DataVolumes {
+                cells: 1,
+                ..Default::default()
+            },
+        );
         pred.t_comp += p2.t_comp;
         pred.t_nol += p2.t_nol;
     }
@@ -54,8 +69,10 @@ fn main() {
     // Spatial blocking from the layer condition (§6.1): the paper derives
     // N < 67 from the 1 MB L2 and uses 60³ blocks.
     let lc = max_block_size(&ks.mu_full, sock.l2_kib * 1024);
-    println!("layer condition: coefficient {} B/N², N_max(L2) = {lc} (paper: 232 B/N², N<67, used 60³)",
-        pf_perfmodel::layer_condition_coefficient(&ks.mu_full));
+    println!(
+        "layer condition: coefficient {} B/N², N_max(L2) = {lc} (paper: 232 B/N², N<67, used 60³)",
+        pf_perfmodel::layer_condition_coefficient(&ks.mu_full)
+    );
 
     let block = [24usize, 24, 8]; // cache-sim tile (small, same regime)
     let mu_full: Vec<&Tape> = vec![&ks.mu_full];
@@ -81,7 +98,9 @@ fn main() {
     let shape = [32usize, 32, 16];
     // Measured scaling needs real cores; on smaller hosts the series is
     // truncated (the ECM columns carry the target machine's shape).
-    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for cores in [1usize, 2, 4, 8, 12, 16, 20, 24] {
         let e_split = pred_split.mlups(sock.freq_ghz, cores) / cores as f64;
         let e_full = pred_full.mlups(sock.freq_ghz, cores) / cores as f64;
@@ -94,7 +113,10 @@ fn main() {
             }) / cores as f64;
             println!("{cores:7} | {e_split:12.1} | {e_full:11.1} | {b_split:14.3} | {b_full:13.3}");
         } else {
-            println!("{cores:7} | {e_split:12.1} | {e_full:11.1} | {:>14} | {:>13}", "n/a", "n/a");
+            println!(
+                "{cores:7} | {e_split:12.1} | {e_full:11.1} | {:>14} | {:>13}",
+                "n/a", "n/a"
+            );
         }
     }
 

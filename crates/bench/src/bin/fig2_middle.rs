@@ -28,7 +28,14 @@ fn ecm_for(
     }
     let mut pred = ecm_model(tapes[0], sock, &vols);
     for t in &tapes[1..] {
-        let px = ecm_model(t, sock, &DataVolumes { cells: 1, ..Default::default() });
+        let px = ecm_model(
+            t,
+            sock,
+            &DataVolumes {
+                cells: 1,
+                ..Default::default()
+            },
+        );
         pred.t_comp += px.t_comp;
         pred.t_nol += px.t_nol;
     }
@@ -52,7 +59,9 @@ fn report(p: &ModelParams) {
     println!("\n=== {} ===", p.name);
     println!("# cores | ECM phi-split | ECM phi-full | Bench phi-split | Bench phi-full  (MLUP/s per core)");
     let shape = [32usize, 32, 16];
-    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for cores in [1usize, 4, 8, 16, 24] {
         let es = e_split.mlups(sock.freq_ghz, cores) / cores as f64;
         let ef = e_full.mlups(sock.freq_ghz, cores) / cores as f64;
@@ -65,7 +74,10 @@ fn report(p: &ModelParams) {
             }) / cores as f64;
             println!("{cores:7} | {es:13.1} | {ef:12.1} | {bs:15.3} | {bf:14.3}");
         } else {
-            println!("{cores:7} | {es:13.1} | {ef:12.1} | {:>15} | {:>14}", "n/a", "n/a");
+            println!(
+                "{cores:7} | {es:13.1} | {ef:12.1} | {:>15} | {:>14}",
+                "n/a", "n/a"
+            );
         }
     }
     let cores = sock.cores;

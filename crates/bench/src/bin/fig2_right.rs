@@ -61,7 +61,11 @@ fn main() {
     let t_none = runtimes[0].1;
     let t_sched = runtimes[1].1;
     let t_combo = runtimes[4].1;
-    println!("\nspeedups vs `none`: sched {:.2}x, dupl+sched+fence {:.2}x", t_none / t_sched, t_none / t_combo);
+    println!(
+        "\nspeedups vs `none`: sched {:.2}x, dupl+sched+fence {:.2}x",
+        t_none / t_sched,
+        t_none / t_combo
+    );
     println!("paper: sched alone ≈1.5x (spilling eliminated); full combination ≈2x");
     println!("(register count below 128 doubles occupancy).");
 

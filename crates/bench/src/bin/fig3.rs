@@ -1,12 +1,12 @@
 //! **Fig. 3** — scaling experiments on SuperMUC-NG and Piz Daint.
 //!
-//! * left:   weak scaling on SuperMUC-NG, 60³ block per core, generated vs
-//!           the manually optimized 2015 solver (≈6 MLUP/s per core flat to
-//!           ~150k cores; the generated code ≈20 % faster than manual),
-//! * middle: weak scaling on Piz Daint, 400³ block per GPU (≈440 MLUP/s
-//!           per GPU, flat to 2048+ GPUs),
-//! * right:  strong scaling of a fixed 512×256×256 domain on SuperMUC-NG
-//!           (0.2 steps/s at 48 cores → 460 steps/s at 152 064 cores).
+//! * left: weak scaling on SuperMUC-NG, 60³ block per core, generated vs the
+//!   manually optimized 2015 solver (≈6 MLUP/s per core flat to ~150k cores;
+//!   the generated code ≈20 % faster than manual),
+//! * middle: weak scaling on Piz Daint, 400³ block per GPU (≈440 MLUP/s per
+//!   GPU, flat to 2048+ GPUs),
+//! * right: strong scaling of a fixed 512×256×256 domain on SuperMUC-NG
+//!   (0.2 steps/s at 48 cores → 460 steps/s at 152 064 cores).
 //!
 //! Usage: `fig3 [weak-cpu|weak-gpu|strong-cpu|all]`
 
@@ -28,8 +28,8 @@ fn cpu_rates() -> (f64, f64) {
     // Saturated-socket per-core rates (weak scaling runs full sockets).
     let phi = ecm_model(&ks.phi_full, &sock, &vol_phi).mlups(sock.freq_ghz, sock.cores)
         / sock.cores as f64;
-    let mu = ecm_model(&ks.mu_full, &sock, &vol_mu).mlups(sock.freq_ghz, sock.cores)
-        / sock.cores as f64;
+    let mu =
+        ecm_model(&ks.mu_full, &sock, &vol_mu).mlups(sock.freq_ghz, sock.cores) / sock.cores as f64;
     (phi * 1e6, mu * 1e6) // LUP/s per core
 }
 
@@ -51,8 +51,13 @@ fn weak_cpu() {
         gpudirect: false,
     };
     println!("Fig. 3 (left) — weak scaling on SuperMUC-NG, 60^3 per core");
-    println!("{:>9} {:>22} {:>22}", "cores", "generated MLUP/s/core", "manual MLUP/s/core");
-    for cores in [16usize, 64, 256, 1024, 4096, 16_384, 65_536, 152_064, 262_144] {
+    println!(
+        "{:>9} {:>22} {:>22}",
+        "cores", "generated MLUP/s/core", "manual MLUP/s/core"
+    );
+    for cores in [
+        16usize, 64, 256, 1024, 4096, 16_384, 65_536, 152_064, 262_144,
+    ] {
         let gen = mlups_per_unit(&w, &cluster, opts, cores);
         // The manual 2015 solver: AVX2-specialized, ~20% slower on AVX-512
         // Skylake ("our newly generated application optimizes for AVX512").
@@ -94,7 +99,10 @@ fn weak_gpu() {
     println!("Fig. 3 (middle) — weak scaling on Piz Daint, 400^3 per GPU");
     println!("{:>9} {:>18}", "GPUs", "MLUP/s per GPU");
     for gpus in [1usize, 4, 16, 64, 128, 512, 1024, 2048] {
-        println!("{gpus:>9} {:>18.0}", mlups_per_unit(&w, &cluster, opts, gpus));
+        println!(
+            "{gpus:>9} {:>18.0}",
+            mlups_per_unit(&w, &cluster, opts, gpus)
+        );
     }
     println!("paper: ~440 MLUP/s per GPU, flat to 2400 nodes.\n");
 }

@@ -61,18 +61,23 @@ fn main() {
                 cell: census(&ks.phi_split.update, CountScope::PerCell),
             },
         ];
-        println!("\n--- {} ({} phases, {} components, {}) ---", p.name, p.phases,
-            p.components, if p.anisotropy.is_some() { "anisotropic" } else { "isotropic" });
+        println!(
+            "\n--- {} ({} phases, {} components, {}) ---",
+            p.name,
+            p.phases,
+            p.components,
+            if p.anisotropy.is_some() {
+                "anisotropic"
+            } else {
+                "isotropic"
+            }
+        );
         println!(
             "{:<12} {:>10} {:>10} {:>11} {:>11} {:>9} {:>9} {:>9} {:>12}",
             "kernel", "loads", "stores", "adds", "muls", "divs", "sqrts", "rsqrts", "norm.FLOPS"
         );
         for r in &rows {
-            let total_norm = r
-                .face
-                .as_ref()
-                .map(|f| f.normalized_flops())
-                .unwrap_or(0)
+            let total_norm = r.face.as_ref().map(|f| f.normalized_flops()).unwrap_or(0)
                 + r.cell.normalized_flops();
             println!(
                 "{:<12} {:>10} {:>10} {:>11} {:>11} {:>9} {:>9} {:>9} {:>12}",

@@ -32,8 +32,18 @@ fn main() {
     // Per-cell memory traffic: all field streams touched per update.
     let phi_streams = 2.0 * p.phases as f64; // src + dst
     let mu_streams = 2.0 * p.num_mu() as f64;
-    let phi_model = gpu_kernel_model(&pf_bench::gpu_optimized(&ks.phi_full), &gpu, 8.0 * (phi_streams + mu_streams * 0.5), 256);
-    let mu_model = gpu_kernel_model(&pf_bench::gpu_optimized(&ks.mu_full), &gpu, 8.0 * (phi_streams + mu_streams), 256);
+    let phi_model = gpu_kernel_model(
+        &pf_bench::gpu_optimized(&ks.phi_full),
+        &gpu,
+        8.0 * (phi_streams + mu_streams * 0.5),
+        256,
+    );
+    let mu_model = gpu_kernel_model(
+        &pf_bench::gpu_optimized(&ks.mu_full),
+        &gpu,
+        8.0 * (phi_streams + mu_streams),
+        256,
+    );
 
     let block = [400usize, 400, 400];
     let cells = (block[0] * block[1] * block[2]) as u64;
@@ -46,8 +56,14 @@ fn main() {
         mu_inner_fraction: 0.95,
     };
 
-    println!("Table 2 — communication options on {} with 128 GPUs (P1, 400^3 per GPU)", cluster.name);
-    println!("{:<8} {:<10} {:>16} {:>14}", "overlap", "GPUDirect", "MLUP/s per GPU", "paper");
+    println!(
+        "Table 2 — communication options on {} with 128 GPUs (P1, 400^3 per GPU)",
+        cluster.name
+    );
+    println!(
+        "{:<8} {:<10} {:>16} {:>14}",
+        "overlap", "GPUDirect", "MLUP/s per GPU", "paper"
+    );
     let paper = [395.0, 403.0, 422.0, 440.0];
     let combos = [(false, false), (false, true), (true, false), (true, true)];
     let mut ours = Vec::new();

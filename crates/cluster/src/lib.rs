@@ -146,6 +146,49 @@ pub fn mlups_per_unit(w: &StepWorkload, cluster: &Cluster, opts: CommOptions, ra
     w.cells as f64 / t / 1e6
 }
 
+/// Bytes one rank writes per checkpoint: the interior cells of φ and µ as
+/// raw f64 plus the fixed-size header/checksum of the checkpoint format.
+pub fn checkpoint_bytes_per_rank(shape: [usize; 3], phases: usize, num_mu: usize) -> u64 {
+    const HEADER_BYTES: u64 = 128;
+    let cells = (shape[0] * shape[1] * shape[2]) as u64;
+    cells * (phases + num_mu) as u64 * 8 + HEADER_BYTES
+}
+
+fn nodes_for(cluster: &Cluster, ranks: usize) -> usize {
+    let ranks_per_node = match &cluster.node {
+        NodeKind::Cpu { sockets, socket } => sockets * socket.cores,
+        NodeKind::Gpu { gpus, .. } => *gpus,
+    };
+    ranks.div_ceil(ranks_per_node)
+}
+
+/// Wall-clock seconds one checkpoint set takes: every rank drains its bytes
+/// to the parallel filesystem, gated by whichever is scarcer — the
+/// filesystem's aggregate write bandwidth or the job's combined injection
+/// bandwidth into the fabric the I/O servers hang off.
+pub fn checkpoint_time(cluster: &Cluster, ranks: usize, bytes_per_rank: u64) -> f64 {
+    let total = ranks as f64 * bytes_per_rank as f64;
+    let inject = nodes_for(cluster, ranks) as f64 * cluster.network.bw_gbs * 1e9;
+    let fs = cluster.fs_bw_gbs * 1e9;
+    total / fs.min(inject)
+}
+
+/// Fraction of wall-clock time a run spends checkpointing when a set is
+/// written every `every` steps (amortized; 0 ≤ result < 1).
+pub fn checkpoint_overhead_fraction(
+    w: &StepWorkload,
+    cluster: &Cluster,
+    opts: CommOptions,
+    ranks: usize,
+    bytes_per_rank: u64,
+    every: u64,
+) -> f64 {
+    assert!(every > 0, "checkpoint interval must be positive");
+    let t_ckpt = checkpoint_time(cluster, ranks, bytes_per_rank);
+    let t_compute = every as f64 * step_time(w, cluster, opts, ranks);
+    t_ckpt / (t_compute + t_ckpt)
+}
+
 /// A weak-scaling series: the per-rank workload is constant.
 pub fn weak_scaling(
     w: &StepWorkload,
@@ -246,9 +289,8 @@ mod tests {
         // 395 (no/no) < 403 (no/yes) < 422 (yes/no) < 440 (yes/yes)
         let c = piz_daint();
         let w = gpu_workload();
-        let combo = |overlap, gpudirect| {
-            mlups_per_unit(&w, &c, CommOptions { overlap, gpudirect }, 128)
-        };
+        let combo =
+            |overlap, gpudirect| mlups_per_unit(&w, &c, CommOptions { overlap, gpudirect }, 128);
         let (nn, ny, yn, yy) = (
             combo(false, false),
             combo(false, true),
@@ -257,7 +299,10 @@ mod tests {
         );
         assert!(nn < ny && ny < yy, "{nn} {ny} {yy}");
         assert!(nn < yn && yn < yy, "{nn} {yn} {yy}");
-        assert!(yn > ny, "overlap should matter more than GPUDirect: {yn} vs {ny}");
+        assert!(
+            yn > ny,
+            "overlap should matter more than GPUDirect: {yn} vs {ny}"
+        );
     }
 
     #[test]
@@ -345,5 +390,58 @@ mod tests {
         let t_large = step_time(&w, &c, CommOptions::default(), 100_000);
         assert!(t_large >= t_small);
         assert!(t_large < t_small * 1.02, "noise model too aggressive");
+    }
+
+    #[test]
+    fn checkpoint_bytes_count_all_field_components() {
+        // 60³ block, 4 phases + 2 chemical potentials of f64 each.
+        let b = checkpoint_bytes_per_rank([60, 60, 60], 4, 2);
+        let payload = 60u64.pow(3) * 6 * 8;
+        assert!(b > payload && b < payload + 1024, "{b}");
+    }
+
+    #[test]
+    fn checkpoint_time_at_paper_scale_is_seconds_not_minutes() {
+        // Strong-scaling configuration: 152 064 ranks, ~10.4 MB each is a
+        // ~1.5 TB set. SuperMUC-NG's GPFS drains that in a few seconds.
+        let c = supermuc_ng();
+        let b = checkpoint_bytes_per_rank([60, 60, 60], 4, 2);
+        let t = checkpoint_time(&c, 152_064, b);
+        assert!(t > 1.0 && t < 30.0, "{t} s");
+    }
+
+    #[test]
+    fn few_nodes_are_injection_limited_not_fs_limited() {
+        // A single node cannot saturate a 500 GB/s filesystem; its own
+        // injection bandwidth is the bottleneck.
+        let c = supermuc_ng();
+        let b = 1 << 30; // 1 GiB per rank
+        let t_one_node = checkpoint_time(&c, 1, b);
+        let expected = b as f64 / (c.network.bw_gbs * 1e9);
+        assert!(
+            (t_one_node - expected).abs() < expected * 1e-9,
+            "{t_one_node} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_overhead_shrinks_with_longer_intervals() {
+        let c = supermuc_ng();
+        let w = StepWorkload {
+            t_phi: 0.01,
+            t_mu: 0.02,
+            phi_halo_bytes: 1 << 20,
+            mu_halo_bytes: 1 << 19,
+            cells: 60u64.pow(3),
+            mu_inner_fraction: 0.8,
+        };
+        let b = checkpoint_bytes_per_rank([60, 60, 60], 4, 2);
+        let f10 = checkpoint_overhead_fraction(&w, &c, CommOptions::default(), 152_064, b, 10);
+        let f100 = checkpoint_overhead_fraction(&w, &c, CommOptions::default(), 152_064, b, 100);
+        let f1000 = checkpoint_overhead_fraction(&w, &c, CommOptions::default(), 152_064, b, 1000);
+        assert!(f10 > f100 && f100 > f1000, "{f10} {f100} {f1000}");
+        assert!(f10 < 1.0 && f1000 > 0.0);
+        // Checkpointing every 1000 steps at paper scale stays a modest tax.
+        assert!(f1000 < 0.15, "{f1000}");
     }
 }

@@ -1,0 +1,764 @@
+//! Versioned binary checkpoints for exact restart.
+//!
+//! A checkpoint captures everything a rank needs to resume bit-identically:
+//! the interior cells of φ and µ (ghosts are re-synchronized at the start
+//! of every step, so they carry no information), the step count, the Philox
+//! counter state (seed + timestep — the RNG is stateless, §3.3), a
+//! fingerprint of the model parameters, and the block metadata of the
+//! domain decomposition so a restart can verify it is resuming the same
+//! partitioning.
+//!
+//! Format (version 1, little-endian):
+//!
+//! ```text
+//! magic        8 B   "PFCKPT01"
+//! version      u32
+//! params_fp    u64   FNV-1a fingerprint of ModelParams
+//! step         u64
+//! seed         u32   Philox key half of the counter state
+//! phi_variant  u8    0 = Full, 1 = Split
+//! mu_variant   u8
+//! bc           3×u8  0 = Periodic, 1 = Neumann
+//! rank         u32   │
+//! nranks       u32   │ block metadata from the
+//! grid         3×u32 │ Decomposition
+//! global       3×u64 │
+//! origin       3×i64
+//! shape        3×u64 local interior extent
+//! phases       u32
+//! num_mu       u32
+//! payload      f64 bits, x-fastest, component-major: φ then µ interiors
+//! checksum     u64   FNV-1a over every preceding byte
+//! ```
+//!
+//! Files are written atomically (`.tmp` then rename), so a crash mid-write
+//! never leaves a file that parses. Every decode failure is a typed
+//! [`CheckpointError`]; corrupt input is rejected, never panicked on.
+//!
+//! Distributed runs write one file per rank into a per-step set directory,
+//! `<root>/step_<NNNNNNNN>/rank_<RRRR>.ckpt`; a set is *complete* once all
+//! `nranks` files exist, and restart resumes from the newest complete set.
+
+use crate::params::ModelParams;
+use crate::sim::{BcKind, Simulation, Variant};
+use pf_rng::CounterState;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub const MAGIC: [u8; 8] = *b"PFCKPT01";
+pub const VERSION: u32 = 1;
+
+/// Everything that can go wrong reading or writing a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    BadMagic,
+    UnsupportedVersion(u32),
+    /// The file ends before the format says it should.
+    Truncated,
+    ChecksumMismatch,
+    /// The checkpoint was written by a run with different model parameters.
+    ParamsMismatch {
+        expected: u64,
+        found: u64,
+    },
+    /// Structurally valid but belongs to a different run setup (shape,
+    /// decomposition, kernel variants, boundary conditions, or seed).
+    Incompatible(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a pf checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (expected {VERSION})")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::ParamsMismatch { expected, found } => write!(
+                f,
+                "checkpoint written with different model parameters \
+                 (fingerprint {found:#018x}, expected {expected:#018x})"
+            ),
+            CheckpointError::Incompatible(why) => {
+                write!(f, "checkpoint incompatible with this run: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Block metadata stamped into each rank's file so a restart can verify it
+/// is resuming the same decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankMeta {
+    pub rank: u32,
+    pub nranks: u32,
+    /// Rank grid of the decomposition.
+    pub grid: [u32; 3],
+    /// Global domain extent.
+    pub global: [u64; 3],
+}
+
+impl RankMeta {
+    /// Metadata of an undecomposed single-block run.
+    pub fn single(global: [usize; 3]) -> Self {
+        RankMeta {
+            rank: 0,
+            nranks: 1,
+            grid: [1, 1, 1],
+            global: [global[0] as u64, global[1] as u64, global[2] as u64],
+        }
+    }
+}
+
+/// Decoded header of a checkpoint file (payload not included).
+#[derive(Clone, Debug)]
+pub struct CheckpointHeader {
+    pub version: u32,
+    pub params_fp: u64,
+    pub step: u64,
+    pub rng: CounterState,
+    pub phi_variant: Variant,
+    pub mu_variant: Variant,
+    pub bc: [BcKind; 3],
+    pub meta: RankMeta,
+    pub origin: [i64; 3],
+    pub shape: [usize; 3],
+    pub phases: usize,
+    pub num_mu: usize,
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a hashing (params fingerprint and whole-file checksum)
+// ---------------------------------------------------------------------------
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Order-sensitive FNV-1a fingerprint over every field of [`ModelParams`].
+/// Any change to the physics configuration changes the fingerprint, which
+/// is how a restart refuses a checkpoint from a different model.
+pub fn params_fingerprint(p: &ModelParams) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(p.name.len() as u64);
+    h.write(p.name.as_bytes());
+    for v in [p.phases, p.components, p.dim, p.liquid_phase] {
+        h.write_u64(v as u64);
+    }
+    for v in [
+        p.dx,
+        p.dt,
+        p.eps,
+        p.gamma_third,
+        p.fluctuation_amplitude,
+        p.eta,
+    ] {
+        h.write_f64(v);
+    }
+    for matrix in [&p.gamma, &p.tau, &p.a_coeff] {
+        h.write_u64(matrix.len() as u64);
+        for row in matrix.iter() {
+            h.write_u64(row.len() as u64);
+            for &v in row {
+                h.write_f64(v);
+            }
+        }
+    }
+    h.write_u64(p.diffusivity.len() as u64);
+    for &v in &p.diffusivity {
+        h.write_f64(v);
+    }
+    h.write_u64(p.b_coeff.len() as u64);
+    for row in &p.b_coeff {
+        h.write_u64(row.len() as u64);
+        for &(b0, b1) in row {
+            h.write_f64(b0);
+            h.write_f64(b1);
+        }
+    }
+    h.write_u64(p.c_coeff.len() as u64);
+    for &(c0, c1) in &p.c_coeff {
+        h.write_f64(c0);
+        h.write_f64(c1);
+    }
+    match p.anisotropy {
+        None => h.write_u64(0),
+        Some(d) => {
+            h.write_u64(1);
+            h.write_f64(d);
+        }
+    }
+    h.write_u64(p.orientation.len() as u64);
+    for &v in &p.orientation {
+        h.write_f64(v);
+    }
+    for v in [
+        p.temperature.t0,
+        p.temperature.gradient,
+        p.temperature.velocity,
+    ] {
+        h.write_f64(v);
+    }
+    h.write_u64(p.antitrapping as u64);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level encode/decode
+// ---------------------------------------------------------------------------
+
+fn variant_code(v: Variant) -> u8 {
+    match v {
+        Variant::Full => 0,
+        Variant::Split => 1,
+    }
+}
+
+fn variant_from(code: u8) -> Result<Variant, CheckpointError> {
+    match code {
+        0 => Ok(Variant::Full),
+        1 => Ok(Variant::Split),
+        other => Err(CheckpointError::Incompatible(format!(
+            "unknown kernel variant code {other}"
+        ))),
+    }
+}
+
+fn bc_code(b: BcKind) -> u8 {
+    match b {
+        BcKind::Periodic => 0,
+        BcKind::Neumann => 1,
+    }
+}
+
+fn bc_from(code: u8) -> Result<BcKind, CheckpointError> {
+    match code {
+        0 => Ok(BcKind::Periodic),
+        1 => Ok(BcKind::Neumann),
+        other => Err(CheckpointError::Incompatible(format!(
+            "unknown boundary-condition code {other}"
+        ))),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, CheckpointError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Serialize a simulation's restart state.
+pub fn encode(sim: &Simulation, meta: &RankMeta) -> Vec<u8> {
+    let shape = sim.cfg.shape;
+    let phases = sim.params.phases;
+    let num_mu = sim.params.num_mu();
+    let cells = shape[0] * shape[1] * shape[2];
+    let mut out = Vec::with_capacity(128 + 8 * cells * (phases + num_mu));
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&params_fingerprint(&sim.params).to_le_bytes());
+    out.extend_from_slice(&sim.step_count.to_le_bytes());
+    out.extend_from_slice(&sim.cfg.seed.to_le_bytes());
+    out.push(variant_code(sim.cfg.phi_variant));
+    out.push(variant_code(sim.cfg.mu_variant));
+    for d in 0..3 {
+        out.push(bc_code(sim.cfg.bc[d]));
+    }
+    out.extend_from_slice(&meta.rank.to_le_bytes());
+    out.extend_from_slice(&meta.nranks.to_le_bytes());
+    for d in 0..3 {
+        out.extend_from_slice(&meta.grid[d].to_le_bytes());
+    }
+    for d in 0..3 {
+        out.extend_from_slice(&meta.global[d].to_le_bytes());
+    }
+    for d in 0..3 {
+        out.extend_from_slice(&sim.origin[d].to_le_bytes());
+    }
+    for s in shape {
+        out.extend_from_slice(&(s as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(phases as u32).to_le_bytes());
+    out.extend_from_slice(&(num_mu as u32).to_le_bytes());
+    for (arr, comps) in [(sim.phi(), phases), (sim.mu(), num_mu)] {
+        for comp in 0..comps {
+            for z in 0..shape[2] as isize {
+                for y in 0..shape[1] as isize {
+                    for x in 0..shape[0] as isize {
+                        out.extend_from_slice(&arr.get(comp, x, y, z).to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+    let mut h = Fnv::new();
+    h.write(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+fn decode_header(r: &mut Reader<'_>) -> Result<CheckpointHeader, CheckpointError> {
+    if r.take(8)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let params_fp = r.u64()?;
+    let step = r.u64()?;
+    let seed = r.u32()?;
+    let phi_variant = variant_from(r.u8()?)?;
+    let mu_variant = variant_from(r.u8()?)?;
+    let bc = [bc_from(r.u8()?)?, bc_from(r.u8()?)?, bc_from(r.u8()?)?];
+    let rank = r.u32()?;
+    let nranks = r.u32()?;
+    let grid = [r.u32()?, r.u32()?, r.u32()?];
+    let global = [r.u64()?, r.u64()?, r.u64()?];
+    let origin = [r.i64()?, r.i64()?, r.i64()?];
+    let shape_u = [r.u64()?, r.u64()?, r.u64()?];
+    let phases = r.u32()? as usize;
+    let num_mu = r.u32()? as usize;
+    let mut shape = [0usize; 3];
+    for d in 0..3 {
+        shape[d] = usize::try_from(shape_u[d])
+            .map_err(|_| CheckpointError::Incompatible("shape overflows usize".into()))?;
+    }
+    Ok(CheckpointHeader {
+        version,
+        params_fp,
+        step,
+        rng: CounterState::new(seed, step),
+        phi_variant,
+        mu_variant,
+        bc,
+        meta: RankMeta {
+            rank,
+            nranks,
+            grid,
+            global,
+        },
+        origin,
+        shape,
+        phases,
+        num_mu,
+    })
+}
+
+fn verify_checksum(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let mut h = Fnv::new();
+    h.write(body);
+    if h.finish() != stored {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+/// Parse and checksum-verify a checkpoint's header from raw file bytes.
+pub fn parse_header(bytes: &[u8]) -> Result<CheckpointHeader, CheckpointError> {
+    let body = verify_checksum(bytes)?;
+    decode_header(&mut Reader { buf: body, pos: 0 })
+}
+
+/// Read and verify only the header of a checkpoint file.
+pub fn read_header(path: &Path) -> Result<CheckpointHeader, CheckpointError> {
+    parse_header(&std::fs::read(path)?)
+}
+
+/// Restore a simulation from checkpoint bytes. `sim` must be configured
+/// identically to the writer (shape, variants, boundary conditions, seed,
+/// parameters); every divergence is a typed error, and `sim` is untouched
+/// on failure. On success the field interiors, step count, and origin are
+/// loaded — ghost cells are left stale because every step begins by
+/// re-synchronizing them.
+pub fn decode_into(
+    sim: &mut Simulation,
+    meta: &RankMeta,
+    bytes: &[u8],
+) -> Result<(), CheckpointError> {
+    let body = verify_checksum(bytes)?;
+    let mut r = Reader { buf: body, pos: 0 };
+    let h = decode_header(&mut r)?;
+
+    let expected_fp = params_fingerprint(&sim.params);
+    if h.params_fp != expected_fp {
+        return Err(CheckpointError::ParamsMismatch {
+            expected: expected_fp,
+            found: h.params_fp,
+        });
+    }
+    let incompat = |why: String| Err(CheckpointError::Incompatible(why));
+    if h.shape != sim.cfg.shape {
+        return incompat(format!(
+            "block shape {:?} != configured {:?}",
+            h.shape, sim.cfg.shape
+        ));
+    }
+    if h.meta != *meta {
+        return incompat(format!("decomposition {:?} != expected {:?}", h.meta, meta));
+    }
+    if (h.phi_variant, h.mu_variant) != (sim.cfg.phi_variant, sim.cfg.mu_variant) {
+        return incompat(format!(
+            "kernel variants ({:?},{:?}) != configured ({:?},{:?})",
+            h.phi_variant, h.mu_variant, sim.cfg.phi_variant, sim.cfg.mu_variant
+        ));
+    }
+    if h.bc != sim.cfg.bc {
+        return incompat(format!(
+            "boundary conditions {:?} != {:?}",
+            h.bc, sim.cfg.bc
+        ));
+    }
+    if h.rng.seed != sim.cfg.seed {
+        return incompat(format!(
+            "seed {} != configured {}",
+            h.rng.seed, sim.cfg.seed
+        ));
+    }
+    if h.phases != sim.params.phases || h.num_mu != sim.params.num_mu() {
+        return incompat(format!(
+            "field counts ({}, {}) != model ({}, {})",
+            h.phases,
+            h.num_mu,
+            sim.params.phases,
+            sim.params.num_mu()
+        ));
+    }
+
+    // Stage the payload fully before touching `sim`, so a truncated file
+    // can't leave it half-restored.
+    let shape = h.shape;
+    let cells = shape[0] * shape[1] * shape[2];
+    let mut phi = vec![0.0f64; h.phases * cells];
+    let mut mu = vec![0.0f64; h.num_mu * cells];
+    for slot in phi.iter_mut().chain(mu.iter_mut()) {
+        *slot = r.f64()?;
+    }
+    if r.pos != body.len() {
+        return Err(CheckpointError::Incompatible(
+            "trailing bytes after payload".into(),
+        ));
+    }
+
+    sim.step_count = h.step;
+    sim.origin = h.origin;
+    let fields = sim.kernels.fields;
+    for (field, comps, data) in [
+        (fields.phi_src, h.phases, &phi),
+        (fields.mu_src, h.num_mu, &mu),
+    ] {
+        let arr = sim.store.get_mut(field);
+        let mut it = data.iter();
+        for comp in 0..comps {
+            for z in 0..shape[2] as isize {
+                for y in 0..shape[1] as isize {
+                    for x in 0..shape[0] as isize {
+                        arr.set(comp, x, y, z, *it.next().unwrap());
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Files and checkpoint sets
+// ---------------------------------------------------------------------------
+
+/// Write `bytes` to `path` atomically: a sibling `.tmp` file is written in
+/// full, then renamed over the target, so readers never observe a partial
+/// checkpoint.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            CheckpointError::Io(std::io::Error::other("checkpoint path has no file name"))
+        })?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Save a simulation to `path` (atomic write).
+pub fn save(sim: &Simulation, meta: &RankMeta, path: &Path) -> Result<(), CheckpointError> {
+    write_atomic(path, &encode(sim, meta))
+}
+
+/// Restore a simulation from `path` (see [`decode_into`] for the checks).
+pub fn load(sim: &mut Simulation, meta: &RankMeta, path: &Path) -> Result<(), CheckpointError> {
+    decode_into(sim, meta, &std::fs::read(path)?)
+}
+
+/// Directory holding one step's per-rank checkpoint set.
+pub fn set_dir(root: &Path, step: u64) -> PathBuf {
+    root.join(format!("step_{step:08}"))
+}
+
+/// One rank's file within a checkpoint set.
+pub fn rank_file(root: &Path, step: u64, rank: usize) -> PathBuf {
+    set_dir(root, step).join(format!("rank_{rank:04}.ckpt"))
+}
+
+/// The newest step under `root` for which all `nranks` rank files exist.
+/// Partial sets (a crash mid-checkpoint) are skipped.
+pub fn latest_complete_set(root: &Path, nranks: usize) -> Option<u64> {
+    let entries = std::fs::read_dir(root).ok()?;
+    let mut steps: Vec<u64> = entries
+        .flatten()
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()?
+                .strip_prefix("step_")?
+                .parse::<u64>()
+                .ok()
+        })
+        .collect();
+    steps.sort_unstable();
+    steps
+        .into_iter()
+        .rev()
+        .find(|&step| (0..nranks).all(|r| rank_file(root, step, r).is_file()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::generate_kernels;
+    use crate::sim::SimConfig;
+    use pf_ir::GenOptions;
+
+    fn mini_sim() -> Simulation {
+        let p = crate::kernels::tests::mini_model();
+        let ks = generate_kernels(&p, &GenOptions::default());
+        let mut cfg = SimConfig::new([8, 6, 1]);
+        cfg.bc = [BcKind::Periodic; 3];
+        let mut sim = Simulation::new(p, ks, cfg);
+        sim.init_phi(|x, y, _| {
+            let solid = if (x + y) % 3 == 0 { 0.8 } else { 0.1 };
+            vec![1.0 - solid, solid]
+        });
+        sim.init_mu(|x, _, _| vec![0.01 * x as f64]);
+        sim
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_bitwise() {
+        let mut sim = mini_sim();
+        sim.run_steps(3);
+        let meta = RankMeta::single(sim.cfg.shape);
+        let bytes = encode(&sim, &meta);
+
+        let mut fresh = mini_sim();
+        decode_into(&mut fresh, &meta, &bytes).expect("round trip");
+        assert_eq!(fresh.step_count, 3);
+        assert_eq!(fresh.phi().max_abs_diff(sim.phi()), 0.0);
+        assert_eq!(fresh.mu().max_abs_diff(sim.mu()), 0.0);
+        // Re-encoding the restored state reproduces the same bytes.
+        assert_eq!(encode(&fresh, &meta), bytes);
+    }
+
+    #[test]
+    fn header_reports_counter_state() {
+        let mut sim = mini_sim();
+        sim.run_steps(2);
+        let meta = RankMeta::single(sim.cfg.shape);
+        let h = parse_header(&encode(&sim, &meta)).expect("header");
+        assert_eq!(h.rng, CounterState::new(sim.cfg.seed, 2));
+        assert_eq!(h.shape, sim.cfg.shape);
+        assert_eq!(h.meta, meta);
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_errors() {
+        let sim = mini_sim();
+        let meta = RankMeta::single(sim.cfg.shape);
+        let bytes = encode(&sim, &meta);
+
+        let mut fresh = mini_sim();
+        for cut in [0, 4, 17, bytes.len() / 2, bytes.len() - 1] {
+            match decode_into(&mut fresh, &meta, &bytes[..cut]) {
+                Err(CheckpointError::Truncated | CheckpointError::ChecksumMismatch) => {}
+                other => panic!("truncated at {cut}: unexpected {other:?}"),
+            }
+        }
+        let mut flipped = bytes.clone();
+        flipped[40] ^= 0x01;
+        assert!(matches!(
+            decode_into(&mut fresh, &meta, &flipped),
+            Err(CheckpointError::ChecksumMismatch)
+        ));
+        // Too short for even a checksum → Truncated; checksum-valid bytes
+        // with a foreign magic → BadMagic.
+        assert!(matches!(
+            decode_into(&mut fresh, &meta, b"short"),
+            Err(CheckpointError::Truncated)
+        ));
+        let mut wrong_magic = bytes[..bytes.len() - 8].to_vec();
+        wrong_magic[..8].copy_from_slice(b"NOTACKPT");
+        let mut h = Fnv::new();
+        h.write(&wrong_magic);
+        wrong_magic.extend_from_slice(&h.finish().to_le_bytes());
+        assert!(matches!(
+            decode_into(&mut fresh, &meta, &wrong_magic),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn wrong_params_or_meta_are_rejected() {
+        let sim = mini_sim();
+        let meta = RankMeta::single(sim.cfg.shape);
+        let bytes = encode(&sim, &meta);
+
+        let mut other = mini_sim();
+        other.params.dt *= 2.0;
+        assert!(matches!(
+            decode_into(&mut other, &meta, &bytes),
+            Err(CheckpointError::ParamsMismatch { .. })
+        ));
+
+        let mut fresh = mini_sim();
+        let wrong_meta = RankMeta {
+            rank: 1,
+            nranks: 4,
+            ..meta
+        };
+        assert!(matches!(
+            decode_into(&mut fresh, &wrong_meta, &bytes),
+            Err(CheckpointError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field_class() {
+        let p = crate::kernels::tests::mini_model();
+        let base = params_fingerprint(&p);
+        let mut q = p.clone();
+        q.gamma[0][1] += 1e-9;
+        assert_ne!(base, params_fingerprint(&q));
+        let mut q = p.clone();
+        q.anisotropy = Some(0.1);
+        assert_ne!(base, params_fingerprint(&q));
+        let mut q = p.clone();
+        q.temperature.gradient += 0.5;
+        assert_ne!(base, params_fingerprint(&q));
+        assert_eq!(base, params_fingerprint(&p.clone()));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_behind() {
+        let sim = mini_sim();
+        let meta = RankMeta::single(sim.cfg.shape);
+        let dir = std::env::temp_dir().join(format!("pfckpt_test_{}", std::process::id()));
+        let path = dir.join("a.ckpt");
+        save(&sim, &meta, &path).expect("save");
+        assert!(path.is_file());
+        assert!(!path.with_file_name("a.ckpt.tmp").exists());
+        let mut fresh = mini_sim();
+        load(&mut fresh, &meta, &path).expect("load");
+        assert_eq!(fresh.phi().max_abs_diff(sim.phi()), 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_complete_set_skips_partial_sets() {
+        let dir = std::env::temp_dir().join(format!("pfckpt_sets_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for (step, ranks) in [(10u64, 2usize), (20, 2), (30, 1)] {
+            for r in 0..ranks {
+                let f = rank_file(&dir, step, r);
+                std::fs::create_dir_all(f.parent().unwrap()).unwrap();
+                std::fs::write(&f, b"x").unwrap();
+            }
+        }
+        // step 30 is partial (1 of 2 ranks) — the newest complete is 20.
+        assert_eq!(latest_complete_set(&dir, 2), Some(20));
+        assert_eq!(latest_complete_set(&dir, 1), Some(30));
+        assert_eq!(latest_complete_set(&dir.join("missing"), 2), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -8,11 +8,52 @@
 //! tests), because the kernels, Philox counters, and coordinates are all
 //! keyed on *global* cell indices.
 
+use crate::checkpoint::{self, RankMeta};
 use crate::kernels::KernelSet;
 use crate::params::ModelParams;
 use crate::sim::{BcKind, SimConfig, Simulation, Variant};
-use pf_grid::{exchange_halo, run_ranks, Comm, CommOptions, Decomposition};
+use pf_grid::{
+    exchange_halo, run_ranks_with_faults, with_silenced_dead_rank_panics, Comm, CommOptions,
+    Decomposition, FaultPlan, DEAD_RANK_MARKER,
+};
 use pf_symbolic::Field;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Periodic/final checkpointing of a distributed run.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Root directory of the per-step checkpoint sets.
+    pub dir: PathBuf,
+    /// Write a set every `every` steps (0 = periodic checkpoints off).
+    pub every: u64,
+    /// Also write a set after the last step.
+    pub final_checkpoint: bool,
+    /// Before stepping, restore from the newest complete set under `dir`
+    /// (start from the initial conditions if there is none).
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every: 0,
+            final_checkpoint: true,
+            resume: false,
+        }
+    }
+
+    pub fn every(mut self, steps: u64) -> Self {
+        self.every = steps;
+        self
+    }
+
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+}
 
 /// Distributed run configuration.
 #[derive(Clone, Debug)]
@@ -24,6 +65,9 @@ pub struct DistConfig {
     pub mu_variant: Variant,
     pub comm: CommOptions,
     pub seed: u32,
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Message-fault/rank-kill injection for the whole world.
+    pub faults: Option<FaultPlan>,
 }
 
 impl DistConfig {
@@ -36,6 +80,22 @@ impl DistConfig {
             mu_variant: Variant::Split,
             comm: CommOptions::default(),
             seed: 42,
+            checkpoint: None,
+            faults: None,
+        }
+    }
+
+    /// This run's block metadata for `rank`, as stamped into checkpoints.
+    pub fn rank_meta(&self, dec: &Decomposition, rank: usize) -> RankMeta {
+        RankMeta {
+            rank: rank as u32,
+            nranks: self.ranks as u32,
+            grid: [dec.grid[0] as u32, dec.grid[1] as u32, dec.grid[2] as u32],
+            global: [
+                self.global[0] as u64,
+                self.global[1] as u64,
+                self.global[2] as u64,
+            ],
         }
     }
 
@@ -57,13 +117,13 @@ fn sync_field(
     field: Field,
     field_tag: u32,
     epoch: u64,
-    opts: CommOptions,
-    bc: [BcKind; 3],
+    cfg: &DistConfig,
 ) {
+    let bc = cfg.bc;
     // Neumann edges first (stale ghosts elsewhere get overwritten by the
     // exchange; the phased exchange then propagates corners correctly).
-    for d in 0..3 {
-        if bc[d] == BcKind::Neumann {
+    for (d, kind) in bc.iter().enumerate() {
+        if *kind == BcKind::Neumann {
             let at_low = dec.neighbor(comm.rank(), d, -1).is_none();
             let at_high = dec.neighbor(comm.rank(), d, 1).is_none();
             if at_low || at_high {
@@ -72,20 +132,15 @@ fn sync_field(
         }
     }
     let arr = sim.store.get_mut(field);
-    exchange_halo(comm, dec, arr, field_tag, epoch, opts);
+    exchange_halo(comm, dec, arr, field_tag, epoch, cfg.comm);
 }
 
 /// One distributed timestep of Algorithm 1.
-pub fn dist_step(
-    sim: &mut Simulation,
-    comm: &mut Comm,
-    dec: &Decomposition,
-    cfg: &DistConfig,
-) {
+pub fn dist_step(sim: &mut Simulation, comm: &mut Comm, dec: &Decomposition, cfg: &DistConfig) {
     let f = sim.kernels.fields;
     let epoch = sim.step_count * 4;
-    sync_field(sim, comm, dec, f.phi_src, 0, epoch, cfg.comm, cfg.bc);
-    sync_field(sim, comm, dec, f.mu_src, 1, epoch + 1, cfg.comm, cfg.bc);
+    sync_field(sim, comm, dec, f.phi_src, 0, epoch, cfg);
+    sync_field(sim, comm, dec, f.mu_src, 1, epoch + 1, cfg);
 
     let phi_full = sim.kernels.phi_full.clone();
     let phi_split = sim.kernels.phi_split.clone();
@@ -94,7 +149,7 @@ pub fn dist_step(
         Variant::Split => sim.run_split(&phi_split),
     }
     sim.project_simplex(f.phi_dst);
-    sync_field(sim, comm, dec, f.phi_dst, 2, epoch + 2, cfg.comm, cfg.bc);
+    sync_field(sim, comm, dec, f.phi_dst, 2, epoch + 2, cfg);
 
     let mu_full = sim.kernels.mu_full.clone();
     let mu_split = sim.kernels.mu_split.clone();
@@ -111,7 +166,13 @@ pub fn dist_step(
 /// Run a distributed simulation for `steps` steps. The initial conditions
 /// are given in *global* cell coordinates; `finish` extracts each rank's
 /// result after the run. Returns the per-rank results in rank order.
-pub fn run_distributed<R: Send>(
+///
+/// Honours `cfg.checkpoint` (periodic/final sets, resume from the newest
+/// complete set) and `cfg.faults` (message perturbation, planned rank
+/// kill). A killed rank makes the whole world unwind with a dead-rank
+/// panic; use [`run_distributed_resilient`] to recover from that
+/// automatically.
+pub fn run_distributed<R>(
     params: &ModelParams,
     kernels: &KernelSet,
     cfg: &DistConfig,
@@ -121,13 +182,27 @@ pub fn run_distributed<R: Send>(
     finish: impl Fn(&Simulation) -> R + Sync,
 ) -> Vec<R>
 where
-    R: 'static,
+    R: Send + 'static,
 {
     let dec = Decomposition::new(cfg.global, cfg.ranks, cfg.periodic());
     let results: parking_lot::Mutex<Vec<(usize, R)>> =
         parking_lot::Mutex::new(Vec::with_capacity(cfg.ranks));
+    let plan = cfg.faults.clone().map(Arc::new);
+    // With faults active, one rank can finish while a peer still needs a
+    // retransmission from it, so the run must end in a rendezvous before
+    // endpoints are dropped.
+    let needs_shutdown_sync = plan.is_some();
+    // Resuming ranks agree on the restart step before the world starts, so
+    // a set completed between two ranks' scans cannot split the cohort.
+    let resume_step = cfg.checkpoint.as_ref().and_then(|ck| {
+        if ck.resume {
+            checkpoint::latest_complete_set(&ck.dir, cfg.ranks)
+        } else {
+            None
+        }
+    });
 
-    run_ranks(cfg.ranks, |mut comm| {
+    run_ranks_with_faults(cfg.ranks, plan, |mut comm| {
         let block = dec.block(comm.rank());
         let mut sim_cfg = SimConfig::new(block.shape);
         sim_cfg.phi_variant = cfg.phi_variant;
@@ -139,8 +214,38 @@ where
         let (ox, oy, oz) = (block.origin[0], block.origin[1], block.origin[2]);
         sim.init_phi(|x, y, z| init_phi(x as i64 + ox, y as i64 + oy, z as i64 + oz));
         sim.init_mu(|x, y, z| init_mu(x as i64 + ox, y as i64 + oy, z as i64 + oz));
-        for _ in 0..steps {
+        let meta = cfg.rank_meta(&dec, comm.rank());
+        if let (Some(ck), Some(step)) = (&cfg.checkpoint, resume_step) {
+            let path = checkpoint::rank_file(&ck.dir, step, comm.rank());
+            checkpoint::load(&mut sim, &meta, &path)
+                .unwrap_or_else(|e| panic!("restore from {}: {e}", path.display()));
+        }
+        while sim.step_count < steps as u64 {
+            if let Some(plan) = comm.fault_plan() {
+                if plan.should_kill(comm.rank(), sim.step_count) {
+                    // Simulated death: unwind without checkpointing or
+                    // entering the shutdown rendezvous. Peers notice the
+                    // dropped endpoint and unwind too.
+                    panic!(
+                        "{DEAD_RANK_MARKER}: planned kill of rank {} at step {}",
+                        comm.rank(),
+                        sim.step_count
+                    );
+                }
+            }
             dist_step(&mut sim, &mut comm, &dec, cfg);
+            if let Some(ck) = &cfg.checkpoint {
+                let done = sim.step_count == steps as u64;
+                let periodic = ck.every > 0 && sim.step_count.is_multiple_of(ck.every);
+                if periodic || (done && ck.final_checkpoint) {
+                    let path = checkpoint::rank_file(&ck.dir, sim.step_count, comm.rank());
+                    checkpoint::save(&sim, &meta, &path)
+                        .unwrap_or_else(|e| panic!("checkpoint to {}: {e}", path.display()));
+                }
+            }
+        }
+        if needs_shutdown_sync {
+            comm.shutdown_barrier();
         }
         let r = finish(&sim);
         results.lock().push((comm.rank(), r));
@@ -149,6 +254,64 @@ where
     let mut out = results.into_inner();
     out.sort_by_key(|(r, _)| *r);
     out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Restart attempts before a dead-rank failure is considered permanent.
+const MAX_RESTARTS: usize = 3;
+
+/// [`run_distributed`] wrapped in cohort-level recovery: when the world
+/// unwinds because a rank died (the planned kill of a fault plan), the
+/// cohort is restarted from the newest complete checkpoint set with the
+/// kill disarmed. Determinism makes the recovery exact — the restarted
+/// ranks re-produce bitwise the states the lost cohort would have had.
+/// Panics that are not rank deaths propagate unchanged.
+pub fn run_distributed_resilient<R>(
+    params: &ModelParams,
+    kernels: &KernelSet,
+    cfg: &DistConfig,
+    steps: usize,
+    init_phi: impl Fn(i64, i64, i64) -> Vec<f64> + Sync,
+    init_mu: impl Fn(i64, i64, i64) -> Vec<f64> + Sync,
+    finish: impl Fn(&Simulation) -> R + Sync,
+) -> Vec<R>
+where
+    R: Send + 'static,
+{
+    let mut attempt_cfg = cfg.clone();
+    let mut restarts = 0usize;
+    loop {
+        let outcome = with_silenced_dead_rank_panics(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_distributed(
+                    params,
+                    kernels,
+                    &attempt_cfg,
+                    steps,
+                    &init_phi,
+                    &init_mu,
+                    &finish,
+                )
+            }))
+        });
+        match outcome {
+            Ok(results) => return results,
+            Err(payload) => {
+                if !Comm::is_dead_rank_panic(payload.as_ref()) || restarts >= MAX_RESTARTS {
+                    std::panic::resume_unwind(payload);
+                }
+                restarts += 1;
+                // The planned death already happened; the replacement
+                // cohort must not re-kill, and must pick up from the last
+                // complete set (or the initial conditions if none exists).
+                if let Some(f) = &mut attempt_cfg.faults {
+                    *f = f.disarmed();
+                }
+                if let Some(ck) = &mut attempt_cfg.checkpoint {
+                    ck.resume = true;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,15 +345,9 @@ mod tests {
 
         // Distributed run on 4 ranks.
         let dcfg = DistConfig::new(global, 4);
-        let blocks = run_distributed(
-            &p,
-            &ks,
-            &dcfg,
-            steps,
-            init_phi,
-            init_mu,
-            |sim| (sim.origin, sim.phi().clone(), sim.mu().clone()),
-        );
+        let blocks = run_distributed(&p, &ks, &dcfg, steps, init_phi, init_mu, |sim| {
+            (sim.origin, sim.phi().clone(), sim.mu().clone())
+        });
 
         for (origin, phi, mu) in blocks {
             let shape = phi.shape();
@@ -206,9 +363,10 @@ mod tests {
                         let got = phi.get(alpha, x, y, 0);
                         assert_eq!(got, want, "phi mismatch at origin {origin:?} ({x},{y})");
                     }
-                    let want = reference
-                        .mu()
-                        .get(0, x + origin[0] as isize, y + origin[1] as isize, 0);
+                    let want =
+                        reference
+                            .mu()
+                            .get(0, x + origin[0] as isize, y + origin[1] as isize, 0);
                     assert_eq!(mu.get(0, x, y, 0), want, "mu mismatch");
                 }
             }

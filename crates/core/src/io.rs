@@ -38,7 +38,10 @@ pub fn to_vtk(name: &str, arr: &FieldArray, spacing: f64) -> String {
 
 /// Write the simulation's φ and µ fields as VTK files under `dir`,
 /// suffixed with the current step count.
-pub fn write_vtk(sim: &Simulation, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+pub fn write_vtk(
+    sim: &Simulation,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let step = sim.step_count;
     let mut written = Vec::new();
@@ -92,20 +95,14 @@ mod tests {
         assert!(v.contains("SCALARS phi_0 double 1"));
         assert!(v.contains("SCALARS phi_1 double 1"));
         // 12 values per component + headers.
-        let data_lines = v
-            .lines()
-            .filter(|l| l.parse::<f64>().is_ok())
-            .count();
+        let data_lines = v.lines().filter(|l| l.parse::<f64>().is_ok()).count();
         assert_eq!(data_lines, 24);
     }
 
     #[test]
     fn vtk_is_x_fastest_ordering() {
         let v = to_vtk("f", &sample(), 1.0);
-        let nums: Vec<f64> = v
-            .lines()
-            .filter_map(|l| l.parse::<f64>().ok())
-            .collect();
+        let nums: Vec<f64> = v.lines().filter_map(|l| l.parse::<f64>().ok()).collect();
         // First row of component 0: x = 0,1,2 at y=z=0.
         assert_eq!(&nums[0..3], &[0.0, 1.0, 2.0]);
         // Next row: y = 1.

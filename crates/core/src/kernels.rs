@@ -52,11 +52,7 @@ fn split_kernel(
     opts: &GenOptions,
 ) -> SplitTapes {
     let r = split_fluxes(disc, &format!("{name}_stag"), updates);
-    let flux_tapes = r
-        .flux_kernels
-        .iter()
-        .map(|k| generate(k, opts))
-        .collect();
+    let flux_tapes = r.flux_kernels.iter().map(|k| generate(k, opts)).collect();
     let mut uk = StencilKernel::new(&format!("{name}_update"), r.updates);
     uk.iter_extent = [0, 0, 0];
     SplitTapes {
@@ -76,11 +72,7 @@ pub fn generate_kernels(p: &ModelParams, opts: &GenOptions) -> KernelSet {
 /// Generate kernels from pre-built model expressions (lets callers modify
 /// the PDE layer first — the paper's "user can extend the description on
 /// each level").
-pub fn generate_kernels_from(
-    p: &ModelParams,
-    m: &ModelExprs,
-    opts: &GenOptions,
-) -> KernelSet {
+pub fn generate_kernels_from(p: &ModelParams, m: &ModelExprs, opts: &GenOptions) -> KernelSet {
     let disc = Discretization::new(p.dim, [p.dx; 3]);
     KernelSet {
         fields: m.fields,

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod dist;
 pub mod io;
 pub mod kernels;
@@ -32,6 +33,7 @@ pub mod params;
 pub mod select;
 pub mod sim;
 
+pub use checkpoint::{params_fingerprint, CheckpointError, CheckpointHeader, RankMeta};
 pub use kernels::{generate_kernels, generate_kernels_from, KernelSet, SplitTapes};
 pub use model::{build_model, h_interp, temperature_expr, ModelExprs, ModelFields};
 pub use params::{p1, p2, ModelParams, TempModel};

@@ -141,18 +141,12 @@ pub fn build_model(p: &ModelParams) -> ModelExprs {
                             Expr::num(s) * q[0].clone() + Expr::num(c) * q[1].clone(),
                         ]
                     };
-                    let q4: Expr = qr
-                        .iter()
-                        .map(|c| Expr::powi(c.clone(), 4))
-                        .sum::<Expr>();
+                    let q4: Expr = qr.iter().map(|c| Expr::powi(c.clone(), 4)).sum::<Expr>();
                     let denom = Expr::powi(q2.clone() + Expr::num(p.eta), 2);
-                    Expr::one()
-                        - Expr::num(delta)
-                            * (Expr::num(3.0) - Expr::num(4.0) * q4 / denom)
+                    Expr::one() - Expr::num(delta) * (Expr::num(3.0) - Expr::num(4.0) * q4 / denom)
                 }
             };
-            a_energy = a_energy
-                + Expr::num(p.gamma[alpha][beta]) * Expr::powi(aniso, 2) * q2;
+            a_energy = a_energy + Expr::num(p.gamma[alpha][beta]) * Expr::powi(aniso, 2) * q2;
         }
     }
 
@@ -179,12 +173,11 @@ pub fn build_model(p: &ModelParams) -> ModelExprs {
 
     // ---- driving force ψ(φ, µ, T) — Eq. (6) --------------------------------
     let mut psi = Expr::zero();
-    for alpha in 0..n {
-        psi = psi + psi_alpha(p, alpha, &mu, &temp) * h_interp(&phi[alpha]);
+    for (alpha, phi_a) in phi.iter().enumerate().take(n) {
+        psi = psi + psi_alpha(p, alpha, &mu, &temp) * h_interp(phi_a);
     }
 
-    let energy_density =
-        Expr::num(p.eps) * a_energy + omega / p.eps + psi;
+    let energy_density = Expr::num(p.eps) * a_energy + omega / p.eps + psi;
 
     // ---- Allen–Cahn updates — Eq. (7) --------------------------------------
     // δΨ/δφ_α for every phase, then the Lagrange multiplier Λ = (1/N) Σ δΨ/δφ.
@@ -214,8 +207,8 @@ pub fn build_model(p: &ModelParams) -> ModelExprs {
                 rhs = rhs + Expr::num(p.fluctuation_amplitude) * Expr::rand(alpha);
             }
             // τε ∂φ/∂t = rhs  ⇒  φ(t+dt) = φ + dt/(τε)·rhs
-            let update = phi[alpha].clone()
-                + Expr::num(p.dt) / (tau_ip.clone() * Expr::num(p.eps)) * rhs;
+            let update =
+                phi[alpha].clone() + Expr::num(p.dt) / (tau_ip.clone() * Expr::num(p.eps)) * rhs;
             (Access::center(fields.phi_dst, alpha), update)
         })
         .collect();
@@ -226,9 +219,7 @@ pub fn build_model(p: &ModelParams) -> ModelExprs {
         .map(|i| {
             // Susceptibility χ_i = ∂c_i/∂µ_i = Σ_α (−2A_{αi}) h_α(φ).
             let chi: Expr = (0..n)
-                .map(|alpha| {
-                    Expr::num(-2.0 * p.a_coeff[alpha][i]) * h_interp(&phi[alpha])
-                })
+                .map(|alpha| Expr::num(-2.0 * p.a_coeff[alpha][i]) * h_interp(&phi[alpha]))
                 .sum();
             // Mobility — Eq. (9), with the simpler interpolation g_α = φ_α:
             // M_i = Σ_α D_α (−2A_{αi}) g_α(φ).
@@ -247,8 +238,7 @@ pub fn build_model(p: &ModelParams) -> ModelExprs {
                     // Anti-trapping current — Eq. (10), regularized.
                     let l = p.liquid_phase;
                     let c_l = c_alpha(p, l, i, &mu[i], &temp);
-                    let gphi_l: Vec<Expr> =
-                        (0..dim).map(|dd| grad(&phi[l], dd)).collect();
+                    let gphi_l: Vec<Expr> = (0..dim).map(|dd| grad(&phi[l], dd)).collect();
                     let norm_l: Expr = gphi_l
                         .iter()
                         .map(|g| Expr::powi(g.clone(), 2))
@@ -259,10 +249,8 @@ pub fn build_model(p: &ModelParams) -> ModelExprs {
                             continue;
                         }
                         let c_a = c_alpha(p, alpha, i, &mu[i], &temp);
-                        let dphidt =
-                            (phi_dst[alpha].clone() - phi[alpha].clone()) / p.dt;
-                        let gphi_a: Vec<Expr> =
-                            (0..dim).map(|dd| grad(&phi[alpha], dd)).collect();
+                        let dphidt = (phi_dst[alpha].clone() - phi[alpha].clone()) / p.dt;
+                        let gphi_a: Vec<Expr> = (0..dim).map(|dd| grad(&phi[alpha], dd)).collect();
                         let norm_a: Expr = gphi_a
                             .iter()
                             .map(|g| Expr::powi(g.clone(), 2))
@@ -274,13 +262,11 @@ pub fn build_model(p: &ModelParams) -> ModelExprs {
                             .zip(&gphi_l)
                             .map(|(a, b)| a.clone() * b.clone())
                             .sum();
-                        let align =
-                            dot * Expr::rsqrt(norm_a.clone()) * Expr::rsqrt(norm_l.clone());
+                        let align = dot * Expr::rsqrt(norm_a.clone()) * Expr::rsqrt(norm_l.clone());
                         // g_α h_l / sqrt(φ_α φ_l):
-                        let weight = phi[alpha].clone() * h_interp(&phi[l])
-                            * Expr::rsqrt(
-                                phi[alpha].clone() * phi[l].clone() + Expr::num(p.eta),
-                            );
+                        let weight = phi[alpha].clone()
+                            * h_interp(&phi[l])
+                            * Expr::rsqrt(phi[alpha].clone() * phi[l].clone() + Expr::num(p.eta));
                         let normal_d = gphi_a[d].clone() * Expr::rsqrt(norm_a);
                         flux = flux
                             - Expr::num(std::f64::consts::PI * p.eps / 4.0)
@@ -297,16 +283,13 @@ pub fn build_model(p: &ModelParams) -> ModelExprs {
             // Σ_α c_{αi} ∂h_α/∂t, with ∂h/∂t from the fresh φ_dst.
             let mut source = Expr::zero();
             for alpha in 0..n {
-                let dhdt =
-                    (h_interp(&phi_dst[alpha]) - h_interp(&phi[alpha])) / p.dt;
+                let dhdt = (h_interp(&phi_dst[alpha]) - h_interp(&phi[alpha])) / p.dt;
                 source = source + c_alpha(p, alpha, i, &mu[i], &temp) * dhdt;
             }
 
             // (∂c_i/∂T)(∂T/∂t) with ∂c/∂T = Σ_α −b1_{αi} h_α.
             let dcdt_t: Expr = (0..n)
-                .map(|alpha| {
-                    Expr::num(-p.b_coeff[alpha][i].1) * h_interp(&phi[alpha])
-                })
+                .map(|alpha| Expr::num(-p.b_coeff[alpha][i].1) * h_interp(&phi[alpha]))
                 .sum::<Expr>()
                 * dtdt.clone();
 

@@ -139,7 +139,7 @@ pub fn p1() -> ModelParams {
                     // Solid phases prefer different compositions; B couples
                     // to T so the driving force follows the gradient.
                     let base = match (alpha, i) {
-                        (0, _) => 0.0,              // liquid reference
+                        (0, _) => 0.0, // liquid reference
                         (a, i) if a - 1 == i => 0.45,
                         _ => -0.25,
                     };

@@ -85,7 +85,11 @@ impl Simulation {
         let stag_shape = [
             cfg.shape[0] + 1,
             cfg.shape[1] + 1,
-            if params.dim == 3 { cfg.shape[2] + 1 } else { cfg.shape[2] },
+            if params.dim == 3 {
+                cfg.shape[2] + 1
+            } else {
+                cfg.shape[2]
+            },
         ];
         for sf in [kernels.phi_split.stag_field, kernels.mu_split.stag_field] {
             let arr = FieldArray::new(&sf.name(), stag_shape, sf.components(), 0, Layout::Fzyx);
@@ -103,9 +107,7 @@ impl Simulation {
         let liquid = sim.params.liquid_phase;
         for alpha in 0..sim.params.phases {
             let v = if alpha == liquid { 1.0 } else { 0.0 };
-            sim.store
-                .get_mut(f.phi_src)
-                .fill_with(alpha, |_, _, _| v);
+            sim.store.get_mut(f.phi_src).fill_with(alpha, |_, _, _| v);
         }
         sim
     }
@@ -151,8 +153,8 @@ impl Simulation {
     pub fn apply_bc(&mut self, field: Field) {
         let bc = self.cfg.bc;
         let arr = self.store.get_mut(field);
-        for d in 0..3 {
-            match bc[d] {
+        for (d, kind) in bc.iter().enumerate() {
+            match kind {
                 BcKind::Periodic => arr.apply_periodic(d),
                 BcKind::Neumann => arr.apply_neumann(d),
             }
@@ -201,8 +203,9 @@ impl Simulation {
         for z in 0..shape[2] as isize {
             for y in 0..shape[1] as isize {
                 for x in 0..shape[0] as isize {
-                    let mut vals: Vec<f64> =
-                        (0..n).map(|a| arr.get(a, x, y, z).clamp(0.0, 1.0)).collect();
+                    let mut vals: Vec<f64> = (0..n)
+                        .map(|a| arr.get(a, x, y, z).clamp(0.0, 1.0))
+                        .collect();
                     let sum: f64 = vals.iter().sum();
                     if sum > 1e-12 {
                         for v in vals.iter_mut() {
@@ -211,7 +214,11 @@ impl Simulation {
                     } else {
                         // Degenerate cell: fall back to pure liquid.
                         for (a, v) in vals.iter_mut().enumerate() {
-                            *v = if a == self.params.liquid_phase { 1.0 } else { 0.0 };
+                            *v = if a == self.params.liquid_phase {
+                                1.0
+                            } else {
+                                0.0
+                            };
                         }
                     }
                     for (a, v) in vals.iter().enumerate() {
@@ -266,6 +273,35 @@ impl Simulation {
 
     pub fn mu(&self) -> &FieldArray {
         self.store.get(self.kernels.fields.mu_src)
+    }
+
+    /// The Philox counter state of the *next* step — together with the
+    /// field interiors, the complete persistent RNG state (§3.3: the
+    /// generator itself is stateless).
+    pub fn rng_state(&self) -> pf_rng::CounterState {
+        pf_rng::CounterState::new(self.cfg.seed, self.step_count)
+    }
+
+    /// Write this block's restart state to `path` atomically. Single-block
+    /// convenience over [`crate::checkpoint::save`]; distributed runs pass
+    /// their decomposition's [`crate::checkpoint::RankMeta`] instead.
+    pub fn save_checkpoint(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        let meta = crate::checkpoint::RankMeta::single(self.cfg.shape);
+        crate::checkpoint::save(self, &meta, path)
+    }
+
+    /// Restore this block from `path`, verifying it matches this
+    /// simulation's parameters and configuration. The simulation is left
+    /// untouched on error.
+    pub fn restore_checkpoint(
+        &mut self,
+        path: &std::path::Path,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        let meta = crate::checkpoint::RankMeta::single(self.cfg.shape);
+        crate::checkpoint::load(self, &meta, path)
     }
 }
 

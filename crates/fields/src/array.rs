@@ -380,7 +380,10 @@ mod tests {
             for z in -1..4 {
                 for y in -1..4 {
                     for x in -1..4 {
-                        assert!(seen.insert(f.index(c, x, y, z)), "collision at {c},{x},{y},{z}");
+                        assert!(
+                            seen.insert(f.index(c, x, y, z)),
+                            "collision at {c},{x},{y},{z}"
+                        );
                     }
                 }
             }

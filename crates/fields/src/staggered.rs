@@ -27,7 +27,7 @@ impl StaggeredField {
         let ext = [
             shape[0] + 1,
             shape[1] + 1,
-            if dim == 3 { shape[2] + 1 } else { shape[2] } ,
+            if dim == 3 { shape[2] + 1 } else { shape[2] },
         ];
         // One component block per (direction, comp) pair; no ghost layers —
         // staggered temporaries live strictly inside one block pass.

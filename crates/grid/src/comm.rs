@@ -1,21 +1,154 @@
 //! Message passing between ranks — the MPI substitute.
 //!
-//! Each rank is a thread; messages travel over crossbeam channels. The API
-//! mirrors the subset of MPI the paper's runtime uses: tagged non-blocking
-//! sends, tag-matched receives, barrier, and all-reduce. Communication
-//! statistics (messages, bytes) are recorded per rank, because the cluster
-//! simulator consumes them to model network time at scale.
+//! Each rank is a thread; messages travel over `std::sync::mpsc` channels.
+//! The API mirrors the subset of MPI the paper's runtime uses: tagged
+//! non-blocking sends, tag-matched receives, barrier, and all-reduce.
+//! Communication statistics (messages, bytes) are recorded per rank, because
+//! the cluster simulator consumes them to model network time at scale.
+//!
+//! On top of the raw channels sits a small reliability layer, which exists
+//! so the fault-injection harness ([`FaultPlan`]) has something real to
+//! test against:
+//!
+//! * every payload message carries a per-sender sequence number; receivers
+//!   deduplicate on `(from, seq)`, so duplicated deliveries are harmless;
+//! * senders keep recently sent messages in a bounded outbox keyed by
+//!   `(to, tag)` — tags are unique per run (they embed the step epoch), so
+//!   the key is unambiguous;
+//! * a receiver that waits too long for a tag sends a retransmit request to
+//!   the expected sender; the sender services such requests from its outbox
+//!   whenever it is itself blocked in `recv`. Retransmitted copies bypass
+//!   fault injection, which guarantees progress under any drop rate < 1;
+//! * if the expected sender's endpoint is gone (its `Comm` was dropped —
+//!   the simulated rank death), sends to it fail immediately and the
+//!   survivor panics with [`DEAD_RANK_MARKER`] in the message. The
+//!   distributed driver catches that unwind and restarts the cohort from
+//!   the last complete checkpoint.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// Panic-message marker for "a peer rank is unreachable". The resilient
+/// distributed driver looks for this to distinguish simulated rank death
+/// from genuine bugs.
+pub const DEAD_RANK_MARKER: &str = "pf-grid: peer rank presumed dead";
+
+/// How long one tag-matched receive waits before requesting a retransmit.
+const RETRY_TIMEOUT: Duration = Duration::from_millis(10);
+/// Receive attempts before declaring the peer dead (total ≈ 3 s).
+const MAX_RECV_ATTEMPTS: u32 = 300;
+/// Bounded retransmit-outbox size per rank (entries, not bytes).
+const OUTBOX_CAP: usize = 1024;
 
 /// One tagged message.
 struct Msg {
     from: usize,
     tag: u64,
+    /// Per-sender sequence number (payloads only) — the dedup key.
+    seq: u64,
+    /// `true`: this is a retransmit *request* for `tag`, not a payload.
+    ctrl: bool,
     data: Vec<f64>,
+}
+
+/// What the fault injector decides to do with one send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FaultAction {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay,
+}
+
+/// Where in the run a rank is killed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Kill {
+    pub rank: usize,
+    pub step: u64,
+}
+
+/// Deterministic, seeded fault-injection plan for a world.
+///
+/// Message faults are decided by hashing `(seed, from, to, tag)` — not by
+/// drawing from a stream — so the outcome is identical regardless of thread
+/// scheduling, and identical again on a re-run after recovery. Probabilities
+/// are independent: a message rolls against drop, then duplicate, then
+/// delay. Retransmitted copies and control traffic are never faulted.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub drop_prob: f64,
+    pub dup_prob: f64,
+    pub delay_prob: f64,
+    pub kill: Option<Kill>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    pub fn dup_prob(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    pub fn delay_prob(mut self, p: f64) -> Self {
+        self.delay_prob = p;
+        self
+    }
+
+    pub fn kill_rank_at_step(mut self, rank: usize, step: u64) -> Self {
+        self.kill = Some(Kill { rank, step });
+        self
+    }
+
+    /// The same plan with the kill removed — used when restarting a cohort
+    /// after the planned death already happened.
+    pub fn disarmed(&self) -> Self {
+        let mut p = self.clone();
+        p.kill = None;
+        p
+    }
+
+    /// Should `rank` die before executing `step`?
+    pub fn should_kill(&self, rank: usize, step: u64) -> bool {
+        matches!(self.kill, Some(k) if k.rank == rank && k.step == step)
+    }
+
+    fn roll(&self, from: usize, to: usize, tag: u64) -> FaultAction {
+        if self.drop_prob <= 0.0 && self.dup_prob <= 0.0 && self.delay_prob <= 0.0 {
+            return FaultAction::Deliver;
+        }
+        let mut h = self.seed ^ 0x6A09_E667_F3BC_C908;
+        for word in [from as u64, to as u64, tag] {
+            h ^= word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+        }
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.drop_prob {
+            FaultAction::Drop
+        } else if u < self.drop_prob + self.dup_prob {
+            FaultAction::Duplicate
+        } else if u < self.drop_prob + self.dup_prob + self.delay_prob {
+            FaultAction::Delay
+        } else {
+            FaultAction::Deliver
+        }
+    }
 }
 
 /// Per-rank communication statistics.
@@ -23,6 +156,10 @@ struct Msg {
 pub struct CommStats {
     pub messages_sent: AtomicU64,
     pub bytes_sent: AtomicU64,
+    /// Messages the fault injector dropped, duplicated, or delayed.
+    pub faults_injected: AtomicU64,
+    /// Retransmissions served from the outbox.
+    pub retransmits: AtomicU64,
 }
 
 /// A rank's endpoint.
@@ -33,14 +170,29 @@ pub struct Comm {
     receiver: Receiver<Msg>,
     /// Out-of-order receive buffer for tag matching.
     pending: HashMap<(usize, u64), Vec<Vec<f64>>>,
+    /// Sequence numbers already accepted, per sender — the dedup filter.
+    seen: HashSet<(usize, u64)>,
+    /// Next sequence number for payloads this rank sends.
+    next_seq: u64,
+    /// Recently sent payloads, kept for retransmission. Keyed `(to, tag)`;
+    /// insertion order tracked for bounded eviction.
+    outbox: HashMap<(usize, u64), (u64, Vec<f64>)>,
+    outbox_order: VecDeque<(usize, u64)>,
+    /// Messages the fault injector is holding back; flushed one send later.
+    delayed: Vec<(usize, Msg)>,
+    faults: Option<Arc<FaultPlan>>,
     pub stats: Arc<CommStats>,
 }
 
 impl Comm {
     /// Create all endpoints of a `size`-rank world.
     pub fn world(size: usize) -> Vec<Comm> {
-        let channels: Vec<(Sender<Msg>, Receiver<Msg>)> =
-            (0..size).map(|_| unbounded()).collect();
+        Comm::world_with_faults(size, None)
+    }
+
+    /// Create a world whose message traffic is perturbed by `plan`.
+    pub fn world_with_faults(size: usize, plan: Option<Arc<FaultPlan>>) -> Vec<Comm> {
+        let channels: Vec<(Sender<Msg>, Receiver<Msg>)> = (0..size).map(|_| channel()).collect();
         let senders: Vec<Sender<Msg>> = channels.iter().map(|(s, _)| s.clone()).collect();
         channels
             .into_iter()
@@ -51,6 +203,12 @@ impl Comm {
                 senders: senders.clone(),
                 receiver,
                 pending: HashMap::new(),
+                seen: HashSet::new(),
+                next_seq: 0,
+                outbox: HashMap::new(),
+                outbox_order: VecDeque::new(),
+                delayed: Vec::new(),
+                faults: plan.clone(),
                 stats: Arc::new(CommStats::default()),
             })
             .collect()
@@ -64,38 +222,212 @@ impl Comm {
         self.size
     }
 
+    /// The fault plan this world was created with, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
+    }
+
+    /// Raw channel push. `Err` means the peer's endpoint is gone.
+    fn push(&self, to: usize, msg: Msg) -> Result<(), ()> {
+        self.senders[to].send(msg).map_err(|_| ())
+    }
+
+    fn push_or_die(&self, to: usize, msg: Msg) {
+        if self.push(to, msg).is_err() {
+            panic!(
+                "{DEAD_RANK_MARKER}: rank {} cannot reach rank {to}",
+                self.rank
+            );
+        }
+    }
+
+    fn flush_delayed(&mut self) {
+        for (to, msg) in std::mem::take(&mut self.delayed) {
+            self.push_or_die(to, msg);
+        }
+    }
+
+    /// Whether a panic unwinding through this world is the simulated
+    /// rank-death signal rather than a genuine bug.
+    pub fn is_dead_rank_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+        payload
+            .downcast_ref::<String>()
+            .map(|s| s.contains(DEAD_RANK_MARKER))
+            .or_else(|| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.contains(DEAD_RANK_MARKER))
+            })
+            .unwrap_or(false)
+    }
+
+    fn remember(&mut self, to: usize, tag: u64, seq: u64, data: &[f64]) {
+        if self
+            .outbox
+            .insert((to, tag), (seq, data.to_vec()))
+            .is_none()
+        {
+            self.outbox_order.push_back((to, tag));
+        }
+        while self.outbox_order.len() > OUTBOX_CAP {
+            if let Some(old) = self.outbox_order.pop_front() {
+                self.outbox.remove(&old);
+            }
+        }
+    }
+
     /// Non-blocking tagged send (the `MPI_Isend` analogue — channel sends
-    /// never block).
-    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+    /// never block). Subject to fault injection; the payload is retained in
+    /// the outbox so a dropped copy can be retransmitted on request.
+    pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) {
         self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_sent
             .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
-        self.senders[to]
-            .send(Msg {
-                from: self.rank,
-                tag,
-                data,
-            })
-            .expect("receiver alive for the duration of the run");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.remember(to, tag, seq, &data);
+        let action = match &self.faults {
+            Some(plan) => plan.roll(self.rank, to, tag),
+            None => FaultAction::Deliver,
+        };
+        if action != FaultAction::Deliver {
+            self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        // Earlier delayed messages go out *after* this one — that inversion
+        // is what makes a delay an observable reordering.
+        let held = std::mem::take(&mut self.delayed);
+        let msg = Msg {
+            from: self.rank,
+            tag,
+            seq,
+            ctrl: false,
+            data,
+        };
+        match action {
+            FaultAction::Drop => {} // the receiver will ask again
+            FaultAction::Deliver => self.push_or_die(to, msg),
+            FaultAction::Duplicate => {
+                let copy = Msg {
+                    from: msg.from,
+                    tag: msg.tag,
+                    seq: msg.seq,
+                    ctrl: false,
+                    data: msg.data.clone(),
+                };
+                self.push_or_die(to, msg);
+                self.push_or_die(to, copy);
+            }
+            FaultAction::Delay => self.delayed.push((to, msg)),
+        }
+        for (to, m) in held {
+            self.push_or_die(to, m);
+        }
     }
 
-    /// Blocking tag-matched receive.
+    /// Fault-immune tagged send: same bookkeeping as [`Comm::send`], never
+    /// perturbed by the fault plan. Used for shutdown collectives.
+    fn send_immune(&mut self, to: usize, tag: u64, data: Vec<f64>) {
+        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.remember(to, tag, seq, &data);
+        self.flush_delayed();
+        self.push_or_die(
+            to,
+            Msg {
+                from: self.rank,
+                tag,
+                seq,
+                ctrl: false,
+                data,
+            },
+        );
+    }
+
+    /// Service a retransmit request for `(requester, tag)` from the outbox.
+    /// A request for a message not sent yet is ignored — the requester will
+    /// time out and ask again after we actually send it.
+    fn serve_retransmit(&mut self, requester: usize, tag: u64) {
+        if let Some((seq, data)) = self.outbox.get(&(requester, tag)) {
+            self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+            let msg = Msg {
+                from: self.rank,
+                tag,
+                seq: *seq,
+                ctrl: false,
+                data: data.clone(),
+            };
+            self.push_or_die(requester, msg);
+        }
+    }
+
+    /// Process one inbound message. Returns the payload if it matches the
+    /// `(from, tag)` the caller is blocked on.
+    fn accept(&mut self, m: Msg, from: usize, tag: u64) -> Option<Vec<f64>> {
+        if m.ctrl {
+            self.serve_retransmit(m.from, m.tag);
+            return None;
+        }
+        if !self.seen.insert((m.from, m.seq)) {
+            return None; // duplicate delivery
+        }
+        if m.from == from && m.tag == tag {
+            return Some(m.data);
+        }
+        self.pending
+            .entry((m.from, m.tag))
+            .or_default()
+            .push(m.data);
+        None
+    }
+
+    /// Blocking tag-matched receive with retry: after each quiet
+    /// [`RETRY_TIMEOUT`] a retransmit request is sent to `from`; after
+    /// [`MAX_RECV_ATTEMPTS`] quiet windows the peer is declared dead.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        self.flush_delayed();
         if let Some(q) = self.pending.get_mut(&(from, tag)) {
             if !q.is_empty() {
                 return q.remove(0);
             }
         }
+        let mut attempts = 0u32;
         loop {
-            let m = self
-                .receiver
-                .recv()
-                .expect("senders alive for the duration of the run");
-            if m.from == from && m.tag == tag {
-                return m.data;
+            match self.receiver.recv_timeout(RETRY_TIMEOUT) {
+                Ok(m) => {
+                    if let Some(data) = self.accept(m, from, tag) {
+                        return data;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    attempts += 1;
+                    if attempts >= MAX_RECV_ATTEMPTS {
+                        panic!(
+                            "{DEAD_RANK_MARKER}: rank {} gave up waiting for \
+                             rank {from} tag {tag:#x}",
+                            self.rank
+                        );
+                    }
+                    // Ask the sender to retransmit; a dead sender is
+                    // detected right here by the failed push.
+                    let req = Msg {
+                        from: self.rank,
+                        tag,
+                        seq: 0,
+                        ctrl: true,
+                        data: Vec::new(),
+                    };
+                    self.push_or_die(from, req);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Impossible: we hold a sender to our own channel.
+                    unreachable!("own channel disconnected");
+                }
             }
-            self.pending.entry((m.from, m.tag)).or_default().push(m.data);
         }
     }
 
@@ -112,8 +444,29 @@ impl Comm {
         }
     }
 
+    /// Fault-immune barrier for end-of-run rendezvous: a rank only enters
+    /// once all its receives have completed, so after every rank passes, no
+    /// retransmission can be needed and endpoints may be dropped safely.
+    /// While blocked inside, ranks still service peers' retransmit requests.
+    pub fn shutdown_barrier(&mut self) {
+        let tag_base = 0x5AFE_0000_0000_0000u64;
+        let mut round = 1usize;
+        while round < self.size {
+            let to = (self.rank + round) % self.size;
+            let from = (self.rank + self.size - round) % self.size;
+            self.send_immune(to, tag_base | round as u64, Vec::new());
+            let _ = self.recv(from, tag_base | round as u64);
+            round *= 2;
+        }
+    }
+
     /// All-reduce a vector of doubles with a binary op (sum/max/min).
-    pub fn allreduce(&mut self, epoch: u64, mut data: Vec<f64>, op: fn(f64, f64) -> f64) -> Vec<f64> {
+    pub fn allreduce(
+        &mut self,
+        epoch: u64,
+        mut data: Vec<f64>,
+        op: fn(f64, f64) -> f64,
+    ) -> Vec<f64> {
         // Gather to rank 0, reduce, broadcast — O(P) but simple and exact.
         let tag_up = 0xA11D_0000u64 ^ (epoch << 8);
         let tag_down = 0xA11D_0001u64 ^ (epoch << 8);
@@ -136,19 +489,79 @@ impl Comm {
     }
 }
 
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // A delayed message must not be lost to normal shutdown; peers that
+        // are already gone are ignored (nothing left to deliver to).
+        for (to, msg) in std::mem::take(&mut self.delayed) {
+            let _ = self.push(to, msg);
+        }
+    }
+}
+
 /// Run `f` on `size` rank threads and join (the `mpirun` analogue).
-/// Panics in any rank propagate.
+/// Panics in any rank propagate with their original payload, so callers
+/// can recognise [`DEAD_RANK_MARKER`] panics via [`Comm::is_dead_rank_panic`].
 pub fn run_ranks<F>(size: usize, f: F)
 where
     F: Fn(Comm) + Sync,
 {
-    let world = Comm::world(size);
+    run_ranks_with_faults(size, None, f)
+}
+
+/// [`run_ranks`] with a fault plan applied to every endpoint.
+pub fn run_ranks_with_faults<F>(size: usize, plan: Option<Arc<FaultPlan>>, f: F)
+where
+    F: Fn(Comm) + Sync,
+{
+    let world = Comm::world_with_faults(size, plan);
     std::thread::scope(|s| {
         let f = &f;
-        for comm in world {
-            s.spawn(move || f(comm));
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|comm| s.spawn(move || f(comm)))
+            .collect();
+        // Join by hand so the *original* panic payload crosses the scope —
+        // `scope` itself would replace it with "a scoped thread panicked".
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
+}
+
+static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
+static QUIET_HOOK: Once = Once::new();
+
+/// Run `f` with panic-hook output suppressed for [`DEAD_RANK_MARKER`]
+/// panics. Rank death is *simulated* by panicking rank threads; without
+/// this, every planned kill spams stderr with expected backtraces. Other
+/// panics still print normally.
+pub fn with_silenced_dead_rank_panics<R>(f: impl FnOnce() -> R) -> R {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = QUIET_DEPTH.load(Ordering::SeqCst) > 0;
+            let ours = Comm::is_dead_rank_panic(info.payload());
+            if !(quiet && ours) {
+                prev(info);
+            }
+        }));
+    });
+    QUIET_DEPTH.fetch_add(1, Ordering::SeqCst);
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            QUIET_DEPTH.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let _g = Guard;
+    f()
 }
 
 #[cfg(test)]
@@ -223,5 +636,92 @@ mod tests {
                 let _ = c.recv(0, 3);
             }
         });
+    }
+
+    #[test]
+    fn duplicated_messages_are_deduplicated() {
+        let plan = Arc::new(FaultPlan::new(11).dup_prob(1.0));
+        run_ranks_with_faults(2, Some(plan), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 40, vec![1.0]);
+                c.send(1, 41, vec![2.0]);
+            } else {
+                assert_eq!(c.recv(0, 40), vec![1.0]);
+                assert_eq!(c.recv(0, 41), vec![2.0]);
+                // Both duplicates must have been filtered, leaving nothing
+                // pending for either tag.
+                assert!(c.pending.values().all(|q| q.is_empty()));
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_messages_are_retransmitted_on_request() {
+        let plan = Arc::new(FaultPlan::new(5).drop_prob(1.0));
+        run_ranks_with_faults(2, Some(plan), |mut c| {
+            // Every first copy is dropped; recv must recover both
+            // directions via retransmit requests.
+            if c.rank() == 0 {
+                c.send(1, 50, vec![4.0, 5.0]);
+                assert_eq!(c.recv(1, 51), vec![9.0]);
+                assert!(c.stats.retransmits.load(Ordering::Relaxed) >= 1);
+            } else {
+                let v = c.recv(0, 50);
+                c.send(0, 51, vec![v.iter().sum()]);
+                assert!(c.stats.faults_injected.load(Ordering::Relaxed) >= 1);
+            }
+            // Without this rendezvous, a rank could exit while its peer
+            // still needs a retransmission of a dropped message.
+            c.shutdown_barrier();
+        });
+    }
+
+    #[test]
+    fn delayed_messages_arrive_out_of_order_but_match() {
+        let plan = Arc::new(FaultPlan::new(3).delay_prob(0.5));
+        run_ranks_with_faults(2, Some(plan), |mut c| {
+            if c.rank() == 0 {
+                for t in 0..20u64 {
+                    c.send(1, 100 + t, vec![t as f64]);
+                }
+            } else {
+                for t in 0..20u64 {
+                    assert_eq!(c.recv(0, 100 + t), vec![t as f64]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn fault_rolls_are_deterministic() {
+        let plan = FaultPlan::new(99).drop_prob(0.3).dup_prob(0.3);
+        for tag in 0..64 {
+            assert_eq!(plan.roll(0, 1, tag), plan.roll(0, 1, tag));
+        }
+        // With these odds, 64 tags must include at least one of each.
+        let actions: Vec<FaultAction> = (0..64).map(|t| plan.roll(0, 1, t)).collect();
+        assert!(actions.contains(&FaultAction::Drop));
+        assert!(actions.contains(&FaultAction::Duplicate));
+        assert!(actions.contains(&FaultAction::Deliver));
+    }
+
+    #[test]
+    fn dead_rank_is_detected() {
+        let caught = with_silenced_dead_rank_panics(|| {
+            std::panic::catch_unwind(|| {
+                run_ranks(2, |mut c| {
+                    if c.rank() == 0 {
+                        // Rank 0 exits immediately — simulated death.
+                    } else {
+                        let _ = c.recv(0, 7);
+                    }
+                });
+            })
+        });
+        let err = caught.expect_err("recv from a dead rank must fail");
+        assert!(
+            Comm::is_dead_rank_panic(err.as_ref()),
+            "panic payload lost its dead-rank marker"
+        );
     }
 }

@@ -49,16 +49,14 @@ impl Decomposition {
                 }
                 let b = [global[0] / px, global[1] / py, global[2] / pz];
                 // Communication cost ∝ block surface.
-                let surface =
-                    2.0 * (b[0] * b[1] + b[1] * b[2] + b[0] * b[2]) as f64;
+                let surface = 2.0 * (b[0] * b[1] + b[1] * b[2] + b[0] * b[2]) as f64;
                 if best.is_none() || surface < best.expect("checked").1 {
                     best = Some(([px, py, pz], surface));
                 }
             }
         }
-        let (grid, _) = best.unwrap_or_else(|| {
-            panic!("cannot split {global:?} cells over {nranks} ranks evenly")
-        });
+        let (grid, _) = best
+            .unwrap_or_else(|| panic!("cannot split {global:?} cells over {nranks} ranks evenly"));
         Decomposition {
             global,
             grid,

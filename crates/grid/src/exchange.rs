@@ -149,8 +149,8 @@ pub fn halo_bytes(shape: [usize; 3], ghost: usize, components: usize) -> u64 {
     let gz = shape[2] + 2 * ghost;
     let per_dim = [gy * gz, g * gz, g * gy];
     let mut total = 0u64;
-    for d in 0..3 {
-        total += 2 * (ghost * per_dim[d] * components * 8) as u64;
+    for faces in per_dim {
+        total += 2 * (ghost * faces * components * 8) as u64;
     }
     total
 }
@@ -159,8 +159,8 @@ pub fn halo_bytes(shape: [usize; 3], ghost: usize, components: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::comm::run_ranks;
-    use pf_fields::Layout;
     use parking_lot::Mutex;
+    use pf_fields::Layout;
 
     #[test]
     fn pack_unpack_roundtrip_shapes() {
@@ -197,17 +197,11 @@ mod tests {
             let b = dec.block(comm.rank());
             let mut arr = FieldArray::new("xh_blk", b.shape, 1, 1, Layout::Fzyx);
             arr.fill_with(0, |x, y, z| {
-                ((x as i64 + b.origin[0]) + 10 * (y as i64 + b.origin[1])
+                ((x as i64 + b.origin[0])
+                    + 10 * (y as i64 + b.origin[1])
                     + 100 * (z as i64 + b.origin[2])) as f64
             });
-            exchange_halo(
-                &mut comm,
-                &dec,
-                &mut arr,
-                0,
-                0,
-                CommOptions::default(),
-            );
+            exchange_halo(&mut comm, &dec, &mut arr, 0, 0, CommOptions::default());
             results.lock().push((comm.rank(), arr));
         });
 
@@ -224,10 +218,7 @@ mod tests {
                         let rz = (z + b.origin[2] as isize).rem_euclid(global[2] as isize);
                         let want = reference.get(0, rx, ry, rz);
                         let got = arr.get(0, x, y, z);
-                        assert_eq!(
-                            got, want,
-                            "rank {rank} ghost mismatch at ({x},{y},{z})"
-                        );
+                        assert_eq!(got, want, "rank {rank} ghost mismatch at ({x},{y},{z})");
                     }
                 }
             }

@@ -25,11 +25,14 @@ pub trait TapeEnv {
     }
 }
 
+/// Destination of one store: `(field_slot, comp, off)`.
+pub type StoreKey = (u16, u16, [i16; 3]);
+
 /// Result of interpreting a tape for one cell.
 #[derive(Debug, Clone)]
 pub struct TapeResult {
     /// `(field_slot, comp, off)` and the stored value, in store order.
-    pub stores: Vec<((u16, u16, [i16; 3]), f64)>,
+    pub stores: Vec<(StoreKey, f64)>,
     /// Final register file (diagnostics).
     pub regs: Vec<f64>,
 }

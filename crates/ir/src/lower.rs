@@ -8,7 +8,7 @@
 //! the dedicated sqrt/rsqrt instructions the paper counts and approximates
 //! separately.
 
-use crate::tape::{CF, Tape, TapeBuilder, TapeOp, VReg};
+use crate::tape::{Tape, TapeBuilder, TapeOp, VReg, CF};
 use pf_stencil::{Lhs, StencilKernel};
 use pf_symbolic::{Expr, Func, Node};
 
@@ -23,11 +23,7 @@ pub fn lower_kernel(k: &StencilKernel) -> Tape {
             }
             Lhs::Field(acc) => {
                 let field = b.field_slot(acc.field);
-                let off = [
-                    acc.off[0] as i16,
-                    acc.off[1] as i16,
-                    acc.off[2] as i16,
-                ];
+                let off = [acc.off[0] as i16, acc.off[1] as i16, acc.off[2] as i16];
                 b.emit(TapeOp::Store {
                     field,
                     comp: acc.comp,
@@ -135,9 +131,7 @@ fn lower_sum(b: &mut TapeBuilder, terms: &[Expr]) -> VReg {
                     let mag = if c == -1.0 {
                         Expr::mul(rest)
                     } else {
-                        Expr::mul(
-                            std::iter::once(Expr::num(-c)).chain(rest).collect(),
-                        )
+                        Expr::mul(std::iter::once(Expr::num(-c)).chain(rest).collect())
                     };
                     return (true, mag);
                 }
@@ -338,10 +332,7 @@ mod tests {
         let c = Expr::sym("low_c");
         let e = a / (bb * c);
         let f = Field::new("low_div", 1, 3);
-        let k = StencilKernel::new(
-            "t",
-            vec![Assignment::store(Access::center(f, 0), e)],
-        );
+        let k = StencilKernel::new("t", vec![Assignment::store(Access::center(f, 0), e)]);
         let tape = lower_kernel(&k);
         let divs = tape
             .instrs
@@ -359,10 +350,7 @@ mod tests {
             (Expr::rsqrt(x.clone()), TapeOpKind::RSqrt),
         ] {
             let f = Field::new("low_sq", 1, 3);
-            let k = StencilKernel::new(
-                "t",
-                vec![Assignment::store(Access::center(f, 0), e)],
-            );
+            let k = StencilKernel::new("t", vec![Assignment::store(Access::center(f, 0), e)]);
             let tape = lower_kernel(&k);
             let found = tape.instrs.iter().any(|op| match probe {
                 TapeOpKind::Sqrt => matches!(op, TapeOp::Sqrt(_)),
@@ -382,10 +370,7 @@ mod tests {
         let x = Expr::sym("low_p");
         let e = Expr::powi(x, 4);
         let f = Field::new("low_pw", 1, 3);
-        let k = StencilKernel::new(
-            "t",
-            vec![Assignment::store(Access::center(f, 0), e)],
-        );
+        let k = StencilKernel::new("t", vec![Assignment::store(Access::center(f, 0), e)]);
         let tape = lower_kernel(&k);
         let muls = tape
             .instrs
@@ -393,7 +378,10 @@ mod tests {
             .filter(|op| matches!(op, TapeOp::Mul(_, _)))
             .count();
         assert_eq!(muls, 2, "x^4 by squaring");
-        assert!(!tape.instrs.iter().any(|op| matches!(op, TapeOp::Powf(_, _))));
+        assert!(!tape
+            .instrs
+            .iter()
+            .any(|op| matches!(op, TapeOp::Powf(_, _))));
     }
 
     #[test]
@@ -434,10 +422,7 @@ mod tests {
         let f = Field::new("low_d", 1, 3);
         let acc = Access::center(f, 0);
         let e = Expr::d(Expr::powi(Expr::access(acc), 2), 0);
-        let k = StencilKernel::new(
-            "t",
-            vec![Assignment::store(acc, e)],
-        );
+        let k = StencilKernel::new("t", vec![Assignment::store(acc, e)]);
         lower_kernel(&k);
     }
 

@@ -102,10 +102,7 @@ pub fn optimize_stencil(kernel: &StencilKernel, opts: &GenOptions) -> StencilKer
                     _ => try_expand(&rhs),
                 };
             }
-            Assignment {
-                lhs: a.lhs,
-                rhs,
-            }
+            Assignment { lhs: a.lhs, rhs }
         })
         .collect();
 
@@ -113,8 +110,11 @@ pub fn optimize_stencil(kernel: &StencilKernel, opts: &GenOptions) -> StencilKer
     let assignments = if opts.cse {
         let roots: Vec<Expr> = bound.iter().map(|a| a.rhs.clone()).collect();
         let res = cse_with_prefix(&roots, &format!("{}_c", kernel.name));
-        let mut out: Vec<Assignment> =
-            res.temps.iter().map(|(s, e)| Assignment::temp(*s, e.clone())).collect();
+        let mut out: Vec<Assignment> = res
+            .temps
+            .iter()
+            .map(|(s, e)| Assignment::temp(*s, e.clone()))
+            .collect();
         for (a, rhs) in bound.iter().zip(res.exprs) {
             out.push(Assignment { lhs: a.lhs, rhs });
         }
@@ -157,10 +157,7 @@ mod tests {
         let a = Expr::sym("pl_A");
         let phi = Expr::access(Access::center(f, 0));
         let rhs = phi.clone() + a * Expr::sqrt(phi.clone() + 3.0) * Expr::powi(phi, 5);
-        let k = StencilKernel::new(
-            "bind",
-            vec![Assignment::store(Access::center(out, 0), rhs)],
-        );
+        let k = StencilKernel::new("bind", vec![Assignment::store(Access::center(out, 0), rhs)]);
 
         let generic = generate(&k, &GenOptions::default());
         let mut params = HashMap::new();
@@ -187,10 +184,7 @@ mod tests {
         let k = StencilKernel::new(
             "cse",
             vec![
-                Assignment::store(
-                    Access::center(out, 0),
-                    shared.clone() + phi.clone(),
-                ),
+                Assignment::store(Access::center(out, 0), shared.clone() + phi.clone()),
                 Assignment::store(Access::center(out, 1), shared * 2.0),
             ],
         );
@@ -238,10 +232,7 @@ mod tests {
             let tape = generate(&k, &opts);
             let got = interp_expr_context(&tape, &ctx).stores[0].1;
             let want = rhs.eval(&ctx);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "opts {opts:?}: {got} vs {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "opts {opts:?}: {got} vs {want}");
         }
     }
 
@@ -251,10 +242,7 @@ mod tests {
         let out = Field::new("pl_licm_out", 1, 3);
         let temp = Expr::sym("pl_T0") + Expr::coord(2) * Expr::sym("pl_G");
         let rhs = Expr::access(Access::center(f, 0)) * Expr::powi(temp, 3);
-        let k = StencilKernel::new(
-            "licm",
-            vec![Assignment::store(Access::center(out, 0), rhs)],
-        );
+        let k = StencilKernel::new("licm", vec![Assignment::store(Access::center(out, 0), rhs)]);
         let tape = generate(&k, &GenOptions::default());
         assert!(tape.levels.iter().any(|&l| l < 3), "nothing hoisted");
         assert!(tape.levels.windows(2).all(|w| w[0] <= w[1]));

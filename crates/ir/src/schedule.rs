@@ -242,13 +242,10 @@ pub fn schedule_beam(tape: &Tape, beam: usize) -> Tape {
         for (si, s) in states.iter().enumerate() {
             for &i in &s.ready {
                 let op = &tape.instrs[i as usize];
-                let mut uniq_args: Vec<u32> =
-                    op.args().iter().map(|a| a.0).collect();
+                let mut uniq_args: Vec<u32> = op.args().iter().map(|a| a.0).collect();
                 uniq_args.sort_unstable();
                 uniq_args.dedup();
-                let occ = |r: u32| -> u16 {
-                    op.args().iter().filter(|a| a.0 == r).count() as u16
-                };
+                let occ = |r: u32| -> u16 { op.args().iter().filter(|a| a.0 == r).count() as u16 };
                 let released = uniq_args
                     .iter()
                     .filter(|&&a| s.remaining_uses[a as usize] == occ(a))
@@ -302,8 +299,7 @@ pub fn schedule_beam(tape: &Tape, beam: usize) -> Tape {
             s.peak_live = new_peak;
             let op = &tape.instrs[i as usize];
             for a in op.args() {
-                s.remaining_uses[a.0 as usize] =
-                    s.remaining_uses[a.0 as usize].saturating_sub(1);
+                s.remaining_uses[a.0 as usize] = s.remaining_uses[a.0 as usize].saturating_sub(1);
             }
             s.ready.retain(|&r| r != i);
             for &u in &dag.users[i as usize] {
@@ -317,9 +313,7 @@ pub fn schedule_beam(tape: &Tape, beam: usize) -> Tape {
                 s.region += 1;
                 let reg = s.region;
                 for i2 in 0..n {
-                    if s.indeg[i2] == 0
-                        && dag.region[i2] == reg
-                        && !s.order.contains(&(i2 as u32))
+                    if s.indeg[i2] == 0 && dag.region[i2] == reg && !s.order.contains(&(i2 as u32))
                     {
                         s.ready.push(i2 as u32);
                     }
@@ -539,10 +533,7 @@ mod tests {
             ctx.set_access(a, c as f64 + 0.5);
             rhs = rhs + Expr::access(a) * Expr::num((c + 2) as f64);
         }
-        let k = StencilKernel::new(
-            "wide",
-            vec![Assignment::store(Access::center(out, 0), rhs)],
-        );
+        let k = StencilKernel::new("wide", vec![Assignment::store(Access::center(out, 0), rhs)]);
         (lower_kernel(&k), ctx)
     }
 
@@ -660,10 +651,7 @@ mod validator_tests {
         let rhs: Expr = (0..4)
             .map(|c| Expr::sqrt(Expr::access(Access::center(f, c)) + 1.0) * (c + 1) as f64)
             .sum();
-        let k = StencilKernel::new(
-            "vt",
-            vec![Assignment::store(Access::center(out, 0), rhs)],
-        );
+        let k = StencilKernel::new("vt", vec![Assignment::store(Access::center(out, 0), rhs)]);
         let base = lower_kernel(&k);
         assert_eq!(base.validate(), Ok(()));
         assert_eq!(schedule_min_live(&base, 4).validate(), Ok(()));

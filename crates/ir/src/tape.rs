@@ -103,14 +103,16 @@ impl TapeOp {
     pub fn args(&self) -> Vec<VReg> {
         use TapeOp::*;
         match *self {
-            Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | Min(a, b) | Max(a, b)
-            | Powf(a, b) => vec![a, b],
-            Neg(a) | Sqrt(a) | RSqrt(a) | Abs(a) | Exp(a) | Ln(a) | Sin(a) | Cos(a)
-            | Tanh(a) | Sign(a) | Floor(a) => vec![a],
+            Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | Min(a, b) | Max(a, b) | Powf(a, b) => {
+                vec![a, b]
+            }
+            Neg(a) | Sqrt(a) | RSqrt(a) | Abs(a) | Exp(a) | Ln(a) | Sin(a) | Cos(a) | Tanh(a)
+            | Sign(a) | Floor(a) => vec![a],
             CmpSelect { l, r, t, f, .. } => vec![l, r, t, f],
             Store { val, .. } => vec![val],
-            Const(_) | Param(_) | Load { .. } | Coord(_) | Time | CellIdx(_) | Rand(_)
-            | Fence => vec![],
+            Const(_) | Param(_) | Load { .. } | Coord(_) | Time | CellIdx(_) | Rand(_) | Fence => {
+                vec![]
+            }
         }
     }
 
@@ -353,6 +355,54 @@ impl TapeBuilder {
     }
 }
 
+impl Tape {
+    /// Validate SSA well-formedness: every argument refers to an earlier
+    /// instruction, levels (when monotone metadata is claimed) match the
+    /// instruction list length, and field/param slots are in range.
+    /// Returns a description of the first violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.levels.len() != self.instrs.len() {
+            return Err(format!(
+                "levels length {} != instruction count {}",
+                self.levels.len(),
+                self.instrs.len()
+            ));
+        }
+        for (i, op) in self.instrs.iter().enumerate() {
+            for a in op.args() {
+                if a.0 as usize >= i {
+                    return Err(format!("instr {i} uses r{} defined at/after it", a.0));
+                }
+            }
+            let check_slot = |field: u16| -> Result<(), String> {
+                if field as usize >= self.fields.len() {
+                    Err(format!(
+                        "instr {i} references field slot {field} out of range"
+                    ))
+                } else {
+                    Ok(())
+                }
+            };
+            match op {
+                TapeOp::Load { field, comp, .. } | TapeOp::Store { field, comp, .. } => {
+                    check_slot(*field)?;
+                    if *comp as usize >= self.fields[*field as usize].components() {
+                        return Err(format!("instr {i} component {comp} out of range"));
+                    }
+                }
+                TapeOp::Param(p) if *p as usize >= self.params.len() => {
+                    return Err(format!("instr {i} references param slot {p} out of range"));
+                }
+                _ => {}
+            }
+        }
+        if !self.instrs.iter().any(|op| op.is_store()) && !self.instrs.is_empty() {
+            return Err("kernel has no stores (dead kernel)".into());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,7 +454,7 @@ mod tests {
         let mut t = b.finish([0; 3]);
         t.dead_code_eliminate();
         assert_eq!(t.instrs.len(), 3); // const, neg, store
-        // Registers were renumbered consistently.
+                                       // Registers were renumbered consistently.
         if let TapeOp::Store { val, .. } = t.instrs[2] {
             assert!(matches!(t.instrs[val.0 as usize], TapeOp::Neg(_)));
         } else {
@@ -419,53 +469,5 @@ mod tests {
         b.emit(TapeOp::Mul(c, c));
         let t = b.finish([0; 3]);
         assert_eq!(t.use_counts()[0], 2);
-    }
-}
-
-impl Tape {
-    /// Validate SSA well-formedness: every argument refers to an earlier
-    /// instruction, levels (when monotone metadata is claimed) match the
-    /// instruction list length, and field/param slots are in range.
-    /// Returns a description of the first violation, if any.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.levels.len() != self.instrs.len() {
-            return Err(format!(
-                "levels length {} != instruction count {}",
-                self.levels.len(),
-                self.instrs.len()
-            ));
-        }
-        for (i, op) in self.instrs.iter().enumerate() {
-            for a in op.args() {
-                if a.0 as usize >= i {
-                    return Err(format!("instr {i} uses r{} defined at/after it", a.0));
-                }
-            }
-            let check_slot = |field: u16| -> Result<(), String> {
-                if field as usize >= self.fields.len() {
-                    Err(format!("instr {i} references field slot {field} out of range"))
-                } else {
-                    Ok(())
-                }
-            };
-            match op {
-                TapeOp::Load { field, comp, .. } | TapeOp::Store { field, comp, .. } => {
-                    check_slot(*field)?;
-                    if *comp as usize >= self.fields[*field as usize].components() {
-                        return Err(format!("instr {i} component {comp} out of range"));
-                    }
-                }
-                TapeOp::Param(p) => {
-                    if *p as usize >= self.params.len() {
-                        return Err(format!("instr {i} references param slot {p} out of range"));
-                    }
-                }
-                _ => {}
-            }
-        }
-        if !self.instrs.iter().any(|op| op.is_store()) && !self.instrs.is_empty() {
-            return Err("kernel has no stores (dead kernel)".into());
-        }
-        Ok(())
     }
 }

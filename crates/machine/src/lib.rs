@@ -185,6 +185,9 @@ pub struct Cluster {
     /// Host↔device transfer bandwidth (GPU nodes), GB/s; staging buffers
     /// pass through here when GPUDirect is off.
     pub pcie_bw_gbs: f64,
+    /// Aggregate sustained write bandwidth of the parallel filesystem,
+    /// GB/s — the sink checkpoint sets drain into.
+    pub fs_bw_gbs: f64,
 }
 
 /// SuperMUC-NG (rank 8 on the Nov'18 TOP500 used in the paper).
@@ -198,6 +201,8 @@ pub fn supermuc_ng() -> Cluster {
         },
         network: omnipath_fat_tree(),
         pcie_bw_gbs: 0.0,
+        // GPFS scratch of SuperMUC-NG (~500 GB/s sustained writes).
+        fs_bw_gbs: 500.0,
     }
 }
 
@@ -212,6 +217,8 @@ pub fn piz_daint() -> Cluster {
         },
         network: aries_dragonfly(),
         pcie_bw_gbs: 11.0,
+        // Lustre "Sonexion 3000" scratch (~112 GB/s sustained writes).
+        fs_bw_gbs: 112.0,
     }
 }
 

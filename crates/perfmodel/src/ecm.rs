@@ -34,7 +34,8 @@ pub struct EcmPrediction {
 impl EcmPrediction {
     /// Single-core cycles per cache line.
     pub fn t_single(&self) -> f64 {
-        self.t_comp.max(self.t_nol + self.t_l1l2 + self.t_l2l3 + self.t_l3mem)
+        self.t_comp
+            .max(self.t_nol + self.t_l1l2 + self.t_l2l3 + self.t_l3mem)
     }
 
     /// Single-core performance in MLUP/s at `freq_ghz`.
@@ -80,7 +81,7 @@ impl EcmPrediction {
 /// socket's vector execution resources.
 pub fn t_comp(c: &OpCensus, sock: &CpuSocket) -> f64 {
     let vecs = 1.0; // one full-width vector instruction covers the cache line
-    // Two FMA-capable ports: adds and muls stream through both.
+                    // Two FMA-capable ports: adds and muls stream through both.
     let addmul = (c.adds + c.muls) as f64 * sock.thr.add * vecs;
     let div = c.divs as f64 * sock.thr.div * vecs;
     let sqrt = c.sqrts as f64 * sock.thr.sqrt * vecs;
@@ -116,11 +117,7 @@ pub fn ecm_model(tape: &Tape, sock: &CpuSocket, volumes: &DataVolumes) -> EcmPre
 /// ECM prediction for a multi-pass kernel (e.g. a split variant's face
 /// kernels plus update): data volumes are simulated pass-by-pass through a
 /// shared-capacity hierarchy and compute terms summed.
-pub fn ecm_multi(
-    tapes: &[&Tape],
-    sock: &CpuSocket,
-    block: [usize; 3],
-) -> EcmPrediction {
+pub fn ecm_multi(tapes: &[&Tape], sock: &CpuSocket, block: [usize; 3]) -> EcmPrediction {
     assert!(!tapes.is_empty());
     let mut vols = crate::cachesim::DataVolumes::default();
     for t in tapes {
@@ -171,7 +168,10 @@ mod tests {
         let curve = p.per_core_curve(2.3, 24);
         let first = curve[0];
         let last = curve[23];
-        assert!((first - last).abs() / first < 1e-9, "not flat: {first} vs {last}");
+        assert!(
+            (first - last).abs() / first < 1e-9,
+            "not flat: {first} vs {last}"
+        );
         assert!(p.saturation_cores() > 24);
     }
 

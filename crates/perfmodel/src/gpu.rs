@@ -174,10 +174,7 @@ mod tests {
                 + Expr::sqrt(Expr::access(Access::center(f, c)) + c as f64 + 1.0)
                     * Expr::num(1.0 + c as f64);
         }
-        let k = StencilKernel::new(
-            "gp",
-            vec![Assignment::store(Access::center(out, 0), rhs)],
-        );
+        let k = StencilKernel::new("gp", vec![Assignment::store(Access::center(out, 0), rhs)]);
         generate(&k, &GenOptions::default())
     }
 
@@ -201,10 +198,7 @@ mod tests {
         let tape = wide_tape(40);
         let rep = register_report(&tape, &gpu);
         // The hoisted-compiler view keeps all loads alive simultaneously.
-        assert!(
-            rep.allocated as usize >= rep.analysis_live,
-            "{rep:?}"
-        );
+        assert!(rep.allocated as usize >= rep.analysis_live, "{rep:?}");
     }
 
     #[test]
@@ -242,7 +236,8 @@ mod tests {
         let out = Field::new("gp_div_out", 1, 3);
         let mut rhs = Expr::zero();
         for c in 0..8 {
-            rhs = rhs + Expr::one() / (Expr::access(Access::center(f, c)) + 2.0 + c as f64)
+            rhs = rhs
+                + Expr::one() / (Expr::access(Access::center(f, c)) + 2.0 + c as f64)
                 + Expr::rsqrt(Expr::access(Access::center(f, c)) + 5.0);
         }
         let k = StencilKernel::new(

@@ -18,7 +18,10 @@ pub fn layer_condition_coefficient(tape: &Tape) -> usize {
     let mut planes: HashSet<(u16, u16, i16)> = HashSet::new();
     for op in &tape.instrs {
         match op {
-            TapeOp::Load { field, comp, off } | TapeOp::Store { field, comp, off, .. } => {
+            TapeOp::Load { field, comp, off }
+            | TapeOp::Store {
+                field, comp, off, ..
+            } => {
                 planes.insert((*field, *comp, off[2]));
             }
             _ => {}

@@ -115,10 +115,7 @@ mod tests {
 
     fn tape_for(rhs: Expr) -> Tape {
         let out = Field::new("oc_out", 1, 3);
-        let k = StencilKernel::new(
-            "oc",
-            vec![Assignment::store(Access::center(out, 0), rhs)],
-        );
+        let k = StencilKernel::new("oc", vec![Assignment::store(Access::center(out, 0), rhs)]);
         generate(&k, &GenOptions::default())
     }
 
@@ -140,8 +137,8 @@ mod tests {
     fn census_counts_each_kind() {
         let f = Field::new("oc_in", 1, 3);
         let a = Expr::access(Access::center(f, 0));
-        let rhs = Expr::sqrt(a.clone()) + Expr::rsqrt(a.clone() + 2.0)
-            + a.clone() / (a.clone() + 3.0);
+        let rhs =
+            Expr::sqrt(a.clone()) + Expr::rsqrt(a.clone() + 2.0) + a.clone() / (a.clone() + 3.0);
         let t = tape_for(rhs);
         let c = census(&t, CountScope::All);
         assert_eq!(c.sqrts, 1);

@@ -39,12 +39,7 @@ fn mulhilo(a: u32, b: u32) -> (u32, u32) {
 fn round(ctr: [u32; 4], key: Philox4x32Key) -> [u32; 4] {
     let (hi0, lo0) = mulhilo(PHILOX_M0, ctr[0]);
     let (hi1, lo1) = mulhilo(PHILOX_M1, ctr[2]);
-    [
-        hi1 ^ ctr[1] ^ key.0[0],
-        lo1,
-        hi0 ^ ctr[3] ^ key.0[1],
-        lo0,
-    ]
+    [hi1 ^ ctr[1] ^ key.0[0], lo1, hi0 ^ ctr[3] ^ key.0[1], lo0]
 }
 
 /// Philox 4x32 with a configurable round count (mainly for tests and the
@@ -80,10 +75,7 @@ mod tests {
 
     #[test]
     fn kat_all_ones() {
-        let out = philox4x32(
-            [u32::MAX; 4],
-            Philox4x32Key::new([u32::MAX, u32::MAX]),
-        );
+        let out = philox4x32([u32::MAX; 4], Philox4x32Key::new([u32::MAX, u32::MAX]));
         assert_eq!(out, [0x408f_276d, 0x41c8_3b0e, 0xa20b_c7c6, 0x6d54_51fd]);
     }
 

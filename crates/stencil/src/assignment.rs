@@ -92,8 +92,8 @@ impl StencilKernel {
     pub fn read_radius(&self) -> [usize; 3] {
         let mut r = [0usize; 3];
         for acc in self.reads() {
-            for d in 0..3 {
-                r[d] = r[d].max(acc.off[d].unsigned_abs() as usize);
+            for (rd, off) in r.iter_mut().zip(acc.off) {
+                *rd = (*rd).max(off.unsigned_abs() as usize);
             }
         }
         r

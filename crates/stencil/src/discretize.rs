@@ -105,9 +105,7 @@ impl Discretization {
                 if ch.is_empty() {
                     e.clone()
                 } else {
-                    e.with_children(
-                        ch.iter().map(|c| self.shift_memo(c, delta, memo)).collect(),
-                    )
+                    e.with_children(ch.iter().map(|c| self.shift_memo(c, delta, memo)).collect())
                 }
             }
         }
@@ -232,7 +230,11 @@ impl Discretization {
         match e.node() {
             Node::Diff(inner, d) => {
                 let d = *d as usize;
-                assert!(d < self.dim, "derivative along dim {d} in a {}D model", self.dim);
+                assert!(
+                    d < self.dim,
+                    "derivative along dim {d} in a {}D model",
+                    self.dim
+                );
                 if inner.accesses().is_empty() && !inner.has_diff() {
                     // Purely analytic dependence (e.g. temperature T(z, t)):
                     // differentiate exactly.
@@ -262,9 +264,7 @@ impl Discretization {
                 if ch.is_empty() {
                     e.clone()
                 } else {
-                    e.with_children(
-                        ch.iter().map(|c| self.apply_memo(c, hook, memo)).collect(),
-                    )
+                    e.with_children(ch.iter().map(|c| self.apply_memo(c, hook, memo)).collect())
                 }
             }
         }
@@ -322,16 +322,15 @@ mod tests {
         let d = disc();
         let lap = d.apply(&Expr::d(Expr::d(u, 0) * Expr::one(), 0));
         // Check radius 1 (compact).
-        let max_off = lap
-            .accesses()
-            .iter()
-            .map(|a| a.off[0].abs())
-            .max()
-            .unwrap();
+        let max_off = lap.accesses().iter().map(|a| a.off[0].abs()).max().unwrap();
         assert_eq!(max_off, 1, "stencil not compact: {lap}");
         let mut ctx = MapCtx::new();
         bind_quadratic(&mut ctx, &lap, [5.0, 1.0, 1.0]);
-        assert!((lap.eval(&ctx) - 2.0).abs() < 1e-12, "got {}", lap.eval(&ctx));
+        assert!(
+            (lap.eval(&ctx) - 2.0).abs() < 1e-12,
+            "got {}",
+            lap.eval(&ctx)
+        );
     }
 
     #[test]
@@ -380,7 +379,10 @@ mod tests {
                     at[1] + a.off[1] as f64 * h,
                     at[2] + a.off[2] as f64 * h,
                 ];
-                ctx.set_access(a, pnt[0] * pnt[0] + 2.0 * pnt[1] * pnt[1] + 3.0 * pnt[2] * pnt[2]);
+                ctx.set_access(
+                    a,
+                    pnt[0] * pnt[0] + 2.0 * pnt[1] * pnt[1] + 3.0 * pnt[2] * pnt[2],
+                );
             }
             let exact = 6.0 * at[0] * at[0];
             errs.push((rhs_h.eval(&ctx) - exact).abs());
@@ -401,8 +403,7 @@ mod tests {
         let acc = Access::center(fld, 0);
         let d = disc();
         let s = d.staggered_eval(&Expr::access(acc), 0);
-        let expected =
-            (Expr::access(acc) + Expr::access(acc.shifted([1, 0, 0]))) * 0.5;
+        let expected = (Expr::access(acc) + Expr::access(acc.shifted([1, 0, 0]))) * 0.5;
         assert_eq!(s, expected);
     }
 
@@ -413,8 +414,7 @@ mod tests {
         let d = disc();
         let e = Expr::access(acc) * Expr::coord(0);
         let s = d.shift(&e, [1, 0, 0]);
-        let expected =
-            Expr::access(acc.shifted([1, 0, 0])) * (Expr::coord(0) + 1.0);
+        let expected = Expr::access(acc.shifted([1, 0, 0])) * (Expr::coord(0) + 1.0);
         assert_eq!(s, expected);
     }
 

@@ -160,8 +160,8 @@ pub fn cse_with_prefix(roots: &[Expr], prefix: &str) -> CseResult {
         }
         temps.retain(|(s, _)| !dead.contains(s));
         // Inline in definition order so chains collapse fully.
-        for i in 0..temps.len() {
-            temps[i].1 = temps[i].1.substitute(&inline_map);
+        for t in temps.iter_mut() {
+            t.1 = t.1.substitute(&inline_map);
         }
         for e in exprs.iter_mut() {
             *e = e.substitute(&inline_map);
@@ -215,10 +215,7 @@ mod tests {
     fn nested_candidates_chain_in_dependency_order() {
         let inner = x() * y();
         let outer = Expr::powi(inner.clone() + 1.0, 2);
-        let roots = vec![
-            outer.clone() + inner.clone(),
-            outer.clone() - inner.clone(),
-        ];
+        let roots = vec![outer.clone() + inner.clone(), outer.clone() - inner.clone()];
         let r = cse(&roots);
         assert!(!r.temps.is_empty());
         // Every temp must only reference earlier temps.

@@ -85,8 +85,7 @@ impl Expr {
                 } else {
                     // General: b^e (de·ln b + e·db/b)
                     let ln_b = Expr::func(Func::Ln, vec![b.clone()]);
-                    Expr::pow(b.clone(), e.clone())
-                        * (de * ln_b + e.clone() * db / b.clone())
+                    Expr::pow(b.clone(), e.clone()) * (de * ln_b + e.clone() * db / b.clone())
                 }
             }
             Node::Fun(f, args) => {
@@ -106,7 +105,11 @@ impl Expr {
                     Func::Min | Func::Max => {
                         let a1 = args[1].clone();
                         let d1 = a1.diff_memo(v, memo);
-                        let op = if *f == Func::Min { CmpOp::Le } else { CmpOp::Ge };
+                        let op = if *f == Func::Min {
+                            CmpOp::Le
+                        } else {
+                            CmpOp::Ge
+                        };
                         Expr::select(
                             Cond {
                                 op,
@@ -250,16 +253,14 @@ mod tests {
             .sum();
         let fd = e.functional_derivative(acc, 2);
         let expected: Expr = -(0..2)
-            .map(|d| {
-                Expr::d(
-                    2.0 * Expr::diff_atom(p.clone(), d as usize),
-                    d as usize,
-                )
-            })
+            .map(|d| Expr::d(2.0 * Expr::diff_atom(p.clone(), d as usize), d as usize))
             .sum::<Expr>();
         // Canonical form does not distribute the leading −1 over the sum, so
         // compare the expanded (fully distributed) forms.
-        assert_eq!(crate::simplify::expand(&fd), crate::simplify::expand(&expected));
+        assert_eq!(
+            crate::simplify::expand(&fd),
+            crate::simplify::expand(&expected)
+        );
     }
 
     #[test]
@@ -273,6 +274,9 @@ mod tests {
         let expected = 2.0 * p.clone() * Expr::powi(Expr::one() - p.clone(), 2)
             - 2.0 * Expr::powi(p.clone(), 2) * (Expr::one() - p.clone());
         // Compare after expansion (both are polynomials).
-        assert_eq!(crate::simplify::expand(&fd), crate::simplify::expand(&expected));
+        assert_eq!(
+            crate::simplify::expand(&fd),
+            crate::simplify::expand(&expected)
+        );
     }
 }

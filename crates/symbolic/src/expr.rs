@@ -522,15 +522,7 @@ impl Expr {
                 let rhs = it.next().expect("cond rhs");
                 let t = it.next().expect("then");
                 let f = it.next().expect("else");
-                Expr::select(
-                    Cond {
-                        op: c.op,
-                        lhs,
-                        rhs,
-                    },
-                    t,
-                    f,
-                )
+                Expr::select(Cond { op: c.op, lhs, rhs }, t, f)
             }
             _ => self.clone(),
         }

@@ -408,8 +408,7 @@ mod tests {
     #[test]
     fn expand_binomial_square() {
         let e = expand(&Expr::powi(x() + y(), 2));
-        let expected =
-            Expr::powi(x(), 2) + 2.0 * x() * y() + Expr::powi(y(), 2);
+        let expected = Expr::powi(x(), 2) + 2.0 * x() * y() + Expr::powi(y(), 2);
         assert_eq!(e, expected);
     }
 
@@ -423,10 +422,8 @@ mod tests {
     #[test]
     fn expand_then_cancel() {
         // (x+y)^2 - x^2 - 2xy - y^2 == 0 only after expansion.
-        let e = Expr::powi(x() + y(), 2)
-            - Expr::powi(x(), 2)
-            - 2.0 * x() * y()
-            - Expr::powi(y(), 2);
+        let e =
+            Expr::powi(x() + y(), 2) - Expr::powi(x(), 2) - 2.0 * x() * y() - Expr::powi(y(), 2);
         assert!(expand(&e).is_zero());
     }
 

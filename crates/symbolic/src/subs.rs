@@ -20,11 +20,7 @@ impl Expr {
         self.substitute_impl(map, &mut HashMap::new())
     }
 
-    fn substitute_impl(
-        &self,
-        map: &HashMap<Expr, Expr>,
-        memo: &mut HashMap<Expr, Expr>,
-    ) -> Expr {
+    fn substitute_impl(&self, map: &HashMap<Expr, Expr>, memo: &mut HashMap<Expr, Expr>) -> Expr {
         if let Some(hit) = memo.get(self) {
             return hit.clone();
         }
@@ -35,10 +31,7 @@ impl Expr {
             if ch.is_empty() {
                 self.clone()
             } else {
-                let new_ch: Vec<Expr> = ch
-                    .iter()
-                    .map(|c| c.substitute_impl(map, memo))
-                    .collect();
+                let new_ch: Vec<Expr> = ch.iter().map(|c| c.substitute_impl(map, memo)).collect();
                 if new_ch == ch {
                     self.clone()
                 } else {

@@ -39,7 +39,11 @@ fn main() {
     let (dst, rhs) = &m.phi_updates[1];
     println!("φ_1 update target: {dst:?}");
     let r = format!("{rhs}");
-    println!("rhs ({} unique nodes): {}…\n", rhs.dag_size(), &r[..r.len().min(400)]);
+    println!(
+        "rhs ({} unique nodes): {}…\n",
+        rhs.dag_size(),
+        &r[..r.len().min(400)]
+    );
 
     println!("========== layer 3: stencils (finite differences) ==========");
     let disc = Discretization::new(p.dim, [p.dx; 3]);

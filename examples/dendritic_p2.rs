@@ -53,8 +53,8 @@ fn main() {
         let phi = sim.phi();
         for y in 0..shape[1] {
             for x in 0..shape[0] {
-                let s = phi.get(1, x as isize, y as isize, 0)
-                    + phi.get(2, x as isize, y as isize, 0);
+                let s =
+                    phi.get(1, x as isize, y as isize, 0) + phi.get(2, x as isize, y as isize, 0);
                 if s > 0.5 {
                     tip = tip.max(y);
                 }

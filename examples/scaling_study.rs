@@ -1,18 +1,74 @@
 //! Distributed run + cluster-scale projection: run the real multi-rank
 //! simulation (thread-backed ranks with ghost-layer exchange) on this
 //! machine, verify it against the single-block run, then project the same
-//! workload to SuperMUC-NG scale with the cluster model.
+//! workload to SuperMUC-NG scale with the cluster model — including what
+//! periodic checkpointing would cost there.
 //!
-//! Run with: `cargo run --release --example scaling_study`
+//! Run with: `cargo run --release --example scaling_study [FLAGS]`
+//!
+//! Flags:
+//!   --checkpoint-dir <path>   write checkpoint sets under <path>
+//!   --checkpoint-every <n>    write a set every n steps (default 0 = final only)
+//!   --resume                  restart from the latest complete set in the dir
 
-use pf_cluster::{mlups_per_unit, StepWorkload};
-use pf_core::dist::{run_distributed, DistConfig};
+use pf_cluster::{
+    checkpoint_bytes_per_rank, checkpoint_overhead_fraction, checkpoint_time, mlups_per_unit,
+    StepWorkload,
+};
+use pf_core::dist::{run_distributed, CheckpointConfig, DistConfig};
 use pf_core::{generate_kernels, BcKind, SimConfig, Simulation};
 use pf_grid::{halo_bytes, CommOptions};
 use pf_ir::GenOptions;
 use pf_machine::supermuc_ng;
+use std::path::PathBuf;
+
+struct Cli {
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+    resume: bool,
+}
+
+const USAGE: &str = "usage: scaling_study [--checkpoint-dir <path>] \
+     [--checkpoint-every <n>] [--resume]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        checkpoint_dir: None,
+        checkpoint_every: 0,
+        resume: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--checkpoint-dir" => match args.next() {
+                Some(v) => cli.checkpoint_dir = Some(PathBuf::from(v)),
+                None => usage_error("--checkpoint-dir needs a path"),
+            },
+            "--checkpoint-every" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--checkpoint-every needs a step count"));
+                cli.checkpoint_every = v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--checkpoint-every: {v:?} is not a number"))
+                });
+            }
+            "--resume" => cli.resume = true,
+            other => usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+    if cli.checkpoint_dir.is_none() && (cli.checkpoint_every > 0 || cli.resume) {
+        usage_error("--checkpoint-every/--resume require --checkpoint-dir");
+    }
+    cli
+}
 
 fn main() {
+    let cli = parse_cli();
     let mut params = pf_core::p1();
     params.phases = 2;
     params.components = 2;
@@ -38,16 +94,23 @@ fn main() {
     let init_mu = |_: i64, _: i64, _: i64| vec![0.2];
 
     println!("running {steps} steps on 4 ranks (32x32 periodic domain)…");
-    let dcfg = DistConfig::new(global, 4);
-    let solids = run_distributed(
-        &params,
-        &kernels,
-        &dcfg,
-        steps,
-        init_phi,
-        init_mu,
-        |sim| sim.phi().interior_sum(1),
-    );
+    let mut dcfg = DistConfig::new(global, 4);
+    if let Some(dir) = &cli.checkpoint_dir {
+        println!(
+            "checkpointing to {} (every {} steps{})",
+            dir.display(),
+            cli.checkpoint_every,
+            if cli.resume { ", resuming" } else { "" }
+        );
+        dcfg.checkpoint = Some(
+            CheckpointConfig::new(dir.clone())
+                .every(cli.checkpoint_every)
+                .resume(cli.resume),
+        );
+    }
+    let solids = run_distributed(&params, &kernels, &dcfg, steps, init_phi, init_mu, |sim| {
+        sim.phi().interior_sum(1)
+    });
     let dist_total: f64 = solids.iter().sum();
 
     // Reference: the same run on a single block.
@@ -86,11 +149,34 @@ fn main() {
         overlap: true,
         gpudirect: false,
     };
-    println!("{:>10} {:>18} {:>22}", "cores", "MLUP/s per core", "aggregate GLUP/s");
+    println!(
+        "{:>10} {:>18} {:>22}",
+        "cores", "MLUP/s per core", "aggregate GLUP/s"
+    );
     for cores in [48usize, 3072, 49_152, 152_064] {
         let per = mlups_per_unit(&w, &cluster, opts, cores);
         println!("{cores:>10} {per:>18.2} {:>22.1}", per * cores as f64 / 1e3);
     }
-    println!("\nat half of SuperMUC-NG this is a ~{:.0} billion-cell domain advancing", 152_064.0 * cells as f64 / 1e9);
+    println!(
+        "\nat half of SuperMUC-NG this is a ~{:.0} billion-cell domain advancing",
+        152_064.0 * cells as f64 / 1e9
+    );
     println!("several steps per second — the regime the paper's Fig. 4 simulations ran in.");
+
+    // --- checkpoint cost at paper scale ----------------------------------
+    let ranks = 152_064usize;
+    let bytes = checkpoint_bytes_per_rank(block, params.phases, params.components - 1);
+    let set_tb = ranks as f64 * bytes as f64 / 1e12;
+    let t_set = checkpoint_time(&cluster, ranks, bytes);
+    println!("\ncheckpoint cost on {} at {ranks} ranks:", cluster.name);
+    println!(
+        "  {:.1} MB per rank, {set_tb:.2} TB per set, {t_set:.1} s to drain at {:.0} GB/s",
+        bytes as f64 / 1e6,
+        cluster.fs_bw_gbs
+    );
+    println!("{:>12} {:>20}", "every", "overhead");
+    for every in [10u64, 100, 1000] {
+        let f = checkpoint_overhead_fraction(&w, &cluster, opts, ranks, bytes, every);
+        println!("{every:>9} steps {:>19.2}%", f * 100.0);
+    }
 }

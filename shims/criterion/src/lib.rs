@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the benchmark-harness subset its benches use: `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Statistics are intentionally simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and reports the median per-iteration
+//! time (plus derived throughput when one was declared). There is no outlier
+//! analysis, no HTML report, and no baseline comparison — enough to smoke-run
+//! `cargo bench` offline and eyeball regressions.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export with criterion's name; prevents the optimizer from deleting
+/// benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared work per iteration, used to derive throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: &str, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the collected samples.
+    result: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, warm up briefly, and record the median per-iteration cost.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up + calibration: grow the iteration count until one sample
+        // takes ≥ ~5ms so Instant overhead is negligible.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            per_iter.push(t.elapsed() / iters as u32);
+        }
+        per_iter.sort();
+        self.result = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        self.run(id.into_benchmark_id(), f);
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.into_benchmark_id(), |b| f(b, input));
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.result;
+        let rate = |count: u64| {
+            if per_iter.is_zero() {
+                f64::INFINITY
+            } else {
+                count as f64 / per_iter.as_secs_f64()
+            }
+        };
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  {:.3} Melem/s", rate(n) / 1e6),
+            Some(Throughput::Bytes(n)) => format!("  {:.3} MiB/s", rate(n) / (1024.0 * 1024.0)),
+            None => String::new(),
+        };
+        println!("{}/{:<32} {:>12.3?}/iter{}", self.name, id, per_iter, extra);
+    }
+}
+
+/// Accept both `&str` names and `BenchmarkId`s, like criterion does.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.full
+    }
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        self.benchmark_group(name.to_string())
+            .bench_function("bench", f);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

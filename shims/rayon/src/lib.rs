@@ -1,0 +1,180 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of rayon it uses: `(0..n).into_par_iter().for_each(f)`
+//! and `ThreadPoolBuilder::num_threads(..).build().install(..)`. The
+//! implementation is a plain chunked fork-join over `std::thread::scope`;
+//! `install` bounds the worker count through a thread-local, mirroring how
+//! the per-core scaling benchmarks use rayon pools.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`];
+    /// 0 = use the hardware parallelism.
+    static NUM_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn current_num_threads() -> usize {
+    let n = NUM_THREADS.with(|c| c.get());
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// The (tiny) parallel-iterator interface: parallel `for_each`.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send;
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeParIter(Range<usize>);
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter(self)
+    }
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        let Range { start, end } = self.0;
+        let n = end.saturating_sub(start);
+        if n == 0 {
+            return;
+        }
+        let workers = current_num_threads().clamp(1, n);
+        if workers == 1 {
+            for i in start..end {
+                f(i);
+            }
+            return;
+        }
+        // Static block partition: worker w owns [start + w·chunk, …).
+        let chunk = n.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let lo = start + w * chunk;
+                let hi = (lo + chunk).min(end);
+                if lo >= hi {
+                    break;
+                }
+                s.spawn(move || {
+                    for i in lo..hi {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Builder for a bounded "pool" (really a worker-count override).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for API compatibility; building never fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped worker-count override; `install` runs the closure with the
+/// pool's thread count governing any parallel iterators inside it.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = NUM_THREADS.with(|c| c.replace(self.num_threads));
+        let out = f();
+        NUM_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_each_visits_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        (0..100usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn install_bounds_and_restores_worker_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("pool");
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 2);
+        assert_ne!(crate::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        (5..5usize).into_par_iter().for_each(|_| panic!("no items"));
+    }
+}

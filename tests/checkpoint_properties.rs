@@ -1,0 +1,158 @@
+//! Property tests for the checkpoint format: any simulation state encodes
+//! and decodes back bitwise, re-encoding is byte-identical, and *any*
+//! truncation or byte corruption of a valid checkpoint is rejected with a
+//! typed `CheckpointError` — never a panic, and never silently accepted
+//! state (the simulation is left untouched on failure).
+
+use pf_core::checkpoint::{decode_into, encode, parse_header};
+use pf_core::{generate_kernels, CheckpointError, RankMeta, SimConfig, Simulation, Variant};
+use pf_ir::GenOptions;
+use proptest::prelude::*;
+
+fn mini() -> pf_core::ModelParams {
+    let mut p = pf_core::p1();
+    p.phases = 2;
+    p.components = 2;
+    p.dim = 2;
+    p.dt = 0.005;
+    p.gamma = vec![vec![0.0, 0.4], vec![0.4, 0.0]];
+    p.tau = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+    p.diffusivity = vec![1.0, 0.1];
+    p.a_coeff = vec![vec![-0.5], vec![-0.5]];
+    p.b_coeff = vec![vec![(0.0, 0.05)], vec![(-0.3, 0.05)]];
+    p.c_coeff = vec![(0.01, 0.0), (0.01, 0.0)];
+    p.orientation = vec![0.0, 0.0];
+    p.temperature.gradient = 0.0;
+    p.fluctuation_amplitude = 0.0;
+    p
+}
+
+/// A small simulation advanced a few steps so the fields hold non-trivial
+/// values; `salt` varies the initial condition between proptest cases.
+fn advanced_sim(nx: usize, ny: usize, steps: usize, salt: f64) -> (Simulation, RankMeta) {
+    let p = mini();
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let mut cfg = SimConfig::new([nx, ny, 1]);
+    cfg.phi_variant = Variant::Full;
+    cfg.mu_variant = Variant::Split;
+    let mut sim = Simulation::new(p, ks, cfg);
+    sim.init_phi(|x, y, _| {
+        let d = ((x as f64 - nx as f64 / 2.0).powi(2) + (y as f64 - ny as f64 / 2.0).powi(2))
+            .sqrt()
+            - 3.0
+            - salt;
+        let s = 0.5 * (1.0 - (d / 2.0).tanh());
+        vec![1.0 - s, s]
+    });
+    sim.init_mu(|x, y, _| vec![0.05 + 0.002 * salt + 0.001 * ((x + y) % 3) as f64]);
+    sim.run_steps(steps);
+    let meta = RankMeta::single([nx, ny, 1]);
+    (sim, meta)
+}
+
+fn snapshot(sim: &Simulation) -> Vec<u64> {
+    let mut out = Vec::new();
+    let shape = sim.phi().shape();
+    for (arr, comps) in [(sim.phi(), 2usize), (sim.mu(), 1usize)] {
+        for c in 0..comps {
+            for z in 0..shape[2] as isize {
+                for y in 0..shape[1] as isize {
+                    for x in 0..shape[0] as isize {
+                        out.push(arr.get(c, x, y, z).to_bits());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    // Each case regenerates kernels (expensive); a modest deterministic
+    // case count keeps the suite fast while still sweeping shapes, cut
+    // points, and corruption positions.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn round_trip_is_bitwise_for_any_state(
+        nx in 6usize..14,
+        ny in 6usize..14,
+        steps in 0usize..4,
+        salt in 0.0f64..2.0,
+    ) {
+        let (sim, meta) = advanced_sim(nx, ny, steps, salt);
+        let bytes = encode(&sim, &meta);
+
+        // Decode into a freshly built, differently initialized sim.
+        let (mut other, _) = advanced_sim(nx, ny, 0, salt + 0.5);
+        decode_into(&mut other, &meta, &bytes).expect("round trip");
+        prop_assert_eq!(snapshot(&other), snapshot(&sim));
+        prop_assert_eq!(other.step_count, sim.step_count);
+
+        // Re-encoding the restored state reproduces the bytes exactly.
+        prop_assert_eq!(encode(&other, &meta), bytes);
+    }
+
+    #[test]
+    fn any_truncation_is_a_typed_error(
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (sim, meta) = advanced_sim(8, 8, 1, 0.0);
+        let bytes = encode(&sim, &meta);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let truncated = &bytes[..cut];
+
+        let (mut victim, _) = advanced_sim(8, 8, 1, 1.0);
+        let before = snapshot(&victim);
+        let err = decode_into(&mut victim, &meta, truncated)
+            .expect_err("truncated checkpoint must be rejected");
+        prop_assert!(
+            matches!(err, CheckpointError::Truncated | CheckpointError::ChecksumMismatch),
+            "unexpected error kind: {err}"
+        );
+        // The failed restore must not have touched the simulation.
+        prop_assert_eq!(snapshot(&victim), before);
+
+        // Header parsing of the truncation must not panic either.
+        let _ = parse_header(truncated);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_a_typed_error(
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let (sim, meta) = advanced_sim(8, 8, 1, 0.0);
+        let mut bytes = encode(&sim, &meta);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+
+        let (mut victim, _) = advanced_sim(8, 8, 1, 1.0);
+        let before = snapshot(&victim);
+        let err = decode_into(&mut victim, &meta, &bytes)
+            .expect_err("corrupted checkpoint must be rejected");
+        prop_assert!(
+            matches!(err, CheckpointError::ChecksumMismatch),
+            "corruption at byte {pos} gave {err}"
+        );
+        prop_assert_eq!(snapshot(&victim), before);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        garbage in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        // Random bytes derived from the bool vector (the shim has no u8
+        // strategy; two bools per bit-pair spread over the byte).
+        let bytes: Vec<u8> = garbage
+            .chunks(2)
+            .map(|c| {
+                ((c.first().copied().unwrap_or(false) as u8) * 0x5A) ^ ((c.get(1).copied().unwrap_or(false) as u8) * 0xA5)
+            })
+            .collect();
+        let (mut victim, meta) = advanced_sim(8, 8, 0, 0.0);
+        let r = decode_into(&mut victim, &meta, &bytes);
+        prop_assert!(r.is_err());
+        let _ = parse_header(&bytes);
+    }
+}

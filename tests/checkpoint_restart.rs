@@ -1,0 +1,222 @@
+//! Restart equivalence: a run that checkpoints after N steps, is torn
+//! down, and resumes from disk in a fresh world for M more steps must be
+//! bitwise identical to the uninterrupted N+M-step run — for every kernel
+//! variant, in 2D and 3D, across rank counts. This works because kernels,
+//! Philox counters, and coordinates are keyed on global cell indices and
+//! the checkpoint captures the entire persistent per-rank state.
+
+use pf_core::dist::{run_distributed, CheckpointConfig, DistConfig};
+use pf_core::{generate_kernels, Variant};
+use pf_fields::FieldArray;
+use pf_ir::GenOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn mini(dim: usize) -> pf_core::ModelParams {
+    let mut p = pf_core::p1();
+    p.phases = 2;
+    p.components = 2;
+    p.dim = dim;
+    p.dt = 0.005;
+    p.gamma = vec![vec![0.0, 0.4], vec![0.4, 0.0]];
+    p.tau = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+    p.diffusivity = vec![1.0, 0.1];
+    p.a_coeff = vec![vec![-0.5], vec![-0.5]];
+    p.b_coeff = vec![vec![(0.0, 0.05)], vec![(-0.3, 0.05)]];
+    p.c_coeff = vec![(0.01, 0.0), (0.01, 0.0)];
+    p.orientation = vec![0.0, 0.0];
+    p.temperature.gradient = 0.0;
+    p.fluctuation_amplitude = 0.0;
+    p
+}
+
+/// A unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pf-ckpt-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+type Blocks = Vec<([i64; 3], FieldArray, FieldArray)>;
+
+fn run(p: &pf_core::ModelParams, cfg: &DistConfig, steps: usize, global: [usize; 3]) -> Blocks {
+    let ks = generate_kernels(p, &GenOptions::default());
+    let init_phi = move |x: i64, y: i64, z: i64| {
+        let d = (((x as f64 - global[0] as f64 / 2.0).powi(2)
+            + (y as f64 - global[1] as f64 / 2.0).powi(2)
+            + (z as f64 - global[2] as f64 / 2.0).powi(2))
+        .sqrt()
+            - 4.0)
+            / 2.5;
+        let s = 0.5 * (1.0 - d.tanh());
+        vec![1.0 - s, s]
+    };
+    let init_mu = |x: i64, y: i64, _z: i64| vec![0.05 + 0.001 * ((x + y) % 5) as f64];
+    run_distributed(p, &ks, cfg, steps, init_phi, init_mu, |sim| {
+        (sim.origin, sim.phi().clone(), sim.mu().clone())
+    })
+}
+
+fn assert_blocks_bitwise(got: &Blocks, want: &Blocks, phases: usize, num_mu: usize) {
+    assert_eq!(got.len(), want.len());
+    for ((origin, phi, mu), (worigin, wphi, wmu)) in got.iter().zip(want) {
+        assert_eq!(origin, worigin);
+        let shape = phi.shape();
+        for z in 0..shape[2] as isize {
+            for y in 0..shape[1] as isize {
+                for x in 0..shape[0] as isize {
+                    for a in 0..phases {
+                        assert_eq!(
+                            phi.get(a, x, y, z).to_bits(),
+                            wphi.get(a, x, y, z).to_bits(),
+                            "phi[{a}] differs at ({x},{y},{z}), origin {origin:?}"
+                        );
+                    }
+                    for i in 0..num_mu {
+                        assert_eq!(
+                            mu.get(i, x, y, z).to_bits(),
+                            wmu.get(i, x, y, z).to_bits(),
+                            "mu[{i}] differs at ({x},{y},{z}), origin {origin:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// N steps → final checkpoint → fresh world resumes → M more steps, then
+/// compare bitwise against the uninterrupted N+M-step run.
+fn restart_matches(
+    p: &pf_core::ModelParams,
+    global: [usize; 3],
+    ranks: usize,
+    phi_v: Variant,
+    mu_v: Variant,
+    n: usize,
+    m: usize,
+) {
+    let mut base = DistConfig::new(global, ranks);
+    base.phi_variant = phi_v;
+    base.mu_variant = mu_v;
+    let uninterrupted = run(p, &base, n + m, global);
+
+    let scratch = Scratch::new("restart");
+    let mut first = base.clone();
+    first.checkpoint = Some(CheckpointConfig::new(&scratch.0));
+    run(p, &first, n, global);
+
+    let mut second = base.clone();
+    second.checkpoint = Some(CheckpointConfig::new(&scratch.0).resume(true));
+    let resumed = run(p, &second, n + m, global);
+
+    assert_blocks_bitwise(&resumed, &uninterrupted, p.phases, p.num_mu());
+}
+
+#[test]
+fn two_ranks_full_variants_2d() {
+    restart_matches(&mini(2), [16, 8, 1], 2, Variant::Full, Variant::Full, 3, 3);
+}
+
+#[test]
+fn four_ranks_split_variants_2d() {
+    restart_matches(
+        &mini(2),
+        [16, 16, 1],
+        4,
+        Variant::Split,
+        Variant::Split,
+        2,
+        3,
+    );
+}
+
+#[test]
+fn single_rank_2d() {
+    restart_matches(
+        &mini(2),
+        [12, 12, 1],
+        1,
+        Variant::Full,
+        Variant::Split,
+        2,
+        2,
+    );
+}
+
+#[test]
+fn eight_ranks_mixed_variants_3d() {
+    restart_matches(&mini(3), [8, 8, 8], 8, Variant::Full, Variant::Split, 2, 2);
+}
+
+#[test]
+fn stochastic_model_restarts_bitwise() {
+    // The Philox counter state is part of the checkpoint, so even the
+    // fluctuating model restarts on the exact same random stream.
+    let mut p = mini(2);
+    p.fluctuation_amplitude = 1e-3;
+    restart_matches(&p, [16, 16, 1], 4, Variant::Full, Variant::Full, 2, 3);
+}
+
+#[test]
+fn resume_picks_the_newest_complete_set() {
+    // Periodic checkpoints every 2 steps for 6 steps leave sets at 2, 4,
+    // and 6; a resumed run must continue from step 6, not an older set.
+    let p = mini(2);
+    let global = [16usize, 8, 1];
+    let base = DistConfig::new(global, 2);
+    let uninterrupted = run(&p, &base, 9, global);
+
+    let scratch = Scratch::new("newest");
+    let mut first = base.clone();
+    first.checkpoint = Some(CheckpointConfig::new(&scratch.0).every(2));
+    run(&p, &first, 6, global);
+    for step in [2u64, 4, 6] {
+        let dir = scratch.0.join(format!("step_{step:08}"));
+        assert!(dir.is_dir(), "missing periodic set {}", dir.display());
+    }
+
+    let mut second = base.clone();
+    second.checkpoint = Some(CheckpointConfig::new(&scratch.0).resume(true));
+    let resumed = run(&p, &second, 9, global);
+    assert_blocks_bitwise(&resumed, &uninterrupted, p.phases, p.num_mu());
+}
+
+#[test]
+fn partial_sets_are_skipped_on_resume() {
+    // A crash can leave a torn set (some ranks' files missing). Resume must
+    // fall back to the newest *complete* set.
+    let p = mini(2);
+    let global = [16usize, 8, 1];
+    let base = DistConfig::new(global, 2);
+    let uninterrupted = run(&p, &base, 7, global);
+
+    let scratch = Scratch::new("torn");
+    let mut first = base.clone();
+    first.checkpoint = Some(CheckpointConfig::new(&scratch.0).every(2));
+    run(&p, &first, 4, global);
+    // Fake a torn set at step 6: only rank 0's file exists.
+    let torn = scratch.0.join("step_00000006");
+    std::fs::create_dir_all(&torn).unwrap();
+    std::fs::write(torn.join("rank_0000.ckpt"), b"torn").unwrap();
+
+    let mut second = base.clone();
+    second.checkpoint = Some(CheckpointConfig::new(&scratch.0).resume(true));
+    let resumed = run(&p, &second, 7, global);
+    assert_blocks_bitwise(&resumed, &uninterrupted, p.phases, p.num_mu());
+}

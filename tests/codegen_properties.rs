@@ -38,10 +38,13 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
             // Denominator ≥ 1: safe division.
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| a / (Expr::powi(b, 2) + 1.0)),
-            inner.clone().prop_map(|a| Expr::sqrt(Expr::powi(a, 2) + 0.5)),
-            inner.clone().prop_map(|a| Expr::rsqrt(Expr::powi(a, 2) + 1.0)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a / (Expr::powi(b, 2) + 1.0)),
+            inner
+                .clone()
+                .prop_map(|a| Expr::sqrt(Expr::powi(a, 2) + 0.5)),
+            inner
+                .clone()
+                .prop_map(|a| Expr::rsqrt(Expr::powi(a, 2) + 1.0)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::max(a, b)),
             (2i64..4, inner.clone()).prop_map(|(n, a)| Expr::powi(a, n)),
             inner.clone().prop_map(Expr::abs),

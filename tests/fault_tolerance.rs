@@ -1,0 +1,211 @@
+//! Fault tolerance: with a seeded `FaultPlan` dropping, delaying, and
+//! duplicating halo messages, the reliable-delivery layer (retransmit on
+//! timeout + epoch-tagged dedup) must make the run complete and match the
+//! fault-free run bitwise. A planned rank kill unwinds the world; the
+//! resilient driver restarts the cohort from the last complete checkpoint
+//! set and still reproduces the fault-free result exactly.
+
+use pf_core::dist::{run_distributed, run_distributed_resilient, CheckpointConfig, DistConfig};
+use pf_core::generate_kernels;
+use pf_fields::FieldArray;
+use pf_grid::FaultPlan;
+use pf_ir::GenOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn mini() -> pf_core::ModelParams {
+    let mut p = pf_core::p1();
+    p.phases = 2;
+    p.components = 2;
+    p.dim = 2;
+    p.dt = 0.005;
+    p.gamma = vec![vec![0.0, 0.4], vec![0.4, 0.0]];
+    p.tau = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+    p.diffusivity = vec![1.0, 0.1];
+    p.a_coeff = vec![vec![-0.5], vec![-0.5]];
+    p.b_coeff = vec![vec![(0.0, 0.05)], vec![(-0.3, 0.05)]];
+    p.c_coeff = vec![(0.01, 0.0), (0.01, 0.0)];
+    p.orientation = vec![0.0, 0.0];
+    p.temperature.gradient = 0.0;
+    p.fluctuation_amplitude = 0.0;
+    p
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pf-fault-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+type Blocks = Vec<([i64; 3], FieldArray, FieldArray)>;
+
+fn init_phi(global: [usize; 3]) -> impl Fn(i64, i64, i64) -> Vec<f64> + Sync {
+    move |x, y, z| {
+        let d = (((x as f64 - global[0] as f64 / 2.0).powi(2)
+            + (y as f64 - global[1] as f64 / 2.0).powi(2)
+            + (z as f64 - global[2] as f64 / 2.0).powi(2))
+        .sqrt()
+            - 4.0)
+            / 2.5;
+        let s = 0.5 * (1.0 - d.tanh());
+        vec![1.0 - s, s]
+    }
+}
+
+fn init_mu(x: i64, y: i64, _z: i64) -> Vec<f64> {
+    vec![0.05 + 0.001 * ((x + y) % 5) as f64]
+}
+
+fn assert_blocks_bitwise(got: &Blocks, want: &Blocks, phases: usize, num_mu: usize) {
+    assert_eq!(got.len(), want.len());
+    for ((origin, phi, mu), (worigin, wphi, wmu)) in got.iter().zip(want) {
+        assert_eq!(origin, worigin);
+        let shape = phi.shape();
+        for z in 0..shape[2] as isize {
+            for y in 0..shape[1] as isize {
+                for x in 0..shape[0] as isize {
+                    for a in 0..phases {
+                        assert_eq!(
+                            phi.get(a, x, y, z).to_bits(),
+                            wphi.get(a, x, y, z).to_bits(),
+                            "phi[{a}] differs at ({x},{y},{z}), origin {origin:?}"
+                        );
+                    }
+                    for i in 0..num_mu {
+                        assert_eq!(
+                            mu.get(i, x, y, z).to_bits(),
+                            wmu.get(i, x, y, z).to_bits(),
+                            "mu[{i}] differs at ({x},{y},{z}), origin {origin:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn message_faults_do_not_change_the_result() {
+    let p = mini();
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let global = [16usize, 16, 1];
+    let steps = 4;
+    let base = DistConfig::new(global, 4);
+    let clean = run_distributed(&p, &ks, &base, steps, init_phi(global), init_mu, |sim| {
+        (sim.origin, sim.phi().clone(), sim.mu().clone())
+    });
+
+    // Aggressive but survivable: a fifth of halo messages dropped, a fifth
+    // duplicated, a third held back and reordered.
+    let mut faulty = base.clone();
+    faulty.faults = Some(
+        FaultPlan::new(0xFA117)
+            .drop_prob(0.2)
+            .dup_prob(0.2)
+            .delay_prob(0.3),
+    );
+    let perturbed = run_distributed(&p, &ks, &faulty, steps, init_phi(global), init_mu, |sim| {
+        (sim.origin, sim.phi().clone(), sim.mu().clone())
+    });
+
+    assert_blocks_bitwise(&perturbed, &clean, p.phases, p.num_mu());
+}
+
+#[test]
+fn every_fault_kind_alone_is_survived() {
+    let p = mini();
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let global = [12usize, 12, 1];
+    let steps = 3;
+    let base = DistConfig::new(global, 4);
+    let clean = run_distributed(&p, &ks, &base, steps, init_phi(global), init_mu, |sim| {
+        (sim.origin, sim.phi().clone(), sim.mu().clone())
+    });
+
+    for (name, plan) in [
+        ("drop", FaultPlan::new(7).drop_prob(0.4)),
+        ("duplicate", FaultPlan::new(7).dup_prob(0.6)),
+        ("delay", FaultPlan::new(7).delay_prob(0.6)),
+    ] {
+        let mut faulty = base.clone();
+        faulty.faults = Some(plan);
+        let perturbed =
+            run_distributed(&p, &ks, &faulty, steps, init_phi(global), init_mu, |sim| {
+                (sim.origin, sim.phi().clone(), sim.mu().clone())
+            });
+        assert_eq!(perturbed.len(), clean.len(), "{name}: wrong world size");
+        assert_blocks_bitwise(&perturbed, &clean, p.phases, p.num_mu());
+    }
+}
+
+#[test]
+fn killed_rank_is_recovered_from_checkpoint() {
+    let p = mini();
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let global = [16usize, 16, 1];
+    let steps = 6;
+    let base = DistConfig::new(global, 4);
+    let clean = run_distributed(&p, &ks, &base, steps, init_phi(global), init_mu, |sim| {
+        (sim.origin, sim.phi().clone(), sim.mu().clone())
+    });
+
+    // Rank 2 dies at step 4; checkpoints exist at steps 2 and 4 (written
+    // before the kill check of step 4 fires on the restarted cohort's
+    // behalf — the kill is disarmed on restart).
+    let scratch = Scratch::new("kill");
+    let mut faulty = base.clone();
+    faulty.checkpoint = Some(CheckpointConfig::new(&scratch.0).every(2));
+    faulty.faults = Some(FaultPlan::new(99).kill_rank_at_step(2, 4));
+    let recovered =
+        run_distributed_resilient(&p, &ks, &faulty, steps, init_phi(global), init_mu, |sim| {
+            (sim.origin, sim.phi().clone(), sim.mu().clone())
+        });
+
+    assert_blocks_bitwise(&recovered, &clean, p.phases, p.num_mu());
+}
+
+#[test]
+fn kill_with_message_faults_and_no_prior_checkpoint_restarts_from_scratch() {
+    // The kill fires before the first periodic set is written, so the
+    // replacement cohort restarts from the initial conditions — and still
+    // matches, because there is no state outside the simulation.
+    let p = mini();
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let global = [12usize, 12, 1];
+    let steps = 4;
+    let base = DistConfig::new(global, 2);
+    let clean = run_distributed(&p, &ks, &base, steps, init_phi(global), init_mu, |sim| {
+        (sim.origin, sim.phi().clone(), sim.mu().clone())
+    });
+
+    let scratch = Scratch::new("early-kill");
+    let mut faulty = base.clone();
+    faulty.checkpoint = Some(CheckpointConfig::new(&scratch.0).every(3));
+    faulty.faults = Some(
+        FaultPlan::new(5)
+            .drop_prob(0.15)
+            .delay_prob(0.2)
+            .kill_rank_at_step(1, 1),
+    );
+    let recovered =
+        run_distributed_resilient(&p, &ks, &faulty, steps, init_phi(global), init_mu, |sim| {
+            (sim.origin, sim.phi().clone(), sim.mu().clone())
+        });
+
+    assert_blocks_bitwise(&recovered, &clean, p.phases, p.num_mu());
+}

@@ -71,8 +71,7 @@ fn all_variant_combinations_agree_on_p1_physics() {
         let mut sim = Simulation::new(p.clone(), ks.clone(), cfg);
         sim.init_phi(|x, y, _| {
             let mut v = vec![0.0; 4];
-            let d =
-                (((x as f64 - 8.0).powi(2) + (y as f64 - 8.0).powi(2)).sqrt() - 4.0) / 3.0;
+            let d = (((x as f64 - 8.0).powi(2) + (y as f64 - 8.0).powi(2)).sqrt() - 4.0) / 3.0;
             let s = 0.5 * (1.0 - d.tanh());
             v[0] = 1.0 - s;
             v[1 + (x / 3) % 3] = s;
@@ -104,10 +103,7 @@ fn compile_time_parameter_folding_prunes_generic_kernels() {
     let p = p1_2d();
     let m = pf_core::build_model(&p);
     let disc = pf_stencil::Discretization::new(p.dim, [p.dx; 3]);
-    let k = pf_stencil::StencilKernel::new(
-        "mu",
-        pf_stencil::discretize_full(&disc, &m.mu_updates),
-    );
+    let k = pf_stencil::StencilKernel::new("mu", pf_stencil::discretize_full(&disc, &m.mu_updates));
     let optimized = pf_ir::generate(&k, &GenOptions::default());
     let naive = pf_ir::generate(&k, &GenOptions::naive());
     let co = census(&optimized, CountScope::PerCell).normalized_flops();
@@ -126,10 +122,7 @@ fn generated_c_and_cuda_cover_all_kernels() {
         let c = pf_backend::emit_c(tape);
         assert!(c.contains("#pragma omp parallel for"));
         assert!(c.contains(&format!("kernel_{}", tape.name.replace('-', "_"))));
-        let cu = pf_backend::emit_cuda(
-            tape,
-            pf_backend::ThreadMapping::Linear1D { threads: 256 },
-        );
+        let cu = pf_backend::emit_cuda(tape, pf_backend::ThreadMapping::Linear1D { threads: 256 });
         assert!(cu.contains("__global__"));
         // Every store of the tape appears as an array write.
         let stores = tape.stores().count();
