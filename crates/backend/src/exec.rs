@@ -220,6 +220,14 @@ pub fn run_kernel(
         tape.params.len()
     );
 
+    // Observability: one span + two counter bumps per launch (a launch
+    // sweeps a whole block, so this is far off the per-cell hot path).
+    if pf_trace::enabled() {
+        pf_trace::counter(&format!("exec.launches.{}", tape.name)).incr(1);
+        pf_trace::counter("exec.cells").incr((domain[0] * domain[1] * domain[2]) as u64);
+    }
+    let _launch_span = pf_trace::span_lazy(|| format!("exec.kernel.{}", tape.name));
+
     // Partition fields into read-only and written.
     let mut written: Vec<u16> = Vec::new();
     for op in &tape.instrs {

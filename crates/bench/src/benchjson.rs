@@ -1,0 +1,339 @@
+//! The schema-versioned `BENCH_<name>.json` artifact.
+//!
+//! Every fig/table binary emits one of these: for each kernel variant the
+//! *measured* executor throughput, the ECM-*predicted* throughput for the
+//! same kernel on the modeled machine, and their ratio — the feedback loop
+//! the paper's methodology implies (model-driven variant selection is only
+//! trustworthy while predictions track measurements). A full `pf-trace`
+//! metric snapshot rides along, so a bench artifact doubles as a runtime
+//! profile (kernel spans, comm counters, checkpoint drains).
+//!
+//! Schema `pf-bench/1`:
+//!
+//! ```text
+//! {
+//!   "schema": "pf-bench/1",
+//!   "name": "fig2_left",
+//!   "smoke": true,
+//!   "machine": {"model": "skylake_8174", "threads_avail": 1},
+//!   "kernels": [
+//!     {"params": "P1", "kernel": "mu", "variant": "split",
+//!      "measured_mlups": 0.91, "predicted_mlups": 1385.2,
+//!      "ratio": 0.00066, "ecm": {"t_comp": ..., ...}},
+//!     ...
+//!   ],
+//!   "extra": { ... binary-specific series/tables ... },
+//!   "metrics": { ... pf_trace::Report JSON ... }
+//! }
+//! ```
+//!
+//! `validate` checks structure, value sanity (finite, positive throughputs,
+//! ratio consistent with measured/predicted), and that `metrics` parses
+//! back as a [`pf_trace::Report`]. `scripts/ci.sh` runs it over every
+//! artifact of a bench-smoke run; `scripts/perf_gate.sh` diffs fresh runs
+//! against the committed baselines.
+
+use pf_trace::{Json, Report};
+use std::collections::BTreeMap;
+
+/// Schema identifier; bump on breaking layout changes.
+pub const SCHEMA: &str = "pf-bench/1";
+
+/// Measured-vs-predicted record for one kernel variant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelPerf {
+    /// Parameterization name ("P1"/"P2").
+    pub params: String,
+    /// Kernel family ("mu"/"phi").
+    pub kernel: String,
+    /// Variant within the family ("full"/"split").
+    pub variant: String,
+    /// Executor throughput on this host, single core, MLUP/s.
+    pub measured_mlups: f64,
+    /// ECM-model single-core throughput on the modeled socket, MLUP/s.
+    pub predicted_mlups: f64,
+    /// ECM decomposition terms (cycles per cache line) and related
+    /// diagnostics, free-form name → value.
+    pub ecm: BTreeMap<String, f64>,
+}
+
+impl KernelPerf {
+    /// Measured / predicted. The executor is an interpreter while the
+    /// prediction models compiled AVX-512 code, so this sits far below 1;
+    /// what matters is that it stays *stable* — a drop means the measured
+    /// path regressed relative to what the model promises.
+    pub fn ratio(&self) -> f64 {
+        self.measured_mlups / self.predicted_mlups
+    }
+
+    /// Identity of this record inside a report (diff key).
+    pub fn key(&self) -> String {
+        format!("{}/{}-{}", self.params, self.kernel, self.variant)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("params".into(), Json::str(&self.params)),
+            ("kernel".into(), Json::str(&self.kernel)),
+            ("variant".into(), Json::str(&self.variant)),
+            ("measured_mlups".into(), Json::Num(self.measured_mlups)),
+            ("predicted_mlups".into(), Json::Num(self.predicted_mlups)),
+            ("ratio".into(), Json::Num(self.ratio())),
+            (
+                "ecm".into(),
+                Json::Obj(
+                    self.ecm
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<KernelPerf, String> {
+        let s = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("kernel entry missing string '{k}'"))
+        };
+        let n = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("kernel entry missing number '{k}'"))
+        };
+        let mut ecm = BTreeMap::new();
+        for (k, v) in j.get("ecm").and_then(Json::as_obj).into_iter().flatten() {
+            ecm.insert(
+                k.clone(),
+                v.as_f64()
+                    .ok_or_else(|| format!("ecm term '{k}' not numeric"))?,
+            );
+        }
+        Ok(KernelPerf {
+            params: s("params")?,
+            kernel: s("kernel")?,
+            variant: s("variant")?,
+            measured_mlups: n("measured_mlups")?,
+            predicted_mlups: n("predicted_mlups")?,
+            ecm,
+        })
+    }
+}
+
+/// One complete bench artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Binary name ("fig2_left", "table1", …).
+    pub name: String,
+    /// Was this a CI bench-smoke run (tiny grid) rather than a full run?
+    pub smoke: bool,
+    /// Modeled target machine for the predictions.
+    pub machine_model: String,
+    /// Host threads available when measuring.
+    pub threads_avail: u64,
+    pub kernels: Vec<KernelPerf>,
+    /// Binary-specific payload (series, tables) — not schema-checked
+    /// beyond being an object.
+    pub extra: BTreeMap<String, Json>,
+    /// `pf_trace` snapshot taken at emission time.
+    pub metrics: Report,
+}
+
+impl BenchReport {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema".into(), Json::str(SCHEMA)),
+            ("name".into(), Json::str(&self.name)),
+            ("smoke".into(), Json::Bool(self.smoke)),
+            (
+                "machine".into(),
+                Json::obj([
+                    ("model".into(), Json::str(&self.machine_model)),
+                    ("threads_avail".into(), Json::Num(self.threads_avail as f64)),
+                ]),
+            ),
+            (
+                "kernels".into(),
+                Json::Arr(self.kernels.iter().map(KernelPerf::to_json).collect()),
+            ),
+            ("extra".into(), Json::Obj(self.extra.clone())),
+            ("metrics".into(), self.metrics.to_json()),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<BenchReport, String> {
+        let violations = validate(j);
+        if !violations.is_empty() {
+            return Err(violations.join("; "));
+        }
+        let machine = j.get("machine").unwrap();
+        Ok(BenchReport {
+            name: j.get("name").unwrap().as_str().unwrap().to_string(),
+            smoke: j.get("smoke").unwrap().as_bool().unwrap(),
+            machine_model: machine.get("model").unwrap().as_str().unwrap().to_string(),
+            threads_avail: machine.get("threads_avail").unwrap().as_u64().unwrap(),
+            kernels: j
+                .get("kernels")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(KernelPerf::from_json)
+                .collect::<Result<_, _>>()?,
+            extra: j.get("extra").unwrap().as_obj().unwrap().clone(),
+            metrics: Report::from_json(j.get("metrics").unwrap())?,
+        })
+    }
+
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let j = pf_trace::parse_json(text).map_err(|e| e.to_string())?;
+        BenchReport::from_json(&j)
+    }
+}
+
+/// Check a parsed document against schema `pf-bench/1`. Returns every
+/// violation found (empty = valid).
+pub fn validate(j: &Json) -> Vec<String> {
+    let mut out = Vec::new();
+    match j.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => out.push(format!("schema is '{s}', expected '{SCHEMA}'")),
+        None => out.push("missing string field 'schema'".into()),
+    }
+    match j.get("name").and_then(Json::as_str) {
+        Some(n) if !n.is_empty() => {}
+        _ => out.push("missing or empty string field 'name'".into()),
+    }
+    if j.get("smoke").and_then(Json::as_bool).is_none() {
+        out.push("missing bool field 'smoke'".into());
+    }
+    match j.get("machine") {
+        Some(m) => {
+            if m.get("model").and_then(Json::as_str).is_none() {
+                out.push("machine.model missing".into());
+            }
+            match m.get("threads_avail").and_then(Json::as_u64) {
+                Some(t) if t >= 1 => {}
+                _ => out.push("machine.threads_avail must be an integer >= 1".into()),
+            }
+        }
+        None => out.push("missing object field 'machine'".into()),
+    }
+    match j.get("kernels").and_then(Json::as_arr) {
+        Some([]) => out.push("kernels array is empty".into()),
+        Some(ks) => {
+            for (i, k) in ks.iter().enumerate() {
+                for field in ["params", "kernel", "variant"] {
+                    if k.get(field).and_then(Json::as_str).is_none() {
+                        out.push(format!("kernels[{i}].{field} missing"));
+                    }
+                }
+                let num = |f: &str| k.get(f).and_then(Json::as_f64);
+                match (num("measured_mlups"), num("predicted_mlups"), num("ratio")) {
+                    (Some(m), Some(p), Some(r)) => {
+                        if !(m.is_finite() && m > 0.0) {
+                            out.push(format!("kernels[{i}].measured_mlups must be finite > 0"));
+                        }
+                        if !(p.is_finite() && p > 0.0) {
+                            out.push(format!("kernels[{i}].predicted_mlups must be finite > 0"));
+                        }
+                        if m > 0.0 && p > 0.0 && ((r - m / p).abs() > 1e-9 * (m / p).abs()) {
+                            out.push(format!(
+                                "kernels[{i}].ratio {} inconsistent with measured/predicted {}",
+                                r,
+                                m / p
+                            ));
+                        }
+                    }
+                    _ => out.push(format!(
+                        "kernels[{i}] missing measured_mlups/predicted_mlups/ratio"
+                    )),
+                }
+            }
+        }
+        None => out.push("missing array field 'kernels'".into()),
+    }
+    if j.get("extra").and_then(Json::as_obj).is_none() {
+        out.push("missing object field 'extra'".into());
+    }
+    match j.get("metrics") {
+        Some(m) => {
+            if let Err(e) = Report::from_json(m) {
+                out.push(format!("metrics does not parse as a pf-trace report: {e}"));
+            }
+        }
+        None => out.push("missing object field 'metrics'".into()),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            name: "unit".into(),
+            smoke: true,
+            machine_model: "skylake_8174".into(),
+            threads_avail: 4,
+            kernels: vec![KernelPerf {
+                params: "P1".into(),
+                kernel: "mu".into(),
+                variant: "split".into(),
+                measured_mlups: 0.5,
+                predicted_mlups: 1200.0,
+                ecm: [("t_comp".to_string(), 123.0)].into_iter().collect(),
+            }],
+            extra: [("note".to_string(), Json::str("hello"))]
+                .into_iter()
+                .collect(),
+            metrics: Report::default(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_serialize_parse_equal() {
+        let r = sample();
+        assert_eq!(BenchReport::parse(&r.to_json().to_pretty()).unwrap(), r);
+    }
+
+    #[test]
+    fn valid_report_passes_validation() {
+        assert!(validate(&sample().to_json()).is_empty());
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let mut j = sample().to_json();
+        if let Json::Obj(m) = &mut j {
+            m.insert("schema".into(), Json::str("pf-bench/999"));
+            m.remove("machine");
+        }
+        let v = validate(&j);
+        assert!(v.iter().any(|e| e.contains("schema")));
+        assert!(v.iter().any(|e| e.contains("machine")));
+    }
+
+    #[test]
+    fn validation_catches_bad_ratio_and_nonpositive_mlups() {
+        let mut r = sample();
+        r.kernels[0].measured_mlups = -1.0;
+        let mut j = r.to_json();
+        // Also corrupt the ratio field directly.
+        if let Some(Json::Arr(ks)) = j.get("kernels").cloned() {
+            let mut k0 = ks[0].clone();
+            if let Json::Obj(m) = &mut k0 {
+                m.insert("measured_mlups".into(), Json::Num(2.0));
+                m.insert("ratio".into(), Json::Num(42.0));
+            }
+            if let Json::Obj(top) = &mut j {
+                top.insert("kernels".into(), Json::Arr(vec![k0]));
+            }
+        }
+        let v = validate(&j);
+        assert!(v.iter().any(|e| e.contains("ratio")), "{v:?}");
+    }
+}

@@ -12,6 +12,7 @@ use pf_core::{build_model, p1};
 use pf_ir::{generate, level_histogram, GenOptions};
 use pf_perfmodel::{census, CountScope};
 use pf_stencil::{discretize_full, Discretization, StencilKernel};
+use pf_trace::Json;
 
 fn main() {
     let p = p1();
@@ -48,6 +49,7 @@ fn main() {
 
     println!("Pipeline ablation on P1 (per-cell normalized FLOPS / instruction count)");
     println!("{:<14} {:>22} {:>22}", "variant", "mu-full", "phi-full");
+    let mut rows = Vec::new();
     for (name, opts) in &variants {
         let tmu = generate(&mu, opts);
         let tphi = generate(&phi, opts);
@@ -61,6 +63,19 @@ fn main() {
             cp.normalized_flops(),
             tphi.instrs.len()
         );
+        rows.push(Json::obj([
+            ("variant".into(), Json::str(*name)),
+            (
+                "mu_norm_flops".into(),
+                Json::Num(cm.normalized_flops() as f64),
+            ),
+            ("mu_instrs".into(), Json::Num(tmu.instrs.len() as f64)),
+            (
+                "phi_norm_flops".into(),
+                Json::Num(cp.normalized_flops() as f64),
+            ),
+            ("phi_instrs".into(), Json::Num(tphi.instrs.len() as f64)),
+        ]));
     }
 
     // The analytic-temperature effect: with LICM, every T-dependent
@@ -99,4 +114,22 @@ fn main() {
         p.name,
         p.config_parameter_count()
     );
+
+    let perf = pf_bench::standard_kernel_perf(&p, &pf_bench::kernels_for(&p));
+    let extra = vec![
+        ("pass_ablation".to_string(), Json::Arr(rows)),
+        (
+            "licm_level_histogram".to_string(),
+            Json::Arr(h.iter().map(|&c| Json::Num(c as f64)).collect()),
+        ),
+        (
+            "fluctuation_extra_instrs".to_string(),
+            Json::Num((t_fluct.instrs.len() as i64 - t_base.instrs.len() as i64) as f64),
+        ),
+        (
+            "config_parameters_folded".to_string(),
+            Json::Num(p.config_parameter_count() as f64),
+        ),
+    ];
+    pf_bench::emit_bench("ablation", perf, extra).expect("write BENCH_ablation.json");
 }

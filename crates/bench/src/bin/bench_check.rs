@@ -1,0 +1,195 @@
+//! CI gate over `BENCH_<name>.json` artifacts.
+//!
+//! ```text
+//! bench_check validate <file.json>...
+//! bench_check diff <baseline-dir> <fresh-dir>
+//! ```
+//!
+//! `validate` parses each artifact and checks it against schema
+//! `pf-bench/1` (see `pf_bench::benchjson`), printing every violation and
+//! exiting non-zero if any file fails.
+//!
+//! `diff` compares a fresh bench-smoke run against the committed
+//! baselines: for every kernel record present in both, the fresh
+//! `measured_mlups` must not fall below `baseline * (1 - tol)` where
+//! `tol` defaults to 0.15 and can be overridden with `PF_PERF_GATE_TOL`.
+//! Kernels that only exist on one side are reported but not fatal
+//! (adding a kernel must not require regenerating every baseline in the
+//! same commit). Missing baseline *files* are fatal: every fresh
+//! artifact must have a committed counterpart.
+
+use pf_bench::BenchReport;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn tolerance() -> f64 {
+    match std::env::var("PF_PERF_GATE_TOL") {
+        Ok(s) => match s.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!("PF_PERF_GATE_TOL={s:?} invalid (need 0 <= t < 1); using 0.15");
+                0.15
+            }
+        },
+        Err(_) => 0.15,
+    }
+}
+
+fn load(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+    BenchReport::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn validate(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("bench_check validate: no files given");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for f in files {
+        match load(Path::new(f)) {
+            Ok(r) => println!(
+                "OK   {f} (name={}, {} kernels, smoke={})",
+                r.name,
+                r.kernels.len(),
+                r.smoke
+            ),
+            Err(e) => {
+                println!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn bench_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .map(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                        .unwrap_or(false)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+fn diff(baseline_dir: &Path, fresh_dir: &Path) -> ExitCode {
+    let tol = tolerance();
+    let fresh_files = bench_files(fresh_dir);
+    if fresh_files.is_empty() {
+        eprintln!(
+            "bench_check diff: no BENCH_*.json artifacts in {}",
+            fresh_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf gate: {} fresh artifacts vs baselines in {} (tolerance {:.0}%)",
+        fresh_files.len(),
+        baseline_dir.display(),
+        tol * 100.0
+    );
+    let mut failures = Vec::new();
+    for fresh_path in &fresh_files {
+        let fname = fresh_path.file_name().unwrap();
+        let base_path = baseline_dir.join(fname);
+        let fresh = match load(fresh_path) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("fresh artifact invalid: {e}"));
+                continue;
+            }
+        };
+        let base = match load(&base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!(
+                    "no usable baseline for {}: {e}",
+                    fname.to_string_lossy()
+                ));
+                continue;
+            }
+        };
+        for bk in &base.kernels {
+            let Some(fk) = fresh.kernels.iter().find(|k| k.key() == bk.key()) else {
+                println!(
+                    "  note {}: kernel {} in baseline but not in fresh run",
+                    fresh.name,
+                    bk.key()
+                );
+                continue;
+            };
+            let floor = bk.measured_mlups * (1.0 - tol);
+            let delta = (fk.measured_mlups / bk.measured_mlups - 1.0) * 100.0;
+            let verdict = if fk.measured_mlups < floor {
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {verdict:4} {} {:<14} measured {:>9.3} vs baseline {:>9.3} MLUP/s ({:+.1}%), ratio {:.2e}",
+                fresh.name,
+                bk.key(),
+                fk.measured_mlups,
+                bk.measured_mlups,
+                delta,
+                fk.ratio()
+            );
+            if fk.measured_mlups < floor {
+                failures.push(format!(
+                    "{} {}: measured {:.3} MLUP/s fell below baseline {:.3} - {:.0}% = {:.3}",
+                    fresh.name,
+                    bk.key(),
+                    fk.measured_mlups,
+                    bk.measured_mlups,
+                    tol * 100.0,
+                    floor
+                ));
+            }
+        }
+        for fk in &fresh.kernels {
+            if !base.kernels.iter().any(|k| k.key() == fk.key()) {
+                println!(
+                    "  note {}: kernel {} is new (no baseline yet)",
+                    fresh.name,
+                    fk.key()
+                );
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("perf gate passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("perf gate FAILED:");
+        for f in &failures {
+            println!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("validate") => validate(&args[1..]),
+        Some("diff") if args.len() == 3 => diff(Path::new(&args[1]), Path::new(&args[2])),
+        _ => {
+            eprintln!("usage: bench_check validate <file.json>...");
+            eprintln!("       bench_check diff <baseline-dir> <fresh-dir>");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,6 +21,7 @@ use pf_core::p1;
 use pf_ir::Tape;
 use pf_machine::skylake_8174;
 use pf_perfmodel::{ecm_model, max_block_size, simulate_sweep, DataVolumes};
+use pf_trace::Json;
 
 fn combined_volumes(
     tapes: &[&Tape],
@@ -95,28 +96,50 @@ fn main() {
     }
 
     println!("\n# cores | ECM mu-split | ECM mu-full | Bench mu-split | Bench mu-full   (MLUP/s per core)");
-    let shape = [32usize, 32, 16];
+    let (shape, sweeps) = if pf_bench::smoke() {
+        ([8usize, 8, 8], 1)
+    } else {
+        ([32usize, 32, 16], 2)
+    };
     // Measured scaling needs real cores; on smaller hosts the series is
     // truncated (the ECM columns carry the target machine's shape).
     let avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    for cores in [1usize, 2, 4, 8, 12, 16, 20, 24] {
+    let core_list: &[usize] = if pf_bench::smoke() {
+        &[1]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 20, 24]
+    };
+    let mut series = Vec::new();
+    for &cores in core_list {
         let e_split = pred_split.mlups(sock.freq_ghz, cores) / cores as f64;
         let e_full = pred_full.mlups(sock.freq_ghz, cores) / cores as f64;
         if cores <= avail {
             let b_split = with_threads(cores, || {
-                measure_mlups(&p, &ks, &mu_split, shape, 2, ExecMode::Parallel)
+                measure_mlups(&p, &ks, &mu_split, shape, sweeps, ExecMode::Parallel)
             }) / cores as f64;
             let b_full = with_threads(cores, || {
-                measure_mlups(&p, &ks, &mu_full, shape, 2, ExecMode::Parallel)
+                measure_mlups(&p, &ks, &mu_full, shape, sweeps, ExecMode::Parallel)
             }) / cores as f64;
             println!("{cores:7} | {e_split:12.1} | {e_full:11.1} | {b_split:14.3} | {b_full:13.3}");
+            series.push(Json::obj([
+                ("cores".into(), Json::Num(cores as f64)),
+                ("ecm_mu_split".into(), Json::Num(e_split)),
+                ("ecm_mu_full".into(), Json::Num(e_full)),
+                ("bench_mu_split".into(), Json::Num(b_split)),
+                ("bench_mu_full".into(), Json::Num(b_full)),
+            ]));
         } else {
             println!(
                 "{cores:7} | {e_split:12.1} | {e_full:11.1} | {:>14} | {:>13}",
                 "n/a", "n/a"
             );
+            series.push(Json::obj([
+                ("cores".into(), Json::Num(cores as f64)),
+                ("ecm_mu_split".into(), Json::Num(e_split)),
+                ("ecm_mu_full".into(), Json::Num(e_full)),
+            ]));
         }
     }
 
@@ -133,4 +156,15 @@ fn main() {
     );
     println!("paper: µ-split chosen for full-socket runs; model crossover at ~16 cores,");
     println!("extrapolated measurement crossover at ~26 cores.");
+
+    let perf = pf_bench::standard_kernel_perf(&p, &ks);
+    let extra = vec![
+        ("scaling_per_core".to_string(), Json::Arr(series)),
+        ("layer_condition_nmax_l2".to_string(), Json::Num(lc as f64)),
+        (
+            "model_choice_full_socket".to_string(),
+            Json::str(if s >= f { "mu-split" } else { "mu-full" }),
+        ),
+    ];
+    pf_bench::emit_bench("fig2_left", perf, extra).expect("write BENCH_fig2_left.json");
 }

@@ -12,6 +12,7 @@ use pf_core::{p1, p2, ModelParams};
 use pf_ir::Tape;
 use pf_machine::skylake_8174;
 use pf_perfmodel::{ecm_model, simulate_sweep, DataVolumes};
+use pf_trace::Json;
 
 fn ecm_for(
     tapes: &[&Tape],
@@ -42,7 +43,7 @@ fn ecm_for(
     pred
 }
 
-fn report(p: &ModelParams) {
+fn report(p: &ModelParams) -> Json {
     let ks = kernels_for(p);
     let sock = skylake_8174();
     let block = [24usize, 24, 8];
@@ -58,27 +59,45 @@ fn report(p: &ModelParams) {
 
     println!("\n=== {} ===", p.name);
     println!("# cores | ECM phi-split | ECM phi-full | Bench phi-split | Bench phi-full  (MLUP/s per core)");
-    let shape = [32usize, 32, 16];
+    let (shape, sweeps) = if pf_bench::smoke() {
+        ([8usize, 8, 8], 1)
+    } else {
+        ([32usize, 32, 16], 2)
+    };
     let avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    for cores in [1usize, 4, 8, 16, 24] {
+    let core_list: &[usize] = if pf_bench::smoke() {
+        &[1]
+    } else {
+        &[1, 4, 8, 16, 24]
+    };
+    let mut series = Vec::new();
+    for &cores in core_list {
         let es = e_split.mlups(sock.freq_ghz, cores) / cores as f64;
         let ef = e_full.mlups(sock.freq_ghz, cores) / cores as f64;
+        let mut point = vec![
+            ("cores".to_string(), Json::Num(cores as f64)),
+            ("ecm_phi_split".to_string(), Json::Num(es)),
+            ("ecm_phi_full".to_string(), Json::Num(ef)),
+        ];
         if cores <= avail {
             let bs = with_threads(cores, || {
-                measure_mlups(p, &ks, &split, shape, 2, ExecMode::Parallel)
+                measure_mlups(p, &ks, &split, shape, sweeps, ExecMode::Parallel)
             }) / cores as f64;
             let bf = with_threads(cores, || {
-                measure_mlups(p, &ks, &full, shape, 2, ExecMode::Parallel)
+                measure_mlups(p, &ks, &full, shape, sweeps, ExecMode::Parallel)
             }) / cores as f64;
             println!("{cores:7} | {es:13.1} | {ef:12.1} | {bs:15.3} | {bf:14.3}");
+            point.push(("bench_phi_split".to_string(), Json::Num(bs)));
+            point.push(("bench_phi_full".to_string(), Json::Num(bf)));
         } else {
             println!(
                 "{cores:7} | {es:13.1} | {ef:12.1} | {:>15} | {:>14}",
                 "n/a", "n/a"
             );
         }
+        series.push(Json::obj(point));
     }
     let cores = sock.cores;
     let s = e_split.mlups(sock.freq_ghz, cores);
@@ -89,14 +108,28 @@ fn report(p: &ModelParams) {
         s,
         f
     );
+    Json::obj([
+        ("scaling_per_core".into(), Json::Arr(series)),
+        (
+            "model_choice_full_socket".into(),
+            Json::str(if s >= f { "phi-split" } else { "phi-full" }),
+        ),
+    ])
 }
 
 fn main() {
     println!("Fig. 2 (middle) — phi kernel variants under P1 and P2");
-    report(&p1());
-    report(&p2());
+    let x1 = report(&p1());
+    let x2 = report(&p2());
     println!("\npaper shape: P1 -> phi-full wins, P2 -> phi-split wins (the anisotropic");
     println!("P2 model makes staggered-value recomputation much more expensive).");
     println!("See EXPERIMENTS.md for the discussion of where this reproduction's");
     println!("variant choice agrees or deviates.");
+
+    let pa = p1();
+    let pb = p2();
+    let mut perf = pf_bench::standard_kernel_perf(&pa, &kernels_for(&pa));
+    perf.extend(pf_bench::standard_kernel_perf(&pb, &kernels_for(&pb)));
+    let extra = vec![("P1".to_string(), x1), ("P2".to_string(), x2)];
+    pf_bench::emit_bench("fig2_middle", perf, extra).expect("write BENCH_fig2_middle.json");
 }

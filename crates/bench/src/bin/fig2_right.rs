@@ -18,6 +18,7 @@ use pf_core::p1;
 use pf_ir::{insert_fences, rematerialize, schedule_min_live, Tape};
 use pf_machine::tesla_p100;
 use pf_perfmodel::gpu_kernel_model;
+use pf_trace::Json;
 
 fn main() {
     let p = p1();
@@ -44,6 +45,7 @@ fn main() {
     );
     let cells = 256usize.pow(3);
     let mut runtimes = Vec::new();
+    let mut table = Vec::new();
     for (name, tape) in &variants {
         let m = gpu_kernel_model(tape, &gpu, mem_bytes_per_cell, 256);
         println!(
@@ -56,6 +58,17 @@ fn main() {
             m.runtime_ms(cells)
         );
         runtimes.push((*name, m.runtime_ms(cells)));
+        table.push(Json::obj([
+            ("sequence".into(), Json::str(*name)),
+            (
+                "analysis_regs".into(),
+                Json::Num((2 * m.regs.analysis_live) as f64),
+            ),
+            ("allocated_regs".into(), Json::Num(m.regs.allocated as f64)),
+            ("spilled_regs".into(), Json::Num(m.regs.spilled as f64)),
+            ("occupancy".into(), Json::Num(m.occupancy)),
+            ("runtime_ms".into(), Json::Num(m.runtime_ms(cells))),
+        ]));
     }
 
     let t_none = runtimes[0].1;
@@ -74,9 +87,29 @@ fn main() {
     // there is no consistent improvement for values above 20".
     println!("\nbeam-width sweep (peak live doubles after scheduling):");
     print!("  width:");
+    let mut beam = Vec::new();
     for w in [1usize, 2, 4, 8, 20, 40] {
         let s = schedule_min_live(base, w);
         print!("  {w}->{}", pf_ir::liveness(&s).peak);
+        beam.push(Json::obj([
+            ("width".into(), Json::Num(w as f64)),
+            (
+                "peak_live".into(),
+                Json::Num(pf_ir::liveness(&s).peak as f64),
+            ),
+        ]));
     }
     println!();
+
+    let perf = pf_bench::standard_kernel_perf(&p, &ks);
+    let extra = vec![
+        ("gpu_register_table".to_string(), Json::Arr(table)),
+        ("beam_width_sweep".to_string(), Json::Arr(beam)),
+        ("speedup_sched".to_string(), Json::Num(t_none / t_sched)),
+        (
+            "speedup_dupl_sched_fence".to_string(),
+            Json::Num(t_none / t_combo),
+        ),
+    ];
+    pf_bench::emit_bench("fig2_right", perf, extra).expect("write BENCH_fig2_right.json");
 }

@@ -16,6 +16,7 @@ use pf_core::p1;
 use pf_grid::{halo_bytes, CommOptions};
 use pf_machine::{piz_daint, skylake_8174, supermuc_ng, NodeKind};
 use pf_perfmodel::{ecm_model, gpu_kernel_model, simulate_sweep};
+use pf_trace::Json;
 
 /// Per-core CPU kernel rates from the ECM model (one core's share).
 fn cpu_rates() -> (f64, f64) {
@@ -33,7 +34,7 @@ fn cpu_rates() -> (f64, f64) {
     (phi * 1e6, mu * 1e6) // LUP/s per core
 }
 
-fn weak_cpu() {
+fn weak_cpu() -> Json {
     let cluster = supermuc_ng();
     let (phi_rate, mu_rate) = cpu_rates();
     let block = [60usize, 60, 60];
@@ -55,6 +56,7 @@ fn weak_cpu() {
         "{:>9} {:>22} {:>22}",
         "cores", "generated MLUP/s/core", "manual MLUP/s/core"
     );
+    let mut series = Vec::new();
     for cores in [
         16usize, 64, 256, 1024, 4096, 16_384, 65_536, 152_064, 262_144,
     ] {
@@ -68,11 +70,17 @@ fn weak_cpu() {
         };
         let man = mlups_per_unit(&manual, &cluster, opts, cores);
         println!("{cores:>9} {gen:>22.2} {man:>22.2}");
+        series.push(Json::obj([
+            ("cores".into(), Json::Num(cores as f64)),
+            ("generated_mlups_per_core".into(), Json::Num(gen)),
+            ("manual_mlups_per_core".into(), Json::Num(man)),
+        ]));
     }
     println!("paper: ~6 MLUP/s per core, flat to 3168 nodes (152k cores); manual ~20% lower.\n");
+    Json::Arr(series)
 }
 
-fn weak_gpu() {
+fn weak_gpu() -> Json {
     let p = p1();
     let ks = kernels_for(&p);
     let cluster = piz_daint();
@@ -98,16 +106,20 @@ fn weak_gpu() {
     };
     println!("Fig. 3 (middle) — weak scaling on Piz Daint, 400^3 per GPU");
     println!("{:>9} {:>18}", "GPUs", "MLUP/s per GPU");
+    let mut series = Vec::new();
     for gpus in [1usize, 4, 16, 64, 128, 512, 1024, 2048] {
-        println!(
-            "{gpus:>9} {:>18.0}",
-            mlups_per_unit(&w, &cluster, opts, gpus)
-        );
+        let rate = mlups_per_unit(&w, &cluster, opts, gpus);
+        println!("{gpus:>9} {rate:>18.0}");
+        series.push(Json::obj([
+            ("gpus".into(), Json::Num(gpus as f64)),
+            ("mlups_per_gpu".into(), Json::Num(rate)),
+        ]));
     }
     println!("paper: ~440 MLUP/s per GPU, flat to 2400 nodes.\n");
+    Json::Arr(series)
 }
 
-fn strong_cpu() {
+fn strong_cpu() -> Json {
     let cluster = supermuc_ng();
     let (phi_rate, mu_rate) = cpu_rates();
     let total = [512usize, 256, 256];
@@ -131,22 +143,33 @@ fn strong_cpu() {
             mu_inner_fraction: 0.85,
         }
     });
+    let mut out = Vec::new();
     for (ranks, mlups, steps) in &series {
         println!("{ranks:>9} {mlups:>18.2} {steps:>14.1}");
+        out.push(Json::obj([
+            ("cores".into(), Json::Num(*ranks as f64)),
+            ("mlups_per_core".into(), Json::Num(*mlups)),
+            ("steps_per_s".into(), Json::Num(*steps)),
+        ]));
     }
     println!("paper: 0.2 steps/s at 48 cores; 460 steps/s at 152 064 cores.\n");
+    Json::Arr(out)
 }
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut extra = Vec::new();
     match arg.as_str() {
-        "weak-cpu" => weak_cpu(),
-        "weak-gpu" => weak_gpu(),
-        "strong-cpu" => strong_cpu(),
+        "weak-cpu" => extra.push(("weak_cpu".to_string(), weak_cpu())),
+        "weak-gpu" => extra.push(("weak_gpu".to_string(), weak_gpu())),
+        "strong-cpu" => extra.push(("strong_cpu".to_string(), strong_cpu())),
         _ => {
-            weak_cpu();
-            weak_gpu();
-            strong_cpu();
+            extra.push(("weak_cpu".to_string(), weak_cpu()));
+            extra.push(("weak_gpu".to_string(), weak_gpu()));
+            extra.push(("strong_cpu".to_string(), strong_cpu()));
         }
     }
+    let p = p1();
+    let perf = pf_bench::standard_kernel_perf(&p, &kernels_for(&p));
+    pf_bench::emit_bench("fig3", perf, extra).expect("write BENCH_fig3.json");
 }

@@ -11,6 +11,7 @@ use pf_bench::{kernels_for, workload_store};
 use pf_core::{p1, p2};
 use pf_machine::tesla_p100;
 use pf_perfmodel::gpu_kernel_model;
+use pf_trace::Json;
 
 fn main() {
     let gpu = tesla_p100();
@@ -19,8 +20,11 @@ fn main() {
         "{:<6} {:<10} {:>12} {:>12} {:>9} {:>16}",
         "model", "kernel", "exact ns", "approx ns", "speedup", "max |rel.err|"
     );
+    let mut perf = Vec::new();
+    let mut rows = Vec::new();
     for p in [p1(), p2()] {
         let ks = kernels_for(&p);
+        perf.extend(pf_bench::standard_kernel_perf(&p, &ks));
         for (name, tape) in [("mu", &ks.mu_full), ("phi", &ks.phi_full)] {
             let mut fast = tape.clone();
             fast.approx.fast_div = true;
@@ -57,8 +61,19 @@ fn main() {
                 (me.ns_per_cell / mf.ns_per_cell - 1.0) * 100.0,
                 err
             );
+            rows.push(Json::obj([
+                ("params".into(), Json::str(&p.name)),
+                ("kernel".into(), Json::str(name)),
+                ("exact_ns_per_cell".into(), Json::Num(me.ns_per_cell)),
+                ("approx_ns_per_cell".into(), Json::Num(mf.ns_per_cell)),
+                ("speedup".into(), Json::Num(me.ns_per_cell / mf.ns_per_cell)),
+                ("max_rel_err".into(), Json::Num(err)),
+            ]));
         }
     }
     println!("\n(µ kernels carry the divisions/rsqrts — mobility, susceptibility and");
     println!("anti-trapping normalizations — so they benefit most, as in the paper.)");
+
+    let extra = vec![("approx_math".to_string(), Json::Arr(rows))];
+    pf_bench::emit_bench("gpu_approx", perf, extra).expect("write BENCH_gpu_approx.json");
 }

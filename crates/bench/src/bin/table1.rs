@@ -37,8 +37,11 @@ fn fmt_pair(face: &Option<OpCensus>, f: impl Fn(&OpCensus) -> usize, cell: &OpCe
 fn main() {
     println!("Table 1 — operation counts per lattice cell (this reproduction)");
     println!("================================================================");
+    let mut perf = Vec::new();
+    let mut extra = Vec::new();
     for p in [p1(), p2()] {
         let ks = kernels_for(&p);
+        perf.extend(pf_bench::standard_kernel_perf(&p, &ks));
         let rows = vec![
             Row {
                 name: "mu full",
@@ -100,6 +103,13 @@ fn main() {
             "  -> mu split / mu full = {:.2} (paper P1: 1328/2126 = 0.62 — split avoids recomputing staggered values)",
             mu_split as f64 / mu_full as f64
         );
+        extra.push((
+            format!("{}.norm_flops", p.name),
+            pf_trace::Json::obj([
+                ("mu_full".into(), pf_trace::Json::Num(mu_full as f64)),
+                ("mu_split".into(), pf_trace::Json::Num(mu_split as f64)),
+            ]),
+        ));
     }
     println!();
     println!("Paper reference rows (Skylake-normalized, for shape comparison):");
@@ -107,4 +117,5 @@ fn main() {
     println!("  P2: mu full 1177 | mu partial  756 | phi full 3968 | phi partial 2593");
     println!("  Manual µ-kernel of Bauer et al. 2015: 1384 normalized FLOPS (the");
     println!("  pipeline's automatic simplification slightly outperformed it).");
+    pf_bench::emit_bench("table1", perf, extra).expect("write BENCH_table1.json");
 }

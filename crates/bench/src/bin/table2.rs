@@ -19,6 +19,7 @@ use pf_core::p1;
 use pf_grid::{halo_bytes, CommOptions};
 use pf_machine::{piz_daint, NodeKind};
 use pf_perfmodel::gpu_kernel_model;
+use pf_trace::Json;
 
 fn main() {
     let p = p1();
@@ -67,6 +68,7 @@ fn main() {
     let paper = [395.0, 403.0, 422.0, 440.0];
     let combos = [(false, false), (false, true), (true, false), (true, true)];
     let mut ours = Vec::new();
+    let mut rows = Vec::new();
     for ((overlap, gpudirect), paper_v) in combos.iter().zip(paper) {
         let m = mlups_per_unit(
             &w,
@@ -85,6 +87,12 @@ fn main() {
             m,
             paper_v
         );
+        rows.push(Json::obj([
+            ("overlap".into(), Json::Bool(*overlap)),
+            ("gpudirect".into(), Json::Bool(*gpudirect)),
+            ("mlups_per_gpu".into(), Json::Num(m)),
+            ("paper_mlups_per_gpu".into(), Json::Num(paper_v)),
+        ]));
     }
     println!(
         "\nshape check: ordering no/no < no/yes < yes/no < yes/yes holds: {}",
@@ -95,4 +103,14 @@ fn main() {
         (ours[2] / ours[0] - 1.0) * 100.0,
         (ours[3] / ours[2] - 1.0) * 100.0
     );
+
+    let perf = pf_bench::standard_kernel_perf(&p, &ks);
+    let extra = vec![
+        ("comm_options".to_string(), Json::Arr(rows)),
+        (
+            "ordering_holds".to_string(),
+            Json::Bool(ours.windows(2).all(|w| w[0] < w[1])),
+        ),
+    ];
+    pf_bench::emit_bench("table2", perf, extra).expect("write BENCH_table2.json");
 }

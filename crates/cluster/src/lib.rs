@@ -128,6 +128,7 @@ pub fn rank_step_time(w: &StepWorkload, cluster: &Cluster, opts: CommOptions, ra
 /// Simulated step time across `ranks` ranks: the slowest rank gates the
 /// step (bulk-synchronous execution).
 pub fn step_time(w: &StepWorkload, cluster: &Cluster, opts: CommOptions, ranks: usize) -> f64 {
+    pf_trace::counter("cluster.step_time_evals").incr(1);
     let base = rank_step_time(w, cluster, opts, ranks);
     // Sample the noise maximum over ranks deterministically. The maximum of
     // `ranks` samples approaches the amplitude; evaluate exactly for small

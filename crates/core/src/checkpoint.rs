@@ -565,7 +565,10 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
 
 /// Save a simulation to `path` (atomic write).
 pub fn save(sim: &Simulation, meta: &RankMeta, path: &Path) -> Result<(), CheckpointError> {
-    write_atomic(path, &encode(sim, meta))
+    let _span = pf_trace::span("checkpoint.save");
+    let bytes = encode(sim, meta);
+    pf_trace::counter("checkpoint.bytes_written").incr(bytes.len() as u64);
+    write_atomic(path, &bytes)
 }
 
 /// Restore a simulation from `path` (see [`decode_into`] for the checks).

@@ -137,6 +137,7 @@ fn sync_field(
 
 /// One distributed timestep of Algorithm 1.
 pub fn dist_step(sim: &mut Simulation, comm: &mut Comm, dec: &Decomposition, cfg: &DistConfig) {
+    let _span = pf_trace::span_at("dist.step", comm.rank());
     let f = sim.kernels.fields;
     let epoch = sim.step_count * 4;
     sync_field(sim, comm, dec, f.phi_src, 0, epoch, cfg);
@@ -203,52 +204,64 @@ where
     });
 
     run_ranks_with_faults(cfg.ranks, plan, |mut comm| {
-        let block = dec.block(comm.rank());
-        let mut sim_cfg = SimConfig::new(block.shape);
-        sim_cfg.phi_variant = cfg.phi_variant;
-        sim_cfg.mu_variant = cfg.mu_variant;
-        sim_cfg.bc = cfg.bc;
-        sim_cfg.seed = cfg.seed;
-        let mut sim = Simulation::new(params.clone(), kernels.clone(), sim_cfg);
-        sim.origin = block.origin;
-        let (ox, oy, oz) = (block.origin[0], block.origin[1], block.origin[2]);
-        sim.init_phi(|x, y, z| init_phi(x as i64 + ox, y as i64 + oy, z as i64 + oz));
-        sim.init_mu(|x, y, z| init_mu(x as i64 + ox, y as i64 + oy, z as i64 + oz));
-        let meta = cfg.rank_meta(&dec, comm.rank());
-        if let (Some(ck), Some(step)) = (&cfg.checkpoint, resume_step) {
-            let path = checkpoint::rank_file(&ck.dir, step, comm.rank());
-            checkpoint::load(&mut sim, &meta, &path)
-                .unwrap_or_else(|e| panic!("restore from {}: {e}", path.display()));
-        }
-        while sim.step_count < steps as u64 {
-            if let Some(plan) = comm.fault_plan() {
-                if plan.should_kill(comm.rank(), sim.step_count) {
-                    // Simulated death: unwind without checkpointing or
-                    // entering the shutdown rendezvous. Peers notice the
-                    // dropped endpoint and unwind too.
-                    panic!(
-                        "{DEAD_RANK_MARKER}: planned kill of rank {} at step {}",
-                        comm.rank(),
-                        sim.step_count
-                    );
+        // Metrics recorded on this rank thread (kernel launches, halo
+        // exchanges, checkpoint writes, …) are tagged with the rank so
+        // snapshots can aggregate across the simulated world.
+        let rank = comm.rank();
+        pf_trace::with_rank(rank, || {
+            let block = dec.block(comm.rank());
+            let mut sim_cfg = SimConfig::new(block.shape);
+            sim_cfg.phi_variant = cfg.phi_variant;
+            sim_cfg.mu_variant = cfg.mu_variant;
+            sim_cfg.bc = cfg.bc;
+            sim_cfg.seed = cfg.seed;
+            let mut sim = Simulation::new(params.clone(), kernels.clone(), sim_cfg);
+            sim.origin = block.origin;
+            let (ox, oy, oz) = (block.origin[0], block.origin[1], block.origin[2]);
+            sim.init_phi(|x, y, z| init_phi(x as i64 + ox, y as i64 + oy, z as i64 + oz));
+            sim.init_mu(|x, y, z| init_mu(x as i64 + ox, y as i64 + oy, z as i64 + oz));
+            let meta = cfg.rank_meta(&dec, comm.rank());
+            if let (Some(ck), Some(step)) = (&cfg.checkpoint, resume_step) {
+                let path = checkpoint::rank_file(&ck.dir, step, comm.rank());
+                checkpoint::load(&mut sim, &meta, &path)
+                    .unwrap_or_else(|e| panic!("restore from {}: {e}", path.display()));
+            }
+            while sim.step_count < steps as u64 {
+                if let Some(plan) = comm.fault_plan() {
+                    if plan.should_kill(comm.rank(), sim.step_count) {
+                        // Simulated death: unwind without checkpointing or
+                        // entering the shutdown rendezvous. Peers notice the
+                        // dropped endpoint and unwind too.
+                        panic!(
+                            "{DEAD_RANK_MARKER}: planned kill of rank {} at step {}",
+                            comm.rank(),
+                            sim.step_count
+                        );
+                    }
+                }
+                dist_step(&mut sim, &mut comm, &dec, cfg);
+                if let Some(ck) = &cfg.checkpoint {
+                    let done = sim.step_count == steps as u64;
+                    let periodic = ck.every > 0 && sim.step_count.is_multiple_of(ck.every);
+                    if periodic || (done && ck.final_checkpoint) {
+                        let path = checkpoint::rank_file(&ck.dir, sim.step_count, comm.rank());
+                        let _span = pf_trace::span_at("dist.checkpoint_write", comm.rank());
+                        let t0 = std::time::Instant::now();
+                        checkpoint::save(&sim, &meta, &path)
+                            .unwrap_or_else(|e| panic!("checkpoint to {}: {e}", path.display()));
+                        // The step loop stalls for the whole write — that stall
+                        // is the drain the I/O pricing model cares about.
+                        pf_trace::gauge_at("dist.checkpoint_drain_s", comm.rank())
+                            .add(t0.elapsed().as_secs_f64());
+                    }
                 }
             }
-            dist_step(&mut sim, &mut comm, &dec, cfg);
-            if let Some(ck) = &cfg.checkpoint {
-                let done = sim.step_count == steps as u64;
-                let periodic = ck.every > 0 && sim.step_count.is_multiple_of(ck.every);
-                if periodic || (done && ck.final_checkpoint) {
-                    let path = checkpoint::rank_file(&ck.dir, sim.step_count, comm.rank());
-                    checkpoint::save(&sim, &meta, &path)
-                        .unwrap_or_else(|e| panic!("checkpoint to {}: {e}", path.display()));
-                }
+            if needs_shutdown_sync {
+                comm.shutdown_barrier();
             }
-        }
-        if needs_shutdown_sync {
-            comm.shutdown_barrier();
-        }
-        let r = finish(&sim);
-        results.lock().push((comm.rank(), r));
+            let r = finish(&sim);
+            results.lock().push((comm.rank(), r));
+        })
     });
 
     let mut out = results.into_inner();
@@ -300,6 +313,7 @@ where
                     std::panic::resume_unwind(payload);
                 }
                 restarts += 1;
+                pf_trace::counter("dist.restarts").incr(1);
                 // The planned death already happened; the replacement
                 // cohort must not re-kill, and must pick up from the last
                 // complete set (or the initial conditions if none exists).

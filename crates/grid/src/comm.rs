@@ -162,6 +162,61 @@ pub struct CommStats {
     pub retransmits: AtomicU64,
 }
 
+/// Rank-tagged pf-trace handles, interned once per endpoint so the
+/// per-message path is a single atomic add (or a no-op branch when
+/// tracing is disabled).
+struct TraceProbes {
+    msgs_sent: pf_trace::Counter,
+    bytes_sent: pf_trace::Counter,
+    msgs_recv: pf_trace::Counter,
+    /// Nanoseconds spent blocked inside `recv` — the halo-exchange
+    /// latency as seen by this rank.
+    recv_wait_ns: pf_trace::Counter,
+    retransmits: pf_trace::Counter,
+    dedup_dropped: pf_trace::Counter,
+    faults_injected: pf_trace::Counter,
+}
+
+impl TraceProbes {
+    fn for_rank(rank: usize) -> TraceProbes {
+        TraceProbes {
+            msgs_sent: pf_trace::counter_at("comm.msgs_sent", rank),
+            bytes_sent: pf_trace::counter_at("comm.bytes_sent", rank),
+            msgs_recv: pf_trace::counter_at("comm.msgs_recv", rank),
+            recv_wait_ns: pf_trace::counter_at("comm.recv_wait_ns", rank),
+            retransmits: pf_trace::counter_at("comm.retransmits", rank),
+            dedup_dropped: pf_trace::counter_at("comm.dedup_dropped", rank),
+            faults_injected: pf_trace::counter_at("comm.faults_injected", rank),
+        }
+    }
+}
+
+/// Accumulates the time from construction to drop into a counter (used to
+/// attribute blocked-receive time across every exit path of `recv`). Owns
+/// a cloned handle so no borrow of the endpoint is held across the loop.
+struct WaitTimer {
+    counter: pf_trace::Counter,
+    start: Option<std::time::Instant>,
+}
+
+impl WaitTimer {
+    fn start(counter: &pf_trace::Counter) -> WaitTimer {
+        WaitTimer {
+            counter: counter.clone(),
+            start: pf_trace::enabled().then(std::time::Instant::now),
+        }
+    }
+}
+
+impl Drop for WaitTimer {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            self.counter
+                .incr(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
 /// A rank's endpoint.
 pub struct Comm {
     rank: usize,
@@ -182,6 +237,7 @@ pub struct Comm {
     delayed: Vec<(usize, Msg)>,
     faults: Option<Arc<FaultPlan>>,
     pub stats: Arc<CommStats>,
+    trace: TraceProbes,
 }
 
 impl Comm {
@@ -210,6 +266,7 @@ impl Comm {
                 delayed: Vec::new(),
                 faults: plan.clone(),
                 stats: Arc::new(CommStats::default()),
+                trace: TraceProbes::for_rank(rank),
             })
             .collect()
     }
@@ -284,6 +341,8 @@ impl Comm {
         self.stats
             .bytes_sent
             .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        self.trace.msgs_sent.incr(1);
+        self.trace.bytes_sent.incr((data.len() * 8) as u64);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.remember(to, tag, seq, &data);
@@ -293,6 +352,7 @@ impl Comm {
         };
         if action != FaultAction::Deliver {
             self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+            self.trace.faults_injected.incr(1);
         }
         // Earlier delayed messages go out *after* this one — that inversion
         // is what makes a delay an observable reordering.
@@ -332,6 +392,8 @@ impl Comm {
         self.stats
             .bytes_sent
             .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        self.trace.msgs_sent.incr(1);
+        self.trace.bytes_sent.incr((data.len() * 8) as u64);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.remember(to, tag, seq, &data);
@@ -354,6 +416,7 @@ impl Comm {
     fn serve_retransmit(&mut self, requester: usize, tag: u64) {
         if let Some((seq, data)) = self.outbox.get(&(requester, tag)) {
             self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+            self.trace.retransmits.incr(1);
             let msg = Msg {
                 from: self.rank,
                 tag,
@@ -373,6 +436,7 @@ impl Comm {
             return None;
         }
         if !self.seen.insert((m.from, m.seq)) {
+            self.trace.dedup_dropped.incr(1);
             return None; // duplicate delivery
         }
         if m.from == from && m.tag == tag {
@@ -392,14 +456,17 @@ impl Comm {
         self.flush_delayed();
         if let Some(q) = self.pending.get_mut(&(from, tag)) {
             if !q.is_empty() {
+                self.trace.msgs_recv.incr(1);
                 return q.remove(0);
             }
         }
+        let _wait = WaitTimer::start(&self.trace.recv_wait_ns);
         let mut attempts = 0u32;
         loop {
             match self.receiver.recv_timeout(RETRY_TIMEOUT) {
                 Ok(m) => {
                     if let Some(data) = self.accept(m, from, tag) {
+                        self.trace.msgs_recv.incr(1);
                         return data;
                     }
                 }
@@ -433,6 +500,7 @@ impl Comm {
 
     /// Dissemination barrier.
     pub fn barrier(&mut self, epoch: u64) {
+        let _span = pf_trace::span_at("comm.barrier", self.rank);
         let tag = u64::MAX - epoch;
         let mut round = 1usize;
         while round < self.size {
@@ -449,6 +517,7 @@ impl Comm {
     /// retransmission can be needed and endpoints may be dropped safely.
     /// While blocked inside, ranks still service peers' retransmit requests.
     pub fn shutdown_barrier(&mut self) {
+        let _span = pf_trace::span_at("comm.shutdown_barrier", self.rank);
         let tag_base = 0x5AFE_0000_0000_0000u64;
         let mut round = 1usize;
         while round < self.size {

@@ -114,6 +114,8 @@ pub fn exchange_halo(
     opts: CommOptions,
 ) {
     let rank = comm.rank();
+    let _span = pf_trace::span_at("grid.halo_exchange", rank);
+    pf_trace::counter_at("grid.halo_exchanges", rank).incr(1);
     for dim in 0..3 {
         if dec.grid[dim] == 1 && dec.periodic[dim] {
             // Self-neighbour: periodic wrap within the block.

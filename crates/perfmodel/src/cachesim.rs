@@ -131,6 +131,8 @@ pub struct DataVolumes {
 /// per-cell traffic. The tile should reflect the blocking actually used
 /// (e.g. 60³ → pass `[60, 60, zslices]` with a few z slices for warmup).
 pub fn simulate_sweep(tape: &Tape, sock: &CpuSocket, block: [usize; 3]) -> DataVolumes {
+    let _span = pf_trace::span("perfmodel.cachesim");
+    pf_trace::counter("perfmodel.cachesim_sweeps").incr(1);
     let cl = sock.cacheline_bytes as u64;
     let mut l1 = Lru::new(sock.l1_kib * 1024 / cl as usize);
     let mut l2 = Lru::new(sock.l2_kib * 1024 / cl as usize);

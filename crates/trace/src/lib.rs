@@ -1,0 +1,245 @@
+//! `pf-trace` — near-zero-overhead runtime observability for the
+//! phase-field workspace.
+//!
+//! The crate provides three metric kinds backed by one global registry:
+//!
+//! * **spans** — scoped wall-clock timers with same-thread nesting
+//!   (`total`/`self` time split), for kernel launches, halo exchanges,
+//!   checkpoint drains;
+//! * **counters** — monotonically increasing event counts (messages sent,
+//!   bytes moved, cells updated, retransmits, dedup drops);
+//! * **gauges** — latest/accumulated f64 observations (MLUP/s, drain
+//!   seconds).
+//!
+//! Metrics recorded inside [`with_rank`] carry the simulated MPI rank, and
+//! [`snapshot`] aggregates across ranks while keeping the per-rank
+//! breakdown — the imbalance across the simulated distributed runtime
+//! stays visible. Reports render human-readable ([`Report::to_human`]) or
+//! as JSON ([`Report::to_json`]) that parses back exactly.
+//!
+//! # Kill switches
+//!
+//! * **Compile time**: build with `--no-default-features` (the `enabled`
+//!   feature). [`enabled`] then folds to `false` and every probe is a
+//!   no-op branch on an always-`None` handle that the optimizer deletes.
+//!   The JSON tree/parser and [`Report`] types remain available either
+//!   way, so `BENCH_*.json` tooling works in both configurations.
+//! * **Runtime**: set `PF_TRACE=0` (or `off`/`false`) in the environment,
+//!   or call [`set_enabled`]. Disabled-at-creation handles are inert and
+//!   allocate nothing.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+mod registry;
+mod report;
+mod span;
+
+pub use json::{parse as parse_json, Json, JsonError};
+pub use registry::{reset, with_rank, Counter, Gauge};
+pub use report::{snapshot, CounterAgg, GaugeAgg, Report, SpanAgg, SpanStat};
+pub use span::SpanGuard;
+
+#[cfg(feature = "enabled")]
+mod switch {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    const UNSET: u8 = 0;
+    const ON: u8 = 1;
+    const OFF: u8 = 2;
+    static STATE: AtomicU8 = AtomicU8::new(UNSET);
+
+    pub(crate) fn runtime_enabled() -> bool {
+        match STATE.load(Ordering::Relaxed) {
+            ON => true,
+            OFF => false,
+            _ => {
+                let on = !matches!(
+                    std::env::var("PF_TRACE").as_deref(),
+                    Ok("0") | Ok("off") | Ok("false")
+                );
+                STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+                on
+            }
+        }
+    }
+
+    pub(crate) fn set(on: bool) {
+        STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+    }
+}
+
+/// Is instrumentation live? `false` when compiled out or killed at runtime
+/// (`PF_TRACE=0` / [`set_enabled`]`(false)`).
+#[inline(always)]
+pub fn enabled() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        switch::runtime_enabled()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Override the runtime kill switch (takes precedence over `PF_TRACE`).
+/// No-op when instrumentation is compiled out.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "enabled")]
+    switch::set(on);
+    #[cfg(not(feature = "enabled"))]
+    let _ = on;
+}
+
+/// Counter handle, tagged with the calling thread's rank scope (if any).
+pub fn counter(name: &str) -> Counter {
+    registry::counter(name, registry::current_rank())
+}
+
+/// Counter handle pinned to an explicit rank (for long-lived per-rank
+/// objects created outside the rank's thread, e.g. `Comm` endpoints).
+pub fn counter_at(name: &str, rank: usize) -> Counter {
+    registry::counter(name, Some(rank as u32))
+}
+
+/// Gauge handle, tagged with the calling thread's rank scope (if any).
+pub fn gauge(name: &str) -> Gauge {
+    registry::gauge(name, registry::current_rank())
+}
+
+/// Gauge handle pinned to an explicit rank.
+pub fn gauge_at(name: &str, rank: usize) -> Gauge {
+    registry::gauge(name, Some(rank as u32))
+}
+
+/// Start a span; it records when the returned guard drops.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard::enter(name, registry::current_rank())
+}
+
+/// Start a span pinned to an explicit rank.
+pub fn span_at(name: &str, rank: usize) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard::enter(name, Some(rank as u32))
+}
+
+/// Like [`span`], but the name is only built when tracing is live — use
+/// for dynamic names on hot paths so the disabled mode never allocates.
+pub fn span_lazy(name: impl FnOnce() -> String) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard::enter(&name(), registry::current_rank())
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global and `cargo test` runs tests on
+    /// multiple threads; tests that reset or toggle it serialize here.
+    static GLOBAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_and_gauges_register_and_aggregate() {
+        let _g = GLOBAL.lock().unwrap();
+        set_enabled(true);
+        reset();
+        counter("t.hits").incr(2);
+        counter("t.hits").incr(3);
+        with_rank(1, || counter("t.hits").incr(10));
+        gauge("t.level").set(2.5);
+        gauge("t.level").add(0.25);
+        let r = snapshot();
+        assert_eq!(r.counters["t.hits"].total, 15);
+        assert_eq!(r.counters["t.hits"].by_rank[&1], 10);
+        assert!((r.gauges["t.level"].value - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_spans_attribute_child_time() {
+        let _g = GLOBAL.lock().unwrap();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("t.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("t.inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let r = snapshot();
+        let outer = &r.spans["t.outer"].agg;
+        let inner = &r.spans["t.inner"].agg;
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert_eq!(outer.child_ns, inner.total_ns);
+        assert!(outer.self_ns() <= outer.total_ns);
+        assert!(inner.min_ns <= inner.max_ns);
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing_and_allocates_no_cells() {
+        let _g = GLOBAL.lock().unwrap();
+        set_enabled(true);
+        reset();
+        set_enabled(false);
+        assert!(!enabled());
+        let c = counter("t.dead");
+        c.incr(100);
+        gauge("t.dead_gauge").set(1.0);
+        {
+            let _s = span("t.dead_span");
+        }
+        let mut built = false;
+        let _s = span_lazy(|| {
+            built = true;
+            "t.dead_lazy".into()
+        });
+        assert!(!built, "span_lazy must not build its name when disabled");
+        set_enabled(true);
+        let r = snapshot();
+        assert!(r.counters.is_empty() && r.gauges.is_empty() && r.spans.is_empty());
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn rank_scope_restores_on_exit() {
+        let _g = GLOBAL.lock().unwrap();
+        set_enabled(true);
+        reset();
+        with_rank(3, || {
+            counter("t.scoped").incr(1);
+            with_rank(4, || counter("t.scoped").incr(1));
+            counter("t.scoped").incr(1);
+        });
+        counter("t.scoped").incr(1);
+        let r = snapshot();
+        let c = &r.counters["t.scoped"];
+        assert_eq!(c.total, 4);
+        assert_eq!(c.by_rank[&3], 2);
+        assert_eq!(c.by_rank[&4], 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let _g = GLOBAL.lock().unwrap();
+        set_enabled(true);
+        reset();
+        with_rank(0, || {
+            counter("t.rt").incr(7);
+            let _s = span_at("t.rt_span", 0);
+        });
+        let r = snapshot();
+        assert_eq!(Report::parse(&r.to_json().to_pretty()).unwrap(), r);
+    }
+}

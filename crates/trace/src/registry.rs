@@ -1,0 +1,196 @@
+//! The global metric registry: interned counter/gauge/span cells keyed by
+//! `(name, rank)`.
+//!
+//! Handle creation takes a mutex (once per metric per call site in
+//! practice — callers cache handles); the record path is purely atomic.
+//! When tracing is disabled — at compile time via the `enabled` feature or
+//! at runtime via `PF_TRACE=0` / [`crate::set_enabled`] — handles are
+//! empty and every record operation is a no-op on a `None` branch.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// Metrics recorded on a thread inside `with_rank` are tagged with that
+// rank; everything else is untagged (process-level).
+thread_local! {
+    static CURRENT_RANK: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+pub(crate) fn current_rank() -> Option<u32> {
+    CURRENT_RANK.with(|r| r.get())
+}
+
+/// Run `f` with metrics on this thread tagged as belonging to `rank` —
+/// the per-rank aggregation hook for the simulated distributed runtime.
+pub fn with_rank<R>(rank: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u32>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_RANK.with(|r| r.set(self.0));
+        }
+    }
+    let _restore = Restore(CURRENT_RANK.with(|r| r.replace(Some(rank as u32))));
+    f()
+}
+
+#[derive(Default)]
+pub(crate) struct CounterCell(pub(crate) AtomicU64);
+
+/// f64 stored as bits; `add` is a CAS loop (gauges are cold-path).
+#[derive(Default)]
+pub(crate) struct GaugeCell(pub(crate) AtomicU64);
+
+impl GaugeCell {
+    pub(crate) fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub(crate) fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+pub(crate) struct SpanCell {
+    pub(crate) count: AtomicU64,
+    pub(crate) total_ns: AtomicU64,
+    pub(crate) min_ns: AtomicU64,
+    pub(crate) max_ns: AtomicU64,
+    /// Time spent inside child spans on the same thread — lets reporters
+    /// show self-time (`total - child`) for nested instrumentation.
+    pub(crate) child_ns: AtomicU64,
+}
+
+impl Default for SpanCell {
+    fn default() -> Self {
+        SpanCell {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            child_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SpanCell {
+    pub(crate) fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+type Key = (String, Option<u32>);
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<HashMap<Key, Arc<CounterCell>>>,
+    pub(crate) gauges: Mutex<HashMap<Key, Arc<GaugeCell>>>,
+    pub(crate) spans: Mutex<HashMap<Key, Arc<SpanCell>>>,
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn intern<C: Default>(map: &Mutex<HashMap<Key, Arc<C>>>, name: &str, rank: Option<u32>) -> Arc<C> {
+    let mut m = map.lock().unwrap();
+    if let Some(cell) = m.get(&(name.to_string(), rank)) {
+        return cell.clone();
+    }
+    let cell = Arc::new(C::default());
+    m.insert((name.to_string(), rank), cell.clone());
+    cell
+}
+
+/// Monotonically increasing event count. Cheap to clone; hot paths should
+/// create the handle once and keep it.
+#[derive(Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<CounterCell>>);
+
+impl Counter {
+    #[inline]
+    pub fn incr(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0 for disabled handles).
+    pub fn value(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// Last-written (or accumulated) f64 observation.
+#[derive(Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.set(v);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.add(v);
+        }
+    }
+
+    pub fn value(&self) -> f64 {
+        self.0.as_ref().map(|g| g.get()).unwrap_or(0.0)
+    }
+}
+
+/// Counter handle tagged with the calling thread's rank (if any).
+pub(crate) fn counter(name: &str, rank: Option<u32>) -> Counter {
+    if !crate::enabled() {
+        return Counter(None);
+    }
+    Counter(Some(intern(&registry().counters, name, rank)))
+}
+
+pub(crate) fn gauge(name: &str, rank: Option<u32>) -> Gauge {
+    if !crate::enabled() {
+        return Gauge(None);
+    }
+    Gauge(Some(intern(&registry().gauges, name, rank)))
+}
+
+pub(crate) fn span_cell(name: &str, rank: Option<u32>) -> Arc<SpanCell> {
+    intern(&registry().spans, name, rank)
+}
+
+/// Drop every registered metric. Live handles stay valid but detached:
+/// they keep counting into cells that no future snapshot reports.
+pub fn reset() {
+    let r = registry();
+    r.counters.lock().unwrap().clear();
+    r.gauges.lock().unwrap().clear();
+    r.spans.lock().unwrap().clear();
+}

@@ -1,0 +1,432 @@
+//! Metric snapshots and the human/JSON reporters.
+//!
+//! A [`Report`] is a point-in-time copy of the registry with per-rank
+//! values kept alongside the cross-rank aggregate, so the distributed
+//! runtime's imbalance stays visible. Reports serialize to JSON (schema
+//! below) and parse back bit-exactly, which the test suite asserts.
+//!
+//! ```text
+//! {"counters": {"comm.msgs_sent": {"total": N, "by_rank": {"0": n0, ...}}},
+//!  "gauges":   {"...": {"value": V, "by_rank": {...}}},
+//!  "spans":    {"...": {"count": N, "total_ns": T, "min_ns": m,
+//!                       "max_ns": M, "child_ns": C, "by_rank": {...}}}}
+//! ```
+
+use crate::json::{Json, JsonError};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// Aggregated counter: cross-rank total plus the per-rank breakdown
+/// (untagged increments appear in `total` only).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterAgg {
+    pub total: u64,
+    pub by_rank: BTreeMap<u32, u64>,
+}
+
+/// Aggregated gauge: `value` sums the untagged and per-rank observations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GaugeAgg {
+    pub value: f64,
+    pub by_rank: BTreeMap<u32, f64>,
+}
+
+/// One span's statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStat {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub child_ns: u64,
+}
+
+impl Default for SpanStat {
+    fn default() -> Self {
+        SpanStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            child_ns: 0,
+        }
+    }
+}
+
+impl SpanStat {
+    /// Time not attributed to nested child spans.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.child_ns += other.child_ns;
+    }
+}
+
+/// Aggregated span: cross-rank merge plus the per-rank stats.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanAgg {
+    pub agg: SpanStat,
+    pub by_rank: BTreeMap<u32, SpanStat>,
+}
+
+/// A point-in-time snapshot of every registered metric.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    pub counters: BTreeMap<String, CounterAgg>,
+    pub gauges: BTreeMap<String, GaugeAgg>,
+    pub spans: BTreeMap<String, SpanAgg>,
+}
+
+/// Snapshot the global registry.
+pub fn snapshot() -> Report {
+    let reg = crate::registry::registry();
+    let mut report = Report::default();
+    for ((name, rank), cell) in reg.counters.lock().unwrap().iter() {
+        let v = cell.0.load(Ordering::Relaxed);
+        let agg = report.counters.entry(name.clone()).or_default();
+        agg.total += v;
+        if let Some(r) = rank {
+            *agg.by_rank.entry(*r).or_default() += v;
+        }
+    }
+    for ((name, rank), cell) in reg.gauges.lock().unwrap().iter() {
+        let v = cell.get();
+        let agg = report.gauges.entry(name.clone()).or_default();
+        agg.value += v;
+        if let Some(r) = rank {
+            *agg.by_rank.entry(*r).or_default() += v;
+        }
+    }
+    for ((name, rank), cell) in reg.spans.lock().unwrap().iter() {
+        let stat = SpanStat {
+            count: cell.count.load(Ordering::Relaxed),
+            total_ns: cell.total_ns.load(Ordering::Relaxed),
+            min_ns: cell.min_ns.load(Ordering::Relaxed),
+            max_ns: cell.max_ns.load(Ordering::Relaxed),
+            child_ns: cell.child_ns.load(Ordering::Relaxed),
+        };
+        let agg = report.spans.entry(name.clone()).or_default();
+        agg.agg.merge(&stat);
+        if let Some(r) = rank {
+            agg.by_rank.insert(*r, stat);
+        }
+    }
+    report
+}
+
+fn rank_map_json<T, F: Fn(&T) -> Json>(m: &BTreeMap<u32, T>, f: F) -> Json {
+    Json::Obj(m.iter().map(|(r, v)| (r.to_string(), f(v))).collect())
+}
+
+fn span_stat_json(s: &SpanStat) -> Json {
+    Json::obj([
+        ("count".into(), Json::Num(s.count as f64)),
+        ("total_ns".into(), Json::Num(s.total_ns as f64)),
+        // An unrecorded min (u64::MAX) is not exactly representable in
+        // f64; report 0 for empty stats instead.
+        (
+            "min_ns".into(),
+            Json::Num(if s.count == 0 { 0.0 } else { s.min_ns as f64 }),
+        ),
+        ("max_ns".into(), Json::Num(s.max_ns as f64)),
+        ("child_ns".into(), Json::Num(s.child_ns as f64)),
+    ])
+}
+
+fn span_stat_from_json(j: &Json) -> Result<SpanStat, String> {
+    let field = |k: &str| {
+        j.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("span stat missing numeric field '{k}'"))
+    };
+    let count = field("count")?;
+    let min = field("min_ns")?;
+    Ok(SpanStat {
+        count,
+        total_ns: field("total_ns")?,
+        min_ns: if count == 0 { u64::MAX } else { min },
+        max_ns: field("max_ns")?,
+        child_ns: field("child_ns")?,
+    })
+}
+
+impl Report {
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    Json::obj([
+                        ("total".into(), Json::Num(v.total as f64)),
+                        (
+                            "by_rank".into(),
+                            rank_map_json(&v.by_rank, |n| Json::Num(*n as f64)),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    Json::obj([
+                        ("value".into(), Json::Num(v.value)),
+                        (
+                            "by_rank".into(),
+                            rank_map_json(&v.by_rank, |n| Json::Num(*n)),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, v)| {
+                let mut obj = match span_stat_json(&v.agg) {
+                    Json::Obj(m) => m,
+                    _ => unreachable!(),
+                };
+                obj.insert("by_rank".into(), rank_map_json(&v.by_rank, span_stat_json));
+                (k.clone(), Json::Obj(obj))
+            })
+            .collect();
+        Json::Obj(
+            [
+                ("counters".to_string(), Json::Obj(counters)),
+                ("gauges".to_string(), Json::Obj(gauges)),
+                ("spans".to_string(), Json::Obj(spans)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    pub fn from_json(j: &Json) -> Result<Report, String> {
+        let section = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("report missing object section '{k}'"))
+        };
+        let parse_rank = |r: &str| r.parse::<u32>().map_err(|_| format!("bad rank key '{r}'"));
+        let mut report = Report::default();
+        for (name, v) in section("counters")? {
+            let total = v
+                .get("total")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("counter '{name}' missing total"))?;
+            let mut by_rank = BTreeMap::new();
+            for (r, n) in v
+                .get("by_rank")
+                .and_then(Json::as_obj)
+                .into_iter()
+                .flatten()
+            {
+                by_rank.insert(
+                    parse_rank(r)?,
+                    n.as_u64()
+                        .ok_or_else(|| format!("counter '{name}' rank {r} not integral"))?,
+                );
+            }
+            report
+                .counters
+                .insert(name.clone(), CounterAgg { total, by_rank });
+        }
+        for (name, v) in section("gauges")? {
+            let value = v
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("gauge '{name}' missing value"))?;
+            let mut by_rank = BTreeMap::new();
+            for (r, n) in v
+                .get("by_rank")
+                .and_then(Json::as_obj)
+                .into_iter()
+                .flatten()
+            {
+                by_rank.insert(
+                    parse_rank(r)?,
+                    n.as_f64()
+                        .ok_or_else(|| format!("gauge '{name}' rank {r} not numeric"))?,
+                );
+            }
+            report
+                .gauges
+                .insert(name.clone(), GaugeAgg { value, by_rank });
+        }
+        for (name, v) in section("spans")? {
+            let agg = span_stat_from_json(v).map_err(|e| format!("span '{name}': {e}"))?;
+            let mut by_rank = BTreeMap::new();
+            for (r, s) in v
+                .get("by_rank")
+                .and_then(Json::as_obj)
+                .into_iter()
+                .flatten()
+            {
+                by_rank.insert(
+                    parse_rank(r)?,
+                    span_stat_from_json(s).map_err(|e| format!("span '{name}' rank {r}: {e}"))?,
+                );
+            }
+            report.spans.insert(name.clone(), SpanAgg { agg, by_rank });
+        }
+        Ok(report)
+    }
+
+    /// Parse a serialized report.
+    pub fn parse(text: &str) -> Result<Report, String> {
+        let j = crate::json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        Report::from_json(&j)
+    }
+
+    /// Aligned text rendering for terminals and logs.
+    pub fn to_human(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "{:<36} {:>9} {:>12} {:>12} {:>12} {:>12}\n",
+                "span", "count", "total ms", "self ms", "mean us", "max us"
+            ));
+            for (name, s) in &self.spans {
+                out.push_str(&format!(
+                    "{:<36} {:>9} {:>12.3} {:>12.3} {:>12.2} {:>12.2}\n",
+                    name,
+                    s.agg.count,
+                    s.agg.total_ns as f64 / 1e6,
+                    s.agg.self_ns() as f64 / 1e6,
+                    s.agg.mean_ns() / 1e3,
+                    s.agg.max_ns as f64 / 1e3,
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!(
+                "{:<36} {:>15} {:>8}\n",
+                "counter", "total", "ranks"
+            ));
+            for (name, c) in &self.counters {
+                out.push_str(&format!(
+                    "{:<36} {:>15} {:>8}\n",
+                    name,
+                    c.total,
+                    c.by_rank.len()
+                ));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str(&format!("{:<36} {:>15} {:>8}\n", "gauge", "value", "ranks"));
+            for (name, g) in &self.gauges {
+                out.push_str(&format!(
+                    "{:<36} {:>15.6} {:>8}\n",
+                    name,
+                    g.value,
+                    g.by_rank.len()
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::default();
+        r.counters.insert(
+            "comm.msgs_sent".into(),
+            CounterAgg {
+                total: 12,
+                by_rank: [(0, 5), (1, 7)].into_iter().collect(),
+            },
+        );
+        r.gauges.insert(
+            "bench.mlups".into(),
+            GaugeAgg {
+                value: 3.25,
+                by_rank: BTreeMap::new(),
+            },
+        );
+        r.spans.insert(
+            "dist.step".into(),
+            SpanAgg {
+                agg: SpanStat {
+                    count: 4,
+                    total_ns: 4000,
+                    min_ns: 800,
+                    max_ns: 1400,
+                    child_ns: 1000,
+                },
+                by_rank: [(
+                    1,
+                    SpanStat {
+                        count: 2,
+                        total_ns: 2000,
+                        min_ns: 900,
+                        max_ns: 1100,
+                        child_ns: 500,
+                    },
+                )]
+                .into_iter()
+                .collect(),
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let r = sample();
+        let text = r.to_json().to_pretty();
+        assert_eq!(Report::parse(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let r = Report::default();
+        assert_eq!(Report::parse(&r.to_json().to_compact()).unwrap(), r);
+    }
+
+    #[test]
+    fn human_report_mentions_metrics() {
+        let text = sample().to_human();
+        assert!(text.contains("comm.msgs_sent"));
+        assert!(text.contains("dist.step"));
+        assert!(text.contains("bench.mlups"));
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let s = SpanStat {
+            count: 1,
+            total_ns: 100,
+            min_ns: 100,
+            max_ns: 100,
+            child_ns: 30,
+        };
+        assert_eq!(s.self_ns(), 70);
+    }
+}

@@ -1,0 +1,59 @@
+//! Scoped wall-clock span timers with same-thread nesting.
+//!
+//! A [`SpanGuard`] measures from creation to drop and records into the
+//! span's registry cell. A thread-local stack tracks the active span so a
+//! nested span's elapsed time is also accumulated into its parent's
+//! `child_ns` — reporters can then separate self-time from child-time.
+
+use crate::registry::{span_cell, SpanCell};
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<Arc<SpanCell>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII timer for one span instance. Obtained from [`crate::span`] /
+/// [`crate::span_lazy`]; records on drop. Disabled tracing yields an inert
+/// guard.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    cell: Arc<SpanCell>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    pub(crate) fn disabled() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    pub(crate) fn enter(name: &str, rank: Option<u32>) -> SpanGuard {
+        let cell = span_cell(name, rank);
+        SPAN_STACK.with(|s| s.borrow_mut().push(cell.clone()));
+        SpanGuard(Some(ActiveSpan {
+            cell,
+            start: Instant::now(),
+        }))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let ns = active.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            active.cell.record(ns);
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                stack.pop();
+                if let Some(parent) = stack.last() {
+                    parent
+                        .child_ns
+                        .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    }
+}

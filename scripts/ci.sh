@@ -1,9 +1,26 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite.
-# Run from anywhere; operates on the workspace this script lives in.
+# Local CI gate: formatting, lints, the full test suite, a bench-smoke run
+# that validates every emitted BENCH_*.json artifact, and the perf gate
+# against the committed baselines.
+#
+# Run from anywhere; operates on the workspace this script lives in. Safe
+# on a clean checkout: no pre-warmed target/ is assumed, CARGO_HOME
+# overrides are honored, and no stage touches the network (all
+# dependencies are vendored path crates).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# The workspace has no registry dependencies; make any accidental
+# network fetch an error instead of a hang.
+export CARGO_NET_OFFLINE=true
+
+echo "== toolchain =="
+rustc --version
+cargo --version
+cargo fmt --version
+cargo clippy --version
+echo "CARGO_HOME=${CARGO_HOME:-<default>}"
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -13,5 +30,33 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test =="
 cargo test -q --workspace
+
+echo "== build with instrumentation compiled out =="
+# The pf-trace kill switch: without default features every probe must
+# compile away, so the workspace has to keep building.
+cargo build -q --workspace --no-default-features
+
+echo "== bench smoke =="
+# Run every fig/table binary on tiny grids; each emits a schema-versioned
+# BENCH_<name>.json artifact which bench_check then validates.
+SMOKE_DIR=target/bench-smoke
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+cargo build -q --release -p pf-bench
+BIN=target/release
+for b in table1 table2 fig2_left fig2_middle fig2_right fig3 gpu_approx ablation; do
+  echo "-- $b"
+  PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR="$SMOKE_DIR" "$BIN/$b" > "$SMOKE_DIR/$b.log"
+done
+"$BIN/bench_check" validate "$SMOKE_DIR"/BENCH_*.json
+
+echo "== perf gate =="
+# Reuses the smoke artifacts just produced (skip the second run). Smoke
+# measurements on shared CI hosts carry sustained scheduling noise even
+# with best-of-N sampling, so the gate runs widened here unless the
+# caller pins a tolerance; dedicated perf hosts should invoke
+# scripts/perf_gate.sh directly for the strict 15% default.
+PF_PERF_GATE_TOL="${PF_PERF_GATE_TOL:-0.40}" \
+  PF_PERF_GATE_REUSE="$SMOKE_DIR" scripts/perf_gate.sh
 
 echo "CI OK"

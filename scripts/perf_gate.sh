@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Performance regression gate.
+#
+# Runs a bench-smoke pass (tiny grids, PF_BENCH_SMOKE=1) and diffs the
+# fresh BENCH_*.json artifacts against the committed baselines/ directory:
+# a kernel whose measured MLUP/s falls more than the tolerance below its
+# baseline fails the gate. Tolerance defaults to 15% and can be widened
+# on noisy hosts with PF_PERF_GATE_TOL (e.g. PF_PERF_GATE_TOL=0.30).
+#
+# Set PF_PERF_GATE_REUSE=<dir> to diff an existing artifact directory
+# instead of re-running the benches (scripts/ci.sh does this to avoid a
+# duplicate smoke pass).
+#
+# To refresh the baselines after an intentional perf change:
+#   PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR=baselines cargo run --release -p pf-bench --bin <each>
+# and commit the result.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+BASELINES=baselines
+if [ ! -d "$BASELINES" ]; then
+  echo "perf_gate: no $BASELINES/ directory; nothing to gate against" >&2
+  exit 1
+fi
+
+if [ -n "${PF_PERF_GATE_REUSE:-}" ]; then
+  FRESH="$PF_PERF_GATE_REUSE"
+  echo "perf_gate: reusing artifacts in $FRESH"
+else
+  FRESH=target/perf-gate
+  rm -rf "$FRESH"
+  mkdir -p "$FRESH"
+  cargo build -q --release -p pf-bench
+  for b in table1 table2 fig2_left fig2_middle fig2_right fig3 gpu_approx ablation; do
+    echo "perf_gate: running $b (smoke)"
+    PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR="$FRESH" "target/release/$b" > "$FRESH/$b.log"
+  done
+fi
+
+cargo run -q --release -p pf-bench --bin bench_check -- diff "$BASELINES" "$FRESH"
