@@ -1,0 +1,343 @@
+//! Typed, source-located diagnostics.
+//!
+//! Every pass reports findings as [`Diagnostic`] values: a kernel name, the
+//! offending instruction index (the tape is SSA, so an instruction index
+//! *is* a source location), and a typed [`DiagKind`] carrying the facts the
+//! pass proved. Rendering is rustc-flavoured:
+//!
+//! ```text
+//! error[halo.load-overflow] kernel 'mu_full' @ instr 41: load of field
+//! 'phi_src' reaches 2 cells past the interior along dim 0 but only 1
+//! layer (ghost 1 + pad 0) is allocated
+//! ```
+
+use std::fmt;
+
+/// How bad a finding is. `Error`s fail verification (and, when the pipeline
+/// verifier is installed, abort kernel generation); `Warning`s are
+/// surfaced through statistics but never fatal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The typed payload of one finding. Field identities are carried as names
+/// (the interned `Field` handles are process-global; names read better in
+/// test assertions and rendered output).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DiagKind {
+    // --- SSA well-formedness -------------------------------------------
+    /// An operand register is defined at or after its use.
+    UseBeforeDef { reg: u32 },
+    /// An operand register names a `Store` or `Fence`, which produce no
+    /// value.
+    ConsumedNonValue { reg: u32 },
+    /// `Load`/`Store` field slot outside the tape's field table.
+    FieldSlotOutOfRange { slot: u16 },
+    /// `Load`/`Store` component outside the field's component count.
+    ComponentOutOfRange { field: String, comp: u16 },
+    /// `Param` slot outside the tape's parameter table.
+    ParamSlotOutOfRange { slot: u16 },
+    /// `Coord`/`CellIdx`/`Rand` axis or lane argument out of range.
+    AxisOutOfRange { axis: u8 },
+    /// `levels` metadata does not cover the instruction list.
+    LevelsLengthMismatch { levels: usize, instrs: usize },
+    /// A non-empty tape without a single store computes nothing.
+    NoStores,
+
+    // --- Halo footprint ------------------------------------------------
+    /// The per-slot allocation table handed to `check_halo` does not match
+    /// the tape's field table.
+    AllocTableMismatch { allocs: usize, fields: usize },
+    /// A load or store reaches below the allocated ghost layers.
+    HaloUnderflow {
+        field: String,
+        dim: usize,
+        offset: i64,
+        ghost: usize,
+        is_store: bool,
+    },
+    /// A load or store reaches past interior + pad + ghost along a
+    /// dimension (offset plus the kernel's extended iteration range).
+    HaloOverflow {
+        field: String,
+        dim: usize,
+        reach: i64,
+        avail: i64,
+        is_store: bool,
+    },
+
+    // --- Intra-sweep hazards -------------------------------------------
+    /// A cell of the sweep writes an offset another cell of the same sweep
+    /// reads (write/read distance nonzero): a race under any parallel or
+    /// reordered execution of the sweep.
+    IntraSweepHazard {
+        field: String,
+        comp: u16,
+        store_off: [i16; 3],
+        load_off: [i16; 3],
+    },
+    /// Same cell reads a location after storing to it — the value depends
+    /// on memory mutated mid-sweep instead of the SSA register.
+    StoreThenLoad {
+        field: String,
+        comp: u16,
+        off: [i16; 3],
+    },
+    /// The kernel both reads and writes a field (different components or a
+    /// read-before-write of the same cell). Not a race per se, but the
+    /// executor enforces Jacobi discipline at field granularity and will
+    /// refuse to launch it.
+    JacobiViolation { field: String },
+    /// Two stores target the identical (field, component, offset) — last
+    /// write wins deterministically, but it is almost always a bug.
+    DuplicateStore {
+        field: String,
+        comp: u16,
+        off: [i16; 3],
+    },
+    /// Two kernels of a split group store to the same (field, component):
+    /// they cannot be fused into one sweep.
+    OverlappingSplitStores {
+        other_kernel: String,
+        field: String,
+        comp: u16,
+    },
+
+    // --- Value lints ----------------------------------------------------
+    /// Division whose denominator constant-folds to exactly zero.
+    DivByZeroConst,
+    /// An operation over known-constant operands folds to NaN.
+    NanConst { value_desc: String },
+    /// A `Rand` op in a kernel declared to run without a seeded Philox
+    /// stream — results would be non-deterministic (or silently zero in
+    /// the expression interpreter).
+    UnseededRand { lane: u8 },
+}
+
+impl DiagKind {
+    /// Stable machine-readable code, `pass.finding`.
+    pub fn code(&self) -> &'static str {
+        use DiagKind::*;
+        match self {
+            UseBeforeDef { .. } => "ssa.use-before-def",
+            ConsumedNonValue { .. } => "ssa.consumed-non-value",
+            FieldSlotOutOfRange { .. } => "ssa.field-slot-range",
+            ComponentOutOfRange { .. } => "ssa.component-range",
+            ParamSlotOutOfRange { .. } => "ssa.param-slot-range",
+            AxisOutOfRange { .. } => "ssa.axis-range",
+            LevelsLengthMismatch { .. } => "ssa.levels-length",
+            NoStores => "ssa.no-stores",
+            AllocTableMismatch { .. } => "halo.alloc-table",
+            HaloUnderflow { .. } => "halo.underflow",
+            HaloOverflow { .. } => "halo.overflow",
+            IntraSweepHazard { .. } => "hazard.intra-sweep",
+            StoreThenLoad { .. } => "hazard.store-then-load",
+            JacobiViolation { .. } => "hazard.jacobi",
+            DuplicateStore { .. } => "hazard.duplicate-store",
+            OverlappingSplitStores { .. } => "hazard.split-overlap",
+            DivByZeroConst => "value.div-by-zero",
+            NanConst { .. } => "value.nan-const",
+            UnseededRand { .. } => "value.unseeded-rand",
+        }
+    }
+
+    pub fn severity(&self) -> Severity {
+        use DiagKind::*;
+        match self {
+            // Warnings: suspicious but executable / deterministic.
+            JacobiViolation { .. } | DuplicateStore { .. } | UnseededRand { .. } => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for DiagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use DiagKind::*;
+        match self {
+            UseBeforeDef { reg } => write!(f, "operand r{reg} is not defined before this use"),
+            ConsumedNonValue { reg } => {
+                write!(f, "operand r{reg} names a Store/Fence, which has no value")
+            }
+            FieldSlotOutOfRange { slot } => {
+                write!(f, "field slot {slot} is outside the field table")
+            }
+            ComponentOutOfRange { field, comp } => {
+                write!(f, "component {comp} is out of range for field '{field}'")
+            }
+            ParamSlotOutOfRange { slot } => {
+                write!(f, "param slot {slot} is outside the parameter table")
+            }
+            AxisOutOfRange { axis } => write!(f, "axis {axis} is out of range (need 0..3)"),
+            LevelsLengthMismatch { levels, instrs } => {
+                write!(f, "levels length {levels} != instruction count {instrs}")
+            }
+            NoStores => write!(f, "kernel has no stores (dead kernel)"),
+            AllocTableMismatch { allocs, fields } => write!(
+                f,
+                "allocation table has {allocs} entries but the tape has {fields} fields"
+            ),
+            HaloUnderflow {
+                field,
+                dim,
+                offset,
+                ghost,
+                is_store,
+            } => write!(
+                f,
+                "{} of field '{field}' at offset {offset} along dim {dim} reaches below \
+                 the {ghost} allocated ghost layer(s)",
+                if *is_store { "store" } else { "load" },
+            ),
+            HaloOverflow {
+                field,
+                dim,
+                reach,
+                avail,
+                is_store,
+            } => write!(
+                f,
+                "{} of field '{field}' reaches {reach} cell(s) past the interior along \
+                 dim {dim} but only {avail} (ghost + pad) are allocated",
+                if *is_store { "store" } else { "load" },
+            ),
+            IntraSweepHazard {
+                field,
+                comp,
+                store_off,
+                load_off,
+            } => write!(
+                f,
+                "sweep race on field '{field}' comp {comp}: cells store at offset \
+                 {store_off:?} while other cells load offset {load_off:?}"
+            ),
+            StoreThenLoad { field, comp, off } => write!(
+                f,
+                "load of field '{field}' comp {comp} at {off:?} happens after a store \
+                 to the same location in this sweep"
+            ),
+            JacobiViolation { field } => write!(
+                f,
+                "kernel both reads and writes field '{field}' — the executor enforces \
+                 Jacobi discipline and will refuse to launch it"
+            ),
+            DuplicateStore { field, comp, off } => write!(
+                f,
+                "duplicate store to field '{field}' comp {comp} at {off:?} (last write wins)"
+            ),
+            OverlappingSplitStores {
+                other_kernel,
+                field,
+                comp,
+            } => write!(
+                f,
+                "store set overlaps kernel '{other_kernel}' on field '{field}' comp {comp} \
+                 — split variants must touch disjoint store sets"
+            ),
+            DivByZeroConst => write!(f, "division by a constant that folds to exactly zero"),
+            NanConst { value_desc } => {
+                write!(f, "constant folding produces NaN ({value_desc})")
+            }
+            UnseededRand { lane } => write!(
+                f,
+                "Rand(lane {lane}) in a kernel executed without a seeded Philox stream"
+            ),
+        }
+    }
+}
+
+/// One finding: where (kernel, instruction) plus what ([`DiagKind`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    pub kernel: String,
+    /// Offending instruction index; `None` for whole-tape findings.
+    pub instr: Option<usize>,
+    pub kind: DiagKind,
+}
+
+impl Diagnostic {
+    pub fn new(kernel: &str, instr: Option<usize>, kind: DiagKind) -> Self {
+        Diagnostic {
+            kernel: kernel.to_owned(),
+            instr,
+            kind,
+        }
+    }
+
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity() == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] kernel '{}'",
+            self.severity(),
+            self.kind.code(),
+            self.kernel
+        )?;
+        if let Some(i) = self.instr {
+            write!(f, " @ instr {i}")?;
+        }
+        write!(f, ": {}", self.kind)
+    }
+}
+
+/// Render a diagnostic list one-per-line (empty string for none).
+pub fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_contains_code_kernel_and_location() {
+        let d = Diagnostic::new("mu_full", Some(41), DiagKind::UseBeforeDef { reg: 7 });
+        let s = d.to_string();
+        assert!(s.contains("error[ssa.use-before-def]"), "{s}");
+        assert!(s.contains("'mu_full'"), "{s}");
+        assert!(s.contains("@ instr 41"), "{s}");
+        assert!(s.contains("r7"), "{s}");
+    }
+
+    #[test]
+    fn severities_split_warnings_from_errors() {
+        assert_eq!(DiagKind::DivByZeroConst.severity(), Severity::Error);
+        assert_eq!(
+            DiagKind::UnseededRand { lane: 0 }.severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            DiagKind::JacobiViolation {
+                field: "phi".into()
+            }
+            .severity(),
+            Severity::Warning
+        );
+    }
+}

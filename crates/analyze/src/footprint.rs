@@ -1,0 +1,296 @@
+//! Pass 2 — halo-footprint analysis.
+//!
+//! Computes each kernel's exact load/store offset envelope per field and
+//! proves it fits the storage actually allocated: `ghost` layers below the
+//! interior and `ghost + pad` cells above it (staggered face arrays are
+//! padded by one cell per swept dimension instead of carrying ghosts).
+//! Face kernels iterate `iter_extent` cells past the interior, so the
+//! upper reach of an access is `offset + iter_extent`, not the offset
+//! alone — exactly the condition under which a ghost-layer exchange of
+//! width `ghost` makes every read well-defined.
+
+use crate::diag::{DiagKind, Diagnostic};
+use pf_ir::{Tape, TapeOp};
+
+/// Inclusive per-dimension offset envelope of a set of accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    pub min: [i64; 3],
+    pub max: [i64; 3],
+}
+
+impl Envelope {
+    fn empty() -> Envelope {
+        Envelope {
+            min: [i64::MAX; 3],
+            max: [i64::MIN; 3],
+        }
+    }
+
+    fn include(&mut self, off: [i16; 3]) {
+        for (d, &o) in off.iter().enumerate() {
+            self.min[d] = self.min[d].min(o as i64);
+            self.max[d] = self.max[d].max(o as i64);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.min[0] == i64::MAX
+    }
+}
+
+/// Load/store envelopes of one field slot (`None` = no such access).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct FieldFootprint {
+    pub loads: Option<Envelope>,
+    pub stores: Option<Envelope>,
+}
+
+/// The complete memory footprint of a kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Footprint {
+    /// Indexed by the tape's field slot.
+    pub per_field: Vec<FieldFootprint>,
+    pub iter_extent: [usize; 3],
+}
+
+impl Footprint {
+    /// Scan a tape's accesses. Purely syntactic — safe on malformed tapes.
+    pub fn of(tape: &Tape) -> Footprint {
+        let mut loads = vec![Envelope::empty(); tape.fields.len()];
+        let mut stores = vec![Envelope::empty(); tape.fields.len()];
+        for op in &tape.instrs {
+            match *op {
+                TapeOp::Load { field, off, .. } => {
+                    if let Some(e) = loads.get_mut(field as usize) {
+                        e.include(off);
+                    }
+                }
+                TapeOp::Store { field, off, .. } => {
+                    if let Some(e) = stores.get_mut(field as usize) {
+                        e.include(off);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let collapse = |e: Envelope| if e.is_empty() { None } else { Some(e) };
+        Footprint {
+            per_field: loads
+                .into_iter()
+                .zip(stores)
+                .map(|(l, s)| FieldFootprint {
+                    loads: collapse(l),
+                    stores: collapse(s),
+                })
+                .collect(),
+            iter_extent: tape.iter_extent,
+        }
+    }
+
+    /// Ghost layers the kernel's *loads* of `slot` require beyond an
+    /// interior padded by `pad` (0 when the field has no access): the
+    /// width a halo exchange must fill for the sweep to be well-defined.
+    pub fn required_ghost(&self, slot: usize, pad: [usize; 3]) -> usize {
+        let Some(env) = self.per_field.get(slot).and_then(|f| f.loads) else {
+            return 0;
+        };
+        (0..3)
+            .map(|d| {
+                let below = (-env.min[d]).max(0);
+                let above = (env.max[d] + self.iter_extent[d] as i64 - pad[d] as i64).max(0);
+                below.max(above) as usize
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// What storage a field slot actually has: `ghost` layers on every side of
+/// the interior and `pad` extra interior cells per dimension (staggered
+/// arrays are allocated `shape + 1` along swept dimensions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct FieldAlloc {
+    pub ghost: usize,
+    pub pad: [usize; 3],
+}
+
+impl FieldAlloc {
+    /// A plain cell-centred field with `ghost` halo layers.
+    pub fn ghosted(ghost: usize) -> FieldAlloc {
+        FieldAlloc { ghost, pad: [0; 3] }
+    }
+}
+
+/// Prove every access of `tape` fits `allocs` (indexed by field slot).
+/// Reports one diagnostic per offending instruction and dimension.
+pub fn check_halo(tape: &Tape, allocs: &[FieldAlloc]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if allocs.len() != tape.fields.len() {
+        out.push(Diagnostic::new(
+            &tape.name,
+            None,
+            DiagKind::AllocTableMismatch {
+                allocs: allocs.len(),
+                fields: tape.fields.len(),
+            },
+        ));
+        return out;
+    }
+    for (i, op) in tape.instrs.iter().enumerate() {
+        let (field, off, is_store) = match *op {
+            TapeOp::Load { field, off, .. } => (field, off, false),
+            TapeOp::Store { field, off, .. } => (field, off, true),
+            _ => continue,
+        };
+        let Some(alloc) = allocs.get(field as usize) else {
+            continue; // slot range violations are the SSA pass's findings
+        };
+        let name = match tape.fields.get(field as usize) {
+            Some(f) => f.name(),
+            None => continue,
+        };
+        for (d, &off_d) in off.iter().enumerate() {
+            let o = off_d as i64;
+            if o < -(alloc.ghost as i64) {
+                out.push(Diagnostic::new(
+                    &tape.name,
+                    Some(i),
+                    DiagKind::HaloUnderflow {
+                        field: name.clone(),
+                        dim: d,
+                        offset: o,
+                        ghost: alloc.ghost,
+                        is_store,
+                    },
+                ));
+            }
+            // The last iterated cell is interior + iter_extent - 1; an
+            // access at `o` from it reaches `o + iter_extent` cells past
+            // the interior, which must fit in ghost + pad.
+            let reach = o + tape.iter_extent[d] as i64;
+            let avail = (alloc.ghost + alloc.pad[d]) as i64;
+            if reach > avail {
+                out.push(Diagnostic::new(
+                    &tape.name,
+                    Some(i),
+                    DiagKind::HaloOverflow {
+                        field: name.clone(),
+                        dim: d,
+                        reach,
+                        avail,
+                        is_store,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{load, raw_tape, store};
+    use pf_ir::TapeOp;
+
+    #[test]
+    fn footprint_tracks_min_max_per_field_and_side() {
+        let t = raw_tape(vec![
+            load(0, 0, [-1, 0, 0]),
+            load(0, 1, [0, 2, 0]),
+            store(1, 0, [0, 0, 0], 0),
+        ]);
+        let fp = Footprint::of(&t);
+        let l = fp.per_field[0].loads.unwrap();
+        assert_eq!(l.min, [-1, 0, 0]);
+        assert_eq!(l.max, [0, 2, 0]);
+        assert!(fp.per_field[0].stores.is_none());
+        assert_eq!(fp.per_field[1].stores.unwrap().min, [0, 0, 0]);
+        assert_eq!(fp.required_ghost(0, [0; 3]), 2);
+        assert_eq!(fp.required_ghost(1, [0; 3]), 0, "stores need no halo");
+    }
+
+    #[test]
+    fn compact_stencil_fits_one_ghost_layer() {
+        let t = raw_tape(vec![
+            load(0, 0, [-1, 0, 0]),
+            load(0, 0, [1, 0, 0]),
+            store(1, 0, [0, 0, 0], 0),
+        ]);
+        let allocs = [FieldAlloc::ghosted(1), FieldAlloc::ghosted(1)];
+        assert!(check_halo(&t, &allocs).is_empty());
+    }
+
+    #[test]
+    fn out_of_halo_load_is_a_typed_error() {
+        let t = raw_tape(vec![load(0, 0, [2, 0, 0]), store(1, 0, [0, 0, 0], 0)]);
+        let allocs = [FieldAlloc::ghosted(1), FieldAlloc::ghosted(1)];
+        let d = check_halo(&t, &allocs);
+        assert!(
+            d.iter().any(|d| matches!(
+                d.kind,
+                DiagKind::HaloOverflow {
+                    dim: 0,
+                    reach: 2,
+                    avail: 1,
+                    is_store: false,
+                    ..
+                }
+            ) && d.instr == Some(0)),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn iter_extent_counts_against_the_upper_side() {
+        // A face kernel (extent +1 along x) loading the centre still
+        // reaches one cell past the interior on the last face.
+        let mut t = raw_tape(vec![load(0, 0, [0, 0, 0]), store(1, 0, [0, 0, 0], 0)]);
+        t.iter_extent = [1, 0, 0];
+        let ghosted = [FieldAlloc::ghosted(1), FieldAlloc::ghosted(1)];
+        assert!(check_halo(&t, &ghosted).is_empty());
+        let unghosted = [FieldAlloc::ghosted(0), FieldAlloc::ghosted(1)];
+        let d = check_halo(&t, &unghosted);
+        assert!(matches!(d[0].kind, DiagKind::HaloOverflow { .. }), "{d:?}");
+        // A padded (staggered-style) allocation also covers the reach.
+        let padded = [
+            FieldAlloc {
+                ghost: 0,
+                pad: [1, 0, 0],
+            },
+            FieldAlloc::ghosted(1),
+        ];
+        assert!(check_halo(&t, &padded).is_empty());
+    }
+
+    #[test]
+    fn underflow_and_store_overflow_are_reported() {
+        let t = raw_tape(vec![load(0, 0, [0, -2, 0]), store(1, 0, [0, 0, 1], 0)]);
+        let allocs = [FieldAlloc::ghosted(1), FieldAlloc::ghosted(0)];
+        let d = check_halo(&t, &allocs);
+        assert!(d.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::HaloUnderflow {
+                dim: 1,
+                offset: -2,
+                ..
+            }
+        )));
+        assert!(d.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::HaloOverflow {
+                dim: 2,
+                is_store: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn alloc_table_mismatch_is_reported_not_panicked() {
+        let t = raw_tape(vec![TapeOp::Const(pf_ir::CF(0.0)), store(0, 0, [0; 3], 0)]);
+        let d = check_halo(&t, &[]);
+        assert!(matches!(d[0].kind, DiagKind::AllocTableMismatch { .. }));
+    }
+}

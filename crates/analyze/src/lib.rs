@@ -1,0 +1,375 @@
+//! pf-analyze — static analysis over kernel tapes.
+//!
+//! The code-generation pipeline (pf-stencil → pf-ir) manufactures every
+//! kernel this project runs; a bug in a lowering or scheduling pass is a
+//! bug in *all* the physics at once. This crate proves, per generated
+//! tape, the invariants the executors assume instead of trusting them:
+//!
+//! 1. **SSA well-formedness** ([`ssa::check_ssa`]) — operands defined
+//!    before use, no consumption of valueless `Store`/`Fence` registers,
+//!    field/param/axis slots in range.
+//! 2. **Halo footprint** ([`footprint::check_halo`]) — the exact per-field
+//!    load/store offset envelope fits the ghost layers and staggered
+//!    padding the grid actually allocates.
+//! 3. **Intra-sweep hazards** ([`hazard::check_hazards`]) — Jacobi
+//!    discipline: no cell of a sweep reads what another cell of the same
+//!    sweep writes; split kernel variants store to disjoint sets.
+//! 4. **Value lints** ([`value::check_values`]) — constant-folded division
+//!    by zero, NaN-producing folds, `Rand` without a seeded Philox stream.
+//!
+//! Findings are typed, source-located [`Diagnostic`]s (the tape is SSA, so
+//! an instruction index is a source location), never panics — the seeded
+//! violation tests in each pass module hold the passes to that.
+//!
+//! [`install_pipeline_verifier`] hooks the universally-valid subset (SSA +
+//! value lints) into `pf_ir::generate`/scheduling as an on-by-default
+//! stage; the context-dependent passes (halo, hazards, split disjointness)
+//! need real allocation and sweep information and run over whole kernel
+//! sets via [`analyze`] with [`AnalyzeOptions::allocs`] — pf-core drives
+//! that for every generated [`KernelSet`](../pf_core) and pf-backend
+//! re-proves halo fit against the concrete arrays at launch.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod footprint;
+pub mod hazard;
+pub mod ssa;
+pub mod value;
+
+pub use diag::{render, DiagKind, Diagnostic, Severity};
+pub use footprint::{check_halo, Envelope, FieldAlloc, FieldFootprint, Footprint};
+pub use hazard::{check_hazards, check_split_disjoint};
+pub use ssa::check_ssa;
+pub use value::check_values;
+
+use pf_ir::{Tape, VerifyStage};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Once;
+
+/// Which passes to run and with what context.
+#[derive(Clone, Debug)]
+pub struct AnalyzeOptions {
+    /// Per-field-slot allocation table; `Some` enables the halo pass.
+    pub allocs: Option<Vec<FieldAlloc>>,
+    /// Run the intra-sweep hazard pass (off for tapes that are not whole
+    /// sweep kernels, e.g. expression fragments).
+    pub hazards: bool,
+    /// Whether the execution context provides a seeded Philox stream
+    /// (disables the `Rand` determinism lint when true).
+    pub seeded_rng: bool,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            allocs: None,
+            hazards: true,
+            seeded_rng: true,
+        }
+    }
+}
+
+/// The result of analyzing one tape: all findings plus the computed
+/// footprint (kept even when clean — it feeds halo-width statistics).
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    pub kernel: String,
+    pub diagnostics: Vec<Diagnostic>,
+    pub footprint: Footprint,
+    /// Field names by tape slot (parallel to `footprint.per_field`).
+    pub field_names: Vec<String>,
+}
+
+impl Analysis {
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+}
+
+/// Run the full pass suite over one tape.
+///
+/// SSA runs first; when it reports errors the deeper passes are skipped —
+/// their answers are meaningless over a malformed tape and skipping keeps
+/// the report at the root cause.
+pub fn analyze(tape: &Tape, opts: &AnalyzeOptions) -> Analysis {
+    let mut diagnostics = ssa::check_ssa(tape);
+    let ssa_clean = !diagnostics.iter().any(|d| d.is_error());
+    if ssa_clean {
+        if let Some(allocs) = &opts.allocs {
+            diagnostics.extend(footprint::check_halo(tape, allocs));
+        }
+        if opts.hazards {
+            diagnostics.extend(hazard::check_hazards(tape));
+        }
+        diagnostics.extend(value::check_values(tape, opts.seeded_rng));
+    }
+    Analysis {
+        kernel: tape.name.clone(),
+        diagnostics,
+        footprint: Footprint::of(tape),
+        field_names: tape.fields.iter().map(|f| f.name()).collect(),
+    }
+}
+
+/// Error-severity findings, rendered. Returned by [`verify`].
+#[derive(Clone, Debug)]
+pub struct VerifyError {
+    pub kernel: String,
+    pub errors: Vec<Diagnostic>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel '{}' failed verification ({} error(s)):",
+            self.kernel,
+            self.errors.len()
+        )?;
+        write!(f, "{}", render(&self.errors))
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// [`analyze`] with a pass/fail verdict: `Err` iff any error-severity
+/// finding (warnings ride along in the `Ok` analysis).
+pub fn verify(tape: &Tape, opts: &AnalyzeOptions) -> Result<Analysis, VerifyError> {
+    let a = analyze(tape, opts);
+    if a.is_clean() {
+        Ok(a)
+    } else {
+        Err(VerifyError {
+            kernel: a.kernel.clone(),
+            errors: a.diagnostics.into_iter().filter(|d| d.is_error()).collect(),
+        })
+    }
+}
+
+/// Aggregated result of verifying a whole kernel set.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteReport {
+    pub analyses: Vec<Analysis>,
+    /// Cross-kernel findings (e.g. split-group store overlap) that belong
+    /// to no single tape's analysis.
+    pub group_diagnostics: Vec<Diagnostic>,
+}
+
+impl SuiteReport {
+    pub fn push(&mut self, a: Analysis) {
+        self.analyses.push(a);
+    }
+
+    pub fn kernels_verified(&self) -> usize {
+        self.analyses.len()
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.analyses.iter().map(|a| a.error_count()).sum::<usize>()
+            + self
+                .group_diagnostics
+                .iter()
+                .filter(|d| d.is_error())
+                .count()
+    }
+
+    pub fn diagnostic_count(&self) -> usize {
+        self.analyses
+            .iter()
+            .map(|a| a.diagnostics.len())
+            .sum::<usize>()
+            + self.group_diagnostics.len()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Ghost-layer width each *field* (by name) needs across the suite's
+    /// kernels — the maximum load reach assuming unpadded storage. This is
+    /// the statistic surfaced into BENCH reports: it is what a halo
+    /// exchange must provide.
+    pub fn halo_widths(&self) -> BTreeMap<String, usize> {
+        let mut widths = BTreeMap::new();
+        for a in &self.analyses {
+            for (slot, fp) in a.footprint.per_field.iter().enumerate() {
+                if fp.loads.is_none() {
+                    continue;
+                }
+                let need = a.footprint.required_ghost(slot, [0; 3]);
+                let name = a
+                    .field_names
+                    .get(slot)
+                    .cloned()
+                    .unwrap_or_else(|| format!("slot{slot}"));
+                let e = widths.entry(name).or_insert(0usize);
+                *e = (*e).max(need);
+            }
+        }
+        widths
+    }
+
+    /// All error-severity findings rendered, or `None` when clean.
+    pub fn errors_rendered(&self) -> Option<String> {
+        if self.is_clean() {
+            return None;
+        }
+        let errs: Vec<Diagnostic> = self
+            .analyses
+            .iter()
+            .flat_map(|a| a.diagnostics.iter())
+            .chain(self.group_diagnostics.iter())
+            .filter(|d| d.is_error())
+            .cloned()
+            .collect();
+        Some(render(&errs))
+    }
+
+    /// Publish suite statistics through pf-trace (no-ops when tracing is
+    /// compiled out): verified-kernel / diagnostic / error counters and a
+    /// per-field halo-width gauge.
+    pub fn record_trace(&self) {
+        pf_trace::counter("analyze.kernels_verified").incr(self.kernels_verified() as u64);
+        pf_trace::counter("analyze.diagnostics").incr(self.diagnostic_count() as u64);
+        pf_trace::counter("analyze.errors").incr(self.error_count() as u64);
+        for (field, width) in self.halo_widths() {
+            pf_trace::gauge(&format!("analyze.halo_width.{field}")).set(width as f64);
+        }
+    }
+}
+
+/// The verifier installed into the pf-ir pipeline. Runs only the passes
+/// that hold for *every* well-formed tape regardless of execution context:
+/// SSA and value lints. Halo fit and hazard freedom depend on allocation
+/// tables and sweep semantics the pipeline does not know (scratch kernels
+/// lowered by tests legitimately read and write one field); those run in
+/// pf-core's kernel-set verification and pf-backend's launch gate.
+fn pipeline_verifier(tape: &Tape, _stage: VerifyStage) -> Result<(), String> {
+    pf_trace::counter("analyze.pipeline_checks").incr(1);
+    let mut errors = ssa::check_ssa(tape);
+    errors.extend(value::check_values(tape, true));
+    errors.retain(|d| d.is_error());
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(render(&errors))
+    }
+}
+
+/// Install [`pipeline_verifier`] as pf-ir's post-lowering / post-scheduling
+/// verification hook. Idempotent; call from any crate that generates
+/// kernels. Verification stays subject to `PF_VERIFY` (see
+/// `pf_ir::verify_enabled`).
+pub fn install_pipeline_verifier() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| pf_ir::set_verifier(pipeline_verifier));
+}
+
+#[cfg(test)]
+mod testutil {
+    use pf_ir::{ApproxOptions, Tape, TapeOp, VReg};
+    use pf_symbolic::Field;
+    use std::sync::OnceLock;
+
+    /// Two shared field handles for hand-built test tapes: slot 0 has 3
+    /// components, slot 1 has 2 (tests probe comps 0/1 and out-of-range 5).
+    fn test_fields() -> [Field; 2] {
+        static FIELDS: OnceLock<[Field; 2]> = OnceLock::new();
+        *FIELDS.get_or_init(|| [Field::new("ana_a", 3, 3), Field::new("ana_b", 2, 3)])
+    }
+
+    /// A raw tape around `instrs` — bypasses `TapeBuilder` so tests can
+    /// seed exactly the violations the passes must catch.
+    pub fn raw_tape(instrs: Vec<TapeOp>) -> Tape {
+        let n = instrs.len();
+        Tape {
+            name: "test_kernel".into(),
+            fields: test_fields().to_vec(),
+            params: Vec::new(),
+            instrs,
+            iter_extent: [0; 3],
+            levels: vec![3; n],
+            loop_order: [2, 1, 0],
+            approx: ApproxOptions::default(),
+        }
+    }
+
+    pub fn store(field: u16, comp: u16, off: [i16; 3], val_reg: u32) -> TapeOp {
+        TapeOp::Store {
+            field,
+            comp,
+            off,
+            val: VReg(val_reg),
+        }
+    }
+
+    pub fn load(field: u16, comp: u16, off: [i16; 3]) -> TapeOp {
+        TapeOp::Load { field, comp, off }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::{load, raw_tape, store};
+
+    #[test]
+    fn analyze_skips_deep_passes_on_ssa_errors() {
+        // Use-before-def AND a hazard: only the SSA finding must surface.
+        let t = raw_tape(vec![
+            load(0, 0, [0; 3]),
+            pf_ir::TapeOp::Add(pf_ir::VReg(0), pf_ir::VReg(9)),
+            store(0, 0, [0; 3], 1),
+        ]);
+        let a = analyze(&t, &AnalyzeOptions::default());
+        assert!(!a.is_clean());
+        assert!(a
+            .diagnostics
+            .iter()
+            .all(|d| matches!(d.kind, DiagKind::UseBeforeDef { .. })));
+    }
+
+    #[test]
+    fn verify_splits_errors_from_warnings() {
+        // Jacobi violation only: a warning, so verify() passes.
+        let t = raw_tape(vec![load(0, 0, [0; 3]), store(0, 1, [0; 3], 0)]);
+        let a = verify(&t, &AnalyzeOptions::default()).expect("warnings are not fatal");
+        assert_eq!(a.warning_count(), 1);
+        assert_eq!(a.error_count(), 0);
+
+        let t = raw_tape(vec![load(0, 0, [-1, 0, 0]), store(0, 0, [0; 3], 0)]);
+        let err = verify(&t, &AnalyzeOptions::default()).unwrap_err();
+        assert_eq!(err.kernel, "test_kernel");
+        assert!(err.to_string().contains("hazard.intra-sweep"), "{err}");
+    }
+
+    #[test]
+    fn suite_report_aggregates_and_computes_halo_widths() {
+        let mut suite = SuiteReport::default();
+        let t = raw_tape(vec![
+            load(0, 0, [-1, 0, 0]),
+            load(0, 0, [1, 0, 0]),
+            store(1, 0, [0; 3], 1),
+        ]);
+        suite.push(analyze(&t, &AnalyzeOptions::default()));
+        assert_eq!(suite.kernels_verified(), 1);
+        assert!(suite.is_clean());
+        assert!(suite.errors_rendered().is_none());
+        let widths = suite.halo_widths();
+        assert_eq!(widths.get("ana_a"), Some(&1), "{widths:?}");
+        assert!(
+            !widths.contains_key("ana_b"),
+            "store-only field needs no halo"
+        );
+    }
+}

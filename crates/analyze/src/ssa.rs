@@ -1,0 +1,154 @@
+//! Pass 1 — SSA well-formedness.
+//!
+//! The tape contract: instruction `i` defines register `i`; operands refer
+//! to *earlier*, *value-producing* instructions; slot indices stay inside
+//! the tape's field/param tables. This is the foundation every other pass
+//! (and both executors) assumes — a transform that breaks it produces
+//! garbage reads, not wrong physics, so it is checked first and the
+//! deeper passes are skipped when it fails.
+
+use crate::diag::{DiagKind, Diagnostic};
+use pf_ir::{Tape, TapeOp};
+
+/// Check SSA well-formedness. Returns every violation found.
+pub fn check_ssa(tape: &Tape) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = tape.instrs.len();
+    let diag = |i: Option<usize>, kind: DiagKind| Diagnostic::new(&tape.name, i, kind);
+
+    if tape.levels.len() != n {
+        out.push(diag(
+            None,
+            DiagKind::LevelsLengthMismatch {
+                levels: tape.levels.len(),
+                instrs: n,
+            },
+        ));
+    }
+
+    for (i, op) in tape.instrs.iter().enumerate() {
+        for a in op.args() {
+            let j = a.0 as usize;
+            if j >= i {
+                out.push(diag(Some(i), DiagKind::UseBeforeDef { reg: a.0 }));
+            } else if !tape.instrs[j].is_pure() {
+                // Stores and fences define no value; consuming their
+                // register reads whatever the executor left there.
+                out.push(diag(Some(i), DiagKind::ConsumedNonValue { reg: a.0 }));
+            }
+        }
+        match *op {
+            TapeOp::Load { field, comp, .. } | TapeOp::Store { field, comp, .. } => {
+                if field as usize >= tape.fields.len() {
+                    out.push(diag(Some(i), DiagKind::FieldSlotOutOfRange { slot: field }));
+                } else if comp as usize >= tape.fields[field as usize].components() {
+                    out.push(diag(
+                        Some(i),
+                        DiagKind::ComponentOutOfRange {
+                            field: tape.fields[field as usize].name(),
+                            comp,
+                        },
+                    ));
+                }
+            }
+            TapeOp::Param(p) if p as usize >= tape.params.len() => {
+                out.push(diag(Some(i), DiagKind::ParamSlotOutOfRange { slot: p }));
+            }
+            TapeOp::Coord(d) | TapeOp::CellIdx(d) if d >= 3 => {
+                out.push(diag(Some(i), DiagKind::AxisOutOfRange { axis: d }));
+            }
+            _ => {}
+        }
+    }
+
+    if n > 0 && !tape.instrs.iter().any(|op| op.is_store()) {
+        out.push(diag(None, DiagKind::NoStores));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{raw_tape, store};
+    use pf_ir::{TapeOp, VReg, CF};
+
+    #[test]
+    fn clean_tape_has_no_findings() {
+        let t = raw_tape(vec![TapeOp::Const(CF(1.0)), store(0, 0, [0; 3], 0)]);
+        assert!(check_ssa(&t).is_empty());
+    }
+
+    #[test]
+    fn use_before_def_is_typed_not_a_panic() {
+        let t = raw_tape(vec![
+            TapeOp::Const(CF(1.0)),
+            TapeOp::Add(VReg(0), VReg(5)),
+            store(0, 0, [0; 3], 1),
+        ]);
+        let d = check_ssa(&t);
+        assert!(
+            d.iter()
+                .any(|d| matches!(d.kind, DiagKind::UseBeforeDef { reg: 5 }) && d.instr == Some(1)),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn consuming_a_store_register_is_flagged() {
+        let t = raw_tape(vec![
+            TapeOp::Const(CF(2.0)),
+            store(0, 0, [0; 3], 0),
+            TapeOp::Neg(VReg(1)),
+            store(0, 0, [1, 0, 0], 2),
+        ]);
+        let d = check_ssa(&t);
+        assert!(
+            d.iter()
+                .any(|d| matches!(d.kind, DiagKind::ConsumedNonValue { reg: 1 })),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn slot_component_param_and_axis_ranges_are_checked() {
+        let t = raw_tape(vec![
+            TapeOp::Param(3),
+            TapeOp::Coord(7),
+            TapeOp::Load {
+                field: 9,
+                comp: 0,
+                off: [0; 3],
+            },
+            TapeOp::Load {
+                field: 0,
+                comp: 5,
+                off: [0; 3],
+            },
+            store(0, 0, [0; 3], 0),
+        ]);
+        let d = check_ssa(&t);
+        let has = |f: fn(&DiagKind) -> bool| d.iter().any(|d| f(&d.kind));
+        assert!(has(|k| matches!(
+            k,
+            DiagKind::ParamSlotOutOfRange { slot: 3 }
+        )));
+        assert!(has(|k| matches!(k, DiagKind::AxisOutOfRange { axis: 7 })));
+        assert!(has(|k| matches!(
+            k,
+            DiagKind::FieldSlotOutOfRange { slot: 9 }
+        )));
+        assert!(has(|k| matches!(
+            k,
+            DiagKind::ComponentOutOfRange { comp: 5, .. }
+        )));
+    }
+
+    #[test]
+    fn storeless_tape_is_dead() {
+        let t = raw_tape(vec![TapeOp::Const(CF(1.0))]);
+        assert!(check_ssa(&t)
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::NoStores)));
+    }
+}

@@ -1,0 +1,226 @@
+//! Pass 4 — value lints: constant propagation over the tape.
+//!
+//! A forward dataflow over the SSA tape with a two-point lattice per
+//! register (known constant / unknown). Division by a denominator that
+//! folds to exactly zero and any operation whose known operands fold to
+//! NaN are errors — in a per-cell kernel either poisons the whole field in
+//! one sweep. A determinism lint flags `Rand` ops when the kernel is
+//! declared to run without a seeded Philox stream (the expression-level
+//! interpreter substitutes 0.0 there, silently changing the physics).
+//!
+//! To keep reports at the fault origin, a register that was just reported
+//! is demoted to *unknown* so downstream consumers of the poisoned value
+//! do not re-fire.
+
+use crate::diag::{DiagKind, Diagnostic};
+use pf_ir::{Tape, TapeOp};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Val {
+    Unknown,
+    Known(f64),
+}
+
+impl Val {
+    fn get(self) -> Option<f64> {
+        match self {
+            Val::Known(v) => Some(v),
+            Val::Unknown => None,
+        }
+    }
+}
+
+/// Run the value lints. `seeded_rng` declares whether the kernel will be
+/// executed with a seeded Philox stream (the native executor always is;
+/// expression-interpreter contexts typically are not).
+pub fn check_values(tape: &Tape, seeded_rng: bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = tape.instrs.len();
+    let mut vals: Vec<Val> = Vec::with_capacity(n);
+
+    for (i, op) in tape.instrs.iter().enumerate() {
+        // Out-of-range argument registers (an SSA-pass error) read as
+        // unknown so this pass stays total on malformed tapes.
+        let arg =
+            |r: pf_ir::VReg| -> Val { vals.get(r.0 as usize).copied().unwrap_or(Val::Unknown) };
+        let bin = |a: pf_ir::VReg, b: pf_ir::VReg, f: fn(f64, f64) -> f64| -> Val {
+            match (arg(a).get(), arg(b).get()) {
+                (Some(x), Some(y)) => Val::Known(f(x, y)),
+                _ => Val::Unknown,
+            }
+        };
+        let un = |a: pf_ir::VReg, f: fn(f64) -> f64| -> Val {
+            match arg(a).get() {
+                Some(x) => Val::Known(f(x)),
+                None => Val::Unknown,
+            }
+        };
+
+        let mut v = match *op {
+            TapeOp::Const(c) => Val::Known(c.0),
+            TapeOp::Rand(lane) => {
+                if !seeded_rng {
+                    out.push(Diagnostic::new(
+                        &tape.name,
+                        Some(i),
+                        DiagKind::UnseededRand { lane },
+                    ));
+                }
+                Val::Unknown
+            }
+            TapeOp::Add(a, b) => bin(a, b, |x, y| x + y),
+            TapeOp::Sub(a, b) => bin(a, b, |x, y| x - y),
+            TapeOp::Mul(a, b) => bin(a, b, |x, y| x * y),
+            TapeOp::Div(a, b) => {
+                if arg(b).get() == Some(0.0) {
+                    out.push(Diagnostic::new(
+                        &tape.name,
+                        Some(i),
+                        DiagKind::DivByZeroConst,
+                    ));
+                    Val::Unknown // reported at the origin; do not cascade
+                } else {
+                    bin(a, b, |x, y| x / y)
+                }
+            }
+            TapeOp::Neg(a) => un(a, |x| -x),
+            TapeOp::Sqrt(a) => un(a, f64::sqrt),
+            TapeOp::RSqrt(a) => un(a, |x| 1.0 / x.sqrt()),
+            TapeOp::Abs(a) => un(a, f64::abs),
+            TapeOp::Min(a, b) => bin(a, b, f64::min),
+            TapeOp::Max(a, b) => bin(a, b, f64::max),
+            TapeOp::Exp(a) => un(a, f64::exp),
+            TapeOp::Ln(a) => un(a, f64::ln),
+            TapeOp::Sin(a) => un(a, f64::sin),
+            TapeOp::Cos(a) => un(a, f64::cos),
+            TapeOp::Tanh(a) => un(a, f64::tanh),
+            TapeOp::Sign(a) => un(a, f64::signum),
+            TapeOp::Floor(a) => un(a, f64::floor),
+            TapeOp::Powf(a, b) => bin(a, b, f64::powf),
+            TapeOp::CmpSelect { op, l, r, t, f } => match (arg(l).get(), arg(r).get()) {
+                (Some(x), Some(y)) => {
+                    if op.eval(x, y) {
+                        arg(t)
+                    } else {
+                        arg(f)
+                    }
+                }
+                _ => Val::Unknown,
+            },
+            TapeOp::Param(_)
+            | TapeOp::Load { .. }
+            | TapeOp::Coord(_)
+            | TapeOp::Time
+            | TapeOp::CellIdx(_)
+            | TapeOp::Store { .. }
+            | TapeOp::Fence => Val::Unknown,
+        };
+
+        // A known NaN born at this instruction (from non-NaN inputs, since
+        // reported registers are demoted to unknown) is the fault origin.
+        if let Val::Known(x) = v {
+            if x.is_nan() {
+                let desc = match *op {
+                    TapeOp::Const(_) => "literal NaN constant".to_string(),
+                    _ => format!("{op:?} over constant-folded operands"),
+                };
+                out.push(Diagnostic::new(
+                    &tape.name,
+                    Some(i),
+                    DiagKind::NanConst { value_desc: desc },
+                ));
+                v = Val::Unknown;
+            }
+        }
+        vals.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{load, raw_tape, store};
+    use pf_ir::{TapeOp, VReg, CF};
+
+    #[test]
+    fn clean_arithmetic_has_no_findings() {
+        let t = raw_tape(vec![
+            load(0, 0, [0; 3]),
+            TapeOp::Const(CF(2.0)),
+            TapeOp::Div(VReg(0), VReg(1)),
+            store(1, 0, [0; 3], 2),
+        ]);
+        assert!(check_values(&t, true).is_empty());
+    }
+
+    #[test]
+    fn division_by_folded_zero_is_an_error() {
+        // 3 - 3 folds to 0; x / 0 must be flagged at the Div.
+        let t = raw_tape(vec![
+            load(0, 0, [0; 3]),
+            TapeOp::Const(CF(3.0)),
+            TapeOp::Sub(VReg(1), VReg(1)),
+            TapeOp::Div(VReg(0), VReg(2)),
+            store(1, 0, [0; 3], 3),
+        ]);
+        let d = check_values(&t, true);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(matches!(d[0].kind, DiagKind::DivByZeroConst));
+        assert_eq!(d[0].instr, Some(3));
+        assert!(d[0].is_error());
+    }
+
+    #[test]
+    fn nan_producing_fold_reports_origin_only_once() {
+        // sqrt(-1) is NaN; NaN + x must not re-fire downstream.
+        let t = raw_tape(vec![
+            TapeOp::Const(CF(-1.0)),
+            TapeOp::Sqrt(VReg(0)),
+            TapeOp::Const(CF(2.0)),
+            TapeOp::Add(VReg(1), VReg(2)),
+            store(0, 0, [0; 3], 3),
+        ]);
+        let d = check_values(&t, true);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(matches!(d[0].kind, DiagKind::NanConst { .. }));
+        assert_eq!(d[0].instr, Some(1));
+    }
+
+    #[test]
+    fn literal_nan_constant_is_flagged() {
+        let t = raw_tape(vec![TapeOp::Const(CF(f64::NAN)), store(0, 0, [0; 3], 0)]);
+        let d = check_values(&t, true);
+        assert!(matches!(d[0].kind, DiagKind::NanConst { .. }), "{d:?}");
+    }
+
+    #[test]
+    fn unseeded_rand_is_a_determinism_warning() {
+        let t = raw_tape(vec![TapeOp::Rand(2), store(0, 0, [0; 3], 0)]);
+        assert!(check_values(&t, true).is_empty());
+        let d = check_values(&t, false);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d[0].kind, DiagKind::UnseededRand { lane: 2 }));
+        assert!(!d[0].is_error());
+    }
+
+    #[test]
+    fn select_folds_through_known_comparisons() {
+        // CmpSelect picking the NaN branch on known operands is caught.
+        let t = raw_tape(vec![
+            TapeOp::Const(CF(1.0)),
+            TapeOp::Const(CF(2.0)),
+            TapeOp::Const(CF(0.0)),
+            TapeOp::Ln(VReg(2)), // ln(0) = -inf: fine, not NaN
+            TapeOp::CmpSelect {
+                op: pf_symbolic::CmpOp::Lt,
+                l: VReg(0),
+                r: VReg(1),
+                t: VReg(3),
+                f: VReg(0),
+            },
+            store(0, 0, [0; 3], 4),
+        ]);
+        assert!(check_values(&t, true).is_empty());
+    }
+}

@@ -266,6 +266,38 @@ pub fn run_kernel(
                 reads.push(store.get(*f));
             }
         }
+        // Launch gate: prove every access fits the bound arrays' actual
+        // ghost layers and padding before touching any memory. This is the
+        // runtime completion of pf-analyze's halo pass — generation-time
+        // verification cannot know what storage a caller will bind.
+        if pf_ir::verify_enabled() {
+            let allocs: Vec<pf_analyze::FieldAlloc> = (0..tape.fields.len())
+                .map(|slot| {
+                    let arr: &FieldArray = if write_map[slot] != usize::MAX {
+                        &writes[write_map[slot]]
+                    } else {
+                        reads[read_map[slot]]
+                    };
+                    let shape = arr.shape();
+                    pf_analyze::FieldAlloc {
+                        ghost: arr.ghost_layers(),
+                        pad: [
+                            shape[0].saturating_sub(domain[0]),
+                            shape[1].saturating_sub(domain[1]),
+                            shape[2].saturating_sub(domain[2]),
+                        ],
+                    }
+                })
+                .collect();
+            let halo = pf_analyze::check_halo(tape, &allocs);
+            assert!(
+                halo.is_empty(),
+                "kernel {} does not fit its bound storage:\n{}",
+                tape.name,
+                pf_analyze::render(&halo)
+            );
+        }
+
         let plan = resolve(tape, &reads, &writes, &read_map, &write_map);
         let read_data: Vec<&[f64]> = reads.iter().map(|a| a.data()).collect();
 
@@ -566,6 +598,32 @@ mod tests {
         store.get_mut(src).apply_periodic(1);
         store.allocate(dst, [n, n, 1], 1, Layout::Fzyx);
         store
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit its bound storage")]
+    fn launch_gate_rejects_out_of_halo_loads() {
+        // A second-neighbour load against single-ghost storage must be
+        // refused at launch, before any memory is touched.
+        let src = Field::new("ex_gate_src", 1, 2);
+        let dst = Field::new("ex_gate_dst", 1, 2);
+        let k = StencilKernel::new(
+            "gate",
+            vec![Assignment::store(
+                Access::center(dst, 0),
+                Expr::access(Access::at(src, 0, [2, 0, 0])),
+            )],
+        );
+        let tape = generate(&k, &GenOptions::default());
+        let mut store = setup(src, dst, 8);
+        run_kernel(
+            &tape,
+            &mut store,
+            &[],
+            [8, 8, 1],
+            &RunCtx::default(),
+            ExecMode::Serial,
+        );
     }
 
     #[test]

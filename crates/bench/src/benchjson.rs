@@ -255,8 +255,33 @@ pub fn validate(j: &Json) -> Vec<String> {
         }
         None => out.push("missing array field 'kernels'".into()),
     }
-    if j.get("extra").and_then(Json::as_obj).is_none() {
-        out.push("missing object field 'extra'".into());
+    match j.get("extra").and_then(Json::as_obj) {
+        Some(extra) => {
+            // `analysis` is optional (older artifacts predate the static-
+            // analysis layer), but when present it must be an object of
+            // numeric statistics covering at least one verified kernel.
+            if let Some(a) = extra.get("analysis") {
+                match a.as_obj() {
+                    Some(stats) => {
+                        for (k, v) in stats {
+                            if v.as_f64().is_none() {
+                                out.push(format!("extra.analysis.{k} must be numeric"));
+                            }
+                        }
+                        match stats.get("kernels_verified").and_then(Json::as_f64) {
+                            Some(n) if n >= 1.0 => {}
+                            Some(_) => {
+                                out.push("extra.analysis.kernels_verified must be >= 1".into())
+                            }
+                            None => out
+                                .push("extra.analysis present but kernels_verified missing".into()),
+                        }
+                    }
+                    None => out.push("extra.analysis must be an object".into()),
+                }
+            }
+        }
+        None => out.push("missing object field 'extra'".into()),
     }
     match j.get("metrics") {
         Some(m) => {
@@ -335,5 +360,71 @@ mod tests {
         }
         let v = validate(&j);
         assert!(v.iter().any(|e| e.contains("ratio")), "{v:?}");
+    }
+
+    #[test]
+    fn analysis_extra_is_optional_but_checked_when_present() {
+        // Absent (pre-analysis artifacts, e.g. committed baselines): valid.
+        assert!(validate(&sample().to_json()).is_empty());
+
+        // Present and well-formed: valid.
+        let mut r = sample();
+        r.extra.insert(
+            "analysis".into(),
+            Json::obj([
+                ("kernels_verified".to_string(), Json::Num(8.0)),
+                ("errors".to_string(), Json::Num(0.0)),
+                ("halo_width.phi".to_string(), Json::Num(1.0)),
+            ]),
+        );
+        assert!(validate(&r.to_json()).is_empty());
+
+        // Zero kernels verified means the stage silently did nothing.
+        let mut r = sample();
+        r.extra.insert(
+            "analysis".into(),
+            Json::obj([("kernels_verified".to_string(), Json::Num(0.0))]),
+        );
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("kernels_verified")), "{v:?}");
+
+        // Non-numeric statistics and non-object payloads are violations.
+        let mut r = sample();
+        r.extra.insert(
+            "analysis".into(),
+            Json::obj([
+                ("kernels_verified".to_string(), Json::Num(1.0)),
+                ("errors".to_string(), Json::str("none")),
+            ]),
+        );
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("must be numeric")), "{v:?}");
+
+        let mut r = sample();
+        r.extra.insert("analysis".into(), Json::str("oops"));
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("must be an object")), "{v:?}");
+    }
+
+    #[test]
+    fn committed_baselines_stay_schema_valid() {
+        // Schema extensions must never orphan the committed artifacts the
+        // perf gate diffs against.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines");
+        let mut checked = 0;
+        for entry in std::fs::read_dir(dir).expect("baselines/ exists") {
+            let path = entry.unwrap().path();
+            if path.extension().is_none_or(|e| e != "json") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).unwrap();
+            BenchReport::parse(&text)
+                .unwrap_or_else(|e| panic!("{} no longer validates: {e}", path.display()));
+            checked += 1;
+        }
+        assert!(
+            checked >= 8,
+            "expected the 8 committed baselines, saw {checked}"
+        );
     }
 }

@@ -219,6 +219,28 @@ pub fn emit_bench(
     kernels: Vec<KernelPerf>,
     extra: Vec<(String, Json)>,
 ) -> std::io::Result<PathBuf> {
+    let metrics = pf_trace::snapshot();
+    let mut extra: std::collections::BTreeMap<String, Json> = extra.into_iter().collect();
+    // Surface the static-analysis statistics (kernels verified, diagnostic
+    // counts, per-field halo widths) as a first-class `extra.analysis`
+    // object so artifact diffs see verification coverage directly instead
+    // of digging through the raw metric snapshot.
+    if !extra.contains_key("analysis") {
+        let mut analysis: Vec<(String, Json)> = Vec::new();
+        for (k, c) in &metrics.counters {
+            if let Some(short) = k.strip_prefix("analyze.") {
+                analysis.push((short.to_string(), Json::Num(c.total as f64)));
+            }
+        }
+        for (k, g) in &metrics.gauges {
+            if let Some(short) = k.strip_prefix("analyze.") {
+                analysis.push((short.to_string(), Json::Num(g.value)));
+            }
+        }
+        if !analysis.is_empty() {
+            extra.insert("analysis".into(), Json::obj(analysis));
+        }
+    }
     let report = BenchReport {
         name: name.into(),
         smoke: smoke(),
@@ -227,8 +249,8 @@ pub fn emit_bench(
             .map(|n| n.get() as u64)
             .unwrap_or(1),
         kernels,
-        extra: extra.into_iter().collect(),
-        metrics: pf_trace::snapshot(),
+        extra,
+        metrics,
     };
     let json = report.to_json();
     let violations = benchjson::validate(&json);

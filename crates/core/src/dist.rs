@@ -186,6 +186,14 @@ where
     R: Send + 'static,
 {
     let dec = Decomposition::new(cfg.global, cfg.ranks, cfg.periodic());
+    // The halo exchange fills dec.ghost_layers layers per sync; a kernel
+    // whose loads reach further would read stale or uninitialized ghosts.
+    let need = crate::kernels::required_halo_width(kernels);
+    assert!(
+        need <= dec.ghost_layers,
+        "kernel set needs {need} ghost layer(s) but the decomposition exchanges only {}",
+        dec.ghost_layers
+    );
     let results: parking_lot::Mutex<Vec<(usize, R)>> =
         parking_lot::Mutex::new(Vec::with_capacity(cfg.ranks));
     let plan = cfg.faults.clone().map(Arc::new);

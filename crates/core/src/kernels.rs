@@ -8,6 +8,7 @@
 
 use crate::model::{build_model, ModelExprs, ModelFields};
 use crate::params::ModelParams;
+use pf_analyze::{analyze, check_split_disjoint, AnalyzeOptions, FieldAlloc, SuiteReport};
 use pf_ir::{generate, GenOptions, Tape};
 use pf_stencil::{discretize_full, split_fluxes, Discretization, StencilKernel};
 use pf_symbolic::Field;
@@ -73,14 +74,102 @@ pub fn generate_kernels(p: &ModelParams, opts: &GenOptions) -> KernelSet {
 /// the PDE layer first — the paper's "user can extend the description on
 /// each level").
 pub fn generate_kernels_from(p: &ModelParams, m: &ModelExprs, opts: &GenOptions) -> KernelSet {
+    // From here on, every tape the pipeline produces passes through the
+    // pf-analyze SSA/value verifier (subject to PF_VERIFY).
+    pf_analyze::install_pipeline_verifier();
     let disc = Discretization::new(p.dim, [p.dx; 3]);
-    KernelSet {
+    let ks = KernelSet {
         fields: m.fields,
         phi_full: full_kernel("phi_full", &disc, &m.phi_updates, opts),
         mu_full: full_kernel("mu_full", &disc, &m.mu_updates, opts),
         phi_split: split_kernel("phi", &disc, &m.phi_updates, opts),
         mu_split: split_kernel("mu", &disc, &m.mu_updates, opts),
+    };
+    if pf_ir::verify_enabled() {
+        let suite = verify_kernel_set(p, &ks);
+        if let Some(errs) = suite.errors_rendered() {
+            panic!(
+                "kernel set for model '{}' failed verification:\n{errs}",
+                p.name
+            );
+        }
+        suite.record_trace();
     }
+    ks
+}
+
+/// Allocation table for `tape`, mirroring what `Simulation::new` (and the
+/// bench harness) actually allocate: cell-centred fields carry
+/// [`pf_grid::GHOST_LAYERS`] ghost layers; staggered flux temporaries have
+/// no ghosts but one pad cell along each swept dimension.
+fn alloc_table(p: &ModelParams, ks: &KernelSet, tape: &Tape) -> Vec<FieldAlloc> {
+    let stag = [ks.phi_split.stag_field, ks.mu_split.stag_field];
+    tape.fields
+        .iter()
+        .map(|f| {
+            if stag.contains(f) {
+                let mut pad = [0usize; 3];
+                for d in pad.iter_mut().take(p.dim) {
+                    *d = 1;
+                }
+                FieldAlloc { ghost: 0, pad }
+            } else {
+                FieldAlloc::ghosted(pf_grid::GHOST_LAYERS)
+            }
+        })
+        .collect()
+}
+
+/// Ghost-layer width the kernel set's loads of exchanged (cell-centred)
+/// fields require — what a halo exchange must provide. Staggered
+/// temporaries are block-local and excluded.
+pub fn required_halo_width(ks: &KernelSet) -> usize {
+    let stag = [ks.phi_split.stag_field, ks.mu_split.stag_field];
+    let tapes = all_tapes(ks);
+    let mut width = 0;
+    for tape in tapes {
+        let fp = pf_analyze::Footprint::of(tape);
+        for (slot, f) in tape.fields.iter().enumerate() {
+            if stag.contains(f) {
+                continue;
+            }
+            width = width.max(fp.required_ghost(slot, [0; 3]));
+        }
+    }
+    width
+}
+
+fn all_tapes(ks: &KernelSet) -> Vec<&Tape> {
+    let mut tapes: Vec<&Tape> = vec![&ks.phi_full, &ks.mu_full];
+    for split in [&ks.phi_split, &ks.mu_split] {
+        tapes.extend(split.flux_tapes.iter());
+        tapes.push(&split.update);
+    }
+    tapes
+}
+
+/// Run the full pf-analyze suite (SSA, halo fit against the real
+/// allocation shapes, intra-sweep hazards, value lints, split-group store
+/// disjointness) over every kernel of `ks`.
+pub fn verify_kernel_set(p: &ModelParams, ks: &KernelSet) -> SuiteReport {
+    let mut suite = SuiteReport::default();
+    for tape in all_tapes(ks) {
+        let opts = AnalyzeOptions {
+            allocs: Some(alloc_table(p, ks, tape)),
+            hazards: true,
+            seeded_rng: true,
+        };
+        suite.push(analyze(tape, &opts));
+    }
+    for split in [&ks.phi_split, &ks.mu_split] {
+        let group: Vec<&Tape> = split
+            .flux_tapes
+            .iter()
+            .chain(std::iter::once(&split.update))
+            .collect();
+        suite.group_diagnostics.extend(check_split_disjoint(&group));
+    }
+    suite
 }
 
 #[cfg(test)]

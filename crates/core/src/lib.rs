@@ -34,7 +34,10 @@ pub mod select;
 pub mod sim;
 
 pub use checkpoint::{params_fingerprint, CheckpointError, CheckpointHeader, RankMeta};
-pub use kernels::{generate_kernels, generate_kernels_from, KernelSet, SplitTapes};
+pub use kernels::{
+    generate_kernels, generate_kernels_from, required_halo_width, verify_kernel_set, KernelSet,
+    SplitTapes,
+};
 pub use model::{build_model, h_interp, temperature_expr, ModelExprs, ModelFields};
 pub use params::{p1, p2, ModelParams, TempModel};
 pub use select::{select_variants, VariantChoice};

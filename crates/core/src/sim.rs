@@ -70,16 +70,14 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Allocate all field storage (one ghost layer — the kernels are
-    /// compact) and initialize φ to pure liquid, µ to zero.
+    /// Allocate all field storage ([`pf_grid::GHOST_LAYERS`] ghost layers —
+    /// the kernels are compact, and pf-analyze's footprint pass proves they
+    /// fit) and initialize φ to pure liquid, µ to zero.
     pub fn new(params: ModelParams, kernels: KernelSet, cfg: SimConfig) -> Simulation {
         let mut store = FieldStore::new();
         let f = kernels.fields;
-        for field in [f.phi_src, f.phi_dst] {
-            store.allocate(field, cfg.shape, 1, Layout::Fzyx);
-        }
-        for field in [f.mu_src, f.mu_dst] {
-            store.allocate(field, cfg.shape, 1, Layout::Fzyx);
+        for field in [f.phi_src, f.phi_dst, f.mu_src, f.mu_dst] {
+            store.allocate(field, cfg.shape, pf_grid::GHOST_LAYERS, Layout::Fzyx);
         }
         // Staggered temporaries: +1 cell per dimension, no ghosts.
         let stag_shape = [

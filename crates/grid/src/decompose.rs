@@ -7,12 +7,21 @@
 //! exchange. A weight-driven assignment of blocks to ranks provides the
 //! (static) load-balancing hook.
 
+/// Ghost-layer width the decomposition allocates and exchanges by default.
+/// The paper's kernels are compact (nearest-neighbour) stencils, so one
+/// layer suffices; pf-analyze's footprint pass proves per kernel that this
+/// width actually covers every load.
+pub const GHOST_LAYERS: usize = 1;
+
 /// The global domain split into a process grid.
 #[derive(Clone, Debug)]
 pub struct Decomposition {
     pub global: [usize; 3],
     pub grid: [usize; 3],
     pub periodic: [bool; 3],
+    /// Ghost layers each block allocates per field (and the exchange
+    /// fills); see [`GHOST_LAYERS`].
+    pub ghost_layers: usize,
 }
 
 /// One rank's block.
@@ -61,7 +70,17 @@ impl Decomposition {
             global,
             grid,
             periodic,
+            ghost_layers: GHOST_LAYERS,
         }
+    }
+
+    /// Same decomposition with a different ghost-layer width (wider
+    /// stencils would need it; the analysis pass checks the fit either
+    /// way).
+    pub fn with_ghost_layers(mut self, ghost_layers: usize) -> Self {
+        assert!(ghost_layers >= 1, "halo exchange needs at least one layer");
+        self.ghost_layers = ghost_layers;
+        self
     }
 
     pub fn nranks(&self) -> usize {
@@ -207,5 +226,12 @@ mod tests {
     #[should_panic(expected = "cannot split")]
     fn uneven_split_is_rejected() {
         Decomposition::new([30, 30, 30], 7, [true; 3]);
+    }
+
+    #[test]
+    fn ghost_layers_default_and_override() {
+        let d = Decomposition::new([32, 32, 32], 2, [true; 3]);
+        assert_eq!(d.ghost_layers, GHOST_LAYERS);
+        assert_eq!(d.with_ghost_layers(2).ghost_layers, 2);
     }
 }

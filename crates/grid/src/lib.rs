@@ -19,5 +19,5 @@ pub use comm::{
     run_ranks, run_ranks_with_faults, with_silenced_dead_rank_panics, Comm, CommStats, FaultPlan,
     Kill, DEAD_RANK_MARKER,
 };
-pub use decompose::{BlockInfo, Decomposition};
+pub use decompose::{BlockInfo, Decomposition, GHOST_LAYERS};
 pub use exchange::{exchange_halo, halo_bytes, pack_face, unpack_face, CommOptions};

@@ -23,6 +23,7 @@ pub mod lower;
 pub mod pipeline;
 pub mod schedule;
 pub mod tape;
+pub mod verify;
 
 pub use interp::{interp_cell, interp_expr_context, MapEnv, TapeEnv, TapeResult};
 pub use levels::{apply_licm, compute_levels, level_histogram};
@@ -32,3 +33,6 @@ pub use schedule::{
     insert_fences, liveness, rematerialize, schedule_min_live, simulate_compiler_order, Liveness,
 };
 pub use tape::{ApproxOptions, Tape, TapeBuilder, TapeOp, VReg, CF};
+pub use verify::{
+    run_verifier, set_verifier, set_verify_enabled, verify_enabled, TapeVerifier, VerifyStage,
+};

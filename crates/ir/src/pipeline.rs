@@ -10,6 +10,7 @@
 use crate::levels::apply_licm;
 use crate::lower::lower_kernel;
 use crate::tape::{ApproxOptions, Tape};
+use crate::verify::{run_verifier, VerifyStage};
 use pf_stencil::{Assignment, StencilKernel};
 use pf_symbolic::{cse_with_prefix, expand, Expr, Symbol};
 use std::collections::HashMap;
@@ -137,7 +138,7 @@ pub fn generate(kernel: &StencilKernel, opts: &GenOptions) -> Tape {
     }
     tape.dead_code_eliminate();
     tape.approx = opts.approx;
-    debug_assert_eq!(tape.validate(), Ok(()), "generated tape failed validation");
+    run_verifier(&tape, VerifyStage::PostLowering);
     tape
 }
 

@@ -8,6 +8,7 @@
 //! load-hoisting behaviour that the fences exist to suppress.
 
 use crate::tape::{Tape, TapeOp, VReg};
+use crate::verify::{run_verifier, VerifyStage};
 
 /// Live-register statistics of a tape in its current instruction order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,7 +194,9 @@ pub fn schedule_dfs(tape: &Tape) -> Tape {
             emit(i, &mut order, &mut emitted);
         }
     }
-    reorder(tape, &order)
+    let out = reorder(tape, &order);
+    run_verifier(&out, VerifyStage::PostScheduling);
+    out
 }
 
 /// Reorder the tape's instructions to minimize peak register pressure:
@@ -329,7 +332,9 @@ pub fn schedule_beam(tape: &Tape, beam: usize) -> Tape {
         .min_by_key(|s| s.peak_live)
         .expect("at least one schedule survives");
     assert_eq!(best.order.len(), n, "incomplete schedule");
-    reorder(tape, &best.order)
+    let out = reorder(tape, &best.order);
+    run_verifier(&out, VerifyStage::PostScheduling);
+    out
 }
 
 /// Rebuild a tape following `order` (a permutation of instruction indices).
@@ -452,6 +457,7 @@ pub fn rematerialize(tape: &Tape, max_cost: u32) -> Tape {
         out.levels.push(level);
         remap[i] = Some(r);
     }
+    run_verifier(&out, VerifyStage::PostScheduling);
     out
 }
 
@@ -478,6 +484,7 @@ pub fn insert_fences(tape: &Tape, every: usize) -> Tape {
     }
     out.instrs = instrs;
     out.levels = levels;
+    run_verifier(&out, VerifyStage::PostScheduling);
     out
 }
 
@@ -510,7 +517,9 @@ pub fn simulate_compiler_order(tape: &Tape) -> Tape {
             region_start = i + 1;
         }
     }
-    reorder(tape, &order)
+    let out = reorder(tape, &order);
+    run_verifier(&out, VerifyStage::PostScheduling);
+    out
 }
 
 #[cfg(test)]

@@ -244,7 +244,10 @@ impl Tape {
         let mut live = vec![false; n];
         let mut stack: Vec<usize> = Vec::new();
         for (i, op) in self.instrs.iter().enumerate() {
-            if op.is_store() || op.is_fence() {
+            // Rand is a root too: each op consumes one lane of the per-cell
+            // Philox stream, so eliminating an "unused" one would shift the
+            // lanes of every later Rand and change the realized noise.
+            if op.is_store() || op.is_fence() || matches!(op, TapeOp::Rand(_)) {
                 live[i] = true;
                 stack.push(i);
             }
@@ -460,6 +463,31 @@ mod tests {
         } else {
             panic!("expected store last");
         }
+    }
+
+    #[test]
+    fn dce_keeps_rand_and_store_roots_bitwise_intact() {
+        // A store fed by a Rand, plus an unused Rand lane in between: DCE
+        // must keep everything (lane indices encode positions in the
+        // per-cell Philox stream) and leave the tape bitwise identical.
+        let f = Field::new("tp_dce_rand", 1, 3);
+        let mut b = TapeBuilder::new("t");
+        let r0 = b.emit(TapeOp::Rand(0));
+        let _unused = b.emit(TapeOp::Rand(1));
+        let half = b.emit(TapeOp::Const(CF(0.5)));
+        let v = b.emit(TapeOp::Mul(r0, half));
+        let slot = b.field_slot(f);
+        b.emit(TapeOp::Store {
+            field: slot,
+            comp: 0,
+            off: [0; 3],
+            val: v,
+        });
+        let t = b.finish([0; 3]);
+        let mut after = t.clone();
+        after.dead_code_eliminate();
+        assert_eq!(after.instrs, t.instrs, "DCE mutated a Rand-rooted tape");
+        assert_eq!(after.levels, t.levels);
     }
 
     #[test]

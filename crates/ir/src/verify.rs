@@ -1,0 +1,132 @@
+//! Pipeline verification hook.
+//!
+//! pf-ir manufactures tapes; pf-analyze proves invariants about them — but
+//! pf-analyze depends on pf-ir, so the dependency cannot point the other
+//! way. Instead the pipeline exposes a *hook*: `pf_analyze::
+//! install_pipeline_verifier()` registers its checker here once per
+//! process, and `generate` / every scheduling transform then run it on
+//! each tape they produce. Without an installed hook the built-in
+//! [`Tape::validate`] still runs, so the pipeline is never unchecked.
+//!
+//! Verification is on by default and controlled by `PF_VERIFY`:
+//! `PF_VERIFY=0` (or `off`/`false`) disables it — the escape hatch for
+//! perf measurements of generation itself — and
+//! [`set_verify_enabled`] overrides the environment programmatically.
+//! A failed verification panics: a malformed tape executed natively is
+//! undefined behaviour at worst and silent wrong physics at best, neither
+//! of which is recoverable by the caller.
+
+use crate::tape::Tape;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Where in the pipeline a tape is being verified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyStage {
+    /// After `generate` (lowering + LICM + DCE).
+    PostLowering,
+    /// After a scheduling transform (reorder, rematerialize, fences).
+    PostScheduling,
+}
+
+/// The hook signature: return `Err(rendered diagnostics)` to fail.
+pub type TapeVerifier = fn(&Tape, VerifyStage) -> Result<(), String>;
+
+static VERIFIER: Mutex<Option<TapeVerifier>> = Mutex::new(None);
+
+/// 0 = not yet read from the environment, 1 = disabled, 2 = enabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Install the process-wide tape verifier (normally
+/// `pf_analyze::install_pipeline_verifier` does this). Last install wins.
+pub fn set_verifier(v: TapeVerifier) {
+    *VERIFIER.lock().unwrap() = Some(v);
+}
+
+/// Is pipeline verification on? Defaults to yes; `PF_VERIFY=0`, `off` or
+/// `false` in the environment disables it. The answer is cached after the
+/// first read.
+pub fn verify_enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let on = match std::env::var("PF_VERIFY") {
+                Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+                Err(_) => true,
+            };
+            ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Programmatic override of `PF_VERIFY` (tests, benchmark harnesses).
+pub fn set_verify_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Run the built-in structural validation plus the installed hook on
+/// `tape`. Panics on failure — see the module docs for why.
+pub fn run_verifier(tape: &Tape, stage: VerifyStage) {
+    if !verify_enabled() {
+        return;
+    }
+    if let Err(e) = tape.validate() {
+        panic!(
+            "{stage:?} verification failed for kernel '{}': {e}",
+            tape.name
+        );
+    }
+    let hook = *VERIFIER.lock().unwrap();
+    if let Some(hook) = hook {
+        if let Err(e) = hook(tape, stage) {
+            panic!(
+                "{stage:?} verification failed for kernel '{}':\n{e}",
+                tape.name
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::{TapeBuilder, TapeOp, CF};
+    use pf_symbolic::Field;
+
+    fn tiny_tape() -> Tape {
+        let f = Field::new("vr_f", 1, 3);
+        let mut b = TapeBuilder::new("vr_tiny");
+        let c = b.emit(TapeOp::Const(CF(1.0)));
+        let slot = b.field_slot(f);
+        b.emit(TapeOp::Store {
+            field: slot,
+            comp: 0,
+            off: [0; 3],
+            val: c,
+        });
+        b.finish([0; 3])
+    }
+
+    #[test]
+    fn toggle_controls_whether_broken_tapes_are_caught() {
+        // One test for the whole toggle lifecycle: the switch is process
+        // state, and splitting this across #[test]s would race them.
+        set_verify_enabled(true);
+        assert!(verify_enabled());
+        let mut t = tiny_tape();
+        t.levels.clear(); // structurally invalid
+        set_verify_enabled(false);
+        assert!(!verify_enabled());
+        run_verifier(&t, VerifyStage::PostLowering); // must not panic
+        set_verify_enabled(true);
+        assert!(verify_enabled());
+    }
+
+    #[test]
+    fn clean_tape_passes_builtin_validation() {
+        set_verify_enabled(true);
+        run_verifier(&tiny_tape(), VerifyStage::PostScheduling);
+    }
+}

@@ -1,0 +1,302 @@
+//! Integration tests for the pf-analyze verification layer: every tape the
+//! real lowering/scheduling pipeline produces must pass the full static
+//! suite, each seeded violation class must come back as a *typed*
+//! diagnostic (never a panic from the passes themselves), and the
+//! on-by-default pipeline hook must abort generation of genuinely broken
+//! tapes with the rendered findings.
+
+use pf_analyze::{
+    analyze, check_halo, check_hazards, check_ssa, render, AnalyzeOptions, DiagKind, FieldAlloc,
+};
+use pf_ir::{
+    generate, insert_fences, rematerialize, run_verifier, schedule_min_live, ApproxOptions,
+    GenOptions, Tape, TapeOp, VReg, VerifyStage, CF,
+};
+use pf_stencil::{Assignment, StencilKernel};
+use pf_symbolic::{Access, Expr, Field};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Input field random expressions load from (registration is global —
+/// reuse one handle).
+fn src_field() -> Field {
+    static F: OnceLock<Field> = OnceLock::new();
+    *F.get_or_init(|| Field::new("verif_src", 3, 3))
+}
+
+/// Separate output field so generated kernels are honestly Jacobi:
+/// loads and stores touch disjoint fields, as the real φ/µ sweeps do.
+fn out_field() -> Field {
+    static F: OnceLock<Field> = OnceLock::new();
+    *F.get_or_init(|| Field::new("verif_out", 1, 3))
+}
+
+/// Random, numerically tame expressions over compact-stencil accesses
+/// (offsets within ±1 — one ghost layer's reach, like every kernel the
+/// discretization emits).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (1i32..40).prop_map(|v| Expr::num(v as f64 / 8.0)),
+        Just(Expr::sym("verif_p")),
+        (0usize..3, -1i32..=1, -1i32..=1, -1i32..=1)
+            .prop_map(|(c, ox, oy, oz)| Expr::access(Access::at(src_field(), c, [ox, oy, oz]))),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a / (Expr::powi(b, 2) + 1.0)),
+            inner
+                .clone()
+                .prop_map(|a| Expr::sqrt(Expr::powi(a, 2) + 0.5)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::max(a, b)),
+            (2i64..4, inner.clone()).prop_map(|(n, a)| Expr::powi(a, n)),
+            inner.clone().prop_map(Expr::abs),
+        ]
+    })
+}
+
+fn lower(name: &str, e: &Expr) -> Tape {
+    let k = StencilKernel::new(
+        name,
+        vec![Assignment::store(
+            Access::at(out_field(), 0, [0, 0, 0]),
+            e.clone(),
+        )],
+    );
+    generate(&k, &GenOptions::default())
+}
+
+/// All passes on, proving halo fit against one ghost layer everywhere —
+/// the width `pf_grid::GHOST_LAYERS` actually allocates.
+fn full_suite_opts(tape: &Tape) -> AnalyzeOptions {
+    AnalyzeOptions {
+        allocs: Some(vec![FieldAlloc::ghosted(1); tape.fields.len()]),
+        hazards: true,
+        seeded_rng: true,
+    }
+}
+
+/// Hand-built tape for seeding violations the builder would reject.
+fn raw_tape(instrs: Vec<TapeOp>) -> Tape {
+    let n = instrs.len();
+    Tape {
+        name: "neg_kernel".into(),
+        fields: vec![src_field(), out_field()],
+        params: Vec::new(),
+        instrs,
+        iter_extent: [0; 3],
+        levels: vec![3; n],
+        loop_order: [2, 1, 0],
+        approx: ApproxOptions::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite (b): anything `generate` lowers from a random expression
+    /// tree passes the entire suite — SSA, halo fit within one ghost
+    /// layer, hazards, value lints — with zero diagnostics of any
+    /// severity.
+    #[test]
+    fn lowered_random_expressions_pass_the_full_suite(e in arb_expr()) {
+        let tape = lower("verif_prop", &e);
+        let a = analyze(&tape, &full_suite_opts(&tape));
+        prop_assert!(
+            a.diagnostics.is_empty(),
+            "lowered tape not clean:\n{}",
+            render(&a.diagnostics)
+        );
+    }
+
+    /// The GPU-style scheduling chain (rematerialize → register-pressure
+    /// reschedule → fence insertion) preserves suite-cleanliness. Each
+    /// transform also re-runs the pipeline verifier internally, so this
+    /// doubles as an end-to-end exercise of the hook on real tapes.
+    #[test]
+    fn scheduled_chains_stay_clean(e in arb_expr()) {
+        let base = lower("verif_sched", &e);
+        let chain = insert_fences(&schedule_min_live(&rematerialize(&base, 2), 20), 48);
+        let a = analyze(&chain, &full_suite_opts(&chain));
+        prop_assert!(
+            a.diagnostics.is_empty(),
+            "scheduled tape not clean:\n{}",
+            render(&a.diagnostics)
+        );
+    }
+}
+
+// --- Satellite (c): seeded violations → typed diagnostics, no panics ----
+
+#[test]
+fn use_before_def_is_a_typed_diagnostic() {
+    let t = raw_tape(vec![
+        TapeOp::Add(VReg(0), VReg(7)), // r7 never defined
+        TapeOp::Store {
+            field: 1,
+            comp: 0,
+            off: [0; 3],
+            val: VReg(0),
+        },
+    ]);
+    let d = check_ssa(&t);
+    assert!(
+        d.iter()
+            .any(|d| matches!(d.kind, DiagKind::UseBeforeDef { reg: 7 })
+                && d.instr == Some(0)
+                && d.is_error()),
+        "{}",
+        render(&d)
+    );
+    // Through the front door the deep passes are skipped and the report
+    // stays at the root cause.
+    let a = analyze(&t, &full_suite_opts(&t));
+    assert!(!a.is_clean());
+    assert!(a
+        .diagnostics
+        .iter()
+        .all(|d| d.kind.code().starts_with("ssa.")));
+}
+
+#[test]
+fn out_of_halo_load_is_a_typed_diagnostic() {
+    let t = raw_tape(vec![
+        TapeOp::Load {
+            field: 0,
+            comp: 0,
+            off: [2, 0, 0], // two cells past the interior, one layer allocated
+        },
+        TapeOp::Store {
+            field: 1,
+            comp: 0,
+            off: [0; 3],
+            val: VReg(0),
+        },
+    ]);
+    let d = check_halo(&t, &[FieldAlloc::ghosted(1), FieldAlloc::ghosted(1)]);
+    assert!(
+        d.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::HaloOverflow {
+                dim: 0,
+                reach: 2,
+                avail: 1,
+                is_store: false,
+                ..
+            }
+        ) && d.instr == Some(0)),
+        "{}",
+        render(&d)
+    );
+    let err = pf_analyze::verify(&t, &full_suite_opts(&t)).unwrap_err();
+    assert!(err.to_string().contains("halo.overflow"), "{err}");
+}
+
+#[test]
+fn intra_sweep_write_read_hazard_is_a_typed_diagnostic() {
+    // Cells store (0,0,0) of src comp 0 while reading their neighbour's
+    // copy — a race under any parallel execution of the sweep.
+    let t = raw_tape(vec![
+        TapeOp::Load {
+            field: 0,
+            comp: 0,
+            off: [-1, 0, 0],
+        },
+        TapeOp::Store {
+            field: 0,
+            comp: 0,
+            off: [0; 3],
+            val: VReg(0),
+        },
+    ]);
+    let d = check_hazards(&t);
+    assert!(
+        d.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::IntraSweepHazard {
+                comp: 0,
+                store_off: [0, 0, 0],
+                load_off: [-1, 0, 0],
+                ..
+            }
+        ) && d.is_error()),
+        "{}",
+        render(&d)
+    );
+}
+
+/// The hook pf-core installs aborts generation of a tape whose denominator
+/// constant-folds to zero — a violation the structural `Tape::validate`
+/// cannot see, so the panic message carries pf-analyze's rendered code.
+#[test]
+fn pipeline_hook_rejects_const_division_by_zero() {
+    pf_analyze::install_pipeline_verifier();
+    let t = raw_tape(vec![
+        TapeOp::Const(CF(1.0)),
+        TapeOp::Const(CF(0.0)),
+        TapeOp::Div(VReg(0), VReg(1)),
+        TapeOp::Store {
+            field: 1,
+            comp: 0,
+            off: [0; 3],
+            val: VReg(2),
+        },
+    ]);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_verifier(&t, VerifyStage::PostLowering);
+    }));
+    let msg = match caught {
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into()),
+        Ok(()) => panic!("verifier accepted a div-by-zero tape"),
+    };
+    assert!(msg.contains("value.div-by-zero"), "{msg}");
+    assert!(msg.contains("neg_kernel"), "{msg}");
+}
+
+// --- Whole-model verification ------------------------------------------
+
+/// The tentpole end-to-end claim: every kernel of both paper
+/// configurations passes the full suite (this also runs implicitly inside
+/// `generate_kernels`, which would panic otherwise — here we inspect the
+/// report itself).
+#[test]
+fn paper_models_verify_clean_with_expected_halo_widths() {
+    for p in [pf_core::p1(), pf_core::p2()] {
+        let ks = pf_core::generate_kernels(&p, &GenOptions::default());
+        let suite = pf_core::verify_kernel_set(&p, &ks);
+        assert!(
+            suite.is_clean(),
+            "model {}:\n{}",
+            p.name,
+            suite.errors_rendered().unwrap_or_default()
+        );
+        // Four sweeps minimum: φ/µ full plus the split variants.
+        assert!(
+            suite.kernels_verified() >= 4,
+            "{}",
+            suite.kernels_verified()
+        );
+        // The compact discretization must fit the grid's single exchanged
+        // ghost layer — this is the invariant the distributed driver
+        // asserts before every halo exchange.
+        assert!(pf_core::required_halo_width(&ks) <= pf_grid::GHOST_LAYERS);
+        // φ is loaded with a one-cell reach somewhere in the set.
+        let widths = suite.halo_widths();
+        assert!(
+            widths.values().any(|&w| w == 1),
+            "no field needs a halo? {widths:?}"
+        );
+    }
+}
+
+/// Verification is on by default (PF_VERIFY unset in the test
+/// environment).
+#[test]
+fn verification_defaults_to_enabled() {
+    assert!(pf_ir::verify_enabled());
+}
