@@ -114,6 +114,13 @@ pub enum DiagKind {
         comp: u16,
     },
 
+    // --- Schedule lints -------------------------------------------------
+    /// Instruction levels are non-monotone (a GPU-oriented reschedule moved
+    /// a hoisted instruction after a per-cell one). CPU executors can only
+    /// hoist monotone prefix sections, so LICM is silently lost: every
+    /// loop-invariant instruction re-executes per cell.
+    NonMonotoneLevels { prev: u8, next: u8 },
+
     // --- Value lints ----------------------------------------------------
     /// Division whose denominator constant-folds to exactly zero.
     DivByZeroConst,
@@ -146,6 +153,7 @@ impl DiagKind {
             JacobiViolation { .. } => "hazard.jacobi",
             DuplicateStore { .. } => "hazard.duplicate-store",
             OverlappingSplitStores { .. } => "hazard.split-overlap",
+            NonMonotoneLevels { .. } => "schedule.licm-lost",
             DivByZeroConst => "value.div-by-zero",
             NanConst { .. } => "value.nan-const",
             UnseededRand { .. } => "value.unseeded-rand",
@@ -156,9 +164,10 @@ impl DiagKind {
         use DiagKind::*;
         match self {
             // Warnings: suspicious but executable / deterministic.
-            JacobiViolation { .. } | DuplicateStore { .. } | UnseededRand { .. } => {
-                Severity::Warning
-            }
+            JacobiViolation { .. }
+            | DuplicateStore { .. }
+            | UnseededRand { .. }
+            | NonMonotoneLevels { .. } => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -246,6 +255,11 @@ impl fmt::Display for DiagKind {
                 f,
                 "store set overlaps kernel '{other_kernel}' on field '{field}' comp {comp} \
                  — split variants must touch disjoint store sets"
+            ),
+            NonMonotoneLevels { prev, next } => write!(
+                f,
+                "instruction levels descend ({next} after {prev}) — CPU executors hoist \
+                 only monotone prefix sections, so loop-invariant work runs per cell"
             ),
             DivByZeroConst => write!(f, "division by a constant that folds to exactly zero"),
             NanConst { value_desc } => {

@@ -14,7 +14,10 @@
 //! 3. **Intra-sweep hazards** ([`hazard::check_hazards`]) — Jacobi
 //!    discipline: no cell of a sweep reads what another cell of the same
 //!    sweep writes; split kernel variants store to disjoint sets.
-//! 4. **Value lints** ([`value::check_values`]) — constant-folded division
+//! 4. **Schedule lints** ([`schedule::check_levels`]) — non-monotone
+//!    instruction levels (a GPU reschedule) that silently disable LICM
+//!    hoisting on CPU executors.
+//! 5. **Value lints** ([`value::check_values`]) — constant-folded division
 //!    by zero, NaN-producing folds, `Rand` without a seeded Philox stream.
 //!
 //! Findings are typed, source-located [`Diagnostic`]s (the tape is SSA, so
@@ -34,12 +37,14 @@
 pub mod diag;
 pub mod footprint;
 pub mod hazard;
+pub mod schedule;
 pub mod ssa;
 pub mod value;
 
 pub use diag::{render, DiagKind, Diagnostic, Severity};
 pub use footprint::{check_halo, Envelope, FieldAlloc, FieldFootprint, Footprint};
 pub use hazard::{check_hazards, check_split_disjoint};
+pub use schedule::check_levels;
 pub use ssa::check_ssa;
 pub use value::check_values;
 
@@ -111,6 +116,7 @@ pub fn analyze(tape: &Tape, opts: &AnalyzeOptions) -> Analysis {
         if opts.hazards {
             diagnostics.extend(hazard::check_hazards(tape));
         }
+        diagnostics.extend(schedule::check_levels(tape));
         diagnostics.extend(value::check_values(tape, opts.seeded_rng));
     }
     Analysis {
@@ -242,6 +248,18 @@ impl SuiteReport {
         pf_trace::counter("analyze.kernels_verified").incr(self.kernels_verified() as u64);
         pf_trace::counter("analyze.diagnostics").incr(self.diagnostic_count() as u64);
         pf_trace::counter("analyze.errors").incr(self.error_count() as u64);
+        let licm_lost = self
+            .analyses
+            .iter()
+            .filter(|a| {
+                a.diagnostics
+                    .iter()
+                    .any(|d| matches!(d.kind, DiagKind::NonMonotoneLevels { .. }))
+            })
+            .count();
+        if licm_lost > 0 {
+            pf_trace::counter("analyze.licm_disabled").incr(licm_lost as u64);
+        }
         for (field, width) in self.halo_widths() {
             pf_trace::gauge(&format!("analyze.halo_width.{field}")).set(width as f64);
         }

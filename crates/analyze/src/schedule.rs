@@ -1,0 +1,63 @@
+//! Schedule lints: properties of the instruction order itself.
+//!
+//! The LICM pass sorts instructions by level so executors can hoist the
+//! monotone prefix sections out of inner loops. GPU-oriented reschedules
+//! (live-range minimization, fence insertion) legitimately break that
+//! monotonicity — the GPU backend does not hoist — but running such a tape
+//! on a CPU executor silently degrades to per-cell execution of every
+//! loop-invariant instruction. [`check_levels`] surfaces that as a warning
+//! so the regression is visible in verification suites and BENCH reports
+//! instead of only as lost throughput.
+
+use crate::diag::{DiagKind, Diagnostic};
+use pf_ir::Tape;
+
+/// Warn when instruction levels are non-monotone (LICM hoisting lost on
+/// CPU executors). At most one finding per tape, located at the first
+/// descent.
+pub fn check_levels(tape: &Tape) -> Vec<Diagnostic> {
+    for (i, w) in tape.levels.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return vec![Diagnostic::new(
+                &tape.name,
+                Some(i + 1),
+                DiagKind::NonMonotoneLevels {
+                    prev: w[0],
+                    next: w[1],
+                },
+            )];
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{load, raw_tape, store};
+
+    #[test]
+    fn monotone_levels_are_clean() {
+        let mut t = raw_tape(vec![load(0, 0, [0; 3]), store(1, 0, [0; 3], 0)]);
+        t.levels = vec![3, 3];
+        assert!(check_levels(&t).is_empty());
+        t.levels = vec![0, 3];
+        assert!(check_levels(&t).is_empty());
+    }
+
+    #[test]
+    fn descending_levels_warn_once_at_first_descent() {
+        let mut t = raw_tape(vec![
+            load(0, 0, [0; 3]),
+            pf_ir::TapeOp::Const(pf_ir::CF(2.0)),
+            store(1, 0, [0; 3], 0),
+        ]);
+        t.levels = vec![3, 0, 3];
+        let diags = check_levels(&t);
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.kind.code(), "schedule.licm-lost");
+        assert_eq!(d.instr, Some(1));
+        assert!(!d.is_error(), "executable, just slow — a warning");
+    }
+}

@@ -2,21 +2,28 @@
 //!
 //! Runs a compiled tape over a block: the moral equivalent of the paper's
 //! generated C/OpenMP code. Loads and stores are resolved to (array, linear
-//! offset) pairs once per launch; the spatial loops then execute the tape's
-//! level sections at the right loop depths (LICM hoisting), serially or
-//! parallelized over the outermost loop with rayon (the OpenMP analogue).
+//! offset) pairs — once per (kernel, storage geometry), the resulting
+//! [`Plan`] is cached — and the spatial loops then execute the tape's level
+//! sections at the right loop depths (LICM hoisting). Three loop drivers:
+//! serial, rayon-parallel over the outermost loop (the OpenMP analogue),
+//! and the strip-mined vectorized engine in [`crate::vector`] (the paper's
+//! explicitly vectorized kernels, §3.5).
 //!
-//! The only `unsafe` in the whole workspace lives here: the parallel path
-//! writes disjoint outer-loop slabs of the destination arrays through a
-//! shared pointer. The disjointness invariant is asserted before entering
-//! the parallel region (all stores target the centre cell, so two different
-//! outer-loop indices can never write the same address).
+//! The only `unsafe` in the whole workspace lives in this crate: the
+//! parallel paths write disjoint outer-loop slabs of the destination arrays
+//! through a shared pointer ([`RawSlice`]). The disjointness invariant —
+//! every store hits the centre cell along the outer loop dimension, so two
+//! outer indices can never write the same address — is checked before any
+//! memory is touched; violations surface as a typed [`ExecError`] (and
+//! [`run_kernel`] falls back to serial execution instead of racing).
 
 use crate::store::FieldStore;
 use pf_fields::FieldArray;
 use pf_ir::{Tape, TapeOp};
 use pf_rng::CellRng;
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Per-launch execution context.
 #[derive(Clone, Copy, Debug)]
@@ -49,13 +56,53 @@ impl Default for RunCtx {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecMode {
     Serial,
-    /// Parallelize the outermost spatial loop across the rayon pool.
+    /// Parallelize the outermost spatial loop across the rayon pool,
+    /// one cell at a time (scalar interpretation).
     Parallel,
+    /// Strip-mined batch execution: interpret the tape over x-strips of
+    /// [`crate::STRIP_WIDTH`] cells with SoA lane registers, parallelized
+    /// over cache-blocked outer-loop slabs. Bitwise identical to `Serial`.
+    Vectorized,
 }
+
+/// Typed launch failure. Detected before any memory is written, so the
+/// bound storage is untouched when an error is returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Parallel and vectorized execution partition the outer spatial loop
+    /// across threads; a store at a nonzero offset along that dimension
+    /// would let two partitions write the same cell. Run such kernels
+    /// serially (or reschedule the store to the centre cell).
+    NonCentreStore {
+        kernel: String,
+        /// The outer loop dimension (`loop_order[0]`).
+        dim: usize,
+        /// The offending store offset along that dimension.
+        offset: i16,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::NonCentreStore {
+                kernel,
+                dim,
+                offset,
+            } => write!(
+                f,
+                "kernel '{kernel}' stores at offset {offset} along the outer loop \
+                 dimension {dim} — parallel partitions would overlap; run it serially"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// A tape instruction with its memory accesses resolved.
 #[derive(Clone, Copy, Debug)]
-enum Step {
+pub(crate) enum Step {
     Op(TapeOp),
     /// Load from read-array `arr` at `cell_base + delta`.
     Load {
@@ -70,15 +117,18 @@ enum Step {
     },
 }
 
-struct Plan {
-    steps: Vec<Step>,
+pub(crate) struct Plan {
+    pub(crate) steps: Vec<Step>,
     /// level boundaries: steps[..sec[0]] = level 0, ..sec[1] = ≤1, etc.
-    sec: [usize; 4],
+    pub(crate) sec: [usize; 4],
     /// strides (x,y,z) of each read array
-    read_strides: Vec<[isize; 3]>,
-    read_base: Vec<isize>,
-    write_strides: Vec<[isize; 3]>,
-    write_base: Vec<isize>,
+    pub(crate) read_strides: Vec<[isize; 3]>,
+    pub(crate) read_base: Vec<isize>,
+    pub(crate) write_strides: Vec<[isize; 3]>,
+    pub(crate) write_base: Vec<isize>,
+    /// The tape's levels were non-monotone (a GPU-oriented reschedule), so
+    /// every hoisted section collapsed to per-cell execution.
+    pub(crate) licm_disabled: bool,
 }
 
 fn resolve(
@@ -164,13 +214,70 @@ fn resolve(
             })
             .collect(),
         write_base: writes.iter().map(base_of).collect(),
+        licm_disabled: !monotone,
     }
 }
 
-/// Shared mutable view over a write array for the parallel path. Safety rests
-/// on the caller guaranteeing disjoint index sets per thread.
+/// Cache key: the tape's structural fingerprint plus the bound storage
+/// geometry (base offset and strides per field slot). Two launches with
+/// equal keys resolve to byte-identical plans, so `resolve()` runs once per
+/// (kernel, block shape) instead of on every launch.
+#[derive(PartialEq, Eq, Hash)]
+struct PlanKey {
+    tape: u64,
+    geom: Vec<(isize, [isize; 4])>,
+}
+
+fn plan_cache() -> &'static Mutex<HashMap<PlanKey, Arc<Plan>>> {
+    static CACHE: OnceLock<Mutex<HashMap<PlanKey, Arc<Plan>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn resolve_cached(
+    tape: &Tape,
+    reads: &[&FieldArray],
+    writes: &[FieldArray],
+    read_map: &[usize],
+    write_map: &[usize],
+) -> Arc<Plan> {
+    let geom = (0..tape.fields.len())
+        .map(|slot| {
+            let arr: &FieldArray = if write_map[slot] != usize::MAX {
+                &writes[write_map[slot]]
+            } else {
+                reads[read_map[slot]]
+            };
+            (arr.index(0, 0, 0, 0) as isize, arr.strides())
+        })
+        .collect();
+    let key = PlanKey {
+        tape: tape.structural_hash(),
+        geom,
+    };
+    let mut cache = plan_cache().lock().expect("plan cache poisoned");
+    if let Some(plan) = cache.get(&key) {
+        if pf_trace::enabled() {
+            pf_trace::counter(&format!("exec.plan_cache.hit.{}", tape.name)).incr(1);
+        }
+        return Arc::clone(plan);
+    }
+    if pf_trace::enabled() {
+        pf_trace::counter(&format!("exec.plan_cache.miss.{}", tape.name)).incr(1);
+    }
+    let plan = Arc::new(resolve(tape, reads, writes, read_map, write_map));
+    // Growth guard: a long-lived process cycling through many distinct
+    // (kernel, shape) pairs should not leak plans without bound.
+    if cache.len() >= 512 {
+        cache.clear();
+    }
+    cache.insert(key, Arc::clone(&plan));
+    plan
+}
+
+/// Shared mutable view over a write array for the parallel paths. Safety
+/// rests on the caller guaranteeing disjoint index sets per thread.
 #[derive(Clone, Copy)]
-struct RawSlice {
+pub(crate) struct RawSlice {
     ptr: *mut f64,
     len: usize,
 }
@@ -179,24 +286,31 @@ unsafe impl Sync for RawSlice {}
 
 impl RawSlice {
     #[inline]
-    unsafe fn write(&self, idx: usize, v: f64) {
+    pub(crate) unsafe fn write(&self, idx: usize, v: f64) {
         debug_assert!(idx < self.len);
         unsafe { *self.ptr.add(idx) = v }
+    }
+
+    /// Contiguous unit-stride store of a whole strip.
+    #[inline]
+    pub(crate) unsafe fn write_strip(&self, idx: usize, src: &[f64]) {
+        debug_assert!(idx + src.len() <= self.len);
+        unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(idx), src.len()) }
     }
 }
 
 #[inline]
-fn f32_div(a: f64, b: f64) -> f64 {
+pub(crate) fn f32_div(a: f64, b: f64) -> f64 {
     (a as f32 / b as f32) as f64
 }
 
 #[inline]
-fn f32_sqrt(a: f64) -> f64 {
+pub(crate) fn f32_sqrt(a: f64) -> f64 {
     (a as f32).sqrt() as f64
 }
 
 #[inline]
-fn f32_rsqrt(a: f64) -> f64 {
+pub(crate) fn f32_rsqrt(a: f64) -> f64 {
     (1.0 / (a as f32).sqrt()) as f64
 }
 
@@ -204,6 +318,11 @@ fn f32_rsqrt(a: f64) -> f64 {
 ///
 /// `domain` is the block's interior cell shape; the written arrays must be
 /// sized to accept the extended iteration range of face kernels.
+///
+/// Infallible wrapper over [`run_kernel_checked`]: a kernel whose stores
+/// violate the parallel partitioning constraint is re-run serially (with an
+/// `exec.serial_fallback.<kernel>` trace counter) instead of panicking
+/// mid-launch or racing.
 pub fn run_kernel(
     tape: &Tape,
     store: &mut FieldStore,
@@ -212,6 +331,28 @@ pub fn run_kernel(
     ctx: &RunCtx,
     mode: ExecMode,
 ) {
+    match run_kernel_checked(tape, store, params, domain, ctx, mode) {
+        Ok(()) => {}
+        Err(ExecError::NonCentreStore { .. }) => {
+            if pf_trace::enabled() {
+                pf_trace::counter(&format!("exec.serial_fallback.{}", tape.name)).incr(1);
+            }
+            run_kernel_checked(tape, store, params, domain, ctx, ExecMode::Serial)
+                .expect("serial execution has no store-offset constraints");
+        }
+    }
+}
+
+/// Execute `tape`, returning a typed error instead of falling back when the
+/// requested mode cannot run it. On `Err` the bound storage is untouched.
+pub fn run_kernel_checked(
+    tape: &Tape,
+    store: &mut FieldStore,
+    params: &[f64],
+    domain: [usize; 3],
+    ctx: &RunCtx,
+    mode: ExecMode,
+) -> Result<(), ExecError> {
     assert_eq!(
         params.len(),
         tape.params.len(),
@@ -220,11 +361,50 @@ pub fn run_kernel(
         tape.params.len()
     );
 
-    // Observability: one span + two counter bumps per launch (a launch
+    // Loops iterate the extended range (interior + face-kernel extent).
+    let ext = [
+        domain[0] + tape.iter_extent[0],
+        domain[1] + tape.iter_extent[1],
+        domain[2] + tape.iter_extent[2],
+    ];
+    let order = tape.loop_order;
+
+    // The strip engine mines strips along the unit-stride x dimension,
+    // which the LICM pass always keeps innermost (`compute_levels` asserts
+    // it). Defensively run hand-built tapes that violate this serially.
+    let mode = if mode == ExecMode::Vectorized && order[2] != 0 {
+        ExecMode::Serial
+    } else {
+        mode
+    };
+
+    // Partitioned execution (Parallel and Vectorized) splits the outer
+    // spatial loop across threads; stores off-centre along that dimension
+    // would let two partitions write the same cell. Checked before any
+    // array is taken out of the store, so an `Err` leaves it untouched.
+    if mode != ExecMode::Serial {
+        for op in &tape.instrs {
+            if let TapeOp::Store { off, .. } = op {
+                if off[order[0]] != 0 {
+                    return Err(ExecError::NonCentreStore {
+                        kernel: tape.name.clone(),
+                        dim: order[0],
+                        offset: off[order[0]],
+                    });
+                }
+            }
+        }
+    }
+
+    // Observability: one span + a few counter bumps per launch (a launch
     // sweeps a whole block, so this is far off the per-cell hot path).
+    // `exec.cells` meters the actual iteration extent, not the interior:
+    // face kernels sweep (domain + iter_extent) cells.
     if pf_trace::enabled() {
         pf_trace::counter(&format!("exec.launches.{}", tape.name)).incr(1);
-        pf_trace::counter("exec.cells").incr((domain[0] * domain[1] * domain[2]) as u64);
+        let n = (ext[0] * ext[1] * ext[2]) as u64;
+        pf_trace::counter("exec.cells").incr(n);
+        pf_trace::counter(&format!("exec.cells.{}", tape.name)).incr(n);
     }
     let _launch_span = pf_trace::span_lazy(|| format!("exec.kernel.{}", tape.name));
 
@@ -298,15 +478,14 @@ pub fn run_kernel(
             );
         }
 
-        let plan = resolve(tape, &reads, &writes, &read_map, &write_map);
+        let plan = resolve_cached(tape, &reads, &writes, &read_map, &write_map);
+        // Surface LICM loss per launch: GPU-rescheduled tapes run every
+        // hoisted section per cell on the CPU, silently costing throughput.
+        if plan.licm_disabled && pf_trace::enabled() {
+            pf_trace::counter(&format!("exec.licm_disabled.{}", tape.name)).incr(1);
+        }
         let read_data: Vec<&[f64]> = reads.iter().map(|a| a.data()).collect();
 
-        let ext = [
-            domain[0] + tape.iter_extent[0],
-            domain[1] + tape.iter_extent[1],
-            domain[2] + tape.iter_extent[2],
-        ];
-        let order = tape.loop_order;
         let outer_n = ext[order[0]];
 
         match mode {
@@ -326,16 +505,6 @@ pub fn run_kernel(
                 }
             }
             ExecMode::Parallel => {
-                // Disjointness: every store writes the centre cell along the
-                // outer dimension, so distinct outer indices are disjoint.
-                for op in &tape.instrs {
-                    if let TapeOp::Store { off, .. } = op {
-                        assert_eq!(
-                            off[order[0]], 0,
-                            "parallel execution requires centre stores along the outer loop"
-                        );
-                    }
-                }
                 let raw: Vec<RawSlice> = writes
                     .iter_mut()
                     .map(|a| {
@@ -347,22 +516,38 @@ pub fn run_kernel(
                     })
                     .collect();
                 let raw = &raw;
-                let plan_ref = &plan;
+                let plan_ref = &*plan;
                 let read_data = &read_data;
-                (0..outer_n).into_par_iter().for_each(|o| {
-                    let mut regs = vec![0.0f64; tape.instrs.len()];
-                    let mut cell = CellCursor::new(tape, plan_ref, params, ctx, ext);
-                    cell.exec_section(&mut regs, read_data, 0, plan_ref.sec[0], [0; 3]);
-                    cell.run_outer(
-                        &mut regs,
-                        read_data,
-                        // SAFETY: distinct `o` values write disjoint cells
-                        // (asserted above), and each array index is in
-                        // bounds by construction of the plan deltas.
-                        &mut |idx, v, arr| unsafe { raw[arr].write(idx, v) },
-                        o,
-                    );
-                });
+                (0..outer_n).into_par_iter().for_each_init(
+                    || vec![0.0f64; tape.instrs.len()],
+                    |regs, o| {
+                        let mut cell = CellCursor::new(tape, plan_ref, params, ctx, ext);
+                        cell.exec_section(regs, read_data, 0, plan_ref.sec[0], [0; 3]);
+                        cell.run_outer(
+                            regs,
+                            read_data,
+                            // SAFETY: distinct `o` values write disjoint
+                            // cells (centre stores along the outer loop,
+                            // checked above), and each array index is in
+                            // bounds by construction of the plan deltas.
+                            &mut |idx, v, arr| unsafe { raw[arr].write(idx, v) },
+                            o,
+                        );
+                    },
+                );
+            }
+            ExecMode::Vectorized => {
+                let raw: Vec<RawSlice> = writes
+                    .iter_mut()
+                    .map(|a| {
+                        let d = a.data_mut();
+                        RawSlice {
+                            ptr: d.as_mut_ptr(),
+                            len: d.len(),
+                        }
+                    })
+                    .collect();
+                crate::vector::run_vectorized(tape, &plan, params, ctx, ext, &read_data, &raw);
             }
         }
     }
@@ -374,6 +559,7 @@ pub fn run_kernel(
             store.insert(*f, w.next().expect("one array per written field"));
         }
     }
+    Ok(())
 }
 
 /// Loop driver holding the per-launch constants.
@@ -644,27 +830,152 @@ mod tests {
     }
 
     #[test]
-    fn serial_and_parallel_agree_bitwise() {
+    fn serial_parallel_and_vectorized_agree_bitwise() {
+        // 20 % 8 = 4: the vectorized run exercises the remainder loop too.
         let (src, dst, tape) = heat_tapes();
         let mut s1 = setup(src, dst, 20);
         let mut s2 = setup(src, dst, 20);
+        let mut s3 = setup(src, dst, 20);
+        for (store, mode) in [
+            (&mut s1, ExecMode::Serial),
+            (&mut s2, ExecMode::Parallel),
+            (&mut s3, ExecMode::Vectorized),
+        ] {
+            run_kernel(&tape, store, &[], [20, 20, 1], &RunCtx::default(), mode);
+        }
+        assert_eq!(s1.get(dst).max_abs_diff(s2.get(dst)), 0.0);
+        assert_eq!(s1.get(dst).max_abs_diff(s3.get(dst)), 0.0);
+    }
+
+    #[test]
+    fn non_centre_outer_store_is_typed_error_with_serial_fallback() {
+        // A store offset along the outer loop dimension (z for the default
+        // [2,1,0] order) breaks the parallel partitioning: the checked API
+        // reports it as a typed error, the infallible API falls back to a
+        // serial launch that produces the same cells as ExecMode::Serial.
+        let src = Field::new("ex_nc_src", 1, 3);
+        let dst = Field::new("ex_nc_dst", 1, 3);
+        let k = StencilKernel::new(
+            "nc_store",
+            vec![Assignment::store(
+                Access::at(dst, 0, [0, 0, 1]),
+                Expr::access(Access::center(src, 0)),
+            )],
+        );
+        let tape = generate(&k, &GenOptions::default());
+        assert_eq!(tape.loop_order[0], 2, "z must be the outer loop here");
+        let mk = || {
+            let mut store = FieldStore::new();
+            store
+                .allocate(src, [8, 4, 4], 1, Layout::Fzyx)
+                .fill_with(0, |x, y, z| (x * 5 + y * 3 + z) as f64);
+            store.allocate(dst, [8, 4, 4], 1, Layout::Fzyx);
+            store
+        };
+        let ctx = RunCtx::default();
+
+        let mut serial = mk();
+        run_kernel(&tape, &mut serial, &[], [8, 4, 4], &ctx, ExecMode::Serial);
+
+        for mode in [ExecMode::Parallel, ExecMode::Vectorized] {
+            let mut s = mk();
+            let err = run_kernel_checked(&tape, &mut s, &[], [8, 4, 4], &ctx, mode)
+                .expect_err("off-centre outer store must be rejected");
+            match &err {
+                ExecError::NonCentreStore {
+                    kernel,
+                    dim,
+                    offset,
+                } => {
+                    assert_eq!(kernel, "nc_store");
+                    assert_eq!(*dim, 2);
+                    assert_eq!(*offset, 1);
+                }
+            }
+            assert!(err.to_string().contains("outer loop"), "{err}");
+            // Checked failure leaves the destination untouched…
+            assert!(s.get(dst).max_abs_diff(serial.get(dst)) > 0.0);
+            // …and the infallible API completes via the serial fallback.
+            let mut f = mk();
+            run_kernel(&tape, &mut f, &[], [8, 4, 4], &ctx, mode);
+            assert_eq!(f.get(dst).max_abs_diff(serial.get(dst)), 0.0);
+        }
+    }
+
+    #[test]
+    fn exec_cells_meters_the_extended_iteration_range() {
+        // Regression: the counter used to multiply the interior `domain`
+        // while the loops sweep domain + iter_extent — a face kernel over
+        // [4,4,1] actually visits 5·4·1 = 20 cells, not 16.
+        let src = Field::new("ex_mt_src", 1, 2);
+        let flux = Field::new("ex_mt_flux", 1, 2);
+        let d = Expr::access(Access::center(src, 0)) - Expr::access(Access::at(src, 0, [-1, 0, 0]));
+        let mut k = StencilKernel::new(
+            "meter_faces",
+            vec![Assignment::store(Access::center(flux, 0), d)],
+        );
+        k.iter_extent = [1, 0, 0];
+        let tape = generate(&k, &GenOptions::default());
+        let mut store = FieldStore::new();
+        store
+            .allocate(src, [4, 4, 1], 1, Layout::Fzyx)
+            .fill_with(0, |x, _, _| x as f64);
+        store.allocate(flux, [5, 5, 1], 0, Layout::Fzyx);
+        let before = pf_trace::counter("exec.cells.meter_faces").value();
         run_kernel(
             &tape,
-            &mut s1,
+            &mut store,
             &[],
-            [20, 20, 1],
+            [4, 4, 1],
             &RunCtx::default(),
             ExecMode::Serial,
         );
-        run_kernel(
-            &tape,
-            &mut s2,
-            &[],
-            [20, 20, 1],
-            &RunCtx::default(),
-            ExecMode::Parallel,
+        let after = pf_trace::counter("exec.cells.meter_faces").value();
+        if pf_trace::enabled() {
+            assert_eq!(after - before, 20, "ext = (4+1)·4·1 cells per launch");
+        }
+    }
+
+    #[test]
+    fn plan_cache_resolves_once_per_kernel_and_shape() {
+        let src = Field::new("ex_pc_src", 1, 2);
+        let dst = Field::new("ex_pc_dst", 1, 2);
+        let k = StencilKernel::new(
+            "plan_cached",
+            vec![Assignment::store(
+                Access::center(dst, 0),
+                Expr::access(Access::center(src, 0)) * 2.0,
+            )],
         );
-        assert_eq!(s1.get(dst).max_abs_diff(s2.get(dst)), 0.0);
+        let tape = generate(&k, &GenOptions::default());
+        let hits = || pf_trace::counter("exec.plan_cache.hit.plan_cached").value();
+        let misses = || pf_trace::counter("exec.plan_cache.miss.plan_cached").value();
+        let (h0, m0) = (hits(), misses());
+        let launch = |n: usize| {
+            let mut store = FieldStore::new();
+            store.allocate(src, [n, n, 1], 1, Layout::Fzyx);
+            store.allocate(dst, [n, n, 1], 1, Layout::Fzyx);
+            for _ in 0..3 {
+                run_kernel(
+                    &tape,
+                    &mut store,
+                    &[],
+                    [n, n, 1],
+                    &RunCtx::default(),
+                    ExecMode::Serial,
+                );
+            }
+        };
+        launch(8);
+        if pf_trace::enabled() {
+            assert_eq!(misses() - m0, 1, "resolve() once for the first shape");
+            assert_eq!(hits() - h0, 2, "subsequent launches hit the cache");
+        }
+        launch(12);
+        if pf_trace::enabled() {
+            assert_eq!(misses() - m0, 2, "a new block shape re-resolves");
+            assert_eq!(hits() - h0, 4);
+        }
     }
 
     #[test]
@@ -733,7 +1044,13 @@ mod tests {
         };
         let a = run(ExecMode::Serial);
         let b = run(ExecMode::Parallel);
+        let c = run(ExecMode::Vectorized);
         assert_eq!(a.max_abs_diff(&b), 0.0, "Philox must be order-independent");
+        assert_eq!(
+            a.max_abs_diff(&c),
+            0.0,
+            "per-strip Philox lanes match serial"
+        );
         // And nonzero noise was actually produced.
         assert!(a.interior_sum(0).abs() > 0.0 || a.get(0, 1, 1, 0) != 0.0);
     }

@@ -3,8 +3,10 @@
 //! Three consumers of the optimized kernel tape:
 //!
 //! * [`run_kernel`] — the native executor: the tape interpreted over real
-//!   field arrays, serially or rayon-parallel (the OpenMP analogue). This
-//!   is what simulations and benchmarks in this reproduction actually run.
+//!   field arrays — serially, rayon-parallel (the OpenMP analogue), or
+//!   strip-mined over x-strips of [`STRIP_WIDTH`] cells (the explicitly
+//!   vectorized kernels of §3.5). This is what simulations and benchmarks
+//!   in this reproduction actually run.
 //! * [`emit_c`] — readable C/OpenMP source, with LICM-hoisted sections
 //!   placed at the right loop depths.
 //! * [`emit_cuda`] — CUDA source with selectable thread-to-cell mappings,
@@ -15,8 +17,10 @@ mod emit;
 mod exec;
 mod simd;
 mod store;
+mod vector;
 
 pub use emit::{emit_c, emit_cuda, ThreadMapping};
-pub use exec::{run_kernel, ExecMode, RunCtx};
+pub use exec::{run_kernel, run_kernel_checked, ExecError, ExecMode, RunCtx};
 pub use simd::{emit_c_simd, SimdIsa};
 pub use store::FieldStore;
+pub use vector::STRIP_WIDTH;

@@ -1,0 +1,527 @@
+//! Strip-mined vectorized tape execution.
+//!
+//! The paper's CPU backend emits explicitly vectorized kernels: "the
+//! innermost loop is processed in chunks of the vector width, with a scalar
+//! remainder loop" (§3.5). This module is the interpreter-side equivalent:
+//! instead of dispatching the tape once per cell, it walks x-strips of
+//! [`STRIP_WIDTH`] cells and executes each instruction over all lanes of
+//! the strip before moving to the next instruction — amortizing dispatch
+//! cost W-fold and turning unit-stride loads/stores into contiguous slice
+//! copies.
+//!
+//! Layout: one flat SoA scratch buffer `regs[W * n_instrs]`, the value of
+//! instruction `i` in lane `l` living at `regs[i*W + l]`. Hoisted level
+//! sections (loop-invariant scalar arithmetic) are evaluated once at the
+//! right loop depth and broadcast into all lanes, so per-cell instructions
+//! never need to know whether an argument was hoisted. The remainder
+//! (`ext_x % W` cells) runs through a scalar tear-down loop over lane 0.
+//! Philox lanes are generated per strip from the stateless per-cell
+//! counters, so results are bitwise identical to serial execution.
+//!
+//! Parallelism: the outer spatial loop is split into cache-blocked slabs
+//! (a few per worker), each task sweeping whole (mid × x) planes; scratch
+//! buffers are created once per worker (`for_each_init`) instead of once
+//! per outer index.
+
+use crate::exec::{f32_div, f32_rsqrt, f32_sqrt, Plan, RawSlice, RunCtx, Step};
+use pf_ir::{Tape, TapeOp};
+use pf_rng::CellRng;
+use rayon::prelude::*;
+
+/// Strip width W: f64 lanes of the widest supported ISA (AVX-512).
+pub const STRIP_WIDTH: usize = crate::simd::SimdIsa::Avx512.lanes();
+
+const W: usize = STRIP_WIDTH;
+
+/// Execute the resolved plan over the extended domain with the strip
+/// engine. Caller guarantees `tape.loop_order[2] == 0` (x innermost) and
+/// centre stores along `loop_order[0]` (slab disjointness).
+pub(crate) fn run_vectorized(
+    tape: &Tape,
+    plan: &Plan,
+    params: &[f64],
+    ctx: &RunCtx,
+    ext: [usize; 3],
+    read_data: &[&[f64]],
+    raw: &[RawSlice],
+) {
+    let order = tape.loop_order;
+    let outer_n = ext[order[0]];
+    if outer_n == 0 {
+        return;
+    }
+    // Cache-blocked slabs: a few contiguous outer-index ranges per worker
+    // (load balance without per-index task overhead).
+    let workers = rayon::current_num_threads().max(1);
+    let slab = outer_n.div_ceil(workers * 4).max(1);
+    let n_slabs = outer_n.div_ceil(slab);
+    let n_regs = tape.instrs.len();
+    (0..n_slabs).into_par_iter().for_each_init(
+        || vec![0.0f64; n_regs * W],
+        |regs, si| {
+            let cur = StripCursor {
+                tape,
+                plan,
+                params,
+                ctx,
+                ext,
+                rng: CellRng::new(ctx.seed),
+            };
+            // Sweep-invariant section, once per slab.
+            cur.exec_hoisted(regs, read_data, 0, plan.sec[0], [0; 3]);
+            let lo = si * slab;
+            let hi = (lo + slab).min(outer_n);
+            for o in lo..hi {
+                cur.run_outer(regs, read_data, raw, o);
+            }
+        },
+    );
+}
+
+/// Loop driver holding the per-launch constants (strip-engine analogue of
+/// the scalar `CellCursor`).
+struct StripCursor<'a> {
+    tape: &'a Tape,
+    plan: &'a Plan,
+    params: &'a [f64],
+    ctx: &'a RunCtx,
+    ext: [usize; 3],
+    rng: CellRng,
+}
+
+impl StripCursor<'_> {
+    /// One outer-loop iteration: hoisted sections at their depths, then the
+    /// inner x loop in strips of W plus a scalar remainder.
+    fn run_outer(&self, regs: &mut [f64], read_data: &[&[f64]], raw: &[RawSlice], o: usize) {
+        let order = self.tape.loop_order;
+        let [s0, s1, s2, s3] = self.plan.sec;
+        let mut idx3 = [0usize; 3];
+        idx3[order[0]] = o;
+        self.exec_hoisted(regs, read_data, s0, s1, idx3);
+        let ext_x = self.ext[0];
+        let full = ext_x - ext_x % W;
+        for m in 0..self.ext[order[1]] {
+            idx3[order[1]] = m;
+            self.exec_hoisted(regs, read_data, s1, s2, idx3);
+            let mut x = 0;
+            while x < full {
+                idx3[0] = x;
+                self.exec_strip(regs, read_data, raw, s2, s3, idx3);
+                x += W;
+            }
+            // Scalar tear-down loop for the remainder strip.
+            for x in full..ext_x {
+                idx3[0] = x;
+                self.exec_teardown(regs, read_data, raw, s2, s3, idx3);
+            }
+        }
+    }
+
+    /// Evaluate one step scalar-wise, reading arguments from lane 0.
+    /// Returns the value plus the (array, index) target if it is a store.
+    #[inline]
+    fn eval_scalar(
+        &self,
+        regs: &[f64],
+        read_data: &[&[f64]],
+        i: usize,
+        idx3: [usize; 3],
+    ) -> (f64, Option<(usize, usize)>) {
+        let ctx = self.ctx;
+        let approx = self.tape.approx;
+        let r = |a: pf_ir::VReg| regs[a.0 as usize * W];
+        match self.plan.steps[i] {
+            Step::Op(op) => {
+                let v = match op {
+                    TapeOp::Const(c) => c.0,
+                    TapeOp::Param(p) => self.params[p as usize],
+                    TapeOp::Coord(d) => {
+                        let dd = d as usize;
+                        (ctx.origin[dd] as f64 + idx3[dd] as f64 + 0.5) * ctx.dx[dd]
+                    }
+                    TapeOp::Time => ctx.time,
+                    TapeOp::CellIdx(d) => {
+                        let dd = d as usize;
+                        ctx.origin[dd] as f64 + idx3[dd] as f64
+                    }
+                    TapeOp::Rand(lane) => self.rng.uniform_pm1(
+                        [
+                            ctx.origin[0] + idx3[0] as i64,
+                            ctx.origin[1] + idx3[1] as i64,
+                            ctx.origin[2] + idx3[2] as i64,
+                        ],
+                        ctx.timestep,
+                        lane as u32,
+                    ),
+                    TapeOp::Add(a, b) => r(a) + r(b),
+                    TapeOp::Sub(a, b) => r(a) - r(b),
+                    TapeOp::Mul(a, b) => r(a) * r(b),
+                    TapeOp::Div(a, b) => {
+                        if approx.fast_div {
+                            f32_div(r(a), r(b))
+                        } else {
+                            r(a) / r(b)
+                        }
+                    }
+                    TapeOp::Neg(a) => -r(a),
+                    TapeOp::Sqrt(a) => {
+                        if approx.fast_sqrt {
+                            f32_sqrt(r(a))
+                        } else {
+                            r(a).sqrt()
+                        }
+                    }
+                    TapeOp::RSqrt(a) => {
+                        if approx.fast_rsqrt {
+                            f32_rsqrt(r(a))
+                        } else {
+                            1.0 / r(a).sqrt()
+                        }
+                    }
+                    TapeOp::Abs(a) => r(a).abs(),
+                    TapeOp::Min(a, b) => r(a).min(r(b)),
+                    TapeOp::Max(a, b) => r(a).max(r(b)),
+                    TapeOp::Exp(a) => r(a).exp(),
+                    TapeOp::Ln(a) => r(a).ln(),
+                    TapeOp::Sin(a) => r(a).sin(),
+                    TapeOp::Cos(a) => r(a).cos(),
+                    TapeOp::Tanh(a) => r(a).tanh(),
+                    TapeOp::Sign(a) => {
+                        let x = r(a);
+                        if x > 0.0 {
+                            1.0
+                        } else if x < 0.0 {
+                            -1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    TapeOp::Floor(a) => r(a).floor(),
+                    TapeOp::Powf(a, b) => r(a).powf(r(b)),
+                    TapeOp::CmpSelect { op, l, r: rr, t, f } => {
+                        if op.eval(r(l), r(rr)) {
+                            r(t)
+                        } else {
+                            r(f)
+                        }
+                    }
+                    TapeOp::Fence => 0.0,
+                    TapeOp::Load { .. } | TapeOp::Store { .. } => {
+                        unreachable!("resolved in plan")
+                    }
+                };
+                (v, None)
+            }
+            Step::Load { arr, delta } => {
+                let a = arr as usize;
+                let s = self.plan.read_strides[a];
+                let idx = self.plan.read_base[a]
+                    + idx3[0] as isize * s[0]
+                    + idx3[1] as isize * s[1]
+                    + idx3[2] as isize * s[2]
+                    + delta;
+                (read_data[a][idx as usize], None)
+            }
+            Step::Store { arr, delta, val } => {
+                let a = arr as usize;
+                let s = self.plan.write_strides[a];
+                let idx = self.plan.write_base[a]
+                    + idx3[0] as isize * s[0]
+                    + idx3[1] as isize * s[1]
+                    + idx3[2] as isize * s[2]
+                    + delta;
+                (regs[val as usize * W], Some((a, idx as usize)))
+            }
+        }
+    }
+
+    /// Hoisted (loop-invariant) section: evaluate scalar, broadcast into
+    /// all W lanes so per-cell instructions can read any argument lane-wise.
+    fn exec_hoisted(
+        &self,
+        regs: &mut [f64],
+        read_data: &[&[f64]],
+        from: usize,
+        to: usize,
+        idx3: [usize; 3],
+    ) {
+        for i in from..to {
+            let (v, store) = self.eval_scalar(regs, read_data, i, idx3);
+            debug_assert!(
+                store.is_none(),
+                "stores are per-cell (level 3) by construction"
+            );
+            regs[i * W..(i + 1) * W].fill(v);
+        }
+    }
+
+    /// Scalar remainder loop over lane 0 (hoisted arguments are broadcast,
+    /// so lane 0 always holds their value).
+    fn exec_teardown(
+        &self,
+        regs: &mut [f64],
+        read_data: &[&[f64]],
+        raw: &[RawSlice],
+        from: usize,
+        to: usize,
+        idx3: [usize; 3],
+    ) {
+        for i in from..to {
+            let (v, store) = self.eval_scalar(regs, read_data, i, idx3);
+            if let Some((a, idx)) = store {
+                // SAFETY: index in bounds by plan construction; remainder
+                // cells belong to exactly one slab (disjointness is the
+                // same centre-store argument as the parallel scalar path).
+                unsafe { raw[a].write(idx, v) };
+            }
+            regs[i * W] = v;
+        }
+    }
+
+    /// The vector body: one full strip of W cells at `idx3` (x = idx3[0] +
+    /// lane). Each instruction is evaluated across all lanes before the
+    /// next dispatches; unit-stride loads/stores are slice copies.
+    fn exec_strip(
+        &self,
+        regs: &mut [f64],
+        read_data: &[&[f64]],
+        raw: &[RawSlice],
+        from: usize,
+        to: usize,
+        idx3: [usize; 3],
+    ) {
+        let ctx = self.ctx;
+        let approx = self.tape.approx;
+        for i in from..to {
+            // SSA: every argument of instruction i is defined before i, so
+            // splitting at i*W gives disjoint arg (shared) / dst (mut)
+            // views into the flat SoA buffer.
+            let (prev, rest) = regs.split_at_mut(i * W);
+            let dst = &mut rest[..W];
+            let arg = |a: pf_ir::VReg| -> &[f64] { &prev[a.0 as usize * W..][..W] };
+            match self.plan.steps[i] {
+                Step::Load { arr, delta } => {
+                    let a = arr as usize;
+                    let s = self.plan.read_strides[a];
+                    let idx = (self.plan.read_base[a]
+                        + idx3[0] as isize * s[0]
+                        + idx3[1] as isize * s[1]
+                        + idx3[2] as isize * s[2]
+                        + delta) as usize;
+                    if s[0] == 1 {
+                        dst.copy_from_slice(&read_data[a][idx..idx + W]);
+                    } else {
+                        for (l, d) in dst.iter_mut().enumerate() {
+                            *d = read_data[a][idx + l * s[0] as usize];
+                        }
+                    }
+                }
+                Step::Store { arr, delta, val } => {
+                    let a = arr as usize;
+                    let s = self.plan.write_strides[a];
+                    let idx = (self.plan.write_base[a]
+                        + idx3[0] as isize * s[0]
+                        + idx3[1] as isize * s[1]
+                        + idx3[2] as isize * s[2]
+                        + delta) as usize;
+                    let v = arg(pf_ir::VReg(val));
+                    // SAFETY: distinct slabs write disjoint outer indices
+                    // (centre stores along the outer loop, checked at
+                    // launch); indices in bounds by plan construction.
+                    if s[0] == 1 {
+                        unsafe { raw[a].write_strip(idx, v) };
+                    } else {
+                        for (l, &x) in v.iter().enumerate() {
+                            unsafe { raw[a].write(idx + l * s[0] as usize, x) };
+                        }
+                    }
+                    dst.copy_from_slice(v);
+                }
+                Step::Op(op) => match op {
+                    TapeOp::Const(c) => dst.fill(c.0),
+                    TapeOp::Param(p) => dst.fill(self.params[p as usize]),
+                    TapeOp::Time => dst.fill(ctx.time),
+                    TapeOp::Coord(d) => {
+                        let dd = d as usize;
+                        if dd == 0 {
+                            for (l, v) in dst.iter_mut().enumerate() {
+                                *v =
+                                    (ctx.origin[0] as f64 + (idx3[0] + l) as f64 + 0.5) * ctx.dx[0];
+                            }
+                        } else {
+                            dst.fill((ctx.origin[dd] as f64 + idx3[dd] as f64 + 0.5) * ctx.dx[dd]);
+                        }
+                    }
+                    TapeOp::CellIdx(d) => {
+                        let dd = d as usize;
+                        if dd == 0 {
+                            for (l, v) in dst.iter_mut().enumerate() {
+                                *v = ctx.origin[0] as f64 + (idx3[0] + l) as f64;
+                            }
+                        } else {
+                            dst.fill(ctx.origin[dd] as f64 + idx3[dd] as f64);
+                        }
+                    }
+                    TapeOp::Rand(lane) => {
+                        // Philox is stateless per cell: lane l of the strip
+                        // is exactly the value serial execution produces at
+                        // x + l, so vectorized noise is bitwise identical.
+                        for (l, v) in dst.iter_mut().enumerate() {
+                            *v = self.rng.uniform_pm1(
+                                [
+                                    ctx.origin[0] + (idx3[0] + l) as i64,
+                                    ctx.origin[1] + idx3[1] as i64,
+                                    ctx.origin[2] + idx3[2] as i64,
+                                ],
+                                ctx.timestep,
+                                lane as u32,
+                            );
+                        }
+                    }
+                    TapeOp::Add(a, b) => {
+                        let (a, b) = (arg(a), arg(b));
+                        for l in 0..W {
+                            dst[l] = a[l] + b[l];
+                        }
+                    }
+                    TapeOp::Sub(a, b) => {
+                        let (a, b) = (arg(a), arg(b));
+                        for l in 0..W {
+                            dst[l] = a[l] - b[l];
+                        }
+                    }
+                    TapeOp::Mul(a, b) => {
+                        let (a, b) = (arg(a), arg(b));
+                        for l in 0..W {
+                            dst[l] = a[l] * b[l];
+                        }
+                    }
+                    TapeOp::Div(a, b) => {
+                        let (a, b) = (arg(a), arg(b));
+                        if approx.fast_div {
+                            for l in 0..W {
+                                dst[l] = f32_div(a[l], b[l]);
+                            }
+                        } else {
+                            for l in 0..W {
+                                dst[l] = a[l] / b[l];
+                            }
+                        }
+                    }
+                    TapeOp::Neg(a) => {
+                        let a = arg(a);
+                        for l in 0..W {
+                            dst[l] = -a[l];
+                        }
+                    }
+                    TapeOp::Sqrt(a) => {
+                        let a = arg(a);
+                        if approx.fast_sqrt {
+                            for l in 0..W {
+                                dst[l] = f32_sqrt(a[l]);
+                            }
+                        } else {
+                            for l in 0..W {
+                                dst[l] = a[l].sqrt();
+                            }
+                        }
+                    }
+                    TapeOp::RSqrt(a) => {
+                        let a = arg(a);
+                        if approx.fast_rsqrt {
+                            for l in 0..W {
+                                dst[l] = f32_rsqrt(a[l]);
+                            }
+                        } else {
+                            for l in 0..W {
+                                dst[l] = 1.0 / a[l].sqrt();
+                            }
+                        }
+                    }
+                    TapeOp::Abs(a) => {
+                        let a = arg(a);
+                        for l in 0..W {
+                            dst[l] = a[l].abs();
+                        }
+                    }
+                    TapeOp::Min(a, b) => {
+                        let (a, b) = (arg(a), arg(b));
+                        for l in 0..W {
+                            dst[l] = a[l].min(b[l]);
+                        }
+                    }
+                    TapeOp::Max(a, b) => {
+                        let (a, b) = (arg(a), arg(b));
+                        for l in 0..W {
+                            dst[l] = a[l].max(b[l]);
+                        }
+                    }
+                    TapeOp::Exp(a) => {
+                        let a = arg(a);
+                        for l in 0..W {
+                            dst[l] = a[l].exp();
+                        }
+                    }
+                    TapeOp::Ln(a) => {
+                        let a = arg(a);
+                        for l in 0..W {
+                            dst[l] = a[l].ln();
+                        }
+                    }
+                    TapeOp::Sin(a) => {
+                        let a = arg(a);
+                        for l in 0..W {
+                            dst[l] = a[l].sin();
+                        }
+                    }
+                    TapeOp::Cos(a) => {
+                        let a = arg(a);
+                        for l in 0..W {
+                            dst[l] = a[l].cos();
+                        }
+                    }
+                    TapeOp::Tanh(a) => {
+                        let a = arg(a);
+                        for l in 0..W {
+                            dst[l] = a[l].tanh();
+                        }
+                    }
+                    TapeOp::Sign(a) => {
+                        let a = arg(a);
+                        for l in 0..W {
+                            dst[l] = if a[l] > 0.0 {
+                                1.0
+                            } else if a[l] < 0.0 {
+                                -1.0
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                    TapeOp::Floor(a) => {
+                        let a = arg(a);
+                        for l in 0..W {
+                            dst[l] = a[l].floor();
+                        }
+                    }
+                    TapeOp::Powf(a, b) => {
+                        let (a, b) = (arg(a), arg(b));
+                        for l in 0..W {
+                            dst[l] = a[l].powf(b[l]);
+                        }
+                    }
+                    TapeOp::CmpSelect { op, l, r, t, f } => {
+                        let (lv, rv, tv, fv) = (arg(l), arg(r), arg(t), arg(f));
+                        for i in 0..W {
+                            dst[i] = if op.eval(lv[i], rv[i]) { tv[i] } else { fv[i] };
+                        }
+                    }
+                    TapeOp::Fence => dst.fill(0.0),
+                    TapeOp::Load { .. } | TapeOp::Store { .. } => {
+                        unreachable!("resolved in plan")
+                    }
+                },
+            }
+        }
+    }
+}

@@ -8,36 +8,42 @@
 //! metric snapshot rides along, so a bench artifact doubles as a runtime
 //! profile (kernel spans, comm counters, checkpoint drains).
 //!
-//! Schema `pf-bench/1`:
+//! Schema `pf-bench/2` (v2 added the per-record execution `mode` and made
+//! `extra.analysis` mandatory — every artifact now proves which engine was
+//! measured and that static verification actually ran):
 //!
 //! ```text
 //! {
-//!   "schema": "pf-bench/1",
+//!   "schema": "pf-bench/2",
 //!   "name": "fig2_left",
 //!   "smoke": true,
 //!   "machine": {"model": "skylake_8174", "threads_avail": 1},
 //!   "kernels": [
 //!     {"params": "P1", "kernel": "mu", "variant": "split",
-//!      "measured_mlups": 0.91, "predicted_mlups": 1385.2,
-//!      "ratio": 0.00066, "ecm": {"t_comp": ..., ...}},
+//!      "mode": "serial", "measured_mlups": 0.91,
+//!      "predicted_mlups": 1385.2, "ratio": 0.00066,
+//!      "ecm": {"t_comp": ..., ...}},
 //!     ...
 //!   ],
-//!   "extra": { ... binary-specific series/tables ... },
+//!   "extra": { "analysis": {"kernels_verified": ..., ...}, ... },
 //!   "metrics": { ... pf_trace::Report JSON ... }
 //! }
 //! ```
 //!
 //! `validate` checks structure, value sanity (finite, positive throughputs,
-//! ratio consistent with measured/predicted), and that `metrics` parses
-//! back as a [`pf_trace::Report`]. `scripts/ci.sh` runs it over every
-//! artifact of a bench-smoke run; `scripts/perf_gate.sh` diffs fresh runs
-//! against the committed baselines.
+//! ratio consistent with measured/predicted, `mode` a known engine), and
+//! that `metrics` parses back as a [`pf_trace::Report`]. `scripts/ci.sh`
+//! runs it over every artifact of a bench-smoke run; `scripts/perf_gate.sh`
+//! diffs fresh runs against the committed baselines.
 
 use pf_trace::{Json, Report};
 use std::collections::BTreeMap;
 
 /// Schema identifier; bump on breaking layout changes.
-pub const SCHEMA: &str = "pf-bench/1";
+pub const SCHEMA: &str = "pf-bench/2";
+
+/// Execution-engine names a kernel record may carry (`KernelPerf::mode`).
+pub const EXEC_MODES: [&str; 3] = ["serial", "parallel", "vectorized"];
 
 /// Measured-vs-predicted record for one kernel variant.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,6 +54,9 @@ pub struct KernelPerf {
     pub kernel: String,
     /// Variant within the family ("full"/"split").
     pub variant: String,
+    /// Execution engine that produced `measured_mlups` (one of
+    /// [`EXEC_MODES`]: "serial", "parallel", "vectorized").
+    pub mode: String,
     /// Executor throughput on this host, single core, MLUP/s.
     pub measured_mlups: f64,
     /// ECM-model single-core throughput on the modeled socket, MLUP/s.
@@ -66,9 +75,14 @@ impl KernelPerf {
         self.measured_mlups / self.predicted_mlups
     }
 
-    /// Identity of this record inside a report (diff key).
+    /// Identity of this record inside a report (diff key). Includes the
+    /// execution mode: the same kernel measured under two engines is two
+    /// distinct baseline series.
     pub fn key(&self) -> String {
-        format!("{}/{}-{}", self.params, self.kernel, self.variant)
+        format!(
+            "{}/{}-{}@{}",
+            self.params, self.kernel, self.variant, self.mode
+        )
     }
 
     fn to_json(&self) -> Json {
@@ -76,6 +90,7 @@ impl KernelPerf {
             ("params".into(), Json::str(&self.params)),
             ("kernel".into(), Json::str(&self.kernel)),
             ("variant".into(), Json::str(&self.variant)),
+            ("mode".into(), Json::str(&self.mode)),
             ("measured_mlups".into(), Json::Num(self.measured_mlups)),
             ("predicted_mlups".into(), Json::Num(self.predicted_mlups)),
             ("ratio".into(), Json::Num(self.ratio())),
@@ -115,6 +130,7 @@ impl KernelPerf {
             params: s("params")?,
             kernel: s("kernel")?,
             variant: s("variant")?,
+            mode: s("mode")?,
             measured_mlups: n("measured_mlups")?,
             predicted_mlups: n("predicted_mlups")?,
             ecm,
@@ -193,7 +209,7 @@ impl BenchReport {
     }
 }
 
-/// Check a parsed document against schema `pf-bench/1`. Returns every
+/// Check a parsed document against schema `pf-bench/2`. Returns every
 /// violation found (empty = valid).
 pub fn validate(j: &Json) -> Vec<String> {
     let mut out = Vec::new();
@@ -230,6 +246,13 @@ pub fn validate(j: &Json) -> Vec<String> {
                         out.push(format!("kernels[{i}].{field} missing"));
                     }
                 }
+                match k.get("mode").and_then(Json::as_str) {
+                    Some(m) if EXEC_MODES.contains(&m) => {}
+                    Some(m) => {
+                        out.push(format!("kernels[{i}].mode '{m}' not one of {EXEC_MODES:?}"))
+                    }
+                    None => out.push(format!("kernels[{i}].mode missing")),
+                }
                 let num = |f: &str| k.get(f).and_then(Json::as_f64);
                 match (num("measured_mlups"), num("predicted_mlups"), num("ratio")) {
                     (Some(m), Some(p), Some(r)) => {
@@ -257,11 +280,12 @@ pub fn validate(j: &Json) -> Vec<String> {
     }
     match j.get("extra").and_then(Json::as_obj) {
         Some(extra) => {
-            // `analysis` is optional (older artifacts predate the static-
-            // analysis layer), but when present it must be an object of
-            // numeric statistics covering at least one verified kernel.
-            if let Some(a) = extra.get("analysis") {
-                match a.as_obj() {
+            // Since pf-bench/2 `analysis` is mandatory: an object of numeric
+            // statistics covering at least one verified kernel. An artifact
+            // without it means the static-verification stage silently never
+            // ran over the benched kernels.
+            match extra.get("analysis") {
+                Some(a) => match a.as_obj() {
                     Some(stats) => {
                         for (k, v) in stats {
                             if v.as_f64().is_none() {
@@ -278,7 +302,8 @@ pub fn validate(j: &Json) -> Vec<String> {
                         }
                     }
                     None => out.push("extra.analysis must be an object".into()),
-                }
+                },
+                None => out.push("missing object field 'extra.analysis'".into()),
             }
         }
         None => out.push("missing object field 'extra'".into()),
@@ -308,13 +333,20 @@ mod tests {
                 params: "P1".into(),
                 kernel: "mu".into(),
                 variant: "split".into(),
+                mode: "serial".into(),
                 measured_mlups: 0.5,
                 predicted_mlups: 1200.0,
                 ecm: [("t_comp".to_string(), 123.0)].into_iter().collect(),
             }],
-            extra: [("note".to_string(), Json::str("hello"))]
-                .into_iter()
-                .collect(),
+            extra: [
+                ("note".to_string(), Json::str("hello")),
+                (
+                    "analysis".to_string(),
+                    Json::obj([("kernels_verified".to_string(), Json::Num(8.0))]),
+                ),
+            ]
+            .into_iter()
+            .collect(),
             metrics: Report::default(),
         }
     }
@@ -363,9 +395,39 @@ mod tests {
     }
 
     #[test]
-    fn analysis_extra_is_optional_but_checked_when_present() {
-        // Absent (pre-analysis artifacts, e.g. committed baselines): valid.
-        assert!(validate(&sample().to_json()).is_empty());
+    fn mode_field_is_required_and_enumerated() {
+        // key() carries the mode so per-engine series stay distinct.
+        assert_eq!(sample().kernels[0].key(), "P1/mu-split@serial");
+
+        let mut r = sample();
+        r.kernels[0].mode = "vectorized".into();
+        assert!(validate(&r.to_json()).is_empty());
+
+        r.kernels[0].mode = "avx9000".into();
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("mode 'avx9000'")), "{v:?}");
+
+        let mut j = sample().to_json();
+        if let Some(Json::Arr(ks)) = j.get("kernels").cloned() {
+            let mut k0 = ks[0].clone();
+            if let Json::Obj(m) = &mut k0 {
+                m.remove("mode");
+            }
+            if let Json::Obj(top) = &mut j {
+                top.insert("kernels".into(), Json::Arr(vec![k0]));
+            }
+        }
+        let v = validate(&j);
+        assert!(v.iter().any(|e| e.contains("mode missing")), "{v:?}");
+    }
+
+    #[test]
+    fn analysis_extra_is_required_and_checked() {
+        // Absent: schema pf-bench/2 rejects it — verification never ran.
+        let mut r = sample();
+        r.extra.remove("analysis");
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("extra.analysis")), "{v:?}");
 
         // Present and well-formed: valid.
         let mut r = sample();

@@ -6,8 +6,10 @@
 //! ```
 //!
 //! `validate` parses each artifact and checks it against schema
-//! `pf-bench/1` (see `pf_bench::benchjson`), printing every violation and
-//! exiting non-zero if any file fails.
+//! `pf-bench/2` (see `pf_bench::benchjson`) — including the per-record
+//! execution `mode` and the mandatory `extra.analysis` verification
+//! statistics — printing every violation and exiting non-zero if any
+//! file fails.
 //!
 //! `diff` compares a fresh bench-smoke run against the committed
 //! baselines: for every kernel record present in both, the fresh
@@ -49,12 +51,17 @@ fn validate(files: &[String]) -> ExitCode {
     let mut failed = false;
     for f in files {
         match load(Path::new(f)) {
-            Ok(r) => println!(
-                "OK   {f} (name={}, {} kernels, smoke={})",
-                r.name,
-                r.kernels.len(),
-                r.smoke
-            ),
+            Ok(r) => {
+                let modes: std::collections::BTreeSet<&str> =
+                    r.kernels.iter().map(|k| k.mode.as_str()).collect();
+                println!(
+                    "OK   {f} (name={}, {} kernels, modes={:?}, smoke={})",
+                    r.name,
+                    r.kernels.len(),
+                    modes,
+                    r.smoke
+                );
+            }
             Err(e) => {
                 println!("FAIL {e}");
                 failed = true;

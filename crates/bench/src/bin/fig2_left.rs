@@ -116,11 +116,14 @@ fn main() {
         let e_split = pred_split.mlups(sock.freq_ghz, cores) / cores as f64;
         let e_full = pred_full.mlups(sock.freq_ghz, cores) / cores as f64;
         if cores <= avail {
+            // Vectorized is the production engine: strip-mined inner loop,
+            // slab-parallel over the pool, so it scales with `cores` like
+            // the compiled code the ECM columns model.
             let b_split = with_threads(cores, || {
-                measure_mlups(&p, &ks, &mu_split, shape, sweeps, ExecMode::Parallel)
+                measure_mlups(&p, &ks, &mu_split, shape, sweeps, ExecMode::Vectorized)
             }) / cores as f64;
             let b_full = with_threads(cores, || {
-                measure_mlups(&p, &ks, &mu_full, shape, sweeps, ExecMode::Parallel)
+                measure_mlups(&p, &ks, &mu_full, shape, sweeps, ExecMode::Vectorized)
             }) / cores as f64;
             println!("{cores:7} | {e_split:12.1} | {e_full:11.1} | {b_split:14.3} | {b_full:13.3}");
             series.push(Json::obj([

@@ -82,11 +82,13 @@ fn report(p: &ModelParams) -> Json {
             ("ecm_phi_full".to_string(), Json::Num(ef)),
         ];
         if cores <= avail {
+            // Strip-mined vectorized engine: slab-parallel over the pool,
+            // matching the compiled-code scaling the ECM columns model.
             let bs = with_threads(cores, || {
-                measure_mlups(p, &ks, &split, shape, sweeps, ExecMode::Parallel)
+                measure_mlups(p, &ks, &split, shape, sweeps, ExecMode::Vectorized)
             }) / cores as f64;
             let bf = with_threads(cores, || {
-                measure_mlups(p, &ks, &full, shape, sweeps, ExecMode::Parallel)
+                measure_mlups(p, &ks, &full, shape, sweeps, ExecMode::Vectorized)
             }) / cores as f64;
             println!("{cores:7} | {es:13.1} | {ef:12.1} | {bs:15.3} | {bf:14.3}");
             point.push(("bench_phi_split".to_string(), Json::Num(bs)));

@@ -40,5 +40,5 @@ pub use kernels::{
 };
 pub use model::{build_model, h_interp, temperature_expr, ModelExprs, ModelFields};
 pub use params::{p1, p2, ModelParams, TempModel};
-pub use select::{select_variants, VariantChoice};
+pub use select::{default_exec_mode, select_variants, VariantChoice};
 pub use sim::{BcKind, SimConfig, Simulation, Variant};

@@ -11,6 +11,7 @@
 
 use crate::kernels::KernelSet;
 use crate::sim::Variant;
+use pf_backend::ExecMode;
 use pf_ir::Tape;
 use pf_machine::CpuSocket;
 use pf_perfmodel::ecm_multi;
@@ -22,6 +23,27 @@ pub struct VariantChoice {
     pub mu: Variant,
     /// Predicted full-socket MLUP/s for (φ-split, φ-full, µ-split, µ-full).
     pub predicted_mlups: [f64; 4],
+}
+
+/// Pick the execution engine for a block shape: the strip-mined vectorized
+/// engine whenever the unit-stride extent can fill at least one strip of
+/// [`pf_backend::STRIP_WIDTH`] lanes, scalar-serial for thinner blocks
+/// (where strips would be all remainder loop). `PF_EXEC_MODE` overrides
+/// (`serial` | `parallel` | `vectorized`) for experiments and CI.
+pub fn default_exec_mode(shape: [usize; 3]) -> ExecMode {
+    match std::env::var("PF_EXEC_MODE").as_deref() {
+        Ok("serial") => ExecMode::Serial,
+        Ok("parallel") => ExecMode::Parallel,
+        Ok("vectorized") => ExecMode::Vectorized,
+        Ok(other) => panic!("PF_EXEC_MODE must be serial|parallel|vectorized, got '{other}'"),
+        Err(_) => {
+            if shape[0] >= pf_backend::STRIP_WIDTH {
+                ExecMode::Vectorized
+            } else {
+                ExecMode::Serial
+            }
+        }
+    }
 }
 
 /// Rate both variants of both kernels at `cores` cores and return the

@@ -51,7 +51,10 @@ impl SimConfig {
             shape,
             phi_variant: Variant::Full,
             mu_variant: Variant::Split,
-            mode: ExecMode::Serial,
+            // Strip-mined vectorized execution when the block is wide
+            // enough (bitwise identical to Serial, just faster);
+            // overridable via PF_EXEC_MODE.
+            mode: crate::select::default_exec_mode(shape),
             bc: [BcKind::Periodic, BcKind::Periodic, BcKind::Neumann],
             seed: 42,
         }

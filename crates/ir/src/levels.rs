@@ -59,19 +59,28 @@ pub fn level_histogram(levels: &[u8]) -> [usize; 4] {
 /// can hoist prefix sections out of inner loops.
 pub fn apply_licm(tape: &mut Tape) {
     let candidates = [[2usize, 1, 0], [1, 2, 0]];
-    let mut best: Option<([usize; 3], Vec<u8>, [usize; 4])> = None;
+    let mut best: Option<([usize; 3], [usize; 4])> = None;
     for order in candidates {
         let levels = compute_levels(tape, order);
         let h = level_histogram(&levels);
         let better = match &best {
             None => true,
-            Some((_, _, bh)) => (h[3], h[2], h[1]) < (bh[3], bh[2], bh[1]),
+            Some((_, bh)) => (h[3], h[2], h[1]) < (bh[3], bh[2], bh[1]),
         };
         if better {
-            best = Some((order, levels, h));
+            best = Some((order, h));
         }
     }
-    let (order, levels, _) = best.expect("candidate list is non-empty");
+    let (order, _) = best.expect("candidate list is non-empty");
+    apply_loop_order(tape, order);
+}
+
+/// Impose a specific loop order (outermost first; x must stay innermost):
+/// recompute levels for it and stably sort the instructions so executors
+/// can hoist prefix sections. `apply_licm` calls this with the cheapest
+/// order; tests and tuners can force the other candidate.
+pub fn apply_loop_order(tape: &mut Tape, order: [usize; 3]) {
+    let levels = compute_levels(tape, order);
 
     // Stable sort by level. Levels are monotone along def-use edges, so the
     // sorted order still defines every register before its uses.

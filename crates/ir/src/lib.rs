@@ -26,7 +26,7 @@ pub mod tape;
 pub mod verify;
 
 pub use interp::{interp_cell, interp_expr_context, MapEnv, TapeEnv, TapeResult};
-pub use levels::{apply_licm, compute_levels, level_histogram};
+pub use levels::{apply_licm, apply_loop_order, compute_levels, level_histogram};
 pub use lower::{lower_expr, lower_kernel};
 pub use pipeline::{generate, optimize_stencil, GenOptions};
 pub use schedule::{

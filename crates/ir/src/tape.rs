@@ -177,7 +177,7 @@ impl TapeOp {
 
 /// Approximation options the user can request for expensive operations
 /// (§3.5: `rsqrt14`, `fdividef`, `frsqrt`).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct ApproxOptions {
     pub fast_div: bool,
     pub fast_sqrt: bool,
@@ -215,6 +215,27 @@ impl Tape {
     /// Number of virtual registers.
     pub fn num_regs(&self) -> usize {
         self.instrs.len()
+    }
+
+    /// Stable fingerprint of everything execution-relevant in this tape:
+    /// name, slot tables, instruction list, levels, loop order, iteration
+    /// extent and approximation flags. Two tapes with equal hashes execute
+    /// identically over identically-shaped storage — which is what
+    /// executors key resolved-plan caches on. (Tapes carry no identity:
+    /// pipelines clone and mutate them freely, so a stored id would go
+    /// stale; a structural fingerprint cannot.)
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.fields.hash(&mut h);
+        self.params.hash(&mut h);
+        self.instrs.hash(&mut h);
+        self.iter_extent.hash(&mut h);
+        self.levels.hash(&mut h);
+        self.loop_order.hash(&mut h);
+        self.approx.hash(&mut h);
+        h.finish()
     }
 
     /// Indices of store instructions.

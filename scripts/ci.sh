@@ -50,6 +50,18 @@ for b in table1 table2 fig2_left fig2_middle fig2_right fig3 gpu_approx ablation
 done
 "$BIN/bench_check" validate "$SMOKE_DIR"/BENCH_*.json
 
+echo "== bench smoke (vectorized engine) =="
+# Rerun one binary with the strip-mined vectorized engine pinned, into its
+# own directory, and validate: proves the ExecMode::Vectorized path emits
+# schema-valid artifacts (mode + extra.analysis fields) end to end.
+VEC_DIR="$SMOKE_DIR/vectorized"
+mkdir -p "$VEC_DIR"
+PF_BENCH_SMOKE=1 PF_BENCH_EXEC=vectorized PF_BENCH_OUT_DIR="$VEC_DIR" \
+  "$BIN/table1" > "$VEC_DIR/table1.log"
+"$BIN/bench_check" validate "$VEC_DIR"/BENCH_table1.json
+grep -q '"mode": "vectorized"' "$VEC_DIR/BENCH_table1.json" \
+  || { echo "vectorized smoke artifact carries no vectorized records" >&2; exit 1; }
+
 echo "== perf gate =="
 # Reuses the smoke artifacts just produced (skip the second run). Smoke
 # measurements on shared CI hosts carry sustained scheduling noise even

@@ -13,7 +13,12 @@
 #
 # To refresh the baselines after an intentional perf change:
 #   PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR=baselines cargo run --release -p pf-bench --bin <each>
-# and commit the result.
+# and commit the result. The committed baselines are floored conservatively
+# (per-kernel minimum over several runs, then scaled by 0.8): shared hosts
+# show sustained multi-minute contention windows that slow every
+# measurement ~40%, which best-of-N sampling inside one run cannot remove.
+# A floor calibrated to the slowest observed window keeps the gate quiet
+# under neighbor load while still catching real regressions.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

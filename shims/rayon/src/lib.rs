@@ -18,7 +18,9 @@ thread_local! {
     static NUM_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
-fn current_num_threads() -> usize {
+/// Worker count parallel iterators will use (the installed pool bound, or
+/// the hardware parallelism). Mirrors `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
     let n = NUM_THREADS.with(|c| c.get());
     if n > 0 {
         n
@@ -40,12 +42,22 @@ pub trait IntoParallelIterator {
     fn into_par_iter(self) -> Self::Iter;
 }
 
-/// The (tiny) parallel-iterator interface: parallel `for_each`.
+/// The (tiny) parallel-iterator interface: parallel `for_each` plus
+/// `for_each_init` for per-worker scratch reuse.
 pub trait ParallelIterator: Sized {
     type Item: Send;
     fn for_each<F>(self, f: F)
     where
         F: Fn(Self::Item) + Sync + Send;
+
+    /// Like `for_each`, but `init` runs once per worker thread and the
+    /// resulting value is passed (mutably) to every item that worker
+    /// processes — rayon's idiom for reusing scratch buffers instead of
+    /// allocating one per item.
+    fn for_each_init<I, T, F>(self, init: I, f: F)
+    where
+        I: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, Self::Item) + Sync + Send;
 }
 
 /// Parallel iterator over a `Range<usize>`.
@@ -66,6 +78,14 @@ impl ParallelIterator for RangeParIter {
     where
         F: Fn(usize) + Sync + Send,
     {
+        self.for_each_init(|| (), |(), i| f(i));
+    }
+
+    fn for_each_init<I, T, F>(self, init: I, f: F)
+    where
+        I: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, usize) + Sync + Send,
+    {
         let Range { start, end } = self.0;
         let n = end.saturating_sub(start);
         if n == 0 {
@@ -73,14 +93,16 @@ impl ParallelIterator for RangeParIter {
         }
         let workers = current_num_threads().clamp(1, n);
         if workers == 1 {
+            let mut scratch = init();
             for i in start..end {
-                f(i);
+                f(&mut scratch, i);
             }
             return;
         }
         // Static block partition: worker w owns [start + w·chunk, …).
         let chunk = n.div_ceil(workers);
         let f = &f;
+        let init = &init;
         std::thread::scope(|s| {
             for w in 0..workers {
                 let lo = start + w * chunk;
@@ -89,8 +111,9 @@ impl ParallelIterator for RangeParIter {
                     break;
                 }
                 s.spawn(move || {
+                    let mut scratch = init();
                     for i in lo..hi {
-                        f(i);
+                        f(&mut scratch, i);
                     }
                 });
             }
@@ -176,5 +199,30 @@ mod tests {
     #[test]
     fn empty_range_is_a_noop() {
         (5..5usize).into_par_iter().for_each(|_| panic!("no items"));
+    }
+
+    #[test]
+    fn for_each_init_reuses_one_scratch_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each_init(
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    vec![0u8; 16]
+                },
+                |scratch, i| {
+                    scratch[0] = scratch[0].wrapping_add(1);
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        let n = inits.load(Ordering::SeqCst);
+        assert!((1..=3).contains(&n), "one init per worker, got {n}");
     }
 }

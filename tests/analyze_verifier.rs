@@ -115,16 +115,25 @@ proptest! {
     /// reschedule → fence insertion) preserves suite-cleanliness. Each
     /// transform also re-runs the pipeline verifier internally, so this
     /// doubles as an end-to-end exercise of the hook on real tapes.
+    /// Reschedules legitimately break level monotonicity, so the
+    /// `schedule.licm-lost` warning may fire — anything else is a failure.
     #[test]
     fn scheduled_chains_stay_clean(e in arb_expr()) {
         let base = lower("verif_sched", &e);
         let chain = insert_fences(&schedule_min_live(&rematerialize(&base, 2), 20), 48);
         let a = analyze(&chain, &full_suite_opts(&chain));
+        let unexpected: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.kind.code() != "schedule.licm-lost")
+            .cloned()
+            .collect();
         prop_assert!(
-            a.diagnostics.is_empty(),
+            unexpected.is_empty(),
             "scheduled tape not clean:\n{}",
-            render(&a.diagnostics)
+            render(&unexpected)
         );
+        prop_assert!(a.is_clean(), "licm-lost must stay warning severity");
     }
 }
 
