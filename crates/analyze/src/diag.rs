@@ -76,6 +76,18 @@ pub enum DiagKind {
         avail: i64,
         is_store: bool,
     },
+    /// The overlapped schedule's interior/frontier split is unsound: an
+    /// interior cell would read a ghost layer of a halo-exchanged field
+    /// before the receive completes. The frontier shell on the given side
+    /// must be at least `needed` cells wide but is only `given`.
+    FrontierTooNarrow {
+        field: String,
+        dim: usize,
+        /// `true`: the upper (high-index) shell; `false`: the lower one.
+        upper: bool,
+        needed: i64,
+        given: i64,
+    },
 
     // --- Intra-sweep hazards -------------------------------------------
     /// A cell of the sweep writes an offset another cell of the same sweep
@@ -148,6 +160,7 @@ impl DiagKind {
             AllocTableMismatch { .. } => "halo.alloc-table",
             HaloUnderflow { .. } => "halo.underflow",
             HaloOverflow { .. } => "halo.overflow",
+            FrontierTooNarrow { .. } => "frontier.too-narrow",
             IntraSweepHazard { .. } => "hazard.intra-sweep",
             StoreThenLoad { .. } => "hazard.store-then-load",
             JacobiViolation { .. } => "hazard.jacobi",
@@ -222,6 +235,18 @@ impl fmt::Display for DiagKind {
                 "{} of field '{field}' reaches {reach} cell(s) past the interior along \
                  dim {dim} but only {avail} (ghost + pad) are allocated",
                 if *is_store { "store" } else { "load" },
+            ),
+            FrontierTooNarrow {
+                field,
+                dim,
+                upper,
+                needed,
+                given,
+            } => write!(
+                f,
+                "interior sweep would read ghost cells of field '{field}' along dim {dim}: \
+                 the {} frontier shell must be at least {needed} cell(s) wide but is {given}",
+                if *upper { "upper" } else { "lower" },
             ),
             IntraSweepHazard {
                 field,

@@ -188,6 +188,112 @@ pub fn check_halo(tape: &Tape, allocs: &[FieldAlloc]) -> Vec<Diagnostic> {
     out
 }
 
+/// Minimal sound frontier-shell widths for the overlapped distributed
+/// schedule: the interior region `[lo, ext - hi)` of a sweep over the
+/// extended range `ext` reads no ghost cell of any halo-exchanged field
+/// (`alloc.ghost > 0`), so it may run while the exchange is in flight.
+///
+/// Per dimension, a load at offset `o` from interior cell `i` lands in
+/// owned data iff `0 <= i + o < domain`; with `domain = ext - iter_extent`
+/// that bounds the widths to `lo >= -min_off` and `hi >= max_off +
+/// iter_extent`. Locally-produced fields (ghost 0, e.g. staggered flux
+/// temporaries) never wait on communication and do not widen the shells —
+/// callers splitting *groups* of kernels must instead propagate the
+/// producer kernel's widths to its consumers.
+pub fn frontier_widths(tape: &Tape, allocs: &[FieldAlloc]) -> ([usize; 3], [usize; 3]) {
+    let fp = Footprint::of(tape);
+    let mut lo = [0usize; 3];
+    let mut hi = [0usize; 3];
+    for (slot, alloc) in allocs.iter().enumerate() {
+        if alloc.ghost == 0 {
+            continue;
+        }
+        let Some(env) = fp.per_field.get(slot).and_then(|f| f.loads) else {
+            continue;
+        };
+        for d in 0..3 {
+            lo[d] = lo[d].max((-env.min[d]).max(0) as usize);
+            hi[d] = hi[d].max((env.max[d] + fp.iter_extent[d] as i64).max(0) as usize);
+        }
+    }
+    (lo, hi)
+}
+
+/// Pass — frontier-split soundness. Prove that an interior/frontier split
+/// with the given shell widths defers every ghost-reading cell of `tape`
+/// to the frontier: no load of a halo-exchanged field (`alloc.ghost > 0`)
+/// issued from the interior region `[lo_w, ext - hi_w)` may touch a ghost
+/// layer. One diagnostic per offending load instruction, dimension and
+/// side. This is the machine check behind the overlapped schedule — a
+/// clean report means sweeping the interior before the halo receives
+/// complete is bitwise equivalent to the blocking schedule.
+pub fn check_frontier(
+    tape: &Tape,
+    allocs: &[FieldAlloc],
+    lo_w: [usize; 3],
+    hi_w: [usize; 3],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if allocs.len() != tape.fields.len() {
+        out.push(Diagnostic::new(
+            &tape.name,
+            None,
+            DiagKind::AllocTableMismatch {
+                allocs: allocs.len(),
+                fields: tape.fields.len(),
+            },
+        ));
+        return out;
+    }
+    for (i, op) in tape.instrs.iter().enumerate() {
+        let TapeOp::Load { field, off, .. } = *op else {
+            continue;
+        };
+        let ghosted = allocs
+            .get(field as usize)
+            .is_some_and(|alloc| alloc.ghost > 0);
+        if !ghosted {
+            continue;
+        }
+        let name = match tape.fields.get(field as usize) {
+            Some(f) => f.name(),
+            None => continue,
+        };
+        for (d, &off_d) in off.iter().enumerate() {
+            let o = off_d as i64;
+            let need_lo = (-o).max(0);
+            if need_lo > lo_w[d] as i64 {
+                out.push(Diagnostic::new(
+                    &tape.name,
+                    Some(i),
+                    DiagKind::FrontierTooNarrow {
+                        field: name.clone(),
+                        dim: d,
+                        upper: false,
+                        needed: need_lo,
+                        given: lo_w[d] as i64,
+                    },
+                ));
+            }
+            let need_hi = (o + tape.iter_extent[d] as i64).max(0);
+            if need_hi > hi_w[d] as i64 {
+                out.push(Diagnostic::new(
+                    &tape.name,
+                    Some(i),
+                    DiagKind::FrontierTooNarrow {
+                        field: name.clone(),
+                        dim: d,
+                        upper: true,
+                        needed: need_hi,
+                        given: hi_w[d] as i64,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,5 +398,75 @@ mod tests {
         let t = raw_tape(vec![TapeOp::Const(pf_ir::CF(0.0)), store(0, 0, [0; 3], 0)]);
         let d = check_halo(&t, &[]);
         assert!(matches!(d[0].kind, DiagKind::AllocTableMismatch { .. }));
+    }
+
+    #[test]
+    fn frontier_widths_follow_the_load_envelope() {
+        // Loads reaching [-1, +2] in x of a ghosted field; a local (ghost
+        // 0) field is read at -3 but never widens the shells.
+        let t = raw_tape(vec![
+            load(0, 0, [-1, 0, 0]),
+            load(0, 0, [2, 0, 0]),
+            load(1, 0, [-3, 0, 0]),
+            store(1, 1, [0; 3], 0),
+        ]);
+        let allocs = [FieldAlloc::ghosted(2), FieldAlloc::ghosted(0)];
+        let (lo, hi) = frontier_widths(&t, &allocs);
+        assert_eq!(lo, [1, 0, 0]);
+        assert_eq!(hi, [2, 0, 0]);
+        assert!(check_frontier(&t, &allocs, lo, hi).is_empty());
+    }
+
+    #[test]
+    fn iter_extent_widens_the_upper_frontier() {
+        // A face kernel (extent +1 along x) reading the centre of a
+        // ghosted field still reaches owned+1 from its last iterated cell.
+        let mut t = raw_tape(vec![load(0, 0, [0, 0, 0]), store(1, 0, [0; 3], 0)]);
+        t.iter_extent = [1, 0, 0];
+        let allocs = [FieldAlloc::ghosted(1), FieldAlloc::ghosted(0)];
+        let (lo, hi) = frontier_widths(&t, &allocs);
+        assert_eq!(lo, [0, 0, 0]);
+        assert_eq!(hi, [1, 0, 0]);
+        assert!(check_frontier(&t, &allocs, lo, hi).is_empty());
+    }
+
+    #[test]
+    fn too_narrow_shells_are_typed_errors_per_side() {
+        let t = raw_tape(vec![
+            load(0, 0, [-2, 0, 0]),
+            load(0, 0, [0, 1, 0]),
+            store(1, 0, [0; 3], 0),
+        ]);
+        let allocs = [FieldAlloc::ghosted(2), FieldAlloc::ghosted(0)];
+        let d = check_frontier(&t, &allocs, [1, 0, 0], [0, 0, 0]);
+        assert!(
+            d.iter().any(|d| matches!(
+                d.kind,
+                DiagKind::FrontierTooNarrow {
+                    dim: 0,
+                    upper: false,
+                    needed: 2,
+                    given: 1,
+                    ..
+                }
+            ) && d.instr == Some(0)),
+            "{d:?}"
+        );
+        assert!(
+            d.iter().any(|d| matches!(
+                d.kind,
+                DiagKind::FrontierTooNarrow {
+                    dim: 1,
+                    upper: true,
+                    needed: 1,
+                    given: 0,
+                    ..
+                }
+            ) && d.instr == Some(1)),
+            "{d:?}"
+        );
+        assert!(d.iter().all(|d| d.is_error()));
+        // Wide-enough shells silence everything.
+        assert!(check_frontier(&t, &allocs, [2, 0, 0], [0, 1, 0]).is_empty());
     }
 }

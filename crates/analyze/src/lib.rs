@@ -10,7 +10,9 @@
 //!    field/param/axis slots in range.
 //! 2. **Halo footprint** ([`footprint::check_halo`]) — the exact per-field
 //!    load/store offset envelope fits the ghost layers and staggered
-//!    padding the grid actually allocates.
+//!    padding the grid actually allocates; [`footprint::check_frontier`]
+//!    proves the overlapped schedule's interior/frontier split defers
+//!    every ghost-reading cell until the halo receives complete.
 //! 3. **Intra-sweep hazards** ([`hazard::check_hazards`]) — Jacobi
 //!    discipline: no cell of a sweep reads what another cell of the same
 //!    sweep writes; split kernel variants store to disjoint sets.
@@ -42,7 +44,9 @@ pub mod ssa;
 pub mod value;
 
 pub use diag::{render, DiagKind, Diagnostic, Severity};
-pub use footprint::{check_halo, Envelope, FieldAlloc, FieldFootprint, Footprint};
+pub use footprint::{
+    check_frontier, check_halo, frontier_widths, Envelope, FieldAlloc, FieldFootprint, Footprint,
+};
 pub use hazard::{check_hazards, check_split_disjoint};
 pub use schedule::check_levels;
 pub use ssa::check_ssa;

@@ -19,6 +19,7 @@
 
 use crate::store::FieldStore;
 use pf_fields::FieldArray;
+use pf_grid::IterRegion;
 use pf_ir::{Tape, TapeOp};
 use pf_rng::CellRng;
 use rayon::prelude::*;
@@ -228,9 +229,26 @@ struct PlanKey {
     geom: Vec<(isize, [isize; 4])>,
 }
 
-fn plan_cache() -> &'static Mutex<HashMap<PlanKey, Arc<Plan>>> {
-    static CACHE: OnceLock<Mutex<HashMap<PlanKey, Arc<Plan>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// Plans keyed by structural fingerprint + storage geometry, stamped with
+/// an insertion sequence number so the growth guard can evict the oldest
+/// half instead of dropping everything.
+struct PlanCache {
+    map: HashMap<PlanKey, (u64, Arc<Plan>)>,
+    seq: u64,
+}
+
+/// Growth-guard threshold: reaching this many cached plans evicts the
+/// oldest-inserted half.
+const PLAN_CACHE_CAP: usize = 512;
+
+fn plan_cache() -> &'static Mutex<PlanCache> {
+    static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(PlanCache {
+            map: HashMap::new(),
+            seq: 0,
+        })
+    })
 }
 
 fn resolve_cached(
@@ -255,7 +273,7 @@ fn resolve_cached(
         geom,
     };
     let mut cache = plan_cache().lock().expect("plan cache poisoned");
-    if let Some(plan) = cache.get(&key) {
+    if let Some((_, plan)) = cache.map.get(&key) {
         if pf_trace::enabled() {
             pf_trace::counter(&format!("exec.plan_cache.hit.{}", tape.name)).incr(1);
         }
@@ -266,11 +284,23 @@ fn resolve_cached(
     }
     let plan = Arc::new(resolve(tape, reads, writes, read_map, write_map));
     // Growth guard: a long-lived process cycling through many distinct
-    // (kernel, shape) pairs should not leak plans without bound.
-    if cache.len() >= 512 {
-        cache.clear();
+    // (kernel, shape) pairs should not leak plans without bound. Evict the
+    // oldest-inserted half — dropping the whole cache would force every
+    // live kernel through a thundering-herd re-resolution.
+    if cache.map.len() >= PLAN_CACHE_CAP {
+        let mut seqs: Vec<u64> = cache.map.values().map(|(s, _)| *s).collect();
+        seqs.sort_unstable();
+        let cutoff = seqs[seqs.len() / 2];
+        let before = cache.map.len();
+        cache.map.retain(|_, (s, _)| *s >= cutoff);
+        let evicted = (before - cache.map.len()) as u64;
+        if pf_trace::enabled() {
+            pf_trace::counter("exec.plan_cache.evict").incr(evicted);
+        }
     }
-    cache.insert(key, Arc::clone(&plan));
+    cache.seq += 1;
+    let stamp = cache.seq;
+    cache.map.insert(key, (stamp, Arc::clone(&plan)));
     plan
 }
 
@@ -314,6 +344,16 @@ pub(crate) fn f32_rsqrt(a: f64) -> f64 {
     (1.0 / (a as f32).sqrt()) as f64
 }
 
+/// The extended iteration range of `tape` over a block interior: face
+/// kernels sweep `domain + iter_extent` cells.
+pub fn extended_range(tape: &Tape, domain: [usize; 3]) -> [usize; 3] {
+    [
+        domain[0] + tape.iter_extent[0],
+        domain[1] + tape.iter_extent[1],
+        domain[2] + tape.iter_extent[2],
+    ]
+}
+
 /// Execute `tape` over the block interior (plus its `iter_extent`).
 ///
 /// `domain` is the block's interior cell shape; the written arrays must be
@@ -331,16 +371,8 @@ pub fn run_kernel(
     ctx: &RunCtx,
     mode: ExecMode,
 ) {
-    match run_kernel_checked(tape, store, params, domain, ctx, mode) {
-        Ok(()) => {}
-        Err(ExecError::NonCentreStore { .. }) => {
-            if pf_trace::enabled() {
-                pf_trace::counter(&format!("exec.serial_fallback.{}", tape.name)).incr(1);
-            }
-            run_kernel_checked(tape, store, params, domain, ctx, ExecMode::Serial)
-                .expect("serial execution has no store-offset constraints");
-        }
-    }
+    let region = IterRegion::full(extended_range(tape, domain));
+    run_kernel_region(tape, store, params, domain, region, ctx, mode);
 }
 
 /// Execute `tape`, returning a typed error instead of falling back when the
@@ -353,6 +385,48 @@ pub fn run_kernel_checked(
     ctx: &RunCtx,
     mode: ExecMode,
 ) -> Result<(), ExecError> {
+    let region = IterRegion::full(extended_range(tape, domain));
+    run_kernel_region_checked(tape, store, params, domain, region, ctx, mode)
+}
+
+/// Execute `tape` over a sub-box of its extended iteration range — the
+/// overlapped distributed schedule launches the interior region while halo
+/// messages are in flight and the frontier shells after the receives
+/// complete. Cells outside `region` are untouched; cell semantics
+/// (absolute coordinates, Philox counters) are identical to a full launch,
+/// so splitting a sweep into tiling regions is bitwise equivalent to one
+/// [`run_kernel`] call. Falls back to serial like [`run_kernel`].
+pub fn run_kernel_region(
+    tape: &Tape,
+    store: &mut FieldStore,
+    params: &[f64],
+    domain: [usize; 3],
+    region: IterRegion,
+    ctx: &RunCtx,
+    mode: ExecMode,
+) {
+    match run_kernel_region_checked(tape, store, params, domain, region, ctx, mode) {
+        Ok(()) => {}
+        Err(ExecError::NonCentreStore { .. }) => {
+            if pf_trace::enabled() {
+                pf_trace::counter(&format!("exec.serial_fallback.{}", tape.name)).incr(1);
+            }
+            run_kernel_region_checked(tape, store, params, domain, region, ctx, ExecMode::Serial)
+                .expect("serial execution has no store-offset constraints");
+        }
+    }
+}
+
+/// Checked sub-region launch; see [`run_kernel_region`].
+pub fn run_kernel_region_checked(
+    tape: &Tape,
+    store: &mut FieldStore,
+    params: &[f64],
+    domain: [usize; 3],
+    region: IterRegion,
+    ctx: &RunCtx,
+    mode: ExecMode,
+) -> Result<(), ExecError> {
     assert_eq!(
         params.len(),
         tape.params.len(),
@@ -361,12 +435,18 @@ pub fn run_kernel_checked(
         tape.params.len()
     );
 
-    // Loops iterate the extended range (interior + face-kernel extent).
-    let ext = [
-        domain[0] + tape.iter_extent[0],
-        domain[1] + tape.iter_extent[1],
-        domain[2] + tape.iter_extent[2],
-    ];
+    // Loops iterate (a sub-box of) the extended range (interior +
+    // face-kernel extent).
+    let ext = extended_range(tape, domain);
+    for d in 0..3 {
+        assert!(
+            region.hi[d] <= ext[d],
+            "kernel {}: region {:?} exceeds the extended range {:?}",
+            tape.name,
+            region,
+            ext
+        );
+    }
     let order = tape.loop_order;
 
     // The strip engine mines strips along the unit-stride x dimension,
@@ -398,11 +478,11 @@ pub fn run_kernel_checked(
 
     // Observability: one span + a few counter bumps per launch (a launch
     // sweeps a whole block, so this is far off the per-cell hot path).
-    // `exec.cells` meters the actual iteration extent, not the interior:
-    // face kernels sweep (domain + iter_extent) cells.
+    // `exec.cells` meters the actual iteration count: the region volume,
+    // which for a full launch is the extended range (domain + iter_extent).
     if pf_trace::enabled() {
         pf_trace::counter(&format!("exec.launches.{}", tape.name)).incr(1);
-        let n = (ext[0] * ext[1] * ext[2]) as u64;
+        let n = region.cells() as u64;
         pf_trace::counter("exec.cells").incr(n);
         pf_trace::counter(&format!("exec.cells.{}", tape.name)).incr(n);
     }
@@ -486,16 +566,14 @@ pub fn run_kernel_checked(
         }
         let read_data: Vec<&[f64]> = reads.iter().map(|a| a.data()).collect();
 
-        let outer_n = ext[order[0]];
-
         match mode {
             ExecMode::Serial => {
                 let mut write_data: Vec<&mut [f64]> =
                     writes.iter_mut().map(|a| a.data_mut()).collect();
                 let mut regs = vec![0.0f64; tape.instrs.len()];
-                let mut cell = CellCursor::new(tape, &plan, params, ctx, ext);
+                let mut cell = CellCursor::new(tape, &plan, params, ctx, region);
                 cell.exec_section(&mut regs, &read_data, 0, plan.sec[0], [0; 3]);
-                for o in 0..outer_n {
+                for o in region.lo[order[0]]..region.hi[order[0]] {
                     cell.run_outer(
                         &mut regs,
                         &read_data,
@@ -518,23 +596,25 @@ pub fn run_kernel_checked(
                 let raw = &raw;
                 let plan_ref = &*plan;
                 let read_data = &read_data;
-                (0..outer_n).into_par_iter().for_each_init(
-                    || vec![0.0f64; tape.instrs.len()],
-                    |regs, o| {
-                        let mut cell = CellCursor::new(tape, plan_ref, params, ctx, ext);
-                        cell.exec_section(regs, read_data, 0, plan_ref.sec[0], [0; 3]);
-                        cell.run_outer(
-                            regs,
-                            read_data,
-                            // SAFETY: distinct `o` values write disjoint
-                            // cells (centre stores along the outer loop,
-                            // checked above), and each array index is in
-                            // bounds by construction of the plan deltas.
-                            &mut |idx, v, arr| unsafe { raw[arr].write(idx, v) },
-                            o,
-                        );
-                    },
-                );
+                (region.lo[order[0]]..region.hi[order[0]])
+                    .into_par_iter()
+                    .for_each_init(
+                        || vec![0.0f64; tape.instrs.len()],
+                        |regs, o| {
+                            let mut cell = CellCursor::new(tape, plan_ref, params, ctx, region);
+                            cell.exec_section(regs, read_data, 0, plan_ref.sec[0], [0; 3]);
+                            cell.run_outer(
+                                regs,
+                                read_data,
+                                // SAFETY: distinct `o` values write disjoint
+                                // cells (centre stores along the outer loop,
+                                // checked above), and each array index is in
+                                // bounds by construction of the plan deltas.
+                                &mut |idx, v, arr| unsafe { raw[arr].write(idx, v) },
+                                o,
+                            );
+                        },
+                    );
             }
             ExecMode::Vectorized => {
                 let raw: Vec<RawSlice> = writes
@@ -547,7 +627,7 @@ pub fn run_kernel_checked(
                         }
                     })
                     .collect();
-                crate::vector::run_vectorized(tape, &plan, params, ctx, ext, &read_data, &raw);
+                crate::vector::run_vectorized(tape, &plan, params, ctx, region, &read_data, &raw);
             }
         }
     }
@@ -568,7 +648,7 @@ struct CellCursor<'a> {
     plan: &'a Plan,
     params: &'a [f64],
     ctx: &'a RunCtx,
-    ext: [usize; 3],
+    region: IterRegion,
     rng: CellRng,
 }
 
@@ -578,14 +658,14 @@ impl<'a> CellCursor<'a> {
         plan: &'a Plan,
         params: &'a [f64],
         ctx: &'a RunCtx,
-        ext: [usize; 3],
+        region: IterRegion,
     ) -> Self {
         CellCursor {
             tape,
             plan,
             params,
             ctx,
-            ext,
+            region,
             rng: CellRng::new(ctx.seed),
         }
     }
@@ -608,10 +688,10 @@ impl<'a> CellCursor<'a> {
         let mut idx3 = [0usize; 3];
         idx3[order[0]] = o;
         self.exec_section_rw(regs, read_data, write, s0, s1, idx3);
-        for m in 0..self.ext[order[1]] {
+        for m in self.region.lo[order[1]]..self.region.hi[order[1]] {
             idx3[order[1]] = m;
             self.exec_section_rw(regs, read_data, write, s1, s2, idx3);
-            for x in 0..self.ext[order[2]] {
+            for x in self.region.lo[order[2]]..self.region.hi[order[2]] {
                 idx3[order[2]] = x;
                 self.exec_section_rw(regs, read_data, write, s2, s3, idx3);
             }
@@ -936,8 +1016,126 @@ mod tests {
         }
     }
 
+    /// The plan cache is process-global; tests asserting exact hit/miss or
+    /// eviction counts must not interleave.
+    fn plan_cache_test_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    #[test]
+    fn region_launches_tile_to_a_bitwise_identical_full_sweep() {
+        // Split a 3D diffusion + Philox-noise sweep into interior plus
+        // frontier shells: running the pieces must reproduce the full
+        // launch bit for bit in every execution mode (the property the
+        // overlapped distributed schedule rests on).
+        use pf_grid::split_frontier;
+        let src = Field::new("ex_rg_src", 1, 3);
+        let dst = Field::new("ex_rg_dst", 1, 3);
+        let disc = Discretization::isotropic(3, 1.0);
+        let u = Expr::access(Access::center(src, 0));
+        let rhs: Expr = (0..3)
+            .map(|d| Expr::d(Expr::num(1.0) * Expr::d(u.clone(), d), d))
+            .sum();
+        let update = disc.explicit_euler(Access::center(src, 0), &rhs, 0.05) + Expr::rand(0) * 0.01;
+        let k = StencilKernel::new(
+            "region_tiled",
+            vec![Assignment::store(Access::center(dst, 0), update)],
+        );
+        let tape = generate(&k, &GenOptions::default());
+        // 20 % 8 = 4: vectorized strips hit the remainder loop too.
+        let domain = [20usize, 6, 5];
+        let mk = || {
+            let mut store = FieldStore::new();
+            store
+                .allocate(src, domain, 1, Layout::Fzyx)
+                .fill_with(0, |x, y, z| ((x * 7 + y * 3 + z) % 11) as f64);
+            for d in 0..3 {
+                store.get_mut(src).apply_periodic(d);
+            }
+            store.allocate(dst, domain, 1, Layout::Fzyx);
+            store
+        };
+        let ctx = RunCtx {
+            seed: 42,
+            ..RunCtx::default()
+        };
+        for mode in [ExecMode::Serial, ExecMode::Parallel, ExecMode::Vectorized] {
+            let mut full = mk();
+            run_kernel(&tape, &mut full, &[], domain, &ctx, mode);
+            let mut split = mk();
+            let (interior, shells) = split_frontier(domain, [1; 3], [2, 1, 1]);
+            run_kernel_region(&tape, &mut split, &[], domain, interior, &ctx, mode);
+            for r in &shells {
+                run_kernel_region(&tape, &mut split, &[], domain, *r, &ctx, mode);
+            }
+            assert_eq!(
+                full.get(dst).max_abs_diff(split.get(dst)),
+                0.0,
+                "mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_cache_evicts_oldest_half_at_capacity() {
+        let _guard = plan_cache_test_lock()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let src = Field::new("ex_ev_src", 1, 1);
+        let dst = Field::new("ex_ev_dst", 1, 1);
+        let k = StencilKernel::new(
+            "plan_evict",
+            vec![Assignment::store(
+                Access::center(dst, 0),
+                Expr::access(Access::center(src, 0)),
+            )],
+        );
+        let tape = generate(&k, &GenOptions::default());
+        // Vary the y extent: distinct y shapes give distinct z strides and
+        // base offsets (x extents are padded to the SIMD width, so nearby
+        // x shapes would collapse onto one storage geometry).
+        let launch = |n: usize| {
+            let mut store = FieldStore::new();
+            store.allocate(src, [4, n, 1], 1, Layout::Fzyx);
+            store.allocate(dst, [4, n, 1], 1, Layout::Fzyx);
+            run_kernel(
+                &tape,
+                &mut store,
+                &[],
+                [4, n, 1],
+                &RunCtx::default(),
+                ExecMode::Serial,
+            );
+        };
+        let evictions = || pf_trace::counter("exec.plan_cache.evict").value();
+        let hits = || pf_trace::counter("exec.plan_cache.hit.plan_evict").value();
+        let misses = || pf_trace::counter("exec.plan_cache.miss.plan_evict").value();
+        let e0 = evictions();
+        // Fill the cache past capacity with distinct storage geometries.
+        for n in 0..(PLAN_CACHE_CAP + 8) {
+            launch(4 + n);
+        }
+        if pf_trace::enabled() {
+            assert!(
+                evictions() - e0 >= (PLAN_CACHE_CAP / 2) as u64,
+                "filling past capacity must evict about half, got {}",
+                evictions() - e0
+            );
+            // The guard keeps the *newest* half: the last geometry must
+            // still be cached (the old guard cleared everything).
+            let (h0, m0) = (hits(), misses());
+            launch(4 + PLAN_CACHE_CAP + 7);
+            assert_eq!(hits() - h0, 1, "most recent plan survives eviction");
+            assert_eq!(misses() - m0, 0);
+        }
+    }
+
     #[test]
     fn plan_cache_resolves_once_per_kernel_and_shape() {
+        let _guard = plan_cache_test_lock()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let src = Field::new("ex_pc_src", 1, 2);
         let dst = Field::new("ex_pc_dst", 1, 2);
         let k = StencilKernel::new(

@@ -20,7 +20,11 @@ mod store;
 mod vector;
 
 pub use emit::{emit_c, emit_cuda, ThreadMapping};
-pub use exec::{run_kernel, run_kernel_checked, ExecError, ExecMode, RunCtx};
+pub use exec::{
+    extended_range, run_kernel, run_kernel_checked, run_kernel_region, run_kernel_region_checked,
+    ExecError, ExecMode, RunCtx,
+};
+pub use pf_grid::IterRegion;
 pub use simd::{emit_c_simd, SimdIsa};
 pub use store::FieldStore;
 pub use vector::STRIP_WIDTH;

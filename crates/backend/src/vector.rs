@@ -24,6 +24,7 @@
 //! per outer index.
 
 use crate::exec::{f32_div, f32_rsqrt, f32_sqrt, Plan, RawSlice, RunCtx, Step};
+use pf_grid::IterRegion;
 use pf_ir::{Tape, TapeOp};
 use pf_rng::CellRng;
 use rayon::prelude::*;
@@ -33,20 +34,24 @@ pub const STRIP_WIDTH: usize = crate::simd::SimdIsa::Avx512.lanes();
 
 const W: usize = STRIP_WIDTH;
 
-/// Execute the resolved plan over the extended domain with the strip
-/// engine. Caller guarantees `tape.loop_order[2] == 0` (x innermost) and
-/// centre stores along `loop_order[0]` (slab disjointness).
+/// Execute the resolved plan over a region of the extended domain with the
+/// strip engine. Caller guarantees `tape.loop_order[2] == 0` (x innermost)
+/// and centre stores along `loop_order[0]` (slab disjointness). Strips are
+/// phased from `region.lo[0]`; since every instruction is evaluated
+/// per-cell from absolute coordinates, strip phasing never changes values,
+/// so region launches stay bitwise identical to full sweeps.
 pub(crate) fn run_vectorized(
     tape: &Tape,
     plan: &Plan,
     params: &[f64],
     ctx: &RunCtx,
-    ext: [usize; 3],
+    region: IterRegion,
     read_data: &[&[f64]],
     raw: &[RawSlice],
 ) {
     let order = tape.loop_order;
-    let outer_n = ext[order[0]];
+    let outer_lo = region.lo[order[0]];
+    let outer_n = region.hi[order[0]].saturating_sub(outer_lo);
     if outer_n == 0 {
         return;
     }
@@ -64,13 +69,13 @@ pub(crate) fn run_vectorized(
                 plan,
                 params,
                 ctx,
-                ext,
+                region,
                 rng: CellRng::new(ctx.seed),
             };
             // Sweep-invariant section, once per slab.
             cur.exec_hoisted(regs, read_data, 0, plan.sec[0], [0; 3]);
-            let lo = si * slab;
-            let hi = (lo + slab).min(outer_n);
+            let lo = outer_lo + si * slab;
+            let hi = (lo + slab).min(outer_lo + outer_n);
             for o in lo..hi {
                 cur.run_outer(regs, read_data, raw, o);
             }
@@ -85,7 +90,7 @@ struct StripCursor<'a> {
     plan: &'a Plan,
     params: &'a [f64],
     ctx: &'a RunCtx,
-    ext: [usize; 3],
+    region: IterRegion,
     rng: CellRng,
 }
 
@@ -98,21 +103,22 @@ impl StripCursor<'_> {
         let mut idx3 = [0usize; 3];
         idx3[order[0]] = o;
         self.exec_hoisted(regs, read_data, s0, s1, idx3);
-        let ext_x = self.ext[0];
-        let full = ext_x - ext_x % W;
-        for m in 0..self.ext[order[1]] {
+        let x_lo = self.region.lo[0];
+        let x_hi = self.region.hi[0];
+        for m in self.region.lo[order[1]]..self.region.hi[order[1]] {
             idx3[order[1]] = m;
             self.exec_hoisted(regs, read_data, s1, s2, idx3);
-            let mut x = 0;
-            while x < full {
+            let mut x = x_lo;
+            while x + W <= x_hi {
                 idx3[0] = x;
                 self.exec_strip(regs, read_data, raw, s2, s3, idx3);
                 x += W;
             }
             // Scalar tear-down loop for the remainder strip.
-            for x in full..ext_x {
+            while x < x_hi {
                 idx3[0] = x;
                 self.exec_teardown(regs, read_data, raw, s2, s3, idx3);
+                x += 1;
             }
         }
     }

@@ -8,13 +8,17 @@
 //! metric snapshot rides along, so a bench artifact doubles as a runtime
 //! profile (kernel spans, comm counters, checkpoint drains).
 //!
-//! Schema `pf-bench/2` (v2 added the per-record execution `mode` and made
+//! Schema `pf-bench/3` (v2 added the per-record execution `mode` and made
 //! `extra.analysis` mandatory — every artifact now proves which engine was
-//! measured and that static verification actually ran):
+//! measured and that static verification actually ran; v3 added
+//! `extra.measured_overlap` — the *measured* blocking-vs-overlapped
+//! distributed step-loop throughput on the bench host, mandatory for the
+//! comm-scheduling artifacts `table2` and `fig3` so the Table 2 overlap
+//! prediction is always printed next to a real measurement):
 //!
 //! ```text
 //! {
-//!   "schema": "pf-bench/2",
+//!   "schema": "pf-bench/3",
 //!   "name": "fig2_left",
 //!   "smoke": true,
 //!   "machine": {"model": "skylake_8174", "threads_avail": 1},
@@ -40,7 +44,21 @@ use pf_trace::{Json, Report};
 use std::collections::BTreeMap;
 
 /// Schema identifier; bump on breaking layout changes.
-pub const SCHEMA: &str = "pf-bench/2";
+pub const SCHEMA: &str = "pf-bench/3";
+
+/// Artifacts that exercise the communication-scheduling options and must
+/// therefore carry `extra.measured_overlap` (schema pf-bench/3).
+pub const COMM_ARTIFACTS: [&str; 2] = ["table2", "fig3"];
+
+/// Field names of the `extra.measured_overlap` object.
+pub const MEASURED_OVERLAP_FIELDS: [&str; 6] = [
+    "ranks",
+    "global_cells",
+    "steps",
+    "blocking_mlups",
+    "overlapped_mlups",
+    "speedup",
+];
 
 /// Execution-engine names a kernel record may carry (`KernelPerf::mode`).
 pub const EXEC_MODES: [&str; 3] = ["serial", "parallel", "vectorized"];
@@ -209,7 +227,7 @@ impl BenchReport {
     }
 }
 
-/// Check a parsed document against schema `pf-bench/2`. Returns every
+/// Check a parsed document against schema `pf-bench/3`. Returns every
 /// violation found (empty = valid).
 pub fn validate(j: &Json) -> Vec<String> {
     let mut out = Vec::new();
@@ -280,7 +298,7 @@ pub fn validate(j: &Json) -> Vec<String> {
     }
     match j.get("extra").and_then(Json::as_obj) {
         Some(extra) => {
-            // Since pf-bench/2 `analysis` is mandatory: an object of numeric
+            // Since pf-bench/2 `analysis` is mandatory (and still in v3): an object of numeric
             // statistics covering at least one verified kernel. An artifact
             // without it means the static-verification stage silently never
             // ran over the benched kernels.
@@ -304,6 +322,46 @@ pub fn validate(j: &Json) -> Vec<String> {
                     None => out.push("extra.analysis must be an object".into()),
                 },
                 None => out.push("missing object field 'extra.analysis'".into()),
+            }
+            // Since pf-bench/3: comm-scheduling artifacts carry the
+            // *measured* blocking-vs-overlapped comparison; any artifact
+            // that includes one must have it well-formed.
+            let needs_overlap = j
+                .get("name")
+                .and_then(Json::as_str)
+                .is_some_and(|n| COMM_ARTIFACTS.contains(&n));
+            match extra.get("measured_overlap") {
+                Some(mo) => match mo.as_obj() {
+                    Some(fields) => {
+                        for f in MEASURED_OVERLAP_FIELDS {
+                            match fields.get(f).and_then(Json::as_f64) {
+                                Some(v) if v.is_finite() && v > 0.0 => {}
+                                _ => out.push(format!(
+                                    "extra.measured_overlap.{f} must be a finite number > 0"
+                                )),
+                            }
+                        }
+                        let n = |f: &str| fields.get(f).and_then(Json::as_f64);
+                        if let (Some(b), Some(o), Some(s)) =
+                            (n("blocking_mlups"), n("overlapped_mlups"), n("speedup"))
+                        {
+                            if b > 0.0 && (s - o / b).abs() > 1e-9 * (o / b).abs() {
+                                out.push(format!(
+                                    "extra.measured_overlap.speedup {s} inconsistent with \
+                                     overlapped/blocking {}",
+                                    o / b
+                                ));
+                            }
+                        }
+                    }
+                    None => out.push("extra.measured_overlap must be an object".into()),
+                },
+                None if needs_overlap => out.push(
+                    "missing object field 'extra.measured_overlap' \
+                     (required for comm-scheduling artifacts)"
+                        .into(),
+                ),
+                None => {}
             }
         }
         None => out.push("missing object field 'extra'".into()),
@@ -423,7 +481,7 @@ mod tests {
 
     #[test]
     fn analysis_extra_is_required_and_checked() {
-        // Absent: schema pf-bench/2 rejects it — verification never ran.
+        // Absent: the schema (mandatory since v2) rejects it — verification never ran.
         let mut r = sample();
         r.extra.remove("analysis");
         let v = validate(&r.to_json());
@@ -466,6 +524,49 @@ mod tests {
         r.extra.insert("analysis".into(), Json::str("oops"));
         let v = validate(&r.to_json());
         assert!(v.iter().any(|e| e.contains("must be an object")), "{v:?}");
+    }
+
+    #[test]
+    fn measured_overlap_is_required_for_comm_artifacts_and_checked() {
+        let overlap_obj = |speedup: f64| {
+            Json::obj([
+                ("ranks".to_string(), Json::Num(2.0)),
+                ("global_cells".to_string(), Json::Num(2048.0)),
+                ("steps".to_string(), Json::Num(2.0)),
+                ("blocking_mlups".to_string(), Json::Num(1.0)),
+                ("overlapped_mlups".to_string(), Json::Num(1.1)),
+                ("speedup".to_string(), Json::Num(speedup)),
+            ])
+        };
+
+        // A comm-scheduling artifact without the measurement is invalid…
+        let mut r = sample();
+        r.name = "table2".into();
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("measured_overlap")), "{v:?}");
+
+        // …and valid once it carries a well-formed one.
+        r.extra.insert("measured_overlap".into(), overlap_obj(1.1));
+        assert!(validate(&r.to_json()).is_empty());
+
+        // Other artifacts may omit it entirely (sample() does).
+        assert!(validate(&sample().to_json()).is_empty());
+
+        // But a present-but-inconsistent speedup is a violation anywhere.
+        let mut r = sample();
+        r.extra.insert("measured_overlap".into(), overlap_obj(3.0));
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("speedup")), "{v:?}");
+
+        // As is a missing field.
+        let mut r = sample();
+        r.name = "fig3".into();
+        r.extra.insert(
+            "measured_overlap".into(),
+            Json::obj([("ranks".to_string(), Json::Num(2.0))]),
+        );
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("blocking_mlups")), "{v:?}");
     }
 
     #[test]

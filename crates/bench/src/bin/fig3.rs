@@ -170,6 +170,21 @@ fn main() {
         }
     }
     let p = p1();
-    let perf = pf_bench::standard_kernel_perf(&p, &kernels_for(&p));
+    let ks = kernels_for(&p);
+    // The weak/strong series above assume overlap pays for itself; pin a
+    // real measurement of blocking-vs-overlapped next to them.
+    let (mgrid, ranks, steps) = pf_bench::overlap_workload();
+    let ((blocking, overlapped), mo) =
+        pf_bench::measured_overlap_mlups(&p, &ks, mgrid, ranks, steps);
+    println!(
+        "measured schedules on this host ({ranks} ranks, {}x{}x{} global): \
+         blocking {blocking:.3} MLUP/s, overlapped {overlapped:.3} MLUP/s ({:+.1}%)",
+        mgrid[0],
+        mgrid[1],
+        mgrid[2],
+        (overlapped / blocking - 1.0) * 100.0
+    );
+    extra.push(("measured_overlap".to_string(), Json::obj(mo)));
+    let perf = pf_bench::standard_kernel_perf(&p, &ks);
     pf_bench::emit_bench("fig3", perf, extra).expect("write BENCH_fig3.json");
 }

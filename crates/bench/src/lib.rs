@@ -41,7 +41,7 @@ pub fn gpu_optimized(tape: &Tape) -> Tape {
 /// Build the canonical kernel set for a parameterization (defaults).
 ///
 /// The bench harness always runs the full pf-analyze verification suite
-/// over the set — schema `pf-bench/2` makes `extra.analysis` mandatory, so
+/// over the set — schema `pf-bench/3` makes `extra.analysis` mandatory, so
 /// every artifact proves the benched kernels were statically verified —
 /// even when the `PF_VERIFY` env gate that guards ordinary generation is
 /// off. (When the gate is on, `generate_kernels` already verified and
@@ -365,6 +365,75 @@ pub fn measure_mlups(
         pf_trace::gauge(&format!("bench.mlups.{}", tapes[0].name)).set(mlups);
     }
     mlups
+}
+
+/// Measured end-to-end throughput of the distributed step loop on this
+/// host (thread-backed ranks), blocking vs overlapped halo schedule.
+/// Returns `(blocking, overlapped)` whole-world MLUP/s plus the workload
+/// descriptor that goes into `extra.measured_overlap`. The absolute
+/// numbers are interpreter-scale (compare against each other, not the
+/// model); what the artifact pins is that the overlapped schedule is
+/// measured at all, next to the Table 2 prediction, on every run.
+pub fn measured_overlap_mlups(
+    p: &ModelParams,
+    ks: &KernelSet,
+    global: [usize; 3],
+    ranks: usize,
+    steps: usize,
+) -> ((f64, f64), Vec<(String, Json)>) {
+    let phases = p.phases;
+    let liquid = p.liquid_phase;
+    let num_mu = p.num_mu();
+    let (cx, cy) = (global[0] as f64 / 2.0, global[1] as f64 / 2.0);
+    let init_phi = move |x: i64, y: i64, _z: i64| {
+        let d = (((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt() - cx * 0.5) / 3.0;
+        let s = 0.5 * (1.0 - d.tanh());
+        let mut v = vec![0.0; phases];
+        v[liquid] = 1.0 - s;
+        v[(liquid + 1) % phases] = s;
+        v
+    };
+    let init_mu = move |_: i64, _: i64, _: i64| vec![0.05; num_mu];
+    let cells = (global[0] * global[1] * global[2]) as f64;
+    let measure = |overlap: bool| {
+        let mut cfg = pf_core::dist::DistConfig::new(global, ranks);
+        cfg.comm.overlap = overlap;
+        // Best-of-2: same rationale as `standard_kernel_perf` — noise only
+        // slows a run down.
+        (0..2)
+            .map(|_| {
+                let t0 = Instant::now();
+                pf_core::dist::run_distributed(p, ks, &cfg, steps, init_phi, init_mu, |_| ());
+                cells * steps as f64 / t0.elapsed().as_secs_f64() / 1e6
+            })
+            .fold(f64::MIN, f64::max)
+    };
+    let blocking = measure(false);
+    let overlapped = measure(true);
+    let extra = vec![
+        ("ranks".to_string(), Json::Num(ranks as f64)),
+        ("global_cells".to_string(), Json::Num(cells)),
+        ("steps".to_string(), Json::Num(steps as f64)),
+        ("blocking_mlups".to_string(), Json::Num(blocking)),
+        ("overlapped_mlups".to_string(), Json::Num(overlapped)),
+        ("speedup".to_string(), Json::Num(overlapped / blocking)),
+    ];
+    ((blocking, overlapped), extra)
+}
+
+/// The measured-overlap workload: small in smoke mode, moderate otherwise.
+/// Returns `(global, ranks, steps)`. The z extent dominates so the
+/// surface-optimal decomposition splits z and leaves the unit-stride x
+/// dimension undivided — the frontier is then whole (x,y) planes that the
+/// strip engine sweeps at full SIMD width, the production-shaped case for
+/// communication hiding (splitting x instead would shear every frontier
+/// row down to the stencil width).
+pub fn overlap_workload() -> ([usize; 3], usize, usize) {
+    if smoke() {
+        ([16, 16, 32], 2, 2)
+    } else {
+        ([32, 32, 64], 2, 4)
+    }
 }
 
 /// Run `f` inside a rayon pool of `threads` threads (per-core scaling

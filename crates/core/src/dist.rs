@@ -13,9 +13,11 @@ use crate::kernels::KernelSet;
 use crate::params::ModelParams;
 use crate::sim::{BcKind, SimConfig, Simulation, Variant};
 use pf_grid::{
-    exchange_halo, run_ranks_with_faults, with_silenced_dead_rank_panics, Comm, CommOptions,
-    Decomposition, FaultPlan, DEAD_RANK_MARKER,
+    begin_exchange, exchange_halo, finish_exchange, run_ranks_with_faults, split_frontier,
+    with_silenced_dead_rank_panics, Comm, CommOptions, Decomposition, FaultPlan, HaloHandle,
+    DEAD_RANK_MARKER,
 };
+use pf_ir::Tape;
 use pf_symbolic::Field;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -108,6 +110,139 @@ impl DistConfig {
     }
 }
 
+/// Frontier deferral widths of one kernel phase of Algorithm 1: how many
+/// cells from each block face must wait for the halo receives. Derived
+/// from the pf-analyze load envelopes, maximized over the phase's tapes
+/// (exact for a full kernel; for a split kernel the group maximum also
+/// guarantees the flux interior produces every staggered value the update
+/// interior re-reads, since the update's widths dominate the fluxes').
+#[derive(Clone, Copy, Debug)]
+struct PhaseWidths {
+    lo: [usize; 3],
+    hi: [usize; 3],
+}
+
+/// Interior/frontier split of the overlapped schedule, built once per run
+/// and proved sound by [`pf_analyze::check_frontier`]: no interior cell of
+/// any tape reads a ghost layer, so the interior sweeps can run while the
+/// halo messages are still in flight.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OverlapPlan {
+    phi: PhaseWidths,
+    mu: PhaseWidths,
+}
+
+fn phase_widths(p: &ModelParams, ks: &KernelSet, tapes: &[&Tape]) -> PhaseWidths {
+    let mut lo = [0usize; 3];
+    let mut hi = [0usize; 3];
+    for tape in tapes {
+        let allocs = crate::kernels::alloc_table(p, ks, tape);
+        let (tl, th) = pf_analyze::frontier_widths(tape, &allocs);
+        for d in 0..3 {
+            lo[d] = lo[d].max(tl[d]);
+            hi[d] = hi[d].max(th[d]);
+        }
+    }
+    // Static soundness gate: a planning bug here would silently compute
+    // with stale ghosts, so refuse to run instead.
+    for tape in tapes {
+        let allocs = crate::kernels::alloc_table(p, ks, tape);
+        let diags = pf_analyze::check_frontier(tape, &allocs, lo, hi);
+        assert!(
+            diags.is_empty(),
+            "overlap plan unsound for kernel '{}': {}",
+            tape.name,
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+    PhaseWidths { lo, hi }
+}
+
+pub(crate) fn build_overlap_plan(
+    p: &ModelParams,
+    ks: &KernelSet,
+    cfg: &DistConfig,
+    dec: &Decomposition,
+) -> OverlapPlan {
+    fn split_refs(s: &crate::kernels::SplitTapes) -> Vec<&Tape> {
+        s.flux_tapes
+            .iter()
+            .chain(std::iter::once(&s.update))
+            .collect()
+    }
+    let phi_tapes: Vec<&Tape> = match cfg.phi_variant {
+        Variant::Full => vec![&ks.phi_full],
+        Variant::Split => split_refs(&ks.phi_split),
+    };
+    let mu_tapes: Vec<&Tape> = match cfg.mu_variant {
+        Variant::Full => vec![&ks.mu_full],
+        Variant::Split => split_refs(&ks.mu_split),
+    };
+    // Ghost layers along dimensions the exchange completes inside `begin`
+    // (leading undivided dimensions — local wraps, no messages) are as
+    // fresh as owned data when the interior sweeps run, so no frontier
+    // shell needs to guard them. `phase_widths` verified the full load
+    // envelopes above; the mask only drops deferral where nothing defers.
+    let k = pf_grid::first_deferred_dim(dec);
+    let mask = |mut w: PhaseWidths| {
+        for d in 0..k {
+            w.lo[d] = 0;
+            w.hi[d] = 0;
+        }
+        w
+    };
+    OverlapPlan {
+        phi: mask(phase_widths(p, ks, &phi_tapes)),
+        mu: mask(phase_widths(p, ks, &mu_tapes)),
+    }
+}
+
+/// Sweep every tape of a phase over its interior region (halo messages may
+/// still be in flight — the plan proves no ghost layer is read here).
+fn run_phase_interiors(sim: &mut Simulation, tapes: &[Tape], w: PhaseWidths, rank: usize) {
+    for tape in tapes {
+        let ext = pf_backend::extended_range(tape, sim.cfg.shape);
+        let (interior, _) = split_frontier(ext, w.lo, w.hi);
+        pf_trace::counter_at("exec.interior_cells", rank).incr(interior.cells() as u64);
+        sim.run_region(tape, interior);
+    }
+}
+
+/// Sweep every tape of a phase over its frontier shells (receives have
+/// completed; the ghost layers are fresh).
+fn run_phase_frontiers(sim: &mut Simulation, tapes: &[Tape], w: PhaseWidths, rank: usize) {
+    for tape in tapes {
+        let ext = pf_backend::extended_range(tape, sim.cfg.shape);
+        let (_, shells) = split_frontier(ext, w.lo, w.hi);
+        for shell in shells {
+            pf_trace::counter_at("exec.frontier_cells", rank).incr(shell.cells() as u64);
+            sim.run_region(tape, shell);
+        }
+    }
+}
+
+/// The phase's kernel tapes in execution order (fluxes before the update).
+fn phase_tapes(sim: &Simulation, variant: Variant, phi: bool) -> Vec<Tape> {
+    match (variant, phi) {
+        (Variant::Full, true) => vec![sim.kernels.phi_full.clone()],
+        (Variant::Full, false) => vec![sim.kernels.mu_full.clone()],
+        (Variant::Split, phi) => {
+            let split = if phi {
+                &sim.kernels.phi_split
+            } else {
+                &sim.kernels.mu_split
+            };
+            let mut tapes = split.flux_tapes.clone();
+            tapes.push(split.update.clone());
+            tapes
+        }
+    }
+}
+
 /// Synchronize one field: physical boundaries where the block touches the
 /// domain edge, halo exchange everywhere else.
 fn sync_field(
@@ -133,6 +268,96 @@ fn sync_field(
     }
     let arr = sim.store.get_mut(field);
     exchange_halo(comm, dec, arr, field_tag, epoch, cfg.comm);
+}
+
+/// Start synchronizing one field: apply physical boundaries, then post the
+/// halo sends without waiting for the receives.
+fn begin_sync_field(
+    sim: &mut Simulation,
+    comm: &mut Comm,
+    dec: &Decomposition,
+    field: Field,
+    field_tag: u32,
+    epoch: u64,
+    cfg: &DistConfig,
+) -> HaloHandle {
+    for (d, kind) in cfg.bc.iter().enumerate() {
+        if *kind == BcKind::Neumann {
+            let at_low = dec.neighbor(comm.rank(), d, -1).is_none();
+            let at_high = dec.neighbor(comm.rank(), d, 1).is_none();
+            if at_low || at_high {
+                sim.store.get_mut(field).apply_neumann(d);
+            }
+        }
+    }
+    let arr = sim.store.get_mut(field);
+    begin_exchange(comm, dec, arr, field_tag, epoch, cfg.comm)
+}
+
+fn finish_sync_field(
+    sim: &mut Simulation,
+    comm: &mut Comm,
+    dec: &Decomposition,
+    field: Field,
+    handle: HaloHandle,
+    cfg: &DistConfig,
+) {
+    let arr = sim.store.get_mut(field);
+    finish_exchange(comm, dec, arr, handle, cfg.comm);
+}
+
+/// One distributed timestep of Algorithm 1 with communication/computation
+/// overlap (§4.3, the Table 2 "overlap" option — here it genuinely changes
+/// the schedule, not just the priced metadata):
+///
+/// ```text
+/// post φ_src and µ_src halo sends
+/// φ interior sweep                    ← halos in flight
+/// complete φ_src/µ_src receives
+/// φ frontier sweep, simplex projection
+/// post φ_dst halo sends
+/// µ interior sweep                    ← halos in flight
+/// complete φ_dst receives
+/// µ frontier sweep, swap
+/// ```
+///
+/// Bitwise identical to [`dist_step`]: the ghost layers end up exactly as
+/// the blocking exchange leaves them, region launches key every cell on
+/// its absolute index, and the plan proves no interior cell reads a ghost.
+pub(crate) fn dist_step_overlapped(
+    sim: &mut Simulation,
+    comm: &mut Comm,
+    dec: &Decomposition,
+    cfg: &DistConfig,
+    plan: &OverlapPlan,
+) {
+    let rank = comm.rank();
+    let _span = pf_trace::span_at("dist.step", rank);
+    let f = sim.kernels.fields;
+    let epoch = sim.step_count * 4;
+
+    let h_phi = begin_sync_field(sim, comm, dec, f.phi_src, 0, epoch, cfg);
+    let h_mu = begin_sync_field(sim, comm, dec, f.mu_src, 1, epoch + 1, cfg);
+    let phi_tapes = phase_tapes(sim, cfg.phi_variant, true);
+    let t0 = std::time::Instant::now();
+    run_phase_interiors(sim, &phi_tapes, plan.phi, rank);
+    pf_trace::counter_at("comm.overlap_window_ns", rank).incr(t0.elapsed().as_nanos() as u64);
+    finish_sync_field(sim, comm, dec, f.phi_src, h_phi, cfg);
+    finish_sync_field(sim, comm, dec, f.mu_src, h_mu, cfg);
+    run_phase_frontiers(sim, &phi_tapes, plan.phi, rank);
+
+    sim.project_simplex(f.phi_dst);
+    let h_dst = begin_sync_field(sim, comm, dec, f.phi_dst, 2, epoch + 2, cfg);
+    let mu_tapes = phase_tapes(sim, cfg.mu_variant, false);
+    let t0 = std::time::Instant::now();
+    run_phase_interiors(sim, &mu_tapes, plan.mu, rank);
+    pf_trace::counter_at("comm.overlap_window_ns", rank).incr(t0.elapsed().as_nanos() as u64);
+    finish_sync_field(sim, comm, dec, f.phi_dst, h_dst, cfg);
+    run_phase_frontiers(sim, &mu_tapes, plan.mu, rank);
+
+    sim.store.swap(f.phi_src, f.phi_dst);
+    sim.store.swap(f.mu_src, f.mu_dst);
+    sim.step_count += 1;
 }
 
 /// One distributed timestep of Algorithm 1.
@@ -194,6 +419,13 @@ where
         "kernel set needs {need} ghost layer(s) but the decomposition exchanges only {}",
         dec.ghost_layers
     );
+    // Built (and proved sound) once for the whole world; the per-rank
+    // interior/frontier split is derived from it each step.
+    let overlap_plan = if cfg.comm.overlap {
+        Some(build_overlap_plan(params, kernels, cfg, &dec))
+    } else {
+        None
+    };
     let results: parking_lot::Mutex<Vec<(usize, R)>> =
         parking_lot::Mutex::new(Vec::with_capacity(cfg.ranks));
     let plan = cfg.faults.clone().map(Arc::new);
@@ -247,7 +479,10 @@ where
                         );
                     }
                 }
-                dist_step(&mut sim, &mut comm, &dec, cfg);
+                match &overlap_plan {
+                    Some(plan) => dist_step_overlapped(&mut sim, &mut comm, &dec, cfg, plan),
+                    None => dist_step(&mut sim, &mut comm, &dec, cfg),
+                }
                 if let Some(ck) = &cfg.checkpoint {
                     let done = sim.step_count == steps as u64;
                     let periodic = ck.every > 0 && sim.step_count.is_multiple_of(ck.every);
@@ -392,6 +627,78 @@ mod tests {
                     assert_eq!(mu.get(0, x, y, 0), want, "mu mismatch");
                 }
             }
+        }
+    }
+
+    /// The tentpole invariant of the overlapped schedule: turning
+    /// `comm.overlap` on changes only *when* things run, never the bits.
+    #[test]
+    fn overlapped_schedule_matches_blocking_bitwise() {
+        let p = crate::kernels::tests::mini_model();
+        let ks = generate_kernels(&p, &GenOptions::default());
+        let global = [16usize, 12, 1];
+        let init_phi = |x: i64, y: i64, _z: i64| {
+            let d = (((x as f64 - 8.0).powi(2) + (y as f64 - 6.0).powi(2)).sqrt() - 4.0) / 3.0;
+            let solid = 0.5 * (1.0 - d.tanh());
+            vec![1.0 - solid, solid]
+        };
+        let init_mu = |_: i64, _: i64, _: i64| vec![0.1];
+        let run = |overlap: bool, phi_v: Variant, mu_v: Variant| {
+            let mut dcfg = DistConfig::new(global, 4);
+            dcfg.bc = [BcKind::Periodic, BcKind::Neumann, BcKind::Periodic];
+            dcfg.phi_variant = phi_v;
+            dcfg.mu_variant = mu_v;
+            dcfg.comm.overlap = overlap;
+            run_distributed(&p, &ks, &dcfg, 4, init_phi, init_mu, |sim| {
+                (sim.phi().clone(), sim.mu().clone())
+            })
+        };
+        for (phi_v, mu_v) in [
+            (Variant::Full, Variant::Full),
+            (Variant::Full, Variant::Split),
+            (Variant::Split, Variant::Split),
+        ] {
+            let blocking = run(false, phi_v, mu_v);
+            let overlapped = run(true, phi_v, mu_v);
+            for (b, o) in blocking.iter().zip(&overlapped) {
+                assert_eq!(b.0.max_abs_diff(&o.0), 0.0, "{phi_v:?}/{mu_v:?} phi");
+                assert_eq!(b.1.max_abs_diff(&o.1), 0.0, "{phi_v:?}/{mu_v:?} mu");
+            }
+        }
+    }
+
+    /// Same invariant when the process grid leaves x undivided ([1,2,1]
+    /// here): begin completes the x wrap eagerly, the frontier carries no
+    /// x shells, and the fields must still match blocking bitwise.
+    #[test]
+    fn overlap_with_undivided_x_matches_blocking_bitwise() {
+        let p = crate::kernels::tests::mini_model();
+        let ks = generate_kernels(&p, &GenOptions::default());
+        let global = [8usize, 24, 1];
+        assert_eq!(
+            Decomposition::new(global, 2, [true; 3]).grid,
+            [1, 2, 1],
+            "workload no longer decomposes along y; pick another shape"
+        );
+        let init_phi = |x: i64, y: i64, _z: i64| {
+            let d = (((x as f64 - 4.0).powi(2) + (y as f64 - 12.0).powi(2)).sqrt() - 5.0) / 3.0;
+            let solid = 0.5 * (1.0 - d.tanh());
+            vec![1.0 - solid, solid]
+        };
+        let init_mu = |_: i64, _: i64, _: i64| vec![0.1];
+        let run = |overlap: bool| {
+            let mut dcfg = DistConfig::new(global, 2);
+            dcfg.mu_variant = Variant::Split;
+            dcfg.comm.overlap = overlap;
+            run_distributed(&p, &ks, &dcfg, 4, init_phi, init_mu, |sim| {
+                (sim.phi().clone(), sim.mu().clone())
+            })
+        };
+        let blocking = run(false);
+        let overlapped = run(true);
+        for (b, o) in blocking.iter().zip(&overlapped) {
+            assert_eq!(b.0.max_abs_diff(&o.0), 0.0, "phi");
+            assert_eq!(b.1.max_abs_diff(&o.1), 0.0, "mu");
         }
     }
 

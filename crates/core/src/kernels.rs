@@ -102,7 +102,7 @@ pub fn generate_kernels_from(p: &ModelParams, m: &ModelExprs, opts: &GenOptions)
 /// bench harness) actually allocate: cell-centred fields carry
 /// [`pf_grid::GHOST_LAYERS`] ghost layers; staggered flux temporaries have
 /// no ghosts but one pad cell along each swept dimension.
-fn alloc_table(p: &ModelParams, ks: &KernelSet, tape: &Tape) -> Vec<FieldAlloc> {
+pub(crate) fn alloc_table(p: &ModelParams, ks: &KernelSet, tape: &Tape) -> Vec<FieldAlloc> {
     let stag = [ks.phi_split.stag_field, ks.mu_split.stag_field];
     tape.fields
         .iter()

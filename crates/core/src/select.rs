@@ -29,20 +29,35 @@ pub struct VariantChoice {
 /// engine whenever the unit-stride extent can fill at least one strip of
 /// [`pf_backend::STRIP_WIDTH`] lanes, scalar-serial for thinner blocks
 /// (where strips would be all remainder loop). `PF_EXEC_MODE` overrides
-/// (`serial` | `parallel` | `vectorized`) for experiments and CI.
+/// (`serial` | `parallel` | `vectorized`) for experiments and CI; an
+/// unrecognized value warns once and falls back to the shape-based default
+/// instead of silently (or fatally) derailing a long run over a typo.
 pub fn default_exec_mode(shape: [usize; 3]) -> ExecMode {
+    let shape_default = || {
+        if shape[0] >= pf_backend::STRIP_WIDTH {
+            ExecMode::Vectorized
+        } else {
+            ExecMode::Serial
+        }
+    };
     match std::env::var("PF_EXEC_MODE").as_deref() {
         Ok("serial") => ExecMode::Serial,
         Ok("parallel") => ExecMode::Parallel,
         Ok("vectorized") => ExecMode::Vectorized,
-        Ok(other) => panic!("PF_EXEC_MODE must be serial|parallel|vectorized, got '{other}'"),
-        Err(_) => {
-            if shape[0] >= pf_backend::STRIP_WIDTH {
-                ExecMode::Vectorized
-            } else {
-                ExecMode::Serial
+        Ok(other) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: unrecognized PF_EXEC_MODE '{other}' \
+                     (expected serial|parallel|vectorized); using the default engine"
+                );
+            });
+            if pf_trace::enabled() {
+                pf_trace::counter("select.exec_mode_fallback").incr(1);
             }
+            shape_default()
         }
+        Err(_) => shape_default(),
     }
 }
 
@@ -105,6 +120,19 @@ mod tests {
         // Fig. 2 middle: P1 → φ-full, P2 → φ-split.
         assert_eq!(c1.phi, Variant::Full, "{:?}", c1.predicted_mlups);
         assert_eq!(c2.phi, Variant::Split, "{:?}", c2.predicted_mlups);
+    }
+
+    #[test]
+    fn unrecognized_exec_mode_env_warns_and_falls_back() {
+        // Mutating the env here cannot disturb concurrent tests: the
+        // fallback for an unrecognized value IS the unset-default path, so
+        // every interleaving sees the same selection.
+        std::env::set_var("PF_EXEC_MODE", "simd4life");
+        let wide = default_exec_mode([64, 8, 8]);
+        let thin = default_exec_mode([4, 8, 8]);
+        std::env::remove_var("PF_EXEC_MODE");
+        assert_eq!(wide, ExecMode::Vectorized, "wide blocks keep the default");
+        assert_eq!(thin, ExecMode::Serial, "thin blocks keep the default");
     }
 
     #[test]

@@ -186,6 +186,36 @@ impl Simulation {
         );
     }
 
+    /// Run one tape over a sub-region of its extended iteration range. The
+    /// overlapped distributed schedule uses this to sweep the interior
+    /// while halo messages are in flight, then the frontier shells after
+    /// the receives complete; cell semantics are keyed on absolute indices,
+    /// so the union of region launches is bitwise identical to [`Self::run`].
+    pub fn run_region(&mut self, tape: &Tape, region: pf_backend::IterRegion) {
+        let ctx = self.ctx();
+        // A region too narrow along x to fill one SIMD strip would run
+        // entirely in the vectorized engine's scalar teardown loop; the
+        // serial engine does the same work without the strip bookkeeping.
+        // Engines are bitwise interchangeable, so this is purely speed.
+        let mode = match self.cfg.mode {
+            ExecMode::Vectorized
+                if region.hi[0].saturating_sub(region.lo[0]) < pf_backend::STRIP_WIDTH =>
+            {
+                ExecMode::Serial
+            }
+            m => m,
+        };
+        pf_backend::run_kernel_region(
+            tape,
+            &mut self.store,
+            &[],
+            self.cfg.shape,
+            region,
+            &ctx,
+            mode,
+        );
+    }
+
     /// Run a split kernel (face passes, then the update pass).
     pub fn run_split(&mut self, split: &SplitTapes) {
         for t in &split.flux_tapes {

@@ -99,6 +99,71 @@ pub fn unpack_face(arr: &mut FieldArray, dim: usize, side: i32, data: &[f64]) {
     assert!(it.next().is_none(), "buffer size mismatch");
 }
 
+/// Post both face sends of one dimension phase (asynchronous: channel
+/// sends never block).
+fn send_dim(
+    comm: &mut Comm,
+    dec: &Decomposition,
+    arr: &FieldArray,
+    field_tag: u32,
+    epoch: u64,
+    dim: usize,
+    opts: CommOptions,
+) {
+    let rank = comm.rank();
+    for side in [-1i32, 1] {
+        if let Some(nb) = dec.neighbor(rank, dim, side) {
+            let buf = pack_face(arr, dim, side);
+            // Host staging (no GPUDirect) is a timing concern only —
+            // recorded via message metadata, not an extra copy here.
+            let _ = opts;
+            let t = tag(field_tag, dim, side, epoch);
+            comm.send(nb, t, buf);
+        }
+    }
+}
+
+/// Complete both face receives of one dimension phase.
+fn recv_dim(
+    comm: &mut Comm,
+    dec: &Decomposition,
+    arr: &mut FieldArray,
+    field_tag: u32,
+    epoch: u64,
+    dim: usize,
+) {
+    let rank = comm.rank();
+    for side in [-1i32, 1] {
+        if let Some(nb) = dec.neighbor(rank, dim, side) {
+            // The neighbour sent with the *opposite* side marker.
+            let t = tag(field_tag, dim, -side, epoch);
+            let buf = comm.recv(nb, t);
+            unpack_face(arr, dim, side, &buf);
+        }
+    }
+}
+
+/// One full phase of the dimension-ordered exchange: periodic self-wrap
+/// when the block is its own neighbour, otherwise send both sides then
+/// receive both sides.
+fn exchange_dim(
+    comm: &mut Comm,
+    dec: &Decomposition,
+    arr: &mut FieldArray,
+    field_tag: u32,
+    epoch: u64,
+    dim: usize,
+    opts: CommOptions,
+) {
+    if dec.grid[dim] == 1 && dec.periodic[dim] {
+        // Self-neighbour: periodic wrap within the block.
+        arr.apply_periodic(dim);
+        return;
+    }
+    send_dim(comm, dec, arr, field_tag, epoch, dim, opts);
+    recv_dim(comm, dec, arr, field_tag, epoch, dim);
+}
+
 /// Exchange all ghost layers of `arr` with the six face neighbours.
 ///
 /// Dimensions are exchanged in order; within a phase both sides are sent
@@ -117,29 +182,101 @@ pub fn exchange_halo(
     let _span = pf_trace::span_at("grid.halo_exchange", rank);
     pf_trace::counter_at("grid.halo_exchanges", rank).incr(1);
     for dim in 0..3 {
-        if dec.grid[dim] == 1 && dec.periodic[dim] {
-            // Self-neighbour: periodic wrap within the block.
-            arr.apply_periodic(dim);
-            continue;
-        }
-        for side in [-1i32, 1] {
-            if let Some(nb) = dec.neighbor(rank, dim, side) {
-                let buf = pack_face(arr, dim, side);
-                // Host staging (no GPUDirect) is a timing concern only —
-                // recorded via message metadata, not an extra copy here.
-                let _ = opts;
-                let t = tag(field_tag, dim, side, epoch);
-                comm.send(nb, t, buf);
-            }
-        }
-        for side in [-1i32, 1] {
-            if let Some(nb) = dec.neighbor(rank, dim, side) {
-                // The neighbour sent with the *opposite* side marker.
-                let t = tag(field_tag, dim, -side, epoch);
-                let buf = comm.recv(nb, t);
-                unpack_face(arr, dim, side, &buf);
-            }
-        }
+        exchange_dim(comm, dec, arr, field_tag, epoch, dim, opts);
+    }
+}
+
+/// First dimension whose ghost fill has to wait for a remote message —
+/// every dimension before it is undivided in the process grid, so its
+/// exchange phase is a local self-wrap (or a boundary no-op) that
+/// [`begin_exchange`] completes eagerly. Returns 3 when no dimension is
+/// decomposed (single rank): the whole exchange completes in `begin`.
+///
+/// The overlapped schedule only needs frontier shells along dimensions
+/// `>= first_deferred_dim`; shells along earlier dimensions would guard
+/// ghosts that are already as fresh as owned data when the interior runs.
+pub fn first_deferred_dim(dec: &Decomposition) -> usize {
+    (0..3).find(|&d| dec.grid[d] > 1).unwrap_or(3)
+}
+
+/// In-flight halo exchange started by [`begin_exchange`]. Must be passed
+/// back to [`finish_exchange`] (with the same field) to complete the
+/// receives; dropping it without finishing would leave ghost layers stale
+/// and the neighbours' tag-matched receives waiting forever.
+#[must_use = "pass to finish_exchange to complete the halo receives"]
+#[derive(Debug)]
+pub struct HaloHandle {
+    field_tag: u32,
+    epoch: u64,
+    /// First dimension whose receives are still outstanding
+    /// ([`first_deferred_dim`]); dimensions before it completed in `begin`.
+    deferred: usize,
+}
+
+/// Start an overlapped halo exchange: complete the exchange phases of
+/// every leading undivided dimension (local wraps — no messages), then
+/// post the face sends of the first decomposed dimension (channel sends
+/// never block) and return a completion handle. The caller may then sweep
+/// interior cells — anything that reads no ghost layer the deferred
+/// dimensions fill — while the messages are in flight, and must call
+/// [`finish_exchange`] before touching frontier cells.
+///
+/// Packing reads owned interior cells only (plus transverse ghosts, same
+/// as the blocking schedule's phase at the same position), so kernels that
+/// *write other fields* cannot invalidate the posted buffers: each send
+/// owns a copy.
+pub fn begin_exchange(
+    comm: &mut Comm,
+    dec: &Decomposition,
+    arr: &mut FieldArray,
+    field_tag: u32,
+    epoch: u64,
+    opts: CommOptions,
+) -> HaloHandle {
+    let rank = comm.rank();
+    let _span = pf_trace::span_at("grid.halo_begin", rank);
+    pf_trace::counter_at("grid.halo_exchanges", rank).incr(1);
+    pf_trace::counter_at("grid.halo_overlapped", rank).incr(1);
+    let deferred = first_deferred_dim(dec);
+    for dim in 0..deferred {
+        exchange_dim(comm, dec, arr, field_tag, epoch, dim, opts);
+    }
+    if deferred < 3 {
+        send_dim(comm, dec, arr, field_tag, epoch, deferred, opts);
+    }
+    HaloHandle {
+        field_tag,
+        epoch,
+        deferred,
+    }
+}
+
+/// Complete an overlapped halo exchange: finish the deferred dimension's
+/// receives, then run the remaining dimension phases (which must pack the
+/// freshly received ghosts of earlier phases, so they cannot be posted
+/// early). After this returns the ghost layers hold exactly what the
+/// blocking [`exchange_halo`] would have produced — the pack/unpack
+/// sequence is identical, only the first decomposed dimension's completion
+/// is deferred.
+pub fn finish_exchange(
+    comm: &mut Comm,
+    dec: &Decomposition,
+    arr: &mut FieldArray,
+    handle: HaloHandle,
+    opts: CommOptions,
+) {
+    let rank = comm.rank();
+    let _span = pf_trace::span_at("grid.halo_finish", rank);
+    let HaloHandle {
+        field_tag,
+        epoch,
+        deferred,
+    } = handle;
+    if deferred < 3 {
+        recv_dim(comm, dec, arr, field_tag, epoch, deferred);
+    }
+    for dim in (deferred + 1)..3 {
+        exchange_dim(comm, dec, arr, field_tag, epoch, dim, opts);
     }
 }
 
@@ -252,6 +389,111 @@ mod tests {
             *ok.lock() += 1;
         });
         assert_eq!(*ok.lock(), 8);
+    }
+
+    #[test]
+    fn overlapped_exchange_matches_blocking_bitwise() {
+        // 4 ranks (2×2×1 grid, so x and y have real neighbours and z is a
+        // periodic self-wrap): begin/finish must leave every ghost cell
+        // bitwise identical to the blocking schedule.
+        let global = [8usize, 8, 4];
+        let dec = Decomposition::new(global, 4, [true; 3]);
+        let ok = Mutex::new(0usize);
+        run_ranks(4, |mut comm| {
+            let b = dec.block(comm.rank());
+            let mut blocking = FieldArray::new("ov_blk", b.shape, 2, 1, Layout::Fzyx);
+            for comp in 0..2 {
+                blocking.fill_with(comp, |x, y, z| {
+                    (((x as i64 + b.origin[0])
+                        + 17 * (y as i64 + b.origin[1])
+                        + 131 * (z as i64 + b.origin[2])) as f64)
+                        .sin()
+                        + comp as f64
+                });
+            }
+            let mut overlapped = blocking.clone();
+            exchange_halo(&mut comm, &dec, &mut blocking, 0, 0, CommOptions::default());
+            let opts = CommOptions {
+                overlap: true,
+                gpudirect: false,
+            };
+            let h = begin_exchange(&mut comm, &dec, &mut overlapped, 0, 1, opts);
+            finish_exchange(&mut comm, &dec, &mut overlapped, h, opts);
+            let g = 1isize;
+            for comp in 0..2 {
+                for z in -g..(b.shape[2] as isize + g) {
+                    for y in -g..(b.shape[1] as isize + g) {
+                        for x in -g..(b.shape[0] as isize + g) {
+                            let a = blocking.get(comp, x, y, z);
+                            let o = overlapped.get(comp, x, y, z);
+                            assert!(
+                                a.to_bits() == o.to_bits(),
+                                "rank {} comp {comp} mismatch at ({x},{y},{z})",
+                                comm.rank()
+                            );
+                        }
+                    }
+                }
+            }
+            *ok.lock() += 1;
+        });
+        assert_eq!(*ok.lock(), 4);
+    }
+
+    #[test]
+    fn leading_local_dims_complete_in_begin() {
+        // [4,8,8] over 4 ranks decomposes [1,2,2]: x is undivided, so
+        // begin must finish the x self-wrap eagerly and defer from y on —
+        // and the result must still match the blocking exchange bitwise.
+        let global = [4usize, 8, 8];
+        let dec = Decomposition::new(global, 4, [true; 3]);
+        assert_eq!(dec.grid, [1, 2, 2]);
+        assert_eq!(first_deferred_dim(&dec), 1);
+        let ok = Mutex::new(0usize);
+        run_ranks(4, |mut comm| {
+            let b = dec.block(comm.rank());
+            let mut blocking = FieldArray::new("ld_blk", b.shape, 1, 1, Layout::Fzyx);
+            blocking.fill_with(0, |x, y, z| {
+                (((x as i64 + b.origin[0])
+                    + 17 * (y as i64 + b.origin[1])
+                    + 131 * (z as i64 + b.origin[2])) as f64)
+                    .sin()
+            });
+            let mut overlapped = blocking.clone();
+            exchange_halo(&mut comm, &dec, &mut blocking, 0, 0, CommOptions::default());
+            let opts = CommOptions {
+                overlap: true,
+                gpudirect: false,
+            };
+            let h = begin_exchange(&mut comm, &dec, &mut overlapped, 0, 1, opts);
+            // After begin, the x ghost layers (local periodic wrap) must
+            // already be final: the frontier needs no x shells.
+            let g = 1isize;
+            for z in 0..b.shape[2] as isize {
+                for y in 0..b.shape[1] as isize {
+                    assert_eq!(
+                        overlapped.get(0, -g, y, z).to_bits(),
+                        overlapped.get(0, b.shape[0] as isize - g, y, z).to_bits(),
+                        "x wrap not complete after begin"
+                    );
+                }
+            }
+            finish_exchange(&mut comm, &dec, &mut overlapped, h, opts);
+            for z in -g..(b.shape[2] as isize + g) {
+                for y in -g..(b.shape[1] as isize + g) {
+                    for x in -g..(b.shape[0] as isize + g) {
+                        assert!(
+                            blocking.get(0, x, y, z).to_bits()
+                                == overlapped.get(0, x, y, z).to_bits(),
+                            "rank {} mismatch at ({x},{y},{z})",
+                            comm.rank()
+                        );
+                    }
+                }
+            }
+            *ok.lock() += 1;
+        });
+        assert_eq!(*ok.lock(), 4);
     }
 
     #[test]

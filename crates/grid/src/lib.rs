@@ -14,10 +14,15 @@
 pub mod comm;
 pub mod decompose;
 pub mod exchange;
+pub mod region;
 
 pub use comm::{
     run_ranks, run_ranks_with_faults, with_silenced_dead_rank_panics, Comm, CommStats, FaultPlan,
     Kill, DEAD_RANK_MARKER,
 };
 pub use decompose::{BlockInfo, Decomposition, GHOST_LAYERS};
-pub use exchange::{exchange_halo, halo_bytes, pack_face, unpack_face, CommOptions};
+pub use exchange::{
+    begin_exchange, exchange_halo, finish_exchange, first_deferred_dim, halo_bytes, pack_face,
+    unpack_face, CommOptions, HaloHandle,
+};
+pub use region::{split_frontier, IterRegion};

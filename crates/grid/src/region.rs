@@ -1,0 +1,175 @@
+//! Iteration-space regions for communication/computation overlap (§4.3).
+//!
+//! The overlapped schedule splits every kernel sweep into an **interior**
+//! region — cells whose stencil reach stays inside the block's owned data —
+//! and **frontier** shells — the cells that read ghost layers. The interior
+//! can run while halo messages are in flight; the frontier runs after the
+//! receives complete. [`split_frontier`] performs that split from the
+//! per-dimension deferral widths pf-analyze derives from the kernel's load
+//! envelopes; its core invariant (interior ∪ shells tiles the extended
+//! iteration range exactly, with no overlap and no gap) is property-tested
+//! below.
+
+/// A half-open box `[lo, hi)` in a kernel's (extended) iteration space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IterRegion {
+    pub lo: [usize; 3],
+    pub hi: [usize; 3],
+}
+
+impl IterRegion {
+    /// The whole extended iteration range `[0, ext)`.
+    pub fn full(ext: [usize; 3]) -> IterRegion {
+        IterRegion {
+            lo: [0; 3],
+            hi: ext,
+        }
+    }
+
+    pub fn cells(&self) -> usize {
+        (0..3)
+            .map(|d| self.hi[d].saturating_sub(self.lo[d]))
+            .product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        (0..3).any(|d| self.hi[d] <= self.lo[d])
+    }
+
+    pub fn contains(&self, idx: [usize; 3]) -> bool {
+        (0..3).all(|d| self.lo[d] <= idx[d] && idx[d] < self.hi[d])
+    }
+}
+
+/// Split the extended iteration range `[0, ext)` into the interior region
+/// `[lo_w, ext - hi_w)` and an onion of frontier shells covering the rest.
+///
+/// `lo_w[d]` / `hi_w[d]` are the deferral widths along dimension `d`: how
+/// many leading / trailing iteration indices must wait for the halo
+/// receive (cells whose loads reach ghost layers, plus — for kernels
+/// reading locally-produced temporaries — the widths propagated from their
+/// producer kernels). Widths wider than the range simply leave an empty
+/// interior; the shells then cover everything.
+///
+/// The shells are disjoint from each other and from the interior, and
+/// their union with the interior is exactly `[0, ext)` — the invariant the
+/// proptest below pins down. Shell count is at most 6 (two slabs per
+/// dimension).
+pub fn split_frontier(
+    ext: [usize; 3],
+    lo_w: [usize; 3],
+    hi_w: [usize; 3],
+) -> (IterRegion, Vec<IterRegion>) {
+    let mut ilo = [0usize; 3];
+    let mut ihi = ext;
+    for d in 0..3 {
+        ilo[d] = lo_w[d].min(ext[d]);
+        ihi[d] = ext[d].saturating_sub(hi_w[d]).max(ilo[d]);
+    }
+    let interior = IterRegion { lo: ilo, hi: ihi };
+    let mut shells = Vec::new();
+    // Onion decomposition: slabs along dimension d span the full range in
+    // dimensions > d but only the interior range in dimensions < d, so no
+    // two shells overlap and the corners/edges are covered exactly once.
+    for d in 0..3 {
+        let mut base = IterRegion::full(ext);
+        base.lo[..d].copy_from_slice(&ilo[..d]);
+        base.hi[..d].copy_from_slice(&ihi[..d]);
+        let mut low = base;
+        low.lo[d] = 0;
+        low.hi[d] = ilo[d];
+        if !low.is_empty() {
+            shells.push(low);
+        }
+        let mut high = base;
+        high.lo[d] = ihi[d];
+        high.hi[d] = ext[d];
+        if !high.is_empty() {
+            shells.push(high);
+        }
+    }
+    (interior, shells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_exact_tiling(ext: [usize; 3], lo_w: [usize; 3], hi_w: [usize; 3]) {
+        let (interior, shells) = split_frontier(ext, lo_w, hi_w);
+        for z in 0..ext[2] {
+            for y in 0..ext[1] {
+                for x in 0..ext[0] {
+                    let idx = [x, y, z];
+                    let mut covers = usize::from(interior.contains(idx));
+                    covers += shells.iter().filter(|s| s.contains(idx)).count();
+                    assert_eq!(
+                        covers, 1,
+                        "cell {idx:?} covered {covers} times (ext {ext:?}, lo {lo_w:?}, hi {hi_w:?})"
+                    );
+                }
+            }
+        }
+        let total: usize = interior.cells() + shells.iter().map(IterRegion::cells).sum::<usize>();
+        assert_eq!(total, ext.iter().product::<usize>());
+        assert!(shells.iter().all(|s| !s.is_empty()));
+        assert!(shells.len() <= 6);
+    }
+
+    #[test]
+    fn unit_width_split_has_six_shells_in_3d() {
+        let (interior, shells) = split_frontier([8, 6, 4], [1; 3], [1; 3]);
+        assert_eq!(
+            interior,
+            IterRegion {
+                lo: [1; 3],
+                hi: [7, 5, 3]
+            }
+        );
+        assert_eq!(shells.len(), 6);
+        assert_exact_tiling([8, 6, 4], [1; 3], [1; 3]);
+    }
+
+    #[test]
+    fn zero_widths_keep_everything_interior() {
+        let (interior, shells) = split_frontier([5, 5, 1], [0; 3], [0; 3]);
+        assert_eq!(interior, IterRegion::full([5, 5, 1]));
+        assert!(shells.is_empty());
+    }
+
+    #[test]
+    fn oversized_widths_leave_an_empty_interior() {
+        let (interior, shells) = split_frontier([4, 2, 1], [3, 5, 0], [3, 5, 9]);
+        assert!(interior.is_empty());
+        assert_exact_tiling([4, 2, 1], [3, 5, 0], [3, 5, 9]);
+        let covered: usize = shells.iter().map(IterRegion::cells).sum();
+        assert_eq!(covered, 8);
+    }
+
+    #[test]
+    fn flat_2d_ranges_split_cleanly() {
+        // A 2D block (ext_z = 1) with widths only in x/y.
+        assert_exact_tiling([16, 8, 1], [1, 1, 0], [2, 1, 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The region-splitter's core invariant: for arbitrary shapes and
+        /// deferral widths, interior ∪ shells tiles `[0, ext)` exactly —
+        /// every cell covered once, no overlap, no gap.
+        #[test]
+        fn interior_and_shells_tile_exactly(
+            ext in (1usize..9, 1usize..9, 1usize..9),
+            lo in (0usize..5, 0usize..5, 0usize..5),
+            hi in (0usize..5, 0usize..5, 0usize..5),
+        ) {
+            assert_exact_tiling(
+                [ext.0, ext.1, ext.2],
+                [lo.0, lo.1, lo.2],
+                [hi.0, hi.1, hi.2],
+            );
+        }
+    }
+}

@@ -62,6 +62,16 @@ PF_BENCH_SMOKE=1 PF_BENCH_EXEC=vectorized PF_BENCH_OUT_DIR="$VEC_DIR" \
 grep -q '"mode": "vectorized"' "$VEC_DIR/BENCH_table1.json" \
   || { echo "vectorized smoke artifact carries no vectorized records" >&2; exit 1; }
 
+echo "== overlapped 2-rank smoke =="
+# The table2 smoke above already drove the overlapped distributed schedule
+# end to end (2 thread-backed ranks, blocking vs overlapped, the §4.3
+# communication-hiding path); pin that it really happened and that the
+# measurement landed in the artifact.
+grep -q '"measured_overlap"' "$SMOKE_DIR/BENCH_table2.json" \
+  || { echo "table2 artifact carries no measured_overlap record" >&2; exit 1; }
+grep -q 'overlapped ' "$SMOKE_DIR/table2.log" \
+  || { echo "table2 smoke never ran the overlapped schedule" >&2; exit 1; }
+
 echo "== perf gate =="
 # Reuses the smoke artifacts just produced (skip the second run). Smoke
 # measurements on shared CI hosts carry sustained scheduling noise even

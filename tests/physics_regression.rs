@@ -1,0 +1,190 @@
+//! Physics regression: a 200-step spinodal-decomposition run whose
+//! invariants and end state are pinned. Two layers of defence:
+//!
+//! - **Invariants** that must hold exactly (up to the simplex projection's
+//!   own tolerance): Σ_α φ_α = 1 in every cell, φ_α ∈ [0, 1], and the
+//!   chemical-potential "mass" Σ µ drifts by less than a pinned bound —
+//!   the µ equation is a conservation law up to the antitrapping and
+//!   source terms, so a large drift means broken discretization, not
+//!   physics.
+//! - A **golden snapshot** of subsampled field values committed to the
+//!   repo (`tests/golden/physics_regression.txt`). Compared with a 1e-10
+//!   absolute tolerance — tight enough to catch any real numerical change,
+//!   loose enough to absorb libm variation across platforms. Regenerate
+//!   with `PF_BLESS=1 cargo test --test physics_regression` after an
+//!   *intentional* physics change, and say why in the commit.
+
+use pf_core::{generate_kernels, BcKind, SimConfig, Simulation};
+use pf_ir::GenOptions;
+use std::fmt::Write as _;
+use std::path::Path;
+
+const SHAPE: [usize; 3] = [32, 32, 1];
+const STEPS: usize = 200;
+/// Subsample stride of the golden snapshot.
+const STRIDE: usize = 4;
+const GOLDEN_TOL: f64 = 1e-10;
+/// Relative Σµ drift bound over the full run. The µ equation trades mass
+/// with the moving interfaces through the b-coefficient source and the
+/// antitrapping current, so the drift is not zero; it measures ~2.5e-2
+/// for this setup. The bound pins that magnitude with 2× headroom — a
+/// broken flux discretization blows far past it.
+const MU_DRIFT_TOL: f64 = 5e-2;
+
+fn golden_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/physics_regression.txt")
+}
+
+/// A symmetric two-phase mixture with a deterministic perturbation — the
+/// classic spinodal setup: no seed crystal, the instability picks the
+/// pattern.
+fn spinodal_sim() -> Simulation {
+    let mut p = pf_core::p1();
+    p.phases = 2;
+    p.components = 2;
+    p.dim = 2;
+    p.dt = 0.005;
+    p.gamma = vec![vec![0.0, 0.4], vec![0.4, 0.0]];
+    p.tau = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+    p.diffusivity = vec![1.0, 0.1];
+    p.a_coeff = vec![vec![-0.5], vec![-0.5]];
+    p.b_coeff = vec![vec![(0.0, 0.05)], vec![(-0.3, 0.05)]];
+    p.c_coeff = vec![(0.01, 0.0), (0.01, 0.0)];
+    p.orientation = vec![0.0, 0.0];
+    p.temperature.gradient = 0.0;
+    p.fluctuation_amplitude = 0.0;
+
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let mut cfg = SimConfig::new(SHAPE);
+    cfg.bc = [BcKind::Periodic; 3];
+    let mut sim = Simulation::new(p, ks, cfg);
+    let tau = std::f64::consts::TAU;
+    sim.init_phi(|x, y, _| {
+        let (xf, yf) = (x as f64, y as f64);
+        let ripple = 0.4 * (tau * xf / 8.0).sin() * (tau * yf / 8.0).sin();
+        // Deterministic cell-keyed jitter so the pattern is not a pure mode.
+        let jitter = 0.05 * ((((x * 37 + y * 101) % 17) as f64) / 17.0 - 0.5);
+        let s = 0.5 + ripple + jitter;
+        vec![1.0 - s, s]
+    });
+    sim.init_mu(|x, _, _| vec![0.1 + 0.02 * (tau * x as f64 / 16.0).cos()]);
+    sim
+}
+
+fn snapshot(sim: &Simulation) -> Vec<(usize, usize, f64, f64)> {
+    let mut rows = Vec::new();
+    for y in (0..SHAPE[1]).step_by(STRIDE) {
+        for x in (0..SHAPE[0]).step_by(STRIDE) {
+            rows.push((
+                x,
+                y,
+                sim.phi().get(1, x as isize, y as isize, 0),
+                sim.mu().get(0, x as isize, y as isize, 0),
+            ));
+        }
+    }
+    rows
+}
+
+fn render(rows: &[(usize, usize, f64, f64)]) -> String {
+    let mut out = String::from("# x y phi1 mu — spinodal decomposition, 32x32, 200 steps\n");
+    for (x, y, phi, mu) in rows {
+        writeln!(out, "{x} {y} {phi:.17e} {mu:.17e}").unwrap();
+    }
+    out
+}
+
+fn parse(text: &str) -> Vec<(usize, usize, f64, f64)> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| {
+            let f: Vec<&str> = l.split_whitespace().collect();
+            assert_eq!(f.len(), 4, "malformed golden line: {l}");
+            (
+                f[0].parse().unwrap(),
+                f[1].parse().unwrap(),
+                f[2].parse().unwrap(),
+                f[3].parse().unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn spinodal_run_holds_invariants_and_matches_the_golden_snapshot() {
+    let mut sim = spinodal_sim();
+    let mu_before = sim.mu().interior_sum(0);
+    sim.run_steps(STEPS);
+
+    // Invariant 1: the Gibbs simplex, in every cell.
+    let phi = sim.phi();
+    for y in 0..SHAPE[1] as isize {
+        for x in 0..SHAPE[0] as isize {
+            let a = phi.get(0, x, y, 0);
+            let b = phi.get(1, x, y, 0);
+            assert!(
+                (0.0..=1.0).contains(&a),
+                "phi0 out of [0,1] at ({x},{y}): {a}"
+            );
+            assert!(
+                (0.0..=1.0).contains(&b),
+                "phi1 out of [0,1] at ({x},{y}): {b}"
+            );
+            assert!(
+                (a + b - 1.0).abs() < 1e-12,
+                "sum_alpha phi_alpha != 1 at ({x},{y}): {}",
+                a + b
+            );
+        }
+    }
+
+    // Invariant 2: µ mass drift stays below the pinned bound.
+    let mu_after = sim.mu().interior_sum(0);
+    let drift = (mu_after - mu_before).abs() / mu_before.abs().max(1e-30);
+    assert!(
+        drift < MU_DRIFT_TOL,
+        "relative mu mass drift {drift:.3e} exceeds {MU_DRIFT_TOL:.0e} \
+         ({mu_before} -> {mu_after})"
+    );
+
+    // And something actually happened: the mixture demixed.
+    let spread = {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for y in 0..SHAPE[1] as isize {
+            for x in 0..SHAPE[0] as isize {
+                let v = phi.get(1, x, y, 0);
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        max - min
+    };
+    assert!(spread > 0.5, "no decomposition happened: spread {spread}");
+
+    // Golden snapshot.
+    let rows = snapshot(&sim);
+    let path = golden_path();
+    if std::env::var_os("PF_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, render(&rows)).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden =
+        parse(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("read golden {}: {e} (PF_BLESS=1 to create)", path.display())
+        }));
+    assert_eq!(golden.len(), rows.len(), "golden snapshot shape changed");
+    for ((gx, gy, gphi, gmu), (x, y, phi, mu)) in golden.iter().zip(&rows) {
+        assert_eq!((gx, gy), (x, y), "golden sample grid changed");
+        assert!(
+            (gphi - phi).abs() <= GOLDEN_TOL,
+            "phi1 at ({x},{y}) drifted from golden: {phi:.17e} vs {gphi:.17e}"
+        );
+        assert!(
+            (gmu - mu).abs() <= GOLDEN_TOL,
+            "mu at ({x},{y}) drifted from golden: {mu:.17e} vs {gmu:.17e}"
+        );
+    }
+}
