@@ -64,6 +64,12 @@ pub enum ExecMode {
     /// [`crate::STRIP_WIDTH`] cells with SoA lane registers, parallelized
     /// over cache-blocked outer-loop slabs. Bitwise identical to `Serial`.
     Vectorized,
+    /// Generated machine code: the tape is emitted as Rust source, compiled
+    /// to a cdylib with the in-container `rustc` and dispatched through a
+    /// typed C ABI (see [`crate::native`]). Artifacts are cached on disk
+    /// keyed by [`Tape::structural_hash`]. Bitwise identical to `Serial`;
+    /// compile failures fall back to `Vectorized` via [`run_kernel`].
+    Native,
 }
 
 /// Typed launch failure. Detected before any memory is written, so the
@@ -81,6 +87,14 @@ pub enum ExecError {
         /// The offending store offset along that dimension.
         offset: i16,
     },
+    /// Native execution could not obtain a compiled kernel — `rustc`
+    /// failed, the cache directory is unusable, or a freshly built artifact
+    /// would not load. Raised before any array is taken from the store.
+    NativeCompile { kernel: String, detail: String },
+    /// The compiled kernel rejected the launch argument pack (its built-in
+    /// field/parameter arity checks run before any store is executed, so
+    /// the bound storage holds its pre-launch contents).
+    NativeAbi { kernel: String, code: i32 },
 }
 
 impl std::fmt::Display for ExecError {
@@ -94,6 +108,15 @@ impl std::fmt::Display for ExecError {
                 f,
                 "kernel '{kernel}' stores at offset {offset} along the outer loop \
                  dimension {dim} — parallel partitions would overlap; run it serially"
+            ),
+            ExecError::NativeCompile { kernel, detail } => write!(
+                f,
+                "kernel '{kernel}' could not be compiled to native code: {detail}"
+            ),
+            ExecError::NativeAbi { kernel, code } => write!(
+                f,
+                "kernel '{kernel}': compiled artifact rejected the launch \
+                 arguments (ABI check {code})"
             ),
         }
     }
@@ -229,11 +252,22 @@ struct PlanKey {
     geom: Vec<(isize, [isize; 4])>,
 }
 
-/// Plans keyed by structural fingerprint + storage geometry, stamped with
-/// an insertion sequence number so the growth guard can evict the oldest
-/// half instead of dropping everything.
+/// One cached plan, stamped with an insertion sequence number so the growth
+/// guard can evict the oldest half instead of dropping everything.
+struct PlanEntry {
+    seq: u64,
+    plan: Arc<Plan>,
+    /// Debug builds record the FNV fingerprint of the native source the
+    /// tape renders and re-check it on every hit: two distinct tapes
+    /// colliding on `structural_hash` would silently reuse each other's
+    /// plans (and compiled artifacts), so surface that loudly.
+    #[cfg(debug_assertions)]
+    src_fp: u64,
+}
+
+/// Plans keyed by structural fingerprint + storage geometry.
 struct PlanCache {
-    map: HashMap<PlanKey, (u64, Arc<Plan>)>,
+    map: HashMap<PlanKey, PlanEntry>,
     seq: u64,
 }
 
@@ -273,11 +307,19 @@ fn resolve_cached(
         geom,
     };
     let mut cache = plan_cache().lock().expect("plan cache poisoned");
-    if let Some((_, plan)) = cache.map.get(&key) {
+    if let Some(entry) = cache.map.get(&key) {
         if pf_trace::enabled() {
             pf_trace::counter(&format!("exec.plan_cache.hit.{}", tape.name)).incr(1);
         }
-        return Arc::clone(plan);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            entry.src_fp,
+            crate::native::source_fingerprint(tape),
+            "plan-cache key collision: tape '{}' matches a cached plan's \
+             structural_hash but renders different native source",
+            tape.name
+        );
+        return Arc::clone(&entry.plan);
     }
     if pf_trace::enabled() {
         pf_trace::counter(&format!("exec.plan_cache.miss.{}", tape.name)).incr(1);
@@ -288,19 +330,24 @@ fn resolve_cached(
     // oldest-inserted half — dropping the whole cache would force every
     // live kernel through a thundering-herd re-resolution.
     if cache.map.len() >= PLAN_CACHE_CAP {
-        let mut seqs: Vec<u64> = cache.map.values().map(|(s, _)| *s).collect();
+        let mut seqs: Vec<u64> = cache.map.values().map(|e| e.seq).collect();
         seqs.sort_unstable();
         let cutoff = seqs[seqs.len() / 2];
         let before = cache.map.len();
-        cache.map.retain(|_, (s, _)| *s >= cutoff);
+        cache.map.retain(|_, e| e.seq >= cutoff);
         let evicted = (before - cache.map.len()) as u64;
         if pf_trace::enabled() {
             pf_trace::counter("exec.plan_cache.evict").incr(evicted);
         }
     }
     cache.seq += 1;
-    let stamp = cache.seq;
-    cache.map.insert(key, (stamp, Arc::clone(&plan)));
+    let entry = PlanEntry {
+        seq: cache.seq,
+        plan: Arc::clone(&plan),
+        #[cfg(debug_assertions)]
+        src_fp: crate::native::source_fingerprint(tape),
+    };
+    cache.map.insert(key, entry);
     plan
 }
 
@@ -410,9 +457,36 @@ pub fn run_kernel_region(
         Err(ExecError::NonCentreStore { .. }) => {
             if pf_trace::enabled() {
                 pf_trace::counter(&format!("exec.serial_fallback.{}", tape.name)).incr(1);
+                pf_trace::counter(&format!("exec.fallback.{}", tape.name)).incr(1);
             }
             run_kernel_region_checked(tape, store, params, domain, region, ctx, ExecMode::Serial)
                 .expect("serial execution has no store-offset constraints");
+        }
+        Err(e @ (ExecError::NativeCompile { .. } | ExecError::NativeAbi { .. })) => {
+            // Native launch failure is never fatal: fall back to the
+            // vectorized interpreter, which is bitwise identical. Warn once
+            // per process — a broken rustc would otherwise spam every step.
+            if pf_trace::enabled() {
+                pf_trace::counter(&format!("exec.fallback.{}", tape.name)).incr(1);
+            }
+            static WARNED: std::sync::atomic::AtomicBool =
+                std::sync::atomic::AtomicBool::new(false);
+            if !WARNED.swap(true, std::sync::atomic::Ordering::Relaxed) {
+                eprintln!(
+                    "pf-backend: native execution unavailable, falling back to vectorized: {e}"
+                );
+            }
+            // Recurse through the infallible path: a tape the vectorized
+            // engine also rejects (NonCentreStore) then lands on Serial.
+            run_kernel_region(
+                tape,
+                store,
+                params,
+                domain,
+                region,
+                ctx,
+                ExecMode::Vectorized,
+            );
         }
     }
 }
@@ -476,6 +550,15 @@ pub fn run_kernel_region_checked(
         }
     }
 
+    // Native mode resolves its compiled kernel before any array is taken
+    // out of the store, so a compile failure leaves the storage untouched
+    // (same contract as the NonCentreStore check above).
+    let native_fn = if mode == ExecMode::Native {
+        Some(crate::native::get_or_load(tape)?)
+    } else {
+        None
+    };
+
     // Observability: one span + a few counter bumps per launch (a launch
     // sweeps a whole block, so this is far off the per-cell hot path).
     // `exec.cells` meters the actual iteration count: the region volume,
@@ -517,6 +600,10 @@ pub fn run_kernel_region_checked(
             writes.push(store.take(*f));
         }
     }
+    // A native launch can still fail after the arrays are taken out of the
+    // store (the artifact's own ABI checks); the error is deferred so the
+    // arrays are always re-inserted first.
+    let mut deferred: Option<ExecError> = None;
     {
         let mut read_map = vec![usize::MAX; tape.fields.len()];
         let mut reads: Vec<&FieldArray> = Vec::new();
@@ -567,6 +654,28 @@ pub fn run_kernel_region_checked(
         let read_data: Vec<&[f64]> = reads.iter().map(|a| a.data()).collect();
 
         match mode {
+            ExecMode::Native => {
+                let func = native_fn.expect("resolved above for Native mode");
+                if let Err(code) = crate::native::launch(
+                    func,
+                    tape,
+                    &reads,
+                    &mut writes,
+                    &read_map,
+                    &write_map,
+                    params,
+                    ctx,
+                    region,
+                ) {
+                    // The artifact's arity checks run before any store, so
+                    // the arrays are unmodified — but they must go back into
+                    // the store before the error surfaces.
+                    deferred = Some(ExecError::NativeAbi {
+                        kernel: tape.name.clone(),
+                        code,
+                    });
+                }
+            }
             ExecMode::Serial => {
                 let mut write_data: Vec<&mut [f64]> =
                     writes.iter_mut().map(|a| a.data_mut()).collect();
@@ -639,7 +748,10 @@ pub fn run_kernel_region_checked(
             store.insert(*f, w.next().expect("one array per written field"));
         }
     }
-    Ok(())
+    match deferred {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Loop driver holding the per-launch constants.
@@ -971,6 +1083,7 @@ mod tests {
                     assert_eq!(*dim, 2);
                     assert_eq!(*offset, 1);
                 }
+                other => panic!("expected NonCentreStore, got {other:?}"),
             }
             assert!(err.to_string().contains("outer loop"), "{err}");
             // Checked failure leaves the destination untouched…

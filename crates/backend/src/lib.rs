@@ -12,9 +12,14 @@
 //! * [`emit_cuda`] — CUDA source with selectable thread-to-cell mappings,
 //!   `__threadfence()` scheduling fences, and approximate-math intrinsics
 //!   (`__fdividef`, `__frsqrt_rn`).
+//! * [`crate::native`] — the paper's actual pipeline closed end to end:
+//!   the tape emitted as Rust source, compiled to a cdylib with `rustc`,
+//!   loaded with `dlopen` and dispatched through a typed C ABI
+//!   ([`ExecMode::Native`]), bitwise identical to the interpreters.
 
 mod emit;
 mod exec;
+pub mod native;
 mod simd;
 mod store;
 mod vector;
@@ -23,6 +28,9 @@ pub use emit::{emit_c, emit_cuda, ThreadMapping};
 pub use exec::{
     extended_range, run_kernel, run_kernel_checked, run_kernel_region, run_kernel_region_checked,
     ExecError, ExecMode, RunCtx,
+};
+pub use native::{
+    clear_memory_cache, emit_rust, native_available, native_cache_dir, source_fingerprint,
 };
 pub use pf_grid::IterRegion;
 pub use simd::{emit_c_simd, SimdIsa};

@@ -8,17 +8,20 @@
 //! metric snapshot rides along, so a bench artifact doubles as a runtime
 //! profile (kernel spans, comm counters, checkpoint drains).
 //!
-//! Schema `pf-bench/3` (v2 added the per-record execution `mode` and made
+//! Schema `pf-bench/4` (v2 added the per-record execution `mode` and made
 //! `extra.analysis` mandatory — every artifact now proves which engine was
 //! measured and that static verification actually ran; v3 added
 //! `extra.measured_overlap` — the *measured* blocking-vs-overlapped
 //! distributed step-loop throughput on the bench host, mandatory for the
 //! comm-scheduling artifacts `table2` and `fig3` so the Table 2 overlap
-//! prediction is always printed next to a real measurement):
+//! prediction is always printed next to a real measurement; v4 added
+//! `"native"` to the known execution modes — kernel records measured
+//! through the compiled-cdylib backend, whose `exec.native.*` cache
+//! counters ride along in `metrics`):
 //!
 //! ```text
 //! {
-//!   "schema": "pf-bench/3",
+//!   "schema": "pf-bench/4",
 //!   "name": "fig2_left",
 //!   "smoke": true,
 //!   "machine": {"model": "skylake_8174", "threads_avail": 1},
@@ -44,7 +47,7 @@ use pf_trace::{Json, Report};
 use std::collections::BTreeMap;
 
 /// Schema identifier; bump on breaking layout changes.
-pub const SCHEMA: &str = "pf-bench/3";
+pub const SCHEMA: &str = "pf-bench/4";
 
 /// Artifacts that exercise the communication-scheduling options and must
 /// therefore carry `extra.measured_overlap` (schema pf-bench/3).
@@ -61,7 +64,7 @@ pub const MEASURED_OVERLAP_FIELDS: [&str; 6] = [
 ];
 
 /// Execution-engine names a kernel record may carry (`KernelPerf::mode`).
-pub const EXEC_MODES: [&str; 3] = ["serial", "parallel", "vectorized"];
+pub const EXEC_MODES: [&str; 4] = ["serial", "parallel", "vectorized", "native"];
 
 /// Measured-vs-predicted record for one kernel variant.
 #[derive(Clone, Debug, PartialEq)]

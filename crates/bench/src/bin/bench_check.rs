@@ -6,8 +6,9 @@
 //! ```
 //!
 //! `validate` parses each artifact and checks it against schema
-//! `pf-bench/3` (see `pf_bench::benchjson`) — including the per-record
-//! execution `mode`, the mandatory `extra.analysis` verification
+//! `pf-bench/4` (see `pf_bench::benchjson`) — including the per-record
+//! execution `mode` (now also the compiled `native` engine), the
+//! mandatory `extra.analysis` verification
 //! statistics and the communication artifacts' `extra.measured_overlap`
 //! statistics — printing every violation and exiting non-zero if any
 //! file fails.

@@ -68,21 +68,38 @@ pub fn mode_name(mode: ExecMode) -> &'static str {
         ExecMode::Serial => "serial",
         ExecMode::Parallel => "parallel",
         ExecMode::Vectorized => "vectorized",
+        ExecMode::Native => "native",
     }
 }
 
-/// Execution engines `standard_kernel_perf` measures. Default: serial and
-/// strip-mined vectorized, so every artifact carries both series and their
-/// ratio is the vectorization speedup. `PF_BENCH_EXEC` narrows to a single
-/// engine (`serial` | `parallel` | `vectorized`) — scripts/ci.sh uses
-/// `vectorized` for the dedicated smoke rerun.
+/// Execution engines `standard_kernel_perf` measures. Default: serial,
+/// strip-mined vectorized, and — when the sandbox can compile and load
+/// cdylibs — the native codegen backend, so every artifact carries the
+/// measured/predicted ratio for generated machine code next to the
+/// interpreters. `PF_BENCH_EXEC` narrows to a single engine (`serial` |
+/// `parallel` | `vectorized` | `native`) — scripts/ci.sh uses `vectorized`
+/// for the dedicated smoke rerun.
 pub fn bench_exec_modes() -> Vec<ExecMode> {
     match std::env::var("PF_BENCH_EXEC").as_deref() {
         Ok("serial") => vec![ExecMode::Serial],
         Ok("parallel") => vec![ExecMode::Parallel],
         Ok("vectorized") => vec![ExecMode::Vectorized],
-        Ok(other) => panic!("PF_BENCH_EXEC must be serial|parallel|vectorized, got '{other}'"),
-        Err(_) => vec![ExecMode::Serial, ExecMode::Vectorized],
+        Ok("native") => vec![ExecMode::Native],
+        Ok(other) => {
+            panic!("PF_BENCH_EXEC must be serial|parallel|vectorized|native, got '{other}'")
+        }
+        Err(_) => {
+            let mut modes = vec![ExecMode::Serial, ExecMode::Vectorized];
+            if pf_backend::native_available() {
+                modes.push(ExecMode::Native);
+            } else {
+                eprintln!(
+                    "pf-bench: WARNING: rustc cannot produce cdylibs in this sandbox — \
+                     skipping the native execution engine (no native kernel records)"
+                );
+            }
+            modes
+        }
     }
 }
 

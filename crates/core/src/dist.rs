@@ -70,6 +70,11 @@ pub struct DistConfig {
     pub checkpoint: Option<CheckpointConfig>,
     /// Message-fault/rank-kill injection for the whole world.
     pub faults: Option<FaultPlan>,
+    /// Execution engine for every rank's kernels; `None` keeps each block's
+    /// shape-based default. The engine is not part of the persistent state
+    /// (all engines are bitwise identical), so a checkpointed run may
+    /// resume under a different one.
+    pub exec_mode: Option<pf_backend::ExecMode>,
 }
 
 impl DistConfig {
@@ -84,6 +89,7 @@ impl DistConfig {
             seed: 42,
             checkpoint: None,
             faults: None,
+            exec_mode: None,
         }
     }
 
@@ -455,6 +461,9 @@ where
             sim_cfg.mu_variant = cfg.mu_variant;
             sim_cfg.bc = cfg.bc;
             sim_cfg.seed = cfg.seed;
+            if let Some(m) = cfg.exec_mode {
+                sim_cfg.mode = m;
+            }
             let mut sim = Simulation::new(params.clone(), kernels.clone(), sim_cfg);
             sim.origin = block.origin;
             let (ox, oy, oz) = (block.origin[0], block.origin[1], block.origin[2]);

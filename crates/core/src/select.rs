@@ -29,9 +29,11 @@ pub struct VariantChoice {
 /// engine whenever the unit-stride extent can fill at least one strip of
 /// [`pf_backend::STRIP_WIDTH`] lanes, scalar-serial for thinner blocks
 /// (where strips would be all remainder loop). `PF_EXEC_MODE` overrides
-/// (`serial` | `parallel` | `vectorized`) for experiments and CI; an
-/// unrecognized value warns once and falls back to the shape-based default
-/// instead of silently (or fatally) derailing a long run over a typo.
+/// (`serial` | `parallel` | `vectorized` | `native`) for experiments and
+/// CI; an unrecognized value warns once and falls back to the shape-based
+/// default instead of silently (or fatally) derailing a long run over a
+/// typo. `native` requests compiled-kernel execution; if `rustc` cannot
+/// produce cdylibs the executor degrades to `vectorized` per launch.
 pub fn default_exec_mode(shape: [usize; 3]) -> ExecMode {
     let shape_default = || {
         if shape[0] >= pf_backend::STRIP_WIDTH {
@@ -44,12 +46,13 @@ pub fn default_exec_mode(shape: [usize; 3]) -> ExecMode {
         Ok("serial") => ExecMode::Serial,
         Ok("parallel") => ExecMode::Parallel,
         Ok("vectorized") => ExecMode::Vectorized,
+        Ok("native") => ExecMode::Native,
         Ok(other) => {
             static WARN_ONCE: std::sync::Once = std::sync::Once::new();
             WARN_ONCE.call_once(|| {
                 eprintln!(
                     "warning: unrecognized PF_EXEC_MODE '{other}' \
-                     (expected serial|parallel|vectorized); using the default engine"
+                     (expected serial|parallel|vectorized|native); using the default engine"
                 );
             });
             if pf_trace::enabled() {

@@ -512,6 +512,54 @@ mod tests {
     }
 
     #[test]
+    fn structural_hash_separates_near_miss_tapes() {
+        // Executors key plan caches — and the native backend keys compiled
+        // machine code — on `structural_hash`. A near-miss tape silently
+        // colliding would run the wrong kernel, so the classic close calls
+        // must hash apart: swapped operands of a non-commutative op, and a
+        // tape differing only in one constant.
+        let f = Field::new("tp_hash_f", 1, 3);
+        let build = |c1: f64, c2: f64, swap: bool| {
+            let mut b = TapeBuilder::new("near_miss");
+            let a = b.emit(TapeOp::Const(CF(c1)));
+            let c = b.emit(TapeOp::Const(CF(c2)));
+            let v = if swap {
+                b.emit(TapeOp::Sub(c, a))
+            } else {
+                b.emit(TapeOp::Sub(a, c))
+            };
+            let slot = b.field_slot(f);
+            b.emit(TapeOp::Store {
+                field: slot,
+                comp: 0,
+                off: [0; 3],
+                val: v,
+            });
+            b.finish([0; 3])
+        };
+        let base = build(1.0, 2.0, false);
+        assert_eq!(
+            base.structural_hash(),
+            build(1.0, 2.0, false).structural_hash(),
+            "identical construction must reproduce the hash"
+        );
+        assert_ne!(
+            base.structural_hash(),
+            build(1.0, 2.0, true).structural_hash(),
+            "swapped Sub operands must hash apart"
+        );
+        assert_ne!(
+            base.structural_hash(),
+            build(1.0, 2.5, false).structural_hash(),
+            "a differing constant must hash apart"
+        );
+        // Execution-relevant metadata is part of the fingerprint too.
+        let mut reordered = base.clone();
+        reordered.loop_order = [1, 2, 0];
+        assert_ne!(base.structural_hash(), reordered.structural_hash());
+    }
+
+    #[test]
     fn use_counts_are_per_argument() {
         let mut b = TapeBuilder::new("t");
         let c = b.emit(TapeOp::Const(CF(3.0)));

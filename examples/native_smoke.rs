@@ -1,0 +1,114 @@
+//! Native-engine smoke check for CI: generate a small 2-phase model,
+//! compile its kernels to machine code through the native backend
+//! (tape → Rust source → `rustc` cdylib → `dlopen`), run a few steps, and
+//! require the result to match the serial interpreter **bitwise**. A
+//! second native pass with the in-memory cache dropped must then be served
+//! from the on-disk artifacts (`exec.native.compile_hit`).
+//!
+//! Exits 0 with a `native-smoke: SKIPPED` line when the host toolchain
+//! cannot produce loadable cdylibs (scripts/ci.sh turns that into a loud
+//! warning), and non-zero on any divergence.
+//!
+//! Run with: `cargo run --release --example native_smoke`
+
+use pf_backend::ExecMode;
+use pf_core::{generate_kernels, BcKind, KernelSet, ModelParams, SimConfig, Simulation, Variant};
+use pf_ir::GenOptions;
+
+const SHAPE: [usize; 3] = [24, 16, 1];
+const STEPS: usize = 4;
+
+fn model() -> ModelParams {
+    let mut params = pf_core::p1();
+    params.name = "native_smoke".into();
+    params.phases = 2;
+    params.components = 2;
+    params.dim = 2;
+    params.gamma = vec![vec![0.0, 0.4], vec![0.4, 0.0]];
+    params.tau = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+    params.diffusivity = vec![1.0, 0.1];
+    params.a_coeff = vec![vec![-0.5], vec![-0.5]];
+    params.b_coeff = vec![vec![(0.0, 0.05)], vec![(-0.3, 0.05)]];
+    params.c_coeff = vec![(0.01, 0.0), (0.01, 0.0)];
+    params.orientation = vec![0.0, 0.0];
+    params.anisotropy = None;
+    params.temperature.gradient = 0.0;
+    // Philox noise on: the native code carries its own inlined generator
+    // and must reproduce the interpreter's stream exactly.
+    params.fluctuation_amplitude = 1e-3;
+    params.dt = 0.01;
+    params
+}
+
+// One shared kernel set: regenerating per run would mint fresh field ids
+// and with them fresh structural hashes, defeating the artifact cache this
+// smoke is checking.
+fn run(params: &ModelParams, kernels: &KernelSet, mode: ExecMode) -> Simulation {
+    let mut cfg = SimConfig::new(SHAPE);
+    cfg.bc = [BcKind::Periodic; 3];
+    cfg.phi_variant = Variant::Full;
+    cfg.mu_variant = Variant::Split;
+    cfg.mode = mode;
+    let mut sim = Simulation::new(params.clone(), kernels.clone(), cfg);
+    sim.init_phi(|x, y, _| {
+        let d = (((x as f64 - 12.0).powi(2) + (y as f64 - 8.0).powi(2)).sqrt() - 4.0) / 2.0;
+        let solid = 0.5 * (1.0 - d.tanh());
+        vec![1.0 - solid, solid]
+    });
+    sim.init_mu(|_, _, _| vec![0.3]);
+    sim.run_steps(STEPS);
+    sim
+}
+
+fn main() {
+    if !pf_backend::native_available() {
+        println!(
+            "native-smoke: SKIPPED — rustc cannot produce loadable cdylibs on this host \
+             (cache dir {})",
+            pf_backend::native_cache_dir().display()
+        );
+        return;
+    }
+
+    let params = model();
+    let kernels = generate_kernels(&params, &GenOptions::default());
+    let serial = run(&params, &kernels, ExecMode::Serial);
+    let native = run(&params, &kernels, ExecMode::Native);
+    let dphi = serial.phi().max_abs_diff(native.phi());
+    let dmu = serial.mu().max_abs_diff(native.mu());
+    if dphi != 0.0 || dmu != 0.0 {
+        eprintln!("native-smoke: FAIL — native diverged from serial (φ {dphi:e}, µ {dmu:e})");
+        std::process::exit(1);
+    }
+    println!(
+        "native-smoke: native == serial bitwise after {STEPS} steps on {}x{}x{}",
+        SHAPE[0], SHAPE[1], SHAPE[2]
+    );
+
+    // Second pass: drop the resolved function pointers so every kernel has
+    // to come back from the on-disk artifact cache.
+    pf_backend::clear_memory_cache();
+    let cached = run(&params, &kernels, ExecMode::Native);
+    if serial.phi().max_abs_diff(cached.phi()) != 0.0 {
+        eprintln!("native-smoke: FAIL — disk-cached artifacts diverged from serial");
+        std::process::exit(1);
+    }
+    if pf_trace::enabled() {
+        let hits = pf_trace::counter("exec.native.compile_hit").value();
+        let misses = pf_trace::counter("exec.native.compile_miss").value();
+        if hits == 0 {
+            eprintln!(
+                "native-smoke: FAIL — second pass never hit the artifact cache \
+                 (compile_hit {hits}, compile_miss {misses})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "native-smoke: artifact cache serving (compile_miss {misses}, compile_hit {hits})"
+        );
+    }
+    println!(
+        "native-smoke: OK (artifacts in {})",
+        pf_backend::native_cache_dir().display()
+    );
+}

@@ -62,6 +62,30 @@ PF_BENCH_SMOKE=1 PF_BENCH_EXEC=vectorized PF_BENCH_OUT_DIR="$VEC_DIR" \
 grep -q '"mode": "vectorized"' "$VEC_DIR/BENCH_table1.json" \
   || { echo "vectorized smoke artifact carries no vectorized records" >&2; exit 1; }
 
+echo "== native engine smoke =="
+# Compile a small model's kernels to machine code (tape → Rust source →
+# rustc cdylib → dlopen), run a few steps, and require bitwise identity
+# with the serial interpreter plus a warm artifact-cache second pass. The
+# example prints `native-smoke: SKIPPED` (and exits 0) on hosts whose
+# toolchain cannot produce loadable cdylibs; that skip must stay loud.
+NAT_DIR="$SMOKE_DIR/native"
+mkdir -p "$NAT_DIR"
+cargo build -q --release --example native_smoke
+PF_NATIVE_CACHE_DIR="$NAT_DIR/cache" target/release/examples/native_smoke \
+  | tee "$NAT_DIR/native_smoke.log"
+if grep -q '^native-smoke: SKIPPED' "$NAT_DIR/native_smoke.log"; then
+  echo "WARNING: native engine smoke SKIPPED — rustc cannot produce loadable cdylibs here;" >&2
+  echo "WARNING: the ExecMode::Native path was NOT exercised by this CI run" >&2
+else
+  # The native engine also has to emit schema-valid bench artifacts with
+  # native-mode records end to end.
+  PF_BENCH_SMOKE=1 PF_BENCH_EXEC=native PF_BENCH_OUT_DIR="$NAT_DIR" \
+    PF_NATIVE_CACHE_DIR="$NAT_DIR/cache" "$BIN/table1" > "$NAT_DIR/table1.log"
+  "$BIN/bench_check" validate "$NAT_DIR"/BENCH_table1.json
+  grep -q '"mode": "native"' "$NAT_DIR/BENCH_table1.json" \
+    || { echo "native smoke artifact carries no native records" >&2; exit 1; }
+fi
+
 echo "== overlapped 2-rank smoke =="
 # The table2 smoke above already drove the overlapped distributed schedule
 # end to end (2 thread-backed ranks, blocking vs overlapped, the §4.3

@@ -11,6 +11,12 @@
 # instead of re-running the benches (scripts/ci.sh does this to avoid a
 # duplicate smoke pass).
 #
+# Artifacts are validated against schema `pf-bench/4`, whose per-record
+# execution modes include the compiled `native` engine. Native records in
+# the committed baselines are only compared when the fresh run produced
+# them too (hosts whose toolchain cannot load cdylibs skip the native
+# engine and the gate reports those kernels as one-sided notes).
+#
 # To refresh the baselines after an intentional perf change:
 #   PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR=baselines cargo run --release -p pf-bench --bin <each>
 # and commit the result. The committed baselines are floored conservatively

@@ -139,6 +139,51 @@ fn rank_count_and_schedule_leave_the_fields_bitwise_invariant() {
     }
 }
 
+/// Checkpoint under the vectorized interpreter, tear the world down,
+/// resume a fresh world under the **native codegen engine**: still bitwise
+/// the same trajectory as an uninterrupted run. Like the halo schedule,
+/// the execution engine is not part of the persistent state — all engines
+/// are bitwise identical, so a restart may switch engines freely.
+#[test]
+fn restart_may_switch_execution_engines_and_stay_on_the_bitwise_trajectory() {
+    use pf_backend::ExecMode;
+    if !pf_backend::native_available() {
+        eprintln!(
+            "SKIPPED restart_may_switch_execution_engines_and_stay_on_the_bitwise_trajectory: \
+             rustc cannot produce loadable cdylibs in this sandbox"
+        );
+        return;
+    }
+    // Keep native artifacts out of any shared cache dir (flake guard for
+    // parallel test processes).
+    let cache = Scratch::new("natcache");
+    std::env::set_var("PF_NATIVE_CACHE_DIR", &cache.0);
+
+    let p = mini();
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let (n, m) = (2usize, 2usize);
+    let (want_phi, want_mu) = global_bits(&p, &ks, &cfg(2, false), n + m);
+
+    let scratch = Scratch::new("engine-leg");
+    // First leg: vectorized interpreter, final checkpoint after n steps.
+    let mut first = cfg(2, false);
+    first.exec_mode = Some(ExecMode::Vectorized);
+    first.checkpoint = Some(CheckpointConfig::new(&scratch.0));
+    let _ = global_bits(&p, &ks, &first, n);
+    // Second leg: a fresh world resumes from the set and finishes the
+    // remaining m steps through compiled native kernels.
+    let mut second = cfg(2, false);
+    second.exec_mode = Some(ExecMode::Native);
+    second.checkpoint = Some(CheckpointConfig::new(&scratch.0).resume(true));
+    let (phi, mu) = global_bits(&p, &ks, &second, n + m);
+    std::env::remove_var("PF_NATIVE_CACHE_DIR");
+    assert_eq!(
+        phi, want_phi,
+        "phi diverged after the engine-switch restart"
+    );
+    assert_eq!(mu, want_mu, "mu diverged after the engine-switch restart");
+}
+
 /// Checkpoint mid-run under the blocking schedule, tear the world down,
 /// resume a fresh world under the *overlapped* schedule: still bitwise the
 /// same trajectory as the uninterrupted overlapped run. The schedule is

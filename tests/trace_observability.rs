@@ -89,6 +89,56 @@ fn disabled_mode_records_nothing() {
 }
 
 #[test]
+fn fallback_counters_roundtrip_through_report_json() {
+    let _g = lock();
+    pf_trace::reset();
+    pf_trace::set_enabled(true);
+    // Drive a real degraded launch: a store offset along the outer loop
+    // dimension forces the infallible API to rerun serially, which must
+    // surface as both the mode-specific and the engine-neutral
+    // `exec.fallback.<kernel>` counters.
+    use pf_backend::{run_kernel, ExecMode, FieldStore, RunCtx};
+    use pf_stencil::{Assignment, StencilKernel};
+    use pf_symbolic::{Access, Expr, Field};
+    let src = Field::new("it_fb_src", 1, 3);
+    let dst = Field::new("it_fb_dst", 1, 3);
+    let k = StencilKernel::new(
+        "it_fb_kernel",
+        vec![Assignment::store(
+            Access::at(dst, 0, [0, 0, 1]),
+            Expr::access(Access::center(src, 0)),
+        )],
+    );
+    let tape = pf_ir::generate(&k, &pf_ir::GenOptions::default());
+    let mut store = FieldStore::new();
+    store
+        .allocate(src, [8, 4, 4], 1, pf_fields::Layout::Fzyx)
+        .fill_with(0, |x, y, z| (x * 5 + y * 3 + z) as f64);
+    store.allocate(dst, [8, 4, 4], 1, pf_fields::Layout::Fzyx);
+    run_kernel(
+        &tape,
+        &mut store,
+        &[],
+        [8, 4, 4],
+        &RunCtx::default(),
+        ExecMode::Vectorized,
+    );
+
+    let r = pf_trace::snapshot();
+    assert_eq!(
+        r.counters["exec.fallback.it_fb_kernel"].total, 1,
+        "degraded launches must bump the engine-neutral fallback counter"
+    );
+    assert_eq!(r.counters["exec.serial_fallback.it_fb_kernel"].total, 1);
+
+    // The counters survive the full Report JSON round-trip.
+    let text = r.to_json().to_pretty();
+    let back = pf_trace::Report::parse(&text).expect("report parses back");
+    assert_eq!(back, r);
+    assert_eq!(back.counters["exec.fallback.it_fb_kernel"].total, 1);
+}
+
+#[test]
 fn report_json_roundtrip_through_instrumented_run() {
     let _g = lock();
     pf_trace::reset();
