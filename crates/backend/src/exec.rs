@@ -941,6 +941,53 @@ impl<'a> CellCursor<'a> {
     }
 }
 
+/// Measurement entry point for the autotuner: run a multi-pass kernel
+/// (e.g. a split variant's face tapes plus its update) `sweeps` times under
+/// `mode` and return the measured performance in MLUP/s.
+///
+/// One untimed warm-up sweep runs first so the measured sweeps see the
+/// steady state the launch path sees: the plan cache already holds the
+/// resolved (tape, geometry) plan, and for [`ExecMode::Native`] the kernel
+/// artifact has already been compiled and dlopened (otherwise a cold
+/// `rustc` invocation would be billed to the candidate's runtime).
+///
+/// Goes through [`run_kernel`] — the exact production entry, including its
+/// serial/vectorized degradation paths — so a candidate is timed as it
+/// would actually execute, not as an idealized variant of itself. The lattice
+/// count is the sum of every pass's extended range (matching `exec.cells`).
+pub fn time_tapes(
+    tapes: &[&Tape],
+    store: &mut FieldStore,
+    params: &[f64],
+    domain: [usize; 3],
+    ctx: &RunCtx,
+    mode: ExecMode,
+    sweeps: usize,
+) -> f64 {
+    assert!(sweeps >= 1, "cannot time zero sweeps");
+    for tape in tapes {
+        run_kernel(tape, store, params, domain, ctx, mode);
+    }
+    let cells_per_sweep: usize = tapes
+        .iter()
+        .map(|t| {
+            let e = extended_range(t, domain);
+            e[0] * e[1] * e[2]
+        })
+        .sum();
+    if pf_trace::enabled() {
+        pf_trace::counter("exec.measure.runs").incr(1);
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..sweeps {
+        for tape in tapes {
+            run_kernel(tape, store, params, domain, ctx, mode);
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    (cells_per_sweep * sweeps) as f64 / secs / 1e6
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

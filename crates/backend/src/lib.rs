@@ -27,7 +27,7 @@ mod vector;
 pub use emit::{emit_c, emit_cuda, ThreadMapping};
 pub use exec::{
     extended_range, run_kernel, run_kernel_checked, run_kernel_region, run_kernel_region_checked,
-    ExecError, ExecMode, RunCtx,
+    time_tapes, ExecError, ExecMode, RunCtx,
 };
 pub use native::{
     clear_memory_cache, emit_rust, native_available, native_cache_dir, source_fingerprint,

@@ -8,7 +8,7 @@
 //! metric snapshot rides along, so a bench artifact doubles as a runtime
 //! profile (kernel spans, comm counters, checkpoint drains).
 //!
-//! Schema `pf-bench/4` (v2 added the per-record execution `mode` and made
+//! Schema `pf-bench/5` (v2 added the per-record execution `mode` and made
 //! `extra.analysis` mandatory — every artifact now proves which engine was
 //! measured and that static verification actually ran; v3 added
 //! `extra.measured_overlap` — the *measured* blocking-vs-overlapped
@@ -17,11 +17,14 @@
 //! prediction is always printed next to a real measurement; v4 added
 //! `"native"` to the known execution modes — kernel records measured
 //! through the compiled-cdylib backend, whose `exec.native.*` cache
-//! counters ride along in `metrics`):
+//! counters ride along in `metrics`; v5 added `extra.tuning` — per-kernel
+//! autotuning outcomes with chosen-vs-best **regret**, mandatory for the
+//! tuned artifacts (`table1`) so tuning quality is a number the perf gate
+//! can fail on, not a log line):
 //!
 //! ```text
 //! {
-//!   "schema": "pf-bench/4",
+//!   "schema": "pf-bench/5",
 //!   "name": "fig2_left",
 //!   "smoke": true,
 //!   "machine": {"model": "skylake_8174", "threads_avail": 1},
@@ -32,7 +35,17 @@
 //!      "ecm": {"t_comp": ..., ...}},
 //!     ...
 //!   ],
-//!   "extra": { "analysis": {"kernels_verified": ..., ...}, ... },
+//!   "extra": {
+//!     "analysis": {"kernels_verified": ..., ...},
+//!     "tuning": {"kernels": [
+//!       {"params": "P1", "kernel": "phi",
+//!        "chosen_variant": "split", "chosen_mode": "native",
+//!        "static_variant": "full", "static_mode": "vectorized",
+//!        "candidates": 12, "measured": 27,
+//!        "best_mlups": 10.5, "chosen_mlups": 10.5, "static_mlups": 0.5,
+//!        "regret_chosen": 0.0, "regret_static": 0.95}, ...]},
+//!     ...
+//!   },
 //!   "metrics": { ... pf_trace::Report JSON ... }
 //! }
 //! ```
@@ -47,11 +60,37 @@ use pf_trace::{Json, Report};
 use std::collections::BTreeMap;
 
 /// Schema identifier; bump on breaking layout changes.
-pub const SCHEMA: &str = "pf-bench/4";
+pub const SCHEMA: &str = "pf-bench/5";
 
 /// Artifacts that exercise the communication-scheduling options and must
 /// therefore carry `extra.measured_overlap` (schema pf-bench/3).
 pub const COMM_ARTIFACTS: [&str; 2] = ["table2", "fig3"];
+
+/// Artifacts that run the autotuner and must therefore carry
+/// `extra.tuning` (schema pf-bench/5).
+pub const TUNED_ARTIFACTS: [&str; 1] = ["table1"];
+
+/// Required string fields of each `extra.tuning.kernels[]` entry. The two
+/// `*_mode` fields must also be members of [`EXEC_MODES`].
+pub const TUNING_KERNEL_STR_FIELDS: [&str; 6] = [
+    "params",
+    "kernel",
+    "chosen_variant",
+    "chosen_mode",
+    "static_variant",
+    "static_mode",
+];
+
+/// Required numeric fields of each `extra.tuning.kernels[]` entry.
+pub const TUNING_KERNEL_NUM_FIELDS: [&str; 7] = [
+    "candidates",
+    "measured",
+    "best_mlups",
+    "chosen_mlups",
+    "static_mlups",
+    "regret_chosen",
+    "regret_static",
+];
 
 /// Field names of the `extra.measured_overlap` object.
 pub const MEASURED_OVERLAP_FIELDS: [&str; 6] = [
@@ -366,6 +405,88 @@ pub fn validate(j: &Json) -> Vec<String> {
                 ),
                 None => {}
             }
+            // Since pf-bench/5: tuned artifacts carry the autotuning
+            // outcome per kernel; wherever the block appears it must be
+            // well-formed and its regrets self-consistent, so the perf
+            // gate can trust `regret_chosen` as a gated number.
+            let needs_tuning = j
+                .get("name")
+                .and_then(Json::as_str)
+                .is_some_and(|n| TUNED_ARTIFACTS.contains(&n));
+            match extra.get("tuning") {
+                Some(t) => match t.get("kernels").and_then(Json::as_arr) {
+                    Some([]) | None => {
+                        out.push("extra.tuning.kernels must be a non-empty array".into())
+                    }
+                    Some(ks) => {
+                        for (i, k) in ks.iter().enumerate() {
+                            for f in TUNING_KERNEL_STR_FIELDS {
+                                match k.get(f).and_then(Json::as_str) {
+                                    Some(v) if !v.is_empty() => {
+                                        if f.ends_with("_mode") && !EXEC_MODES.contains(&v) {
+                                            out.push(format!(
+                                                "extra.tuning.kernels[{i}].{f} '{v}' \
+                                                 not one of {EXEC_MODES:?}"
+                                            ));
+                                        }
+                                    }
+                                    _ => out.push(format!(
+                                        "extra.tuning.kernels[{i}].{f} missing or empty"
+                                    )),
+                                }
+                            }
+                            let num = |f: &str| k.get(f).and_then(Json::as_f64);
+                            for f in TUNING_KERNEL_NUM_FIELDS {
+                                match num(f) {
+                                    Some(v) if v.is_finite() && v >= 0.0 => {}
+                                    _ => out.push(format!(
+                                        "extra.tuning.kernels[{i}].{f} must be finite >= 0"
+                                    )),
+                                }
+                            }
+                            if let (Some(best), Some(chosen), Some(stat), Some(rc), Some(rs)) = (
+                                num("best_mlups"),
+                                num("chosen_mlups"),
+                                num("static_mlups"),
+                                num("regret_chosen"),
+                                num("regret_static"),
+                            ) {
+                                if best <= 0.0 {
+                                    out.push(format!(
+                                        "extra.tuning.kernels[{i}].best_mlups must be > 0"
+                                    ));
+                                } else {
+                                    let tol = 1e-9;
+                                    if chosen > best * (1.0 + tol) || stat > best * (1.0 + tol) {
+                                        out.push(format!(
+                                            "extra.tuning.kernels[{i}]: best_mlups {best} is \
+                                             not the maximum of chosen {chosen} / static {stat}"
+                                        ));
+                                    }
+                                    let want_rc = (1.0 - chosen / best).max(0.0);
+                                    let want_rs = (1.0 - stat / best).max(0.0);
+                                    if (rc - want_rc).abs() > 1e-6 {
+                                        out.push(format!(
+                                            "extra.tuning.kernels[{i}].regret_chosen {rc} \
+                                             inconsistent with 1 - chosen/best = {want_rc}"
+                                        ));
+                                    }
+                                    if (rs - want_rs).abs() > 1e-6 {
+                                        out.push(format!(
+                                            "extra.tuning.kernels[{i}].regret_static {rs} \
+                                             inconsistent with 1 - static/best = {want_rs}"
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                },
+                None if needs_tuning => out.push(
+                    "missing object field 'extra.tuning' (required for tuned artifacts)".into(),
+                ),
+                None => {}
+            }
         }
         None => out.push("missing object field 'extra'".into()),
     }
@@ -570,6 +691,99 @@ mod tests {
         );
         let v = validate(&r.to_json());
         assert!(v.iter().any(|e| e.contains("blocking_mlups")), "{v:?}");
+    }
+
+    fn tuning_obj(regret_chosen: f64) -> Json {
+        let best = 10.0;
+        let chosen = best * (1.0 - regret_chosen);
+        Json::obj([(
+            "kernels".to_string(),
+            Json::Arr(vec![Json::obj([
+                ("params".to_string(), Json::str("P1")),
+                ("kernel".to_string(), Json::str("phi")),
+                ("chosen_variant".to_string(), Json::str("split")),
+                ("chosen_mode".to_string(), Json::str("native")),
+                ("static_variant".to_string(), Json::str("full")),
+                ("static_mode".to_string(), Json::str("vectorized")),
+                ("candidates".to_string(), Json::Num(12.0)),
+                ("measured".to_string(), Json::Num(27.0)),
+                ("best_mlups".to_string(), Json::Num(best)),
+                ("chosen_mlups".to_string(), Json::Num(chosen)),
+                ("static_mlups".to_string(), Json::Num(2.0)),
+                ("regret_chosen".to_string(), Json::Num(regret_chosen)),
+                ("regret_static".to_string(), Json::Num(0.8)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn tuning_extra_is_required_for_tuned_artifacts_and_checked() {
+        // A tuned artifact without the block is invalid…
+        let mut r = sample();
+        r.name = "table1".into();
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("extra.tuning")), "{v:?}");
+
+        // …and valid once it carries a well-formed one.
+        r.extra.insert("tuning".into(), tuning_obj(0.0));
+        assert!(validate(&r.to_json()).is_empty());
+
+        // Other artifacts may omit it entirely (sample() does).
+        assert!(validate(&sample().to_json()).is_empty());
+
+        // Inconsistent regret is a violation anywhere the block appears.
+        let mut r = sample();
+        let mut t = tuning_obj(0.0);
+        if let Json::Obj(m) = &mut t {
+            if let Some(Json::Arr(ks)) = m.get_mut("kernels") {
+                if let Json::Obj(k) = &mut ks[0] {
+                    k.insert("regret_chosen".into(), Json::Num(0.5));
+                }
+            }
+        }
+        r.extra.insert("tuning".into(), t);
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("regret_chosen")), "{v:?}");
+
+        // An unknown engine name in chosen_mode is a violation.
+        let mut r = sample();
+        let mut t = tuning_obj(0.0);
+        if let Json::Obj(m) = &mut t {
+            if let Some(Json::Arr(ks)) = m.get_mut("kernels") {
+                if let Json::Obj(k) = &mut ks[0] {
+                    k.insert("chosen_mode".into(), Json::str("quantum"));
+                }
+            }
+        }
+        r.extra.insert("tuning".into(), t);
+        let v = validate(&r.to_json());
+        assert!(
+            v.iter().any(|e| e.contains("chosen_mode 'quantum'")),
+            "{v:?}"
+        );
+
+        // An empty kernels array means the tuner silently did nothing.
+        let mut r = sample();
+        r.extra.insert(
+            "tuning".into(),
+            Json::obj([("kernels".to_string(), Json::Arr(vec![]))]),
+        );
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("non-empty")), "{v:?}");
+
+        // A chosen_mlups above best_mlups breaks the regret invariant.
+        let mut r = sample();
+        let mut t = tuning_obj(0.0);
+        if let Json::Obj(m) = &mut t {
+            if let Some(Json::Arr(ks)) = m.get_mut("kernels") {
+                if let Json::Obj(k) = &mut ks[0] {
+                    k.insert("chosen_mlups".into(), Json::Num(99.0));
+                }
+            }
+        }
+        r.extra.insert("tuning".into(), t);
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("not the maximum")), "{v:?}");
     }
 
     #[test]

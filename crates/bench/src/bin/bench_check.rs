@@ -6,12 +6,12 @@
 //! ```
 //!
 //! `validate` parses each artifact and checks it against schema
-//! `pf-bench/4` (see `pf_bench::benchjson`) — including the per-record
+//! `pf-bench/5` (see `pf_bench::benchjson`) — including the per-record
 //! execution `mode` (now also the compiled `native` engine), the
 //! mandatory `extra.analysis` verification
-//! statistics and the communication artifacts' `extra.measured_overlap`
-//! statistics — printing every violation and exiting non-zero if any
-//! file fails.
+//! statistics, the communication artifacts' `extra.measured_overlap`
+//! statistics and the tuned artifacts' `extra.tuning` regret block —
+//! printing every violation and exiting non-zero if any file fails.
 //!
 //! `diff` compares a fresh bench-smoke run against the committed
 //! baselines: for every kernel record present in both, the fresh
@@ -21,6 +21,12 @@
 //! (adding a kernel must not require regenerating every baseline in the
 //! same commit). Missing baseline *files* are fatal: every fresh
 //! artifact must have a committed counterpart.
+//!
+//! `diff` also gates **tuning regret**: every `extra.tuning.kernels[]`
+//! entry of a fresh artifact must have `regret_chosen` at or below
+//! `PF_TUNE_GATE_TOL` (default 0.10) — if the autotuner's pick leaves
+//! more than that on the table against the best measured configuration,
+//! the gate fails even when raw throughput still clears its floor.
 
 use pf_bench::BenchReport;
 use std::path::{Path, PathBuf};
@@ -36,6 +42,65 @@ fn tolerance() -> f64 {
             }
         },
         Err(_) => 0.15,
+    }
+}
+
+fn tune_tolerance() -> f64 {
+    match std::env::var("PF_TUNE_GATE_TOL") {
+        Ok(s) => match s.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!("PF_TUNE_GATE_TOL={s:?} invalid (need 0 <= t < 1); using 0.10");
+                0.10
+            }
+        },
+        Err(_) => 0.10,
+    }
+}
+
+/// Gate the chosen-vs-best regret of every `extra.tuning.kernels[]` entry
+/// of a fresh artifact. Schema validation (already done by `load`) pinned
+/// the fields' presence and consistency; this checks the *policy*: the
+/// tuner must pick within `tol` of the best measured configuration.
+fn check_regret(report: &BenchReport, tol: f64, failures: &mut Vec<String>) {
+    let Some(kernels) = report
+        .extra
+        .get("tuning")
+        .and_then(|t| t.get("kernels"))
+        .and_then(|k| k.as_arr())
+    else {
+        return;
+    };
+    for k in kernels {
+        let label = format!(
+            "{}/{}",
+            k.get("params").and_then(|v| v.as_str()).unwrap_or("?"),
+            k.get("kernel").and_then(|v| v.as_str()).unwrap_or("?")
+        );
+        let regret = k
+            .get("regret_chosen")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(f64::NAN);
+        // NaN (absent/malformed regret) must gate, not slide through.
+        let bad = regret.is_nan() || regret > tol;
+        let verdict = if bad { "FAIL" } else { "ok" };
+        println!(
+            "  {verdict:4} {} tuning {label:<10} regret_chosen {:.1}% (static would lose {:.1}%)",
+            report.name,
+            regret * 100.0,
+            k.get("regret_static")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN)
+                * 100.0,
+        );
+        if bad {
+            failures.push(format!(
+                "{} tuning {label}: chosen-vs-best regret {:.1}% exceeds PF_TUNE_GATE_TOL {:.0}%",
+                report.name,
+                regret * 100.0,
+                tol * 100.0
+            ));
+        }
     }
 }
 
@@ -104,11 +169,13 @@ fn diff(baseline_dir: &Path, fresh_dir: &Path) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    let tune_tol = tune_tolerance();
     println!(
-        "perf gate: {} fresh artifacts vs baselines in {} (tolerance {:.0}%)",
+        "perf gate: {} fresh artifacts vs baselines in {} (tolerance {:.0}%, regret gate {:.0}%)",
         fresh_files.len(),
         baseline_dir.display(),
-        tol * 100.0
+        tol * 100.0,
+        tune_tol * 100.0
     );
     let mut failures = Vec::new();
     for fresh_path in &fresh_files {
@@ -177,6 +244,7 @@ fn diff(baseline_dir: &Path, fresh_dir: &Path) -> ExitCode {
                 );
             }
         }
+        check_regret(&fresh, tune_tol, &mut failures);
     }
     if failures.is_empty() {
         println!("perf gate passed");

@@ -350,6 +350,69 @@ pub fn emit_bench(
     Ok(path)
 }
 
+/// Autotune one parameterization on the bench workload and return the
+/// per-family reports. Smoke mode shrinks the grid and the repetition
+/// budget the same way `standard_kernel_perf` does. The cache honours
+/// `PF_TUNE` / `PF_TUNE_CACHE_DIR`; tuning always measures (it is the
+/// explicit search entry point — only the *launch* path is measurement
+/// free), but a warm cache with a near-best entry keeps its winner so
+/// artifacts stay stable across reruns.
+pub fn tune_reports(p: &ModelParams, ks: &KernelSet) -> Vec<pf_core::FamilyTuneReport> {
+    let sock = skylake_8174();
+    let shape = if smoke() { [8, 8, 8] } else { [12, 12, 12] };
+    let opts = if smoke() {
+        pf_core::TuneOptions {
+            reps: 2,
+            sweeps: 1,
+            ..Default::default()
+        }
+    } else {
+        pf_core::TuneOptions::default()
+    };
+    let cache = pf_core::TuneCache::from_env();
+    pf_core::tune_kernel_set(p, ks, &sock, shape, cache.as_ref(), &opts)
+}
+
+/// Render per-parameterization tuning reports as the `extra.tuning`
+/// object of schema `pf-bench/5` (see `benchjson::TUNING_KERNEL_*`).
+pub fn tuning_extra(per_params: &[(String, Vec<pf_core::FamilyTuneReport>)]) -> Json {
+    let kernels: Vec<Json> = per_params
+        .iter()
+        .flat_map(|(name, reports)| {
+            reports.iter().map(move |r| {
+                Json::obj([
+                    ("params".to_string(), Json::str(name.clone())),
+                    ("kernel".to_string(), Json::str(r.family.name())),
+                    (
+                        "chosen_variant".to_string(),
+                        Json::str(pf_core::variant_name(r.entry.variant)),
+                    ),
+                    (
+                        "chosen_mode".to_string(),
+                        Json::str(mode_name(r.entry.mode)),
+                    ),
+                    (
+                        "static_variant".to_string(),
+                        Json::str(pf_core::variant_name(r.static_variant)),
+                    ),
+                    (
+                        "static_mode".to_string(),
+                        Json::str(mode_name(r.static_mode)),
+                    ),
+                    ("candidates".to_string(), Json::Num(r.candidates as f64)),
+                    ("measured".to_string(), Json::Num(r.measured as f64)),
+                    ("best_mlups".to_string(), Json::Num(r.best_mlups)),
+                    ("chosen_mlups".to_string(), Json::Num(r.chosen_mlups)),
+                    ("static_mlups".to_string(), Json::Num(r.static_mlups)),
+                    ("regret_chosen".to_string(), Json::Num(r.regret_chosen)),
+                    ("regret_static".to_string(), Json::Num(r.regret_static)),
+                ])
+            })
+        })
+        .collect();
+    Json::obj([("kernels".to_string(), Json::Arr(kernels))])
+}
+
 /// Measured executor throughput of one kernel variant, MLUP/s.
 pub fn measure_mlups(
     p: &ModelParams,

@@ -75,6 +75,12 @@ pub struct DistConfig {
     /// (all engines are bitwise identical), so a checkpointed run may
     /// resume under a different one.
     pub exec_mode: Option<pf_backend::ExecMode>,
+    /// When `exec_mode` is `None`, consult the on-disk tuning cache
+    /// ([`crate::tune::tuned_exec_mode`]) for each rank's block shape and
+    /// run the measured-fastest engine on a warm hit. Engine-only — the
+    /// bitwise-neutral knob — so a cache state can change speed but never
+    /// results; `PF_TUNE=off` or a cold cache keeps the shape default.
+    pub tune_exec: bool,
 }
 
 impl DistConfig {
@@ -90,6 +96,7 @@ impl DistConfig {
             checkpoint: None,
             faults: None,
             exec_mode: None,
+            tune_exec: true,
         }
     }
 
@@ -463,6 +470,19 @@ where
             sim_cfg.seed = cfg.seed;
             if let Some(m) = cfg.exec_mode {
                 sim_cfg.mode = m;
+            } else if cfg.tune_exec {
+                // Warm tuning cache → measured-fastest engine for this
+                // block shape; cold/off → keep the shape-based default.
+                // Engines are bitwise identical, so this consult can never
+                // change physics (see `TunedChoice`'s bitwise contract).
+                if let Some(m) = crate::tune::tuned_exec_mode(
+                    crate::tune::TuneCache::from_env().as_ref(),
+                    kernels,
+                    &pf_machine::skylake_8174(),
+                    block.shape,
+                ) {
+                    sim_cfg.mode = m;
+                }
             }
             let mut sim = Simulation::new(params.clone(), kernels.clone(), sim_cfg);
             sim.origin = block.origin;

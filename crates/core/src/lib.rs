@@ -32,6 +32,7 @@ pub mod model;
 pub mod params;
 pub mod select;
 pub mod sim;
+pub mod tune;
 
 pub use checkpoint::{params_fingerprint, CheckpointError, CheckpointHeader, RankMeta};
 pub use kernels::{
@@ -42,3 +43,8 @@ pub use model::{build_model, h_interp, temperature_expr, ModelExprs, ModelFields
 pub use params::{p1, p2, ModelParams, TempModel};
 pub use select::{default_exec_mode, select_variants, VariantChoice};
 pub use sim::{BcKind, SimConfig, Simulation, Variant};
+pub use tune::{
+    family_fingerprint, mode_name, select_variants_tuned, select_variants_tuned_in, tune_enabled,
+    tune_gpu_schedule, tune_kernel_set, tuned_exec_mode, variant_name, ChoiceSource, Family,
+    FamilyTuneReport, GpuScheduleChoice, TuneCache, TuneEntry, TuneOptions, TunedChoice,
+};

@@ -57,6 +57,66 @@ pub struct VecThroughput {
     pub transcendental: f64,
 }
 
+impl CpuSocket {
+    /// Stable fingerprint of every field that feeds the performance models.
+    /// The autotuning cache keys its entries on this: a tuned choice is only
+    /// valid for the machine description it was measured under, so any edit
+    /// to a socket model (clock, cache sizes, throughput table) silently
+    /// invalidates stale entries instead of replaying them.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.name.as_bytes());
+        for v in [
+            self.cores as u64,
+            self.simd_f64 as u64,
+            self.fma as u64,
+            self.cacheline_bytes as u64,
+            self.l1_kib as u64,
+            self.l2_kib as u64,
+            self.l3_mib as u64,
+            self.l3_victim as u64,
+        ] {
+            h.write(&v.to_le_bytes());
+        }
+        for v in [
+            self.freq_ghz,
+            self.l2_bytes_per_cycle,
+            self.l3_bytes_per_cycle,
+            self.mem_bw_gbs,
+            self.thr.add,
+            self.thr.mul,
+            self.thr.fma,
+            self.thr.div,
+            self.thr.sqrt,
+            self.thr.rsqrt,
+            self.thr.loads_per_cycle,
+            self.thr.stores_per_cycle,
+            self.thr.transcendental,
+        ] {
+            h.write(&v.to_bits().to_le_bytes());
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, the same checksum primitive the checkpoint format uses.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Intel Xeon Platinum 8174 (SuperMUC-NG node socket).
 pub fn skylake_8174() -> CpuSocket {
     CpuSocket {
@@ -260,6 +320,21 @@ mod tests {
     #[test]
     fn piz_daint_has_the_2400_nodes_used() {
         assert!(piz_daint().total_units() >= 2400);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_model_sensitive() {
+        let a = skylake_8174();
+        assert_eq!(a.fingerprint(), skylake_8174().fingerprint());
+        let mut b = skylake_8174();
+        b.freq_ghz = 2.4;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = skylake_8174();
+        c.thr.div = 14.0;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = skylake_8174();
+        d.simd_f64 = 4;
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

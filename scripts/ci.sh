@@ -44,11 +44,16 @@ rm -rf "$SMOKE_DIR"
 mkdir -p "$SMOKE_DIR"
 cargo build -q --release -p pf-bench
 BIN=target/release
+# Tuned artifacts (table1) consult/fill the tuning cache; keep it hermetic
+# to this run instead of whatever the host's temp dir has accumulated.
+export PF_TUNE_CACHE_DIR="$SMOKE_DIR/tune-cache"
 for b in table1 table2 fig2_left fig2_middle fig2_right fig3 gpu_approx ablation; do
   echo "-- $b"
   PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR="$SMOKE_DIR" "$BIN/$b" > "$SMOKE_DIR/$b.log"
 done
 "$BIN/bench_check" validate "$SMOKE_DIR"/BENCH_*.json
+grep -q '"tuning"' "$SMOKE_DIR/BENCH_table1.json" \
+  || { echo "table1 artifact carries no extra.tuning block" >&2; exit 1; }
 
 echo "== bench smoke (vectorized engine) =="
 # Rerun one binary with the strip-mined vectorized engine pinned, into its
@@ -85,6 +90,26 @@ else
   grep -q '"mode": "native"' "$NAT_DIR/BENCH_table1.json" \
     || { echo "native smoke artifact carries no native records" >&2; exit 1; }
 fi
+
+echo "== tune smoke =="
+# The autotuning loop end to end on a disposable cache: cold consult
+# misses and falls back static, an explicit tune prices/measures/persists,
+# and the warm consult hits with ZERO measurements on the launch path —
+# examples/tune_smoke.rs asserts all of that via tune.cache.{hit,miss}
+# and tune.measurements counters and prints `tune-smoke: OK` at the end.
+TUNE_DIR="$SMOKE_DIR/tune"
+rm -rf "$TUNE_DIR"
+mkdir -p "$TUNE_DIR"
+cargo build -q --release --example tune_smoke
+PF_TUNE_CACHE_DIR="$TUNE_DIR/cache" target/release/examples/tune_smoke \
+  | tee "$TUNE_DIR/tune_smoke.log"
+grep -q '^tune-smoke: OK' "$TUNE_DIR/tune_smoke.log" \
+  || { echo "tune smoke did not complete" >&2; exit 1; }
+# A second table1 pass against the cache the bench smoke above already
+# filled: the warm-hit path must still emit a schema-valid extra.tuning
+# block (bench_check validates the regret arithmetic field by field).
+PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR="$TUNE_DIR" "$BIN/table1" > "$TUNE_DIR/table1.log"
+"$BIN/bench_check" validate "$TUNE_DIR"/BENCH_table1.json
 
 echo "== overlapped 2-rank smoke =="
 # The table2 smoke above already drove the overlapped distributed schedule

@@ -11,11 +11,17 @@
 # instead of re-running the benches (scripts/ci.sh does this to avoid a
 # duplicate smoke pass).
 #
-# Artifacts are validated against schema `pf-bench/4`, whose per-record
+# Artifacts are validated against schema `pf-bench/5`, whose per-record
 # execution modes include the compiled `native` engine. Native records in
 # the committed baselines are only compared when the fresh run produced
 # them too (hosts whose toolchain cannot load cdylibs skip the native
 # engine and the gate reports those kernels as one-sided notes).
+#
+# The diff also gates autotuning quality: every `extra.tuning.kernels[]`
+# entry of a fresh tuned artifact (table1) must keep its chosen-vs-best
+# regret at or below PF_TUNE_GATE_TOL (default 0.10 = 10%). A tuner that
+# picks a configuration leaving more than that on the table fails the
+# gate even when raw throughput still clears its baseline floor.
 #
 # To refresh the baselines after an intentional perf change:
 #   PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR=baselines cargo run --release -p pf-bench --bin <each>
@@ -44,6 +50,9 @@ else
   rm -rf "$FRESH"
   mkdir -p "$FRESH"
   cargo build -q --release -p pf-bench
+  # Hermetic tuning cache: the tuned artifacts must re-tune from cold here,
+  # not inherit whatever the host's temp dir holds.
+  export PF_TUNE_CACHE_DIR="$FRESH/tune-cache"
   for b in table1 table2 fig2_left fig2_middle fig2_right fig3 gpu_approx ablation; do
     echo "perf_gate: running $b (smoke)"
     PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR="$FRESH" "target/release/$b" > "$FRESH/$b.log"
