@@ -130,18 +130,96 @@ pub enum DiagKind {
     /// Instruction levels are non-monotone (a GPU-oriented reschedule moved
     /// a hoisted instruction after a per-cell one). CPU executors can only
     /// hoist monotone prefix sections, so LICM is silently lost: every
-    /// loop-invariant instruction re-executes per cell.
-    NonMonotoneLevels { prev: u8, next: u8 },
+    /// loop-invariant instruction re-executes per cell. `descents` lists
+    /// the instruction indices of every descent point (the finding is
+    /// located at the first) so the regression is actionable from the
+    /// rendered diagnostic alone.
+    NonMonotoneLevels {
+        prev: u8,
+        next: u8,
+        descents: Vec<usize>,
+    },
 
     // --- Value lints ----------------------------------------------------
     /// Division whose denominator constant-folds to exactly zero.
     DivByZeroConst,
+    /// `0/0`: numerator *and* denominator constant-fold to zero — a NaN
+    /// fold, distinct from plain division by zero (±Inf).
+    ZeroOverZeroConst,
+    /// `sqrt`/`rsqrt` of an operand that constant-folds strictly negative.
+    SqrtNegativeConst { value: f64 },
+    /// `ln` of an operand that constant-folds strictly negative (`ln(0)` is
+    /// −Inf, not NaN, and stays a plain fold).
+    LnNegativeConst { value: f64 },
     /// An operation over known-constant operands folds to NaN.
     NanConst { value_desc: String },
     /// A `Rand` op in a kernel declared to run without a seeded Philox
     /// stream — results would be non-deterministic (or silently zero in
     /// the expression interpreter).
     UnseededRand { lane: u8 },
+
+    // --- Interval dataflow ----------------------------------------------
+    /// Division whose denominator's proven interval is exactly {0}.
+    IntervalDivByZero,
+    /// Division whose denominator's interval contains 0 (possible ±Inf/NaN
+    /// on reachable inputs). A warning: intervals over-approximate, so
+    /// containment is possibility, not proof.
+    IntervalDivMaybeZero { lo: f64, hi: f64 },
+    /// `sqrt`/`rsqrt` argument proven strictly negative on its whole range.
+    IntervalSqrtNegative { hi: f64 },
+    /// `sqrt`/`rsqrt` argument may be negative (interval dips below zero).
+    IntervalSqrtMaybeNegative { lo: f64 },
+    /// `rsqrt` argument interval contains 0 — 1/sqrt(0) = +Inf is reachable.
+    IntervalRsqrtMaybeZero { lo: f64, hi: f64 },
+    /// `ln` argument proven ≤ 0 on its whole range (NaN or −Inf everywhere).
+    IntervalLnNonPositive { hi: f64 },
+    /// `ln` argument may be ≤ 0.
+    IntervalLnMaybeNonPositive { lo: f64 },
+    /// `powf` with a possibly-negative base and a non-integer (or unknown)
+    /// exponent — NaN on part of the reachable range.
+    IntervalPowMaybeUndefined { base_lo: f64 },
+    /// Every value in the result's proven interval overflows to ±Inf even
+    /// though all inputs are finite and bounded.
+    IntervalOverflowInf { op: String },
+    /// The result's interval reaches ±Inf from finite, bounded inputs —
+    /// overflow is reachable (though not proven: intervals ignore operand
+    /// correlations).
+    IntervalMaybeOverflowInf { op: String },
+
+    // --- Comm-protocol verifier -----------------------------------------
+    /// `begin_exchange` of a field whose previous exchange was never
+    /// finished — the handle (and the posted sends) would be abandoned.
+    ProtocolDoubleBegin { field: String },
+    /// `finish_exchange` with no matching in-flight `begin_exchange` (or
+    /// with a mismatched epoch).
+    ProtocolUnmatchedFinish { field: String },
+    /// A `begin_exchange` whose receives are never completed within the
+    /// step: ghosts stay stale and the neighbours' tag-matched receives of
+    /// the *next* epoch deadlock behind the orphaned messages.
+    ProtocolDroppedFinish { field: String },
+    /// Exchange epochs are not strictly increasing in schedule order —
+    /// two in-flight exchanges could tag-match each other's messages.
+    ProtocolEpochRegression { prev: u64, next: u64 },
+    /// A per-step epoch offset ≥ the step's epoch stride: step `s` would
+    /// reuse a tag of step `s+1` and cross-step messages could tag-match.
+    ProtocolEpochStrideOverflow { epoch_off: u64, stride: u64 },
+    /// Two exchanges of one step share a (field tag, epoch) pair, or a
+    /// field tag overflows its bit-field — their wire tags collide.
+    ProtocolTagCollision { field: String, epoch_off: u64 },
+    /// In the SPMD exchange script a blocking receive precedes its
+    /// matching send: with the script identical on every rank, all ranks
+    /// block on the receive and none ever reaches the send — deadlock at
+    /// any rank count ≥ 2 along that dimension.
+    ProtocolDeadlock { field: String, dim: usize },
+    /// A receive whose matching send exists nowhere in the script.
+    ProtocolPhantomRecv { field: String, dim: usize },
+    /// A frontier sweep reads ghost layers of a field that was never
+    /// exchanged (finished) this step — it would compute with stale data.
+    ProtocolStaleGhost { field: String },
+    /// A frontier sweep reads ghost layers of a field whose exchange is
+    /// still in flight — only interior cells may run before
+    /// `finish_exchange`.
+    ProtocolFrontierBeforeFinish { field: String },
 }
 
 impl DiagKind {
@@ -168,21 +246,65 @@ impl DiagKind {
             OverlappingSplitStores { .. } => "hazard.split-overlap",
             NonMonotoneLevels { .. } => "schedule.licm-lost",
             DivByZeroConst => "value.div-by-zero",
+            ZeroOverZeroConst => "value.zero-over-zero",
+            SqrtNegativeConst { .. } => "value.sqrt-negative",
+            LnNegativeConst { .. } => "value.ln-negative",
             NanConst { .. } => "value.nan-const",
             UnseededRand { .. } => "value.unseeded-rand",
+            IntervalDivByZero => "interval.div-by-zero",
+            IntervalDivMaybeZero { .. } => "interval.div-maybe-zero",
+            IntervalSqrtNegative { .. } => "interval.sqrt-negative",
+            IntervalSqrtMaybeNegative { .. } => "interval.sqrt-maybe-negative",
+            IntervalRsqrtMaybeZero { .. } => "interval.rsqrt-maybe-zero",
+            IntervalLnNonPositive { .. } => "interval.ln-nonpositive",
+            IntervalLnMaybeNonPositive { .. } => "interval.ln-maybe-nonpositive",
+            IntervalPowMaybeUndefined { .. } => "interval.pow-maybe-undefined",
+            IntervalOverflowInf { .. } => "interval.overflow-inf",
+            IntervalMaybeOverflowInf { .. } => "interval.maybe-overflow-inf",
+            ProtocolDoubleBegin { .. } => "protocol.double-begin",
+            ProtocolUnmatchedFinish { .. } => "protocol.unmatched-finish",
+            ProtocolDroppedFinish { .. } => "protocol.dropped-finish",
+            ProtocolEpochRegression { .. } => "protocol.epoch-regression",
+            ProtocolEpochStrideOverflow { .. } => "protocol.epoch-stride",
+            ProtocolTagCollision { .. } => "protocol.tag-collision",
+            ProtocolDeadlock { .. } => "protocol.deadlock",
+            ProtocolPhantomRecv { .. } => "protocol.phantom-recv",
+            ProtocolStaleGhost { .. } => "protocol.stale-ghost",
+            ProtocolFrontierBeforeFinish { .. } => "protocol.frontier-before-finish",
         }
     }
 
     pub fn severity(&self) -> Severity {
         use DiagKind::*;
         match self {
-            // Warnings: suspicious but executable / deterministic.
+            // Warnings: suspicious but executable / deterministic — or, for
+            // the interval "maybe" family, *possible* on the proven range
+            // but not provable (intervals ignore operand correlations, so
+            // a hard error here would produce false positives).
             JacobiViolation { .. }
             | DuplicateStore { .. }
             | UnseededRand { .. }
-            | NonMonotoneLevels { .. } => Severity::Warning,
+            | NonMonotoneLevels { .. }
+            | IntervalDivMaybeZero { .. }
+            | IntervalSqrtMaybeNegative { .. }
+            | IntervalRsqrtMaybeZero { .. }
+            | IntervalLnMaybeNonPositive { .. }
+            | IntervalPowMaybeUndefined { .. }
+            | IntervalMaybeOverflowInf { .. } => Severity::Warning,
             _ => Severity::Error,
         }
+    }
+}
+
+/// Compact rendering of an interval endpoint: plain decimal for
+/// human-scale magnitudes, scientific otherwise (outward rounding produces
+/// subnormal endpoints like -3.5e-322 whose plain expansion is hundreds of
+/// zeros long).
+fn fnum(x: f64) -> String {
+    if x == 0.0 || (1e-4..1e7).contains(&x.abs()) || !x.is_finite() {
+        format!("{x}")
+    } else {
+        format!("{x:.3e}")
     }
 }
 
@@ -281,18 +403,136 @@ impl fmt::Display for DiagKind {
                 "store set overlaps kernel '{other_kernel}' on field '{field}' comp {comp} \
                  — split variants must touch disjoint store sets"
             ),
-            NonMonotoneLevels { prev, next } => write!(
+            NonMonotoneLevels {
+                prev,
+                next,
+                descents,
+            } => write!(
                 f,
-                "instruction levels descend ({next} after {prev}) — CPU executors hoist \
-                 only monotone prefix sections, so loop-invariant work runs per cell"
+                "instruction levels descend ({next} after {prev}; descents at instrs \
+                 {descents:?}) — CPU executors hoist only monotone prefix sections, so \
+                 loop-invariant work runs per cell"
             ),
             DivByZeroConst => write!(f, "division by a constant that folds to exactly zero"),
+            ZeroOverZeroConst => write!(
+                f,
+                "0/0: numerator and denominator both fold to zero (NaN, not ±Inf)"
+            ),
+            SqrtNegativeConst { value } => {
+                write!(f, "sqrt of a constant that folds to {value} < 0 (NaN)")
+            }
+            LnNegativeConst { value } => {
+                write!(f, "ln of a constant that folds to {value} < 0 (NaN)")
+            }
             NanConst { value_desc } => {
                 write!(f, "constant folding produces NaN ({value_desc})")
             }
             UnseededRand { lane } => write!(
                 f,
                 "Rand(lane {lane}) in a kernel executed without a seeded Philox stream"
+            ),
+            IntervalDivByZero => {
+                write!(
+                    f,
+                    "division by a value whose proven interval is exactly {{0}}"
+                )
+            }
+            IntervalDivMaybeZero { lo, hi } => write!(
+                f,
+                "division by a value whose interval [{}, {}] contains 0 — \
+                 ±Inf/NaN reachable; tighten a range contract or add an ε floor",
+                fnum(*lo),
+                fnum(*hi)
+            ),
+            IntervalSqrtNegative { hi } => write!(
+                f,
+                "sqrt argument proven negative on its whole range (hi = {} < 0): NaN",
+                fnum(*hi)
+            ),
+            IntervalSqrtMaybeNegative { lo } => write!(
+                f,
+                "sqrt argument may be negative (interval reaches {}) — NaN reachable",
+                fnum(*lo)
+            ),
+            IntervalRsqrtMaybeZero { lo, hi } => write!(
+                f,
+                "rsqrt argument interval [{}, {}] contains 0 — 1/sqrt(0) = +Inf reachable",
+                fnum(*lo),
+                fnum(*hi)
+            ),
+            IntervalLnNonPositive { hi } => write!(
+                f,
+                "ln argument proven ≤ 0 on its whole range (hi = {}): NaN or -Inf",
+                fnum(*hi)
+            ),
+            IntervalLnMaybeNonPositive { lo } => write!(
+                f,
+                "ln argument may be ≤ 0 (interval reaches {}) — NaN/-Inf reachable",
+                fnum(*lo)
+            ),
+            IntervalPowMaybeUndefined { base_lo } => write!(
+                f,
+                "powf base may be negative (interval reaches {}) with a \
+                 non-integer exponent — NaN reachable",
+                fnum(*base_lo)
+            ),
+            IntervalOverflowInf { op } => write!(
+                f,
+                "{op} overflows to ±Inf on every value of its proven input range \
+                 (inputs are finite and bounded)"
+            ),
+            IntervalMaybeOverflowInf { op } => {
+                write!(f, "{op} can overflow to ±Inf from finite, bounded inputs")
+            }
+            ProtocolDoubleBegin { field } => write!(
+                f,
+                "begin_exchange of field '{field}' while its previous exchange is \
+                 still in flight"
+            ),
+            ProtocolUnmatchedFinish { field } => write!(
+                f,
+                "finish_exchange of field '{field}' with no matching in-flight begin"
+            ),
+            ProtocolDroppedFinish { field } => write!(
+                f,
+                "begin_exchange of field '{field}' is never finished within the step \
+                 — ghosts stay stale and the orphaned messages deadlock later epochs"
+            ),
+            ProtocolEpochRegression { prev, next } => write!(
+                f,
+                "exchange epoch {next} scheduled after epoch {prev} — epochs must be \
+                 strictly increasing in schedule order"
+            ),
+            ProtocolEpochStrideOverflow { epoch_off, stride } => write!(
+                f,
+                "per-step epoch offset {epoch_off} >= the step's epoch stride {stride} \
+                 — cross-step tags would collide"
+            ),
+            ProtocolTagCollision { field, epoch_off } => write!(
+                f,
+                "field '{field}' at epoch offset {epoch_off} shares a wire tag with \
+                 another exchange of the same step"
+            ),
+            ProtocolDeadlock { field, dim } => write!(
+                f,
+                "receive of field '{field}' along dim {dim} precedes its matching \
+                 send in the SPMD script — every rank blocks, deadlock at any rank \
+                 count with dim {dim} divided"
+            ),
+            ProtocolPhantomRecv { field, dim } => write!(
+                f,
+                "receive of field '{field}' along dim {dim} has no matching send \
+                 anywhere in the script"
+            ),
+            ProtocolStaleGhost { field } => write!(
+                f,
+                "frontier sweep reads ghost layers of field '{field}' which was never \
+                 exchanged this step (stale data)"
+            ),
+            ProtocolFrontierBeforeFinish { field } => write!(
+                f,
+                "frontier sweep reads ghost layers of field '{field}' before its \
+                 finish_exchange completes the halo receives"
             ),
         }
     }

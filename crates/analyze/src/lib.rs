@@ -20,7 +20,21 @@
 //!    instruction levels (a GPU reschedule) that silently disable LICM
 //!    hoisting on CPU executors.
 //! 5. **Value lints** ([`value::check_values`]) — constant-folded division
-//!    by zero, NaN-producing folds, `Rand` without a seeded Philox stream.
+//!    by zero (0/0 and x/0 distinguished), NaN-producing folds (`sqrt`/`ln`
+//!    of negative constants carry dedicated codes), `Rand` without a seeded
+//!    Philox stream.
+//! 6. **Interval dataflow** ([`interval::check_intervals`]) — forward range
+//!    analysis seeded by the per-field contracts on the tape
+//!    (`Tape::field_ranges`) and the Philox noise bounds; proves absence of
+//!    division by possibly-zero, `ln`/`sqrt`/`powf` of possibly-invalid
+//!    arguments, and overflow-to-Inf on *reachable* ranges, not just folded
+//!    constants. Provable violations are errors, merely-possible ones
+//!    warnings.
+//! 7. **Comm-protocol model** ([`protocol`]) — a symbolic per-dimension
+//!    model of the halo-exchange script (begin/finish/sweep events) checked
+//!    for send/recv pairing, epoch monotonicity, tag uniqueness,
+//!    deadlock-freedom and stale-ghost-freedom for *arbitrary* rank counts.
+//!    pf-core lifts its overlapped distributed schedule into this model.
 //!
 //! Findings are typed, source-located [`Diagnostic`]s (the tape is SSA, so
 //! an instruction index is a source location), never panics — the seeded
@@ -39,6 +53,8 @@
 pub mod diag;
 pub mod footprint;
 pub mod hazard;
+pub mod interval;
+pub mod protocol;
 pub mod schedule;
 pub mod ssa;
 pub mod value;
@@ -48,6 +64,11 @@ pub use footprint::{
     check_frontier, check_halo, frontier_widths, Envelope, FieldAlloc, FieldFootprint, Footprint,
 };
 pub use hazard::{check_hazards, check_split_disjoint};
+pub use interval::{check_intervals, infer_intervals, Interval, IntervalAnalysis};
+pub use protocol::{
+    all_dim_patterns, check_comm_script, check_protocol, expand_script, CommOp, DimClass,
+    ProtoEvent, ProtocolModel,
+};
 pub use schedule::check_levels;
 pub use ssa::check_ssa;
 pub use value::check_values;
@@ -68,6 +89,10 @@ pub struct AnalyzeOptions {
     /// Whether the execution context provides a seeded Philox stream
     /// (disables the `Rand` determinism lint when true).
     pub seeded_rng: bool,
+    /// Run the interval dataflow pass (pass 6). Soundness does not depend
+    /// on field contracts being present — an uncontracted tape simply
+    /// starts loads at ⊤ and only const-driven findings can fire.
+    pub intervals: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -76,6 +101,7 @@ impl Default for AnalyzeOptions {
             allocs: None,
             hazards: true,
             seeded_rng: true,
+            intervals: true,
         }
     }
 }
@@ -122,6 +148,18 @@ pub fn analyze(tape: &Tape, opts: &AnalyzeOptions) -> Analysis {
         }
         diagnostics.extend(schedule::check_levels(tape));
         diagnostics.extend(value::check_values(tape, opts.seeded_rng));
+        if opts.intervals {
+            // The const lattice is a refinement of the interval domain, so
+            // any instruction the value pass already flagged would re-fire
+            // here with a coarser message — keep the sharper finding only.
+            let flagged: std::collections::BTreeSet<Option<usize>> =
+                diagnostics.iter().map(|d| d.instr).collect();
+            diagnostics.extend(
+                interval::check_intervals(tape)
+                    .into_iter()
+                    .filter(|d| !flagged.contains(&d.instr)),
+            );
+        }
     }
     Analysis {
         kernel: tape.name.clone(),
@@ -279,7 +317,14 @@ impl SuiteReport {
 fn pipeline_verifier(tape: &Tape, _stage: VerifyStage) -> Result<(), String> {
     pf_trace::counter("analyze.pipeline_checks").incr(1);
     let mut errors = ssa::check_ssa(tape);
-    errors.extend(value::check_values(tape, true));
+    if !errors.iter().any(|d| d.is_error()) {
+        errors.extend(value::check_values(tape, true));
+        // Interval *errors* are context-free too: they only fire on
+        // provable violations, which over contract-free ⊤ loads means
+        // const-driven ones — the same class the value pass catches, but
+        // through range reasoning (e.g. exp of a provably-huge range).
+        errors.extend(interval::check_intervals(tape));
+    }
     errors.retain(|d| d.is_error());
     if errors.is_empty() {
         Ok(())
@@ -323,6 +368,7 @@ mod testutil {
             levels: vec![3; n],
             loop_order: [2, 1, 0],
             approx: ApproxOptions::default(),
+            field_ranges: Vec::new(),
         }
     }
 

@@ -1,0 +1,663 @@
+//! Pass 7 — static comm-protocol verifier for the overlapped halo
+//! exchange.
+//!
+//! The distributed driver's step schedule is a straight-line script of
+//! exchange and sweep events — `begin_exchange`, compute interior,
+//! `finish_exchange`, compute frontier — identical on every rank (SPMD).
+//! This module lifts that script into a symbolic per-dimension model and
+//! proves, at build time, the properties the runtime previously could only
+//! assert mid-run:
+//!
+//! * **send/recv pairing** — every begin is finished exactly once per step
+//!   (`protocol.double-begin`, `protocol.unmatched-finish`,
+//!   `protocol.dropped-finish`);
+//! * **epoch monotonicity & tag uniqueness** — wire tags encode
+//!   `(epoch, field, dim, side)`; epochs must be strictly increasing in
+//!   schedule order, per-step offsets must fit under the step's epoch
+//!   stride, and no two exchanges of one step may share a
+//!   `(field_tag, epoch)` pair (`protocol.epoch-regression`,
+//!   `protocol.epoch-stride`, `protocol.tag-collision`);
+//! * **deadlock-freedom** — see the theorem below
+//!   (`protocol.deadlock`, `protocol.phantom-recv`);
+//! * **stale-ghost-freedom** — every frontier sweep that reads a field's
+//!   ghost layers is dominated by the `finish_exchange` of that field in
+//!   the same step (`protocol.stale-ghost`,
+//!   `protocol.frontier-before-finish`).
+//!
+//! # Symbolic rank-independence
+//!
+//! The protocol's behaviour along a dimension depends only on whether that
+//! dimension is *divided* across ranks (more than one rank along it) and
+//! whether it is periodic — never on the actual rank count ([`DimClass`]).
+//! Undivided dims exchange by local wrap (no messages); divided dims run
+//! the same send/recv phase whether split 2 or 2000 ways, because each
+//! rank only ever talks to its two axis neighbours. Verifying the script
+//! under all 2³ divided-patterns therefore proves the properties for
+//! **arbitrary** rank counts and decompositions — it is an exhaustive case
+//! split over the protocol's actual degrees of freedom, not an enumeration
+//! of ranks.
+//!
+//! Non-periodic boundary ranks differ from interior ranks only by
+//! *skipping matched send/recv pairs* (no neighbour on that side ⇒ neither
+//! the send to it nor the receive from it exists). Removing matched pairs
+//! cannot introduce a deadlock or an unmatched message, so the interior
+//! rank's script is the worst case and is the one verified.
+//!
+//! # Deadlock-freedom theorem
+//!
+//! *In an SPMD system where every rank executes the same script of
+//! asynchronous (non-blocking) sends and blocking receives, the system is
+//! deadlock-free if every receive's matching send strictly precedes it in
+//! script order.*
+//!
+//! Proof sketch (induction on script index): assume all ranks have
+//! completed events `0..i`. If event `i` is a send, it is non-blocking and
+//! completes. If it is a receive, its matching send has index `< i` on the
+//! neighbouring rank's (identical) script, so by hypothesis that send was
+//! already posted; the message is available and the receive completes.
+//! Hence all ranks complete event `i`, and by induction the whole script. ∎
+//!
+//! The converse direction is what the checker enforces: a receive whose
+//! matching send appears *later* in the script blocks every rank at the
+//! receive simultaneously (same script, same index), and none ever reaches
+//! the send — a guaranteed all-rank deadlock, not merely a possible one.
+
+use crate::diag::{DiagKind, Diagnostic};
+use std::collections::BTreeMap;
+
+/// What the protocol can observe about one grid dimension. The rank count
+/// along the dimension never appears: 2 ranks and 2000 ranks run the same
+/// per-rank script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DimClass {
+    /// More than one rank along this dimension (messages flow); undivided
+    /// dims exchange by local wrap-around copies.
+    pub divided: bool,
+    /// Periodic boundary. Affects only whether boundary ranks skip matched
+    /// send/recv pairs — never the worst-case (interior-rank) script.
+    pub periodic: bool,
+}
+
+/// One event of the per-step schedule script, in schedule order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtoEvent {
+    /// `begin_exchange(field)`: complete undivided dims locally, post the
+    /// async sends of the first divided dim. `epoch` is the tag epoch
+    /// *relative to the step base* (the runtime adds `step · stride`).
+    Begin {
+        field: String,
+        field_tag: u16,
+        epoch: u64,
+    },
+    /// `finish_exchange(field)`: block on the deferred dim's receives,
+    /// then run the remaining dims' phases in order.
+    Finish { field: String },
+    /// An interior sweep: reads no ghost cells by construction (the
+    /// spatial half of that claim is `check_frontier`'s proof; this model
+    /// tracks the temporal half).
+    Interior { writes: Vec<String> },
+    /// A frontier sweep: reads the ghost layers of `ghost_reads`, which
+    /// must all be fresh (exchanged and finished this step).
+    Frontier {
+        ghost_reads: Vec<String>,
+        writes: Vec<String>,
+    },
+    /// A whole-field write outside a sweep (e.g. the simplex projection):
+    /// re-stales every rank's ghost copies of the field.
+    Write { field: String },
+}
+
+/// The symbolic protocol model of one step of a distributed schedule.
+#[derive(Clone, Debug)]
+pub struct ProtocolModel {
+    /// Schedule name, used as the "kernel" of emitted diagnostics.
+    pub name: String,
+    pub dims: [DimClass; 3],
+    /// Epochs consumed per step (`step`'s base epoch is `step · stride`).
+    /// Per-step epoch offsets must stay strictly below it; 0 disables the
+    /// stride check.
+    pub epoch_stride: u64,
+    pub events: Vec<ProtoEvent>,
+}
+
+/// The message-level expansion of a model: what actually hits the wire,
+/// in script order. `epoch` disambiguates multiple exchanges of one field
+/// within a step. One op covers both sides of the dimension — an
+/// interior rank always posts/awaits the low and high side together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommOp {
+    /// Async (non-blocking) sends to both axis neighbours.
+    Send {
+        field: String,
+        dim: usize,
+        epoch: u64,
+    },
+    /// Blocking receives from both axis neighbours.
+    Recv {
+        field: String,
+        dim: usize,
+        epoch: u64,
+    },
+}
+
+/// First divided dimension, or `None` when the whole decomposition is
+/// single-rank along every axis (all exchanges are local wraps).
+fn first_divided(dims: &[DimClass; 3]) -> Option<usize> {
+    dims.iter().position(|d| d.divided)
+}
+
+/// Expand the model's begin/finish events into the wire-level script an
+/// interior rank executes, mirroring the grid's exchange structure:
+/// `begin` posts the first divided dim's sends; `finish` receives that
+/// deferred dim, then runs `send; recv` for each remaining divided dim in
+/// ascending order (dimension-ordered exchange — later dims see earlier
+/// dims' fresh corners). Undivided dims contribute no messages.
+pub fn expand_script(model: &ProtocolModel) -> Vec<CommOp> {
+    let Some(d0) = first_divided(&model.dims) else {
+        return Vec::new();
+    };
+    let mut script = Vec::new();
+    // Epoch of the in-flight exchange per field (pairing errors are the
+    // event-level checks' findings; expansion just skips unmatched ops).
+    let mut inflight: BTreeMap<&str, u64> = BTreeMap::new();
+    for ev in &model.events {
+        match ev {
+            ProtoEvent::Begin { field, epoch, .. } if inflight.insert(field, *epoch).is_none() => {
+                script.push(CommOp::Send {
+                    field: field.clone(),
+                    dim: d0,
+                    epoch: *epoch,
+                });
+            }
+            ProtoEvent::Finish { field } => {
+                let Some(epoch) = inflight.remove(field.as_str()) else {
+                    continue;
+                };
+                script.push(CommOp::Recv {
+                    field: field.clone(),
+                    dim: d0,
+                    epoch,
+                });
+                for (d, class) in model.dims.iter().enumerate().skip(d0 + 1) {
+                    if !class.divided {
+                        continue;
+                    }
+                    script.push(CommOp::Send {
+                        field: field.clone(),
+                        dim: d,
+                        epoch,
+                    });
+                    script.push(CommOp::Recv {
+                        field: field.clone(),
+                        dim: d,
+                        epoch,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    script
+}
+
+/// Apply the deadlock-freedom theorem to a wire-level script: every
+/// blocking `Recv` must be strictly preceded by its matching `Send`.
+/// A matching send later in the script is a proven all-rank deadlock; no
+/// matching send at all is a phantom receive (hangs until timeout).
+pub fn check_comm_script(name: &str, script: &[CommOp]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, op) in script.iter().enumerate() {
+        let CommOp::Recv { field, dim, epoch } = op else {
+            continue;
+        };
+        let matches = |s: &CommOp| {
+            matches!(s, CommOp::Send { field: f, dim: d, epoch: e }
+                if f == field && d == dim && e == epoch)
+        };
+        if script[..i].iter().any(matches) {
+            continue;
+        }
+        let kind = if script[i..].iter().any(matches) {
+            DiagKind::ProtocolDeadlock {
+                field: field.clone(),
+                dim: *dim,
+            }
+        } else {
+            DiagKind::ProtocolPhantomRecv {
+                field: field.clone(),
+                dim: *dim,
+            }
+        };
+        out.push(Diagnostic::new(name, Some(i), kind));
+    }
+    out
+}
+
+/// Ghost freshness of one field over the step.
+#[derive(Clone, Copy, PartialEq)]
+enum Ghost {
+    /// Not exchanged this step (or re-staled by a write since).
+    Stale,
+    /// `begin_exchange` posted, `finish_exchange` not yet reached.
+    InFlight,
+    /// Receives completed; ghost layers mirror the neighbours' interiors.
+    Fresh,
+}
+
+/// Run the full protocol suite over one model: event-level pairing, epoch
+/// and tag discipline, the stale-ghost state machine, and the wire-level
+/// deadlock check on the expanded script. Event-level findings carry the
+/// *event* index as their location; wire-level findings the script index.
+pub fn check_protocol(model: &ProtocolModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let name = model.name.as_str();
+
+    // --- Event walk: pairing, epochs, tags, ghost freshness -------------
+    // (field → (begin event index, epoch)) for in-flight exchanges.
+    let mut inflight: BTreeMap<&str, (usize, u64)> = BTreeMap::new();
+    let mut ghosts: BTreeMap<&str, Ghost> = BTreeMap::new();
+    let mut prev_epoch: Option<u64> = None;
+    let mut tags_seen: std::collections::BTreeSet<(u16, u64)> = Default::default();
+
+    for (i, ev) in model.events.iter().enumerate() {
+        match ev {
+            ProtoEvent::Begin {
+                field,
+                field_tag,
+                epoch,
+            } => {
+                if inflight.contains_key(field.as_str()) {
+                    out.push(Diagnostic::new(
+                        name,
+                        Some(i),
+                        DiagKind::ProtocolDoubleBegin {
+                            field: field.clone(),
+                        },
+                    ));
+                } else {
+                    inflight.insert(field, (i, *epoch));
+                    ghosts.insert(field, Ghost::InFlight);
+                }
+                if let Some(prev) = prev_epoch {
+                    if *epoch <= prev {
+                        out.push(Diagnostic::new(
+                            name,
+                            Some(i),
+                            DiagKind::ProtocolEpochRegression { prev, next: *epoch },
+                        ));
+                    }
+                }
+                prev_epoch = Some(*epoch);
+                if model.epoch_stride > 0 && *epoch >= model.epoch_stride {
+                    out.push(Diagnostic::new(
+                        name,
+                        Some(i),
+                        DiagKind::ProtocolEpochStrideOverflow {
+                            epoch_off: *epoch,
+                            stride: model.epoch_stride,
+                        },
+                    ));
+                }
+                if !tags_seen.insert((*field_tag, *epoch)) {
+                    out.push(Diagnostic::new(
+                        name,
+                        Some(i),
+                        DiagKind::ProtocolTagCollision {
+                            field: field.clone(),
+                            epoch_off: *epoch,
+                        },
+                    ));
+                }
+            }
+            ProtoEvent::Finish { field } => {
+                if inflight.remove(field.as_str()).is_none() {
+                    out.push(Diagnostic::new(
+                        name,
+                        Some(i),
+                        DiagKind::ProtocolUnmatchedFinish {
+                            field: field.clone(),
+                        },
+                    ));
+                } else {
+                    ghosts.insert(field, Ghost::Fresh);
+                }
+            }
+            ProtoEvent::Interior { writes } => {
+                for w in writes {
+                    ghosts.insert(w, Ghost::Stale);
+                }
+            }
+            ProtoEvent::Frontier {
+                ghost_reads,
+                writes,
+            } => {
+                for r in ghost_reads {
+                    match ghosts.get(r.as_str()).copied().unwrap_or(Ghost::Stale) {
+                        Ghost::Fresh => {}
+                        Ghost::InFlight => out.push(Diagnostic::new(
+                            name,
+                            Some(i),
+                            DiagKind::ProtocolFrontierBeforeFinish { field: r.clone() },
+                        )),
+                        Ghost::Stale => out.push(Diagnostic::new(
+                            name,
+                            Some(i),
+                            DiagKind::ProtocolStaleGhost { field: r.clone() },
+                        )),
+                    }
+                }
+                for w in writes {
+                    ghosts.insert(w, Ghost::Stale);
+                }
+            }
+            ProtoEvent::Write { field } => {
+                ghosts.insert(field, Ghost::Stale);
+            }
+        }
+    }
+    for (field, (begin_idx, _)) in inflight {
+        out.push(Diagnostic::new(
+            name,
+            Some(begin_idx),
+            DiagKind::ProtocolDroppedFinish {
+                field: field.to_owned(),
+            },
+        ));
+    }
+
+    // --- Wire level: deadlock-freedom of the expanded script ------------
+    out.extend(check_comm_script(name, &expand_script(model)));
+    out
+}
+
+/// All 2³ divided-patterns. Checking a schedule under each proves its
+/// protocol properties for any rank count (see the module docs); the
+/// periodic flags are fixed `true` — the worst case, since non-periodic
+/// only removes matched pairs.
+pub fn all_dim_patterns() -> Vec<[DimClass; 3]> {
+    (0u8..8)
+        .map(|bits| {
+            [0, 1, 2].map(|d| DimClass {
+                divided: bits & (1 << d) != 0,
+                periodic: true,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn div(divided: [bool; 3]) -> [DimClass; 3] {
+        divided.map(|divided| DimClass {
+            divided,
+            periodic: true,
+        })
+    }
+
+    fn begin(field: &str, tag: u16, epoch: u64) -> ProtoEvent {
+        ProtoEvent::Begin {
+            field: field.into(),
+            field_tag: tag,
+            epoch,
+        }
+    }
+
+    fn finish(field: &str) -> ProtoEvent {
+        ProtoEvent::Finish {
+            field: field.into(),
+        }
+    }
+
+    fn frontier(reads: &[&str], writes: &[&str]) -> ProtoEvent {
+        ProtoEvent::Frontier {
+            ghost_reads: reads.iter().map(|s| s.to_string()).collect(),
+            writes: writes.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn model(dims: [DimClass; 3], events: Vec<ProtoEvent>) -> ProtocolModel {
+        ProtocolModel {
+            name: "test_step".into(),
+            dims,
+            epoch_stride: 4,
+            events,
+        }
+    }
+
+    /// The shape of the real overlapped step: two exchanges overlapping
+    /// the interior sweep, frontier after both finishes.
+    fn sound_events() -> Vec<ProtoEvent> {
+        vec![
+            begin("phi", 0, 0),
+            begin("mu", 1, 1),
+            ProtoEvent::Interior {
+                writes: vec!["out".into()],
+            },
+            finish("phi"),
+            finish("mu"),
+            frontier(&["phi", "mu"], &["out"]),
+        ]
+    }
+
+    #[test]
+    fn sound_schedule_is_clean_under_every_divided_pattern() {
+        for dims in all_dim_patterns() {
+            let d = check_protocol(&model(dims, sound_events()));
+            assert!(d.is_empty(), "{dims:?}: {}", crate::render(&d));
+        }
+    }
+
+    #[test]
+    fn expansion_is_dimension_ordered_and_recv_follows_send() {
+        let m = model(div([true, false, true]), sound_events());
+        let script = expand_script(&m);
+        // phi: send d0 (at begin) … recv d0, send d2, recv d2 (at finish).
+        let phi: Vec<&CommOp> = script
+            .iter()
+            .filter(|op| match op {
+                CommOp::Send { field, .. } | CommOp::Recv { field, .. } => field == "phi",
+            })
+            .collect();
+        assert_eq!(phi.len(), 4, "{script:?}");
+        assert!(matches!(phi[0], CommOp::Send { dim: 0, .. }));
+        assert!(matches!(phi[1], CommOp::Recv { dim: 0, .. }));
+        assert!(matches!(phi[2], CommOp::Send { dim: 2, .. }));
+        assert!(matches!(phi[3], CommOp::Recv { dim: 2, .. }));
+        // Undivided everywhere: no wire traffic at all.
+        assert!(expand_script(&model(div([false; 3]), sound_events())).is_empty());
+    }
+
+    #[test]
+    fn recv_before_matching_send_is_a_deadlock() {
+        // The theorem's converse, on a raw wire script (the well-formed
+        // expansion can never produce this — a mutated exchange could).
+        let script = vec![
+            CommOp::Recv {
+                field: "phi".into(),
+                dim: 0,
+                epoch: 0,
+            },
+            CommOp::Send {
+                field: "phi".into(),
+                dim: 0,
+                epoch: 0,
+            },
+        ];
+        let d = check_comm_script("swapped", &script);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(matches!(
+            d[0].kind,
+            DiagKind::ProtocolDeadlock { dim: 0, .. }
+        ));
+        assert!(d[0].is_error());
+    }
+
+    #[test]
+    fn recv_with_no_send_anywhere_is_phantom() {
+        let script = vec![CommOp::Recv {
+            field: "mu".into(),
+            dim: 1,
+            epoch: 2,
+        }];
+        let d = check_comm_script("orphan", &script);
+        assert!(matches!(
+            d[0].kind,
+            DiagKind::ProtocolPhantomRecv { dim: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn double_begin_and_unmatched_finish_are_flagged() {
+        let d = check_protocol(&model(
+            div([true, true, true]),
+            vec![begin("phi", 0, 0), begin("phi", 0, 1), finish("phi")],
+        ));
+        assert!(
+            d.iter()
+                .any(|d| matches!(d.kind, DiagKind::ProtocolDoubleBegin { .. })),
+            "{}",
+            crate::render(&d)
+        );
+
+        let d = check_protocol(&model(div([true; 3]), vec![finish("mu")]));
+        assert!(matches!(
+            d[0].kind,
+            DiagKind::ProtocolUnmatchedFinish { .. }
+        ));
+    }
+
+    #[test]
+    fn dropped_finish_is_located_at_the_begin() {
+        let d = check_protocol(&model(
+            div([true; 3]),
+            vec![begin("phi", 0, 0), frontier(&[], &[])],
+        ));
+        assert_eq!(d.len(), 1, "{}", crate::render(&d));
+        assert!(matches!(d[0].kind, DiagKind::ProtocolDroppedFinish { .. }));
+        assert_eq!(d[0].instr, Some(0));
+    }
+
+    #[test]
+    fn epoch_discipline_is_enforced() {
+        // Regression: epoch 1 then epoch 0.
+        let d = check_protocol(&model(
+            div([true; 3]),
+            vec![
+                begin("phi", 0, 1),
+                begin("mu", 1, 0),
+                finish("phi"),
+                finish("mu"),
+            ],
+        ));
+        assert!(
+            d.iter().any(|d| matches!(
+                d.kind,
+                DiagKind::ProtocolEpochRegression { prev: 1, next: 0 }
+            )),
+            "{}",
+            crate::render(&d)
+        );
+
+        // Stride overflow: offset 4 with stride 4 collides with step+1.
+        let d = check_protocol(&model(
+            div([true; 3]),
+            vec![begin("phi", 0, 4), finish("phi")],
+        ));
+        assert!(d.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::ProtocolEpochStrideOverflow {
+                epoch_off: 4,
+                stride: 4
+            }
+        )));
+    }
+
+    #[test]
+    fn shared_field_tag_and_epoch_collide() {
+        let d = check_protocol(&model(
+            div([true; 3]),
+            vec![
+                begin("phi", 3, 2),
+                finish("phi"),
+                begin("mu", 3, 2),
+                finish("mu"),
+            ],
+        ));
+        assert!(
+            d.iter()
+                .any(|d| matches!(d.kind, DiagKind::ProtocolTagCollision { epoch_off: 2, .. })),
+            "{}",
+            crate::render(&d)
+        );
+    }
+
+    #[test]
+    fn frontier_before_finish_and_stale_ghost_are_distinguished() {
+        // Reading mid-flight: begun but not finished.
+        let d = check_protocol(&model(
+            div([true; 3]),
+            vec![begin("phi", 0, 0), frontier(&["phi"], &[]), finish("phi")],
+        ));
+        assert!(
+            d.iter()
+                .any(|d| matches!(d.kind, DiagKind::ProtocolFrontierBeforeFinish { .. })),
+            "{}",
+            crate::render(&d)
+        );
+
+        // Never exchanged at all.
+        let d = check_protocol(&model(div([true; 3]), vec![frontier(&["mu"], &[])]));
+        assert!(matches!(d[0].kind, DiagKind::ProtocolStaleGhost { .. }));
+        assert!(d[0].is_error());
+    }
+
+    #[test]
+    fn writes_re_stale_ghosts() {
+        // Exchange phi, then overwrite it (projection), then read its
+        // ghosts: stale again — the second exchange is required.
+        let d = check_protocol(&model(
+            div([true; 3]),
+            vec![
+                begin("phi", 0, 0),
+                finish("phi"),
+                ProtoEvent::Write {
+                    field: "phi".into(),
+                },
+                frontier(&["phi"], &[]),
+            ],
+        ));
+        assert!(
+            d.iter()
+                .any(|d| matches!(d.kind, DiagKind::ProtocolStaleGhost { .. })),
+            "{}",
+            crate::render(&d)
+        );
+
+        // …and the re-exchange clears it.
+        let d = check_protocol(&model(
+            div([true; 3]),
+            vec![
+                begin("phi", 0, 0),
+                finish("phi"),
+                ProtoEvent::Write {
+                    field: "phi".into(),
+                },
+                begin("phi", 0, 1),
+                finish("phi"),
+                frontier(&["phi"], &[]),
+            ],
+        ));
+        assert!(d.is_empty(), "{}", crate::render(&d));
+    }
+
+    #[test]
+    fn all_dim_patterns_covers_the_cube() {
+        let pats = all_dim_patterns();
+        assert_eq!(pats.len(), 8);
+        let distinct: std::collections::BTreeSet<[bool; 3]> =
+            pats.iter().map(|p| p.map(|d| d.divided)).collect();
+        assert_eq!(distinct.len(), 8);
+    }
+}

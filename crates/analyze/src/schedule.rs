@@ -14,21 +14,34 @@ use pf_ir::Tape;
 
 /// Warn when instruction levels are non-monotone (LICM hoisting lost on
 /// CPU executors). At most one finding per tape, located at the first
-/// descent.
+/// descent and carrying *every* offending instruction index so a report
+/// reader can size the regression without re-deriving the schedule.
 pub fn check_levels(tape: &Tape) -> Vec<Diagnostic> {
+    let mut descents = Vec::new();
+    let mut first: Option<(u8, u8)> = None;
     for (i, w) in tape.levels.windows(2).enumerate() {
         if w[1] < w[0] {
-            return vec![Diagnostic::new(
-                &tape.name,
-                Some(i + 1),
-                DiagKind::NonMonotoneLevels {
-                    prev: w[0],
-                    next: w[1],
-                },
-            )];
+            descents.push(i + 1);
+            if first.is_none() {
+                first = Some((w[0], w[1]));
+            }
         }
     }
-    Vec::new()
+    match first {
+        Some((prev, next)) => {
+            let at = descents[0];
+            vec![Diagnostic::new(
+                &tape.name,
+                Some(at),
+                DiagKind::NonMonotoneLevels {
+                    prev,
+                    next,
+                    descents,
+                },
+            )]
+        }
+        None => Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -59,5 +72,34 @@ mod tests {
         assert_eq!(d.kind.code(), "schedule.licm-lost");
         assert_eq!(d.instr, Some(1));
         assert!(!d.is_error(), "executable, just slow — a warning");
+        match &d.kind {
+            DiagKind::NonMonotoneLevels { descents, .. } => assert_eq!(descents, &vec![1]),
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn all_descent_indices_are_collected() {
+        let mut t = raw_tape(vec![
+            load(0, 0, [0; 3]),
+            pf_ir::TapeOp::Const(pf_ir::CF(2.0)),
+            load(0, 1, [0; 3]),
+            pf_ir::TapeOp::Const(pf_ir::CF(3.0)),
+            store(1, 0, [0; 3], 0),
+        ]);
+        t.levels = vec![3, 0, 3, 1, 3];
+        let diags = check_levels(&t);
+        assert_eq!(diags.len(), 1, "still one finding per tape");
+        match &diags[0].kind {
+            DiagKind::NonMonotoneLevels {
+                prev,
+                next,
+                descents,
+            } => {
+                assert_eq!((*prev, *next), (3, 0), "located at the first descent");
+                assert_eq!(descents, &vec![1, 3]);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
     }
 }

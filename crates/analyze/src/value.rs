@@ -73,23 +73,49 @@ pub fn check_values(tape: &Tape, seeded_rng: bool) -> Vec<Diagnostic> {
             TapeOp::Mul(a, b) => bin(a, b, |x, y| x * y),
             TapeOp::Div(a, b) => {
                 if arg(b).get() == Some(0.0) {
-                    out.push(Diagnostic::new(
-                        &tape.name,
-                        Some(i),
-                        DiagKind::DivByZeroConst,
-                    ));
+                    // 0/0 folds to NaN, x/0 to ±Inf — distinct findings so
+                    // the fix hint differs (indeterminate form vs pole).
+                    let kind = if arg(a).get() == Some(0.0) {
+                        DiagKind::ZeroOverZeroConst
+                    } else {
+                        DiagKind::DivByZeroConst
+                    };
+                    out.push(Diagnostic::new(&tape.name, Some(i), kind));
                     Val::Unknown // reported at the origin; do not cascade
                 } else {
                     bin(a, b, |x, y| x / y)
                 }
             }
             TapeOp::Neg(a) => un(a, |x| -x),
+            TapeOp::Sqrt(a) | TapeOp::RSqrt(a) if arg(a).get().is_some_and(|x| x < 0.0) => {
+                out.push(Diagnostic::new(
+                    &tape.name,
+                    Some(i),
+                    DiagKind::SqrtNegativeConst {
+                        value: arg(a).get().unwrap(),
+                    },
+                ));
+                Val::Unknown
+            }
             TapeOp::Sqrt(a) => un(a, f64::sqrt),
             TapeOp::RSqrt(a) => un(a, |x| 1.0 / x.sqrt()),
             TapeOp::Abs(a) => un(a, f64::abs),
             TapeOp::Min(a, b) => bin(a, b, f64::min),
             TapeOp::Max(a, b) => bin(a, b, f64::max),
             TapeOp::Exp(a) => un(a, f64::exp),
+            // ln of a *negative* constant is NaN — flagged with its own
+            // code. ln(0) = -Inf stays clean here (a pole, not an
+            // indeterminate form; the interval pass judges reachability).
+            TapeOp::Ln(a) if arg(a).get().is_some_and(|x| x < 0.0) => {
+                out.push(Diagnostic::new(
+                    &tape.name,
+                    Some(i),
+                    DiagKind::LnNegativeConst {
+                        value: arg(a).get().unwrap(),
+                    },
+                ));
+                Val::Unknown
+            }
             TapeOp::Ln(a) => un(a, f64::ln),
             TapeOp::Sin(a) => un(a, f64::sin),
             TapeOp::Cos(a) => un(a, f64::cos),
@@ -173,7 +199,8 @@ mod tests {
 
     #[test]
     fn nan_producing_fold_reports_origin_only_once() {
-        // sqrt(-1) is NaN; NaN + x must not re-fire downstream.
+        // sqrt(-1) is NaN — flagged with its dedicated code at the origin;
+        // NaN + x must not re-fire downstream.
         let t = raw_tape(vec![
             TapeOp::Const(CF(-1.0)),
             TapeOp::Sqrt(VReg(0)),
@@ -183,8 +210,70 @@ mod tests {
         ]);
         let d = check_values(&t, true);
         assert_eq!(d.len(), 1, "{d:?}");
-        assert!(matches!(d[0].kind, DiagKind::NanConst { .. }));
+        assert!(matches!(
+            d[0].kind,
+            DiagKind::SqrtNegativeConst { value } if value == -1.0
+        ));
         assert_eq!(d[0].instr, Some(1));
+        assert!(d[0].is_error());
+    }
+
+    #[test]
+    fn zero_over_zero_fold_has_its_own_code() {
+        // (3-3) / (2-2): indeterminate form, distinct from the x/0 pole.
+        let t = raw_tape(vec![
+            TapeOp::Const(CF(3.0)),
+            TapeOp::Sub(VReg(0), VReg(0)),
+            TapeOp::Const(CF(2.0)),
+            TapeOp::Sub(VReg(2), VReg(2)),
+            TapeOp::Div(VReg(1), VReg(3)),
+            store(1, 0, [0; 3], 4),
+        ]);
+        let d = check_values(&t, true);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(matches!(d[0].kind, DiagKind::ZeroOverZeroConst));
+        assert_eq!(d[0].kind.code(), "value.zero-over-zero");
+        assert_eq!(d[0].instr, Some(4));
+        assert!(d[0].is_error());
+    }
+
+    #[test]
+    fn rsqrt_of_negative_constant_is_flagged() {
+        let t = raw_tape(vec![
+            TapeOp::Const(CF(-4.0)),
+            TapeOp::RSqrt(VReg(0)),
+            store(0, 0, [0; 3], 1),
+        ]);
+        let d = check_values(&t, true);
+        assert!(
+            matches!(d[0].kind, DiagKind::SqrtNegativeConst { value } if value == -4.0),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn ln_of_negative_constant_is_an_error_but_ln_zero_is_not() {
+        let t = raw_tape(vec![
+            TapeOp::Const(CF(-0.5)),
+            TapeOp::Ln(VReg(0)),
+            store(0, 0, [0; 3], 1),
+        ]);
+        let d = check_values(&t, true);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(matches!(
+            d[0].kind,
+            DiagKind::LnNegativeConst { value } if value == -0.5
+        ));
+        assert_eq!(d[0].kind.code(), "value.ln-negative");
+        assert!(d[0].is_error());
+
+        // ln(0) = -Inf: a pole, not NaN — the const pass stays silent.
+        let t = raw_tape(vec![
+            TapeOp::Const(CF(0.0)),
+            TapeOp::Ln(VReg(0)),
+            store(0, 0, [0; 3], 1),
+        ]);
+        assert!(check_values(&t, true).is_empty());
     }
 
     #[test]

@@ -78,13 +78,14 @@ pub fn generate_kernels_from(p: &ModelParams, m: &ModelExprs, opts: &GenOptions)
     // pf-analyze SSA/value verifier (subject to PF_VERIFY).
     pf_analyze::install_pipeline_verifier();
     let disc = Discretization::new(p.dim, [p.dx; 3]);
-    let ks = KernelSet {
+    let mut ks = KernelSet {
         fields: m.fields,
         phi_full: full_kernel("phi_full", &disc, &m.phi_updates, opts),
         mu_full: full_kernel("mu_full", &disc, &m.mu_updates, opts),
         phi_split: split_kernel("phi", &disc, &m.phi_updates, opts),
         mu_split: split_kernel("mu", &disc, &m.mu_updates, opts),
     };
+    stamp_range_contracts(&mut ks);
     if pf_ir::verify_enabled() {
         let suite = verify_kernel_set(p, &ks);
         if let Some(errs) = suite.errors_rendered() {
@@ -96,6 +97,53 @@ pub fn generate_kernels_from(p: &ModelParams, m: &ModelExprs, opts: &GenOptions)
         suite.record_trace();
     }
     ks
+}
+
+/// The value-range contract a kernel may assume when *loading* `f`, used
+/// to seed pf-analyze's interval dataflow (pass 6).
+///
+/// * φ fields are simplex coordinates: each component lies in [0, 1].
+///   Valid for loads of both generations — µ kernels read `phi_dst` only
+///   after the simplex projection re-normalizes it, and φ kernels only
+///   *store* `phi_dst` (stores carry no contract: the pre-projection raw
+///   update may briefly leave the simplex).
+/// * µ fields are chemical potentials; physically bounded but with no
+///   hard invariant, so the contract is a deliberately loose ±10³ — wide
+///   enough that no correct model violates it, finite enough that the
+///   interval pass can prove `exp`/product terms stay finite.
+/// * Staggered flux temporaries carry no contract.
+pub fn field_contract(fields: &ModelFields, f: &Field) -> Option<(f64, f64)> {
+    if *f == fields.phi_src || *f == fields.phi_dst {
+        Some((0.0, 1.0))
+    } else if *f == fields.mu_src || *f == fields.mu_dst {
+        Some((-1e3, 1e3))
+    } else {
+        None
+    }
+}
+
+fn all_tapes_mut(ks: &mut KernelSet) -> Vec<&mut Tape> {
+    let mut tapes: Vec<&mut Tape> = vec![&mut ks.phi_full, &mut ks.mu_full];
+    for split in [&mut ks.phi_split, &mut ks.mu_split] {
+        tapes.extend(split.flux_tapes.iter_mut());
+        tapes.push(&mut split.update);
+    }
+    tapes
+}
+
+/// Stamp [`field_contract`] ranges onto every tape's `field_ranges`
+/// metadata (parallel to its field table). Analysis-only: the ranges are
+/// excluded from `Tape::structural_hash`, so stamping cannot invalidate
+/// native-code or plan caches.
+fn stamp_range_contracts(ks: &mut KernelSet) {
+    let fields = ks.fields;
+    for tape in all_tapes_mut(ks) {
+        tape.field_ranges = tape
+            .fields
+            .iter()
+            .map(|f| field_contract(&fields, f))
+            .collect();
+    }
 }
 
 /// Allocation table for `tape`, mirroring what `Simulation::new` (and the
@@ -149,8 +197,9 @@ fn all_tapes(ks: &KernelSet) -> Vec<&Tape> {
 }
 
 /// Run the full pf-analyze suite (SSA, halo fit against the real
-/// allocation shapes, intra-sweep hazards, value lints, split-group store
-/// disjointness) over every kernel of `ks`.
+/// allocation shapes, intra-sweep hazards, value lints, contract-seeded
+/// interval dataflow, split-group store disjointness) over every kernel
+/// of `ks`.
 pub fn verify_kernel_set(p: &ModelParams, ks: &KernelSet) -> SuiteReport {
     let mut suite = SuiteReport::default();
     for tape in all_tapes(ks) {
@@ -158,6 +207,7 @@ pub fn verify_kernel_set(p: &ModelParams, ks: &KernelSet) -> SuiteReport {
             allocs: Some(alloc_table(p, ks, tape)),
             hazards: true,
             seeded_rng: true,
+            intervals: true,
         };
         suite.push(analyze(tape, &opts));
     }

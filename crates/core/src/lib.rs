@@ -35,9 +35,10 @@ pub mod sim;
 pub mod tune;
 
 pub use checkpoint::{params_fingerprint, CheckpointError, CheckpointHeader, RankMeta};
+pub use dist::{dim_classes, overlap_protocol_model, verify_overlap_protocol};
 pub use kernels::{
-    generate_kernels, generate_kernels_from, required_halo_width, verify_kernel_set, KernelSet,
-    SplitTapes,
+    field_contract, generate_kernels, generate_kernels_from, required_halo_width,
+    verify_kernel_set, KernelSet, SplitTapes,
 };
 pub use model::{build_model, h_interp, temperature_expr, ModelExprs, ModelFields};
 pub use params::{p1, p2, ModelParams, TempModel};

@@ -199,6 +199,40 @@ pub fn first_deferred_dim(dec: &Decomposition) -> usize {
     (0..3).find(|&d| dec.grid[d] > 1).unwrap_or(3)
 }
 
+/// What one dimension phase of the exchange does for a given
+/// decomposition — a pure description of the protocol structure, exposed
+/// so the static comm verifier (pf-analyze's protocol pass, driven from
+/// pf-core) can model the exchange without constructing communicators.
+/// Depends only on whether the dimension is divided (`grid[d] > 1`) and
+/// periodic — never on the rank count, which is why verifying the model
+/// under all divided-patterns proves the protocol for arbitrary ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DimPhase {
+    /// Undivided and periodic: ghost fill is a local wrap, no messages.
+    LocalWrap,
+    /// Undivided and non-periodic: nothing to do (physical boundary).
+    Skip,
+    /// Divided: async sends to both axis neighbours, then blocking
+    /// receives (non-periodic boundary ranks skip matched pairs).
+    SendRecv,
+}
+
+/// The per-dimension phase structure [`exchange_halo`] /
+/// [`begin_exchange`]+[`finish_exchange`] execute for `dec`, in exchange
+/// order. The deferred split point of the overlapped form is
+/// [`first_deferred_dim`]: the first `SendRecv` entry.
+pub fn exchange_shape(dec: &Decomposition) -> [DimPhase; 3] {
+    [0, 1, 2].map(|d| {
+        if dec.grid[d] > 1 {
+            DimPhase::SendRecv
+        } else if dec.periodic[d] {
+            DimPhase::LocalWrap
+        } else {
+            DimPhase::Skip
+        }
+    })
+}
+
 /// In-flight halo exchange started by [`begin_exchange`]. Must be passed
 /// back to [`finish_exchange`] (with the same field) to complete the
 /// receives; dropping it without finishing would leave ghost layers stale
@@ -494,6 +528,33 @@ mod tests {
             *ok.lock() += 1;
         });
         assert_eq!(*ok.lock(), 4);
+    }
+
+    #[test]
+    fn exchange_shape_mirrors_runtime_structure() {
+        // [1,2,2] grid, periodic: x wraps locally, y/z message.
+        let dec = Decomposition::new([4, 8, 8], 4, [true; 3]);
+        assert_eq!(dec.grid, [1, 2, 2]);
+        assert_eq!(
+            exchange_shape(&dec),
+            [DimPhase::LocalWrap, DimPhase::SendRecv, DimPhase::SendRecv]
+        );
+        // The deferred split point is the first SendRecv phase.
+        assert_eq!(
+            first_deferred_dim(&dec),
+            exchange_shape(&dec)
+                .iter()
+                .position(|p| *p == DimPhase::SendRecv)
+                .unwrap_or(3)
+        );
+        // Non-periodic undivided dims are physical boundaries: no wrap.
+        let dec = Decomposition::new([4, 8, 8], 4, [false, true, true]);
+        assert_eq!(exchange_shape(&dec)[0], DimPhase::Skip);
+        // Single rank, periodic everywhere: all local wraps, nothing
+        // deferred.
+        let dec = Decomposition::new([4, 4, 4], 1, [true; 3]);
+        assert_eq!(exchange_shape(&dec), [DimPhase::LocalWrap; 3]);
+        assert_eq!(first_deferred_dim(&dec), 3);
     }
 
     #[test]

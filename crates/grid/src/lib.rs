@@ -22,7 +22,7 @@ pub use comm::{
 };
 pub use decompose::{BlockInfo, Decomposition, GHOST_LAYERS};
 pub use exchange::{
-    begin_exchange, exchange_halo, finish_exchange, first_deferred_dim, halo_bytes, pack_face,
-    unpack_face, CommOptions, HaloHandle,
+    begin_exchange, exchange_halo, exchange_shape, finish_exchange, first_deferred_dim, halo_bytes,
+    pack_face, unpack_face, CommOptions, DimPhase, HaloHandle,
 };
 pub use region::{split_frontier, IterRegion};

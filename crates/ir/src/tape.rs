@@ -205,6 +205,15 @@ pub struct Tape {
     /// constraint, §3.4); the pass may swap the outer two.
     pub loop_order: [usize; 3],
     pub approx: ApproxOptions,
+    /// Per-field-slot value range contracts (parallel to `fields`):
+    /// `Some((lo, hi))` declares that every value loaded from that field is
+    /// in `[lo, hi]` (a *model-level* promise, e.g. φ ∈ [0, 1] after
+    /// simplex projection). Analysis-only metadata: it seeds the interval
+    /// dataflow pass and is deliberately **excluded from
+    /// [`Tape::structural_hash`]** — contracts never change what a tape
+    /// computes, so stamping them must not invalidate resolved-plan or
+    /// compiled-code caches. Empty means "no contracts" (all unknown).
+    pub field_ranges: Vec<Option<(f64, f64)>>,
 }
 
 impl Tape {
@@ -223,7 +232,8 @@ impl Tape {
     /// identically over identically-shaped storage — which is what
     /// executors key resolved-plan caches on. (Tapes carry no identity:
     /// pipelines clone and mutate them freely, so a stored id would go
-    /// stale; a structural fingerprint cannot.)
+    /// stale; a structural fingerprint cannot.) `field_ranges` is *not*
+    /// hashed: contracts are analysis-only and must not invalidate caches.
     pub fn structural_hash(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -236,6 +246,11 @@ impl Tape {
         self.loop_order.hash(&mut h);
         self.approx.hash(&mut h);
         h.finish()
+    }
+
+    /// Declared value range of loads from field slot `slot`, if any.
+    pub fn field_range(&self, slot: u16) -> Option<(f64, f64)> {
+        self.field_ranges.get(slot as usize).copied().flatten()
     }
 
     /// Indices of store instructions.
@@ -375,6 +390,7 @@ impl TapeBuilder {
             levels: vec![3; n],
             loop_order: [2, 1, 0],
             approx: ApproxOptions::default(),
+            field_ranges: Vec::new(),
         }
     }
 }
@@ -557,6 +573,18 @@ mod tests {
         let mut reordered = base.clone();
         reordered.loop_order = [1, 2, 0];
         assert_ne!(base.structural_hash(), reordered.structural_hash());
+        // Analysis-only contracts must NOT perturb the fingerprint: native
+        // code and resolved-plan caches key on it, and stamping contracts
+        // after generation would otherwise invalidate every cached artifact.
+        let mut contracted = base.clone();
+        contracted.field_ranges = vec![Some((0.0, 1.0))];
+        assert_eq!(
+            base.structural_hash(),
+            contracted.structural_hash(),
+            "field range contracts are analysis-only metadata"
+        );
+        assert_eq!(contracted.field_range(0), Some((0.0, 1.0)));
+        assert_eq!(contracted.field_range(7), None);
     }
 
     #[test]

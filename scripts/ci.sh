@@ -44,6 +44,21 @@ rm -rf "$SMOKE_DIR"
 mkdir -p "$SMOKE_DIR"
 cargo build -q --release -p pf-bench
 BIN=target/release
+
+echo "== pf-lint static verification =="
+# The full pf-analyze v2 suite as a CI gate: P1+P2 kernel sets (halo fit,
+# hazards, value lints, contract-seeded interval dataflow), their
+# GPU-rescheduled forms, and the symbolic comm-protocol proof of the
+# overlapped schedule over every divided-pattern plus the concrete
+# 2/4/8-rank decompositions. Non-zero exit on any error-severity finding;
+# LINT_report.json lands next to the bench artifacts for upload.
+PF_BENCH_OUT_DIR="$SMOKE_DIR" "$BIN/pf-lint" > "$SMOKE_DIR/pf-lint.log" \
+  || { echo "pf-lint found error-severity diagnostics:" >&2; \
+       cat "$SMOKE_DIR/pf-lint.log" >&2; exit 1; }
+grep -q '^pf-lint: OK' "$SMOKE_DIR/pf-lint.log" \
+  || { echo "pf-lint did not complete" >&2; exit 1; }
+test -s "$SMOKE_DIR/LINT_report.json" \
+  || { echo "pf-lint emitted no LINT_report.json artifact" >&2; exit 1; }
 # Tuned artifacts (table1) consult/fill the tuning cache; keep it hermetic
 # to this run instead of whatever the host's temp dir has accumulated.
 export PF_TUNE_CACHE_DIR="$SMOKE_DIR/tune-cache"

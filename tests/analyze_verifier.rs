@@ -75,6 +75,7 @@ fn full_suite_opts(tape: &Tape) -> AnalyzeOptions {
         allocs: Some(vec![FieldAlloc::ghosted(1); tape.fields.len()]),
         hazards: true,
         seeded_rng: true,
+        intervals: true,
     }
 }
 
@@ -90,6 +91,7 @@ fn raw_tape(instrs: Vec<TapeOp>) -> Tape {
         levels: vec![3; n],
         loop_order: [2, 1, 0],
         approx: ApproxOptions::default(),
+        field_ranges: Vec::new(),
     }
 }
 
