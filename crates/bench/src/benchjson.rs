@@ -8,7 +8,7 @@
 //! metric snapshot rides along, so a bench artifact doubles as a runtime
 //! profile (kernel spans, comm counters, checkpoint drains).
 //!
-//! Schema `pf-bench/5` (v2 added the per-record execution `mode` and made
+//! Schema `pf-bench/6` (v2 added the per-record execution `mode` and made
 //! `extra.analysis` mandatory — every artifact now proves which engine was
 //! measured and that static verification actually ran; v3 added
 //! `extra.measured_overlap` — the *measured* blocking-vs-overlapped
@@ -20,11 +20,15 @@
 //! counters ride along in `metrics`; v5 added `extra.tuning` — per-kernel
 //! autotuning outcomes with chosen-vs-best **regret**, mandatory for the
 //! tuned artifacts (`table1`) so tuning quality is a number the perf gate
-//! can fail on, not a log line):
+//! can fail on, not a log line; v6 added `extra.weak_scaling` — the
+//! measured-vs-predicted weak-scaling series over simulated rank counts at
+//! fixed per-rank volume, mandatory for the scaling artifact
+//! (`weak_scaling`) so parallel efficiency is gated against the
+//! `pf-cluster` prediction the same way ECM predictions gate kernels):
 //!
 //! ```text
 //! {
-//!   "schema": "pf-bench/5",
+//!   "schema": "pf-bench/6",
 //!   "name": "fig2_left",
 //!   "smoke": true,
 //!   "machine": {"model": "skylake_8174", "threads_avail": 1},
@@ -60,7 +64,7 @@ use pf_trace::{Json, Report};
 use std::collections::BTreeMap;
 
 /// Schema identifier; bump on breaking layout changes.
-pub const SCHEMA: &str = "pf-bench/5";
+pub const SCHEMA: &str = "pf-bench/6";
 
 /// Artifacts that exercise the communication-scheduling options and must
 /// therefore carry `extra.measured_overlap` (schema pf-bench/3).
@@ -69,6 +73,19 @@ pub const COMM_ARTIFACTS: [&str; 2] = ["table2", "fig3"];
 /// Artifacts that run the autotuner and must therefore carry
 /// `extra.tuning` (schema pf-bench/5).
 pub const TUNED_ARTIFACTS: [&str; 1] = ["table1"];
+
+/// Artifacts that sweep simulated rank counts and must therefore carry
+/// `extra.weak_scaling` (schema pf-bench/6).
+pub const SCALING_ARTIFACTS: [&str; 1] = ["weak_scaling"];
+
+/// Required numeric fields of each `extra.weak_scaling.series[]` point.
+pub const WEAK_SCALING_POINT_FIELDS: [&str; 5] = [
+    "ranks",
+    "measured_mlups_per_rank",
+    "measured_efficiency",
+    "predicted_mlups_per_rank",
+    "predicted_efficiency",
+];
 
 /// Required string fields of each `extra.tuning.kernels[]` entry. The two
 /// `*_mode` fields must also be members of [`EXEC_MODES`].
@@ -487,6 +504,109 @@ pub fn validate(j: &Json) -> Vec<String> {
                 ),
                 None => {}
             }
+            // Since pf-bench/6: scaling artifacts carry the weak-scaling
+            // series — measured and pf-cluster-predicted per-rank
+            // throughput over increasing simulated rank counts at fixed
+            // per-rank volume. The measured efficiency normalizes away the
+            // host's time-sharing of ranks onto `machine.threads_avail`
+            // threads (oversubscription factor max(1, ranks/threads)), so
+            // what remains is genuine runtime overhead and the gate can
+            // compare it against the analytic prediction.
+            let needs_scaling = j
+                .get("name")
+                .and_then(Json::as_str)
+                .is_some_and(|n| SCALING_ARTIFACTS.contains(&n));
+            let threads = j
+                .get("machine")
+                .and_then(|m| m.get("threads_avail"))
+                .and_then(Json::as_f64)
+                .unwrap_or(1.0);
+            match extra.get("weak_scaling") {
+                Some(ws) => match ws.as_obj() {
+                    Some(fields) => {
+                        for f in ["per_rank_cells", "steps"] {
+                            match fields.get(f).and_then(Json::as_f64) {
+                                Some(v) if v.is_finite() && v > 0.0 => {}
+                                _ => out.push(format!(
+                                    "extra.weak_scaling.{f} must be a finite number > 0"
+                                )),
+                            }
+                        }
+                        match fields.get("series").and_then(Json::as_arr) {
+                            Some([]) | None => out
+                                .push("extra.weak_scaling.series must be a non-empty array".into()),
+                            Some(pts) => {
+                                let mut prev_ranks = 0.0f64;
+                                let num = |p: &Json, f: &str| p.get(f).and_then(Json::as_f64);
+                                let base = pts.first().unwrap();
+                                for (i, p) in pts.iter().enumerate() {
+                                    for f in WEAK_SCALING_POINT_FIELDS {
+                                        match num(p, f) {
+                                            Some(v) if v.is_finite() && v > 0.0 => {}
+                                            _ => out.push(format!(
+                                                "extra.weak_scaling.series[{i}].{f} must be \
+                                                 a finite number > 0"
+                                            )),
+                                        }
+                                    }
+                                    if let Some(r) = num(p, "ranks") {
+                                        if r <= prev_ranks {
+                                            out.push(format!(
+                                                "extra.weak_scaling.series[{i}].ranks {r} not \
+                                                 strictly increasing"
+                                            ));
+                                        }
+                                        prev_ranks = r;
+                                    }
+                                    let corrected = |p: &Json| -> Option<f64> {
+                                        let r = num(p, "ranks")?;
+                                        Some(
+                                            num(p, "measured_mlups_per_rank")?
+                                                * (r / threads).max(1.0),
+                                        )
+                                    };
+                                    if let (Some(c), Some(c0), Some(eff)) = (
+                                        corrected(p),
+                                        corrected(base),
+                                        num(p, "measured_efficiency"),
+                                    ) {
+                                        let want = c / c0;
+                                        if (eff - want).abs() > 1e-6 * want.abs() {
+                                            out.push(format!(
+                                                "extra.weak_scaling.series[{i}].\
+                                                 measured_efficiency {eff} inconsistent with \
+                                                 oversubscription-corrected per-rank rates \
+                                                 ({want})"
+                                            ));
+                                        }
+                                    }
+                                    if let (Some(p_r), Some(p_0), Some(eff)) = (
+                                        num(p, "predicted_mlups_per_rank"),
+                                        num(base, "predicted_mlups_per_rank"),
+                                        num(p, "predicted_efficiency"),
+                                    ) {
+                                        let want = p_r / p_0;
+                                        if (eff - want).abs() > 1e-9 * want.abs() {
+                                            out.push(format!(
+                                                "extra.weak_scaling.series[{i}].\
+                                                 predicted_efficiency {eff} inconsistent with \
+                                                 predicted per-rank rates ({want})"
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    None => out.push("extra.weak_scaling must be an object".into()),
+                },
+                None if needs_scaling => out.push(
+                    "missing object field 'extra.weak_scaling' \
+                     (required for scaling artifacts)"
+                        .into(),
+                ),
+                None => {}
+            }
         }
         None => out.push("missing object field 'extra'".into()),
     }
@@ -786,6 +906,84 @@ mod tests {
         assert!(v.iter().any(|e| e.contains("not the maximum")), "{v:?}");
     }
 
+    /// A well-formed weak-scaling block for a 4-thread machine (matching
+    /// `sample()`'s `threads_avail`): the 8-rank point is 2× oversubscribed,
+    /// so its corrected efficiency is `(raw * 2) / raw₀`.
+    fn scaling_block() -> Json {
+        let pt = |ranks: f64, m: f64, me: f64, p: f64, pe: f64| {
+            Json::obj([
+                ("ranks".to_string(), Json::Num(ranks)),
+                ("measured_mlups_per_rank".to_string(), Json::Num(m)),
+                ("measured_efficiency".to_string(), Json::Num(me)),
+                ("predicted_mlups_per_rank".to_string(), Json::Num(p)),
+                ("predicted_efficiency".to_string(), Json::Num(pe)),
+            ])
+        };
+        Json::obj([
+            ("per_rank_cells".to_string(), Json::Num(256.0)),
+            ("steps".to_string(), Json::Num(2.0)),
+            (
+                "series".to_string(),
+                Json::Arr(vec![
+                    pt(2.0, 0.40, 1.0, 6.0, 1.0),
+                    pt(8.0, 0.19, 0.95, 5.9, 5.9 / 6.0),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn scaling_artifacts_require_a_consistent_weak_scaling_block() {
+        // The scaling artifact without the block is rejected.
+        let mut r = sample();
+        r.name = "weak_scaling".into();
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("extra.weak_scaling")), "{v:?}");
+
+        // With a well-formed block it passes.
+        let mut r = sample();
+        r.name = "weak_scaling".into();
+        r.extra.insert("weak_scaling".into(), scaling_block());
+        assert!(
+            validate(&r.to_json()).is_empty(),
+            "{:?}",
+            validate(&r.to_json())
+        );
+
+        // An efficiency inconsistent with the per-rank rates is caught.
+        let mut bad = scaling_block();
+        if let Some(Json::Arr(pts)) = bad.get("series").cloned() {
+            let mut p1 = pts[1].clone();
+            if let Json::Obj(m) = &mut p1 {
+                m.insert("measured_efficiency".into(), Json::Num(0.5));
+            }
+            if let Json::Obj(top) = &mut bad {
+                top.insert("series".into(), Json::Arr(vec![pts[0].clone(), p1]));
+            }
+        }
+        let mut r = sample();
+        r.name = "weak_scaling".into();
+        r.extra.insert("weak_scaling".into(), bad);
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("measured_efficiency")), "{v:?}");
+
+        // Non-increasing rank counts are caught.
+        let mut dup = scaling_block();
+        if let Some(Json::Arr(pts)) = dup.get("series").cloned() {
+            if let Json::Obj(top) = &mut dup {
+                top.insert(
+                    "series".into(),
+                    Json::Arr(vec![pts[0].clone(), pts[0].clone()]),
+                );
+            }
+        }
+        let mut r = sample();
+        r.name = "weak_scaling".into();
+        r.extra.insert("weak_scaling".into(), dup);
+        let v = validate(&r.to_json());
+        assert!(v.iter().any(|e| e.contains("strictly increasing")), "{v:?}");
+    }
+
     #[test]
     fn committed_baselines_stay_schema_valid() {
         // Schema extensions must never orphan the committed artifacts the
@@ -803,8 +1001,8 @@ mod tests {
             checked += 1;
         }
         assert!(
-            checked >= 8,
-            "expected the 8 committed baselines, saw {checked}"
+            checked >= 9,
+            "expected the 9 committed baselines, saw {checked}"
         );
     }
 }

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! `validate` parses each artifact and checks it against schema
-//! `pf-bench/5` (see `pf_bench::benchjson`) — including the per-record
+//! `pf-bench/6` (see `pf_bench::benchjson`) — including the per-record
 //! execution `mode` (now also the compiled `native` engine), the
 //! mandatory `extra.analysis` verification
 //! statistics, the communication artifacts' `extra.measured_overlap`
@@ -27,6 +27,13 @@
 //! `PF_TUNE_GATE_TOL` (default 0.10) — if the autotuner's pick leaves
 //! more than that on the table against the best measured configuration,
 //! the gate fails even when raw throughput still clears its floor.
+//!
+//! `diff` also gates **weak-scaling efficiency**: every point of a fresh
+//! artifact's `extra.weak_scaling.series` must keep its measured parallel
+//! efficiency (oversubscription-corrected, see `pf_bench::benchjson`)
+//! within `PF_SCALE_GATE_TOL` (default 0.30) of the `pf-cluster`
+//! prediction for the same rank count — the distributed runtime's answer
+//! to the ECM kernel gate.
 
 use pf_bench::BenchReport;
 use std::path::{Path, PathBuf};
@@ -55,6 +62,61 @@ fn tune_tolerance() -> f64 {
             }
         },
         Err(_) => 0.10,
+    }
+}
+
+fn scale_tolerance() -> f64 {
+    match std::env::var("PF_SCALE_GATE_TOL") {
+        Ok(s) => match s.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!("PF_SCALE_GATE_TOL={s:?} invalid (need 0 <= t < 1); using 0.30");
+                0.30
+            }
+        },
+        Err(_) => 0.30,
+    }
+}
+
+/// Gate the measured-vs-predicted parallel efficiency of every point in a
+/// fresh artifact's `extra.weak_scaling.series`. Schema validation
+/// already pinned the fields' presence and self-consistency; this checks
+/// the *policy*: the runtime may not fall more than `tol` below what the
+/// cluster model says the same workload should sustain.
+fn check_weak_scaling(report: &BenchReport, tol: f64, failures: &mut Vec<String>) {
+    let Some(series) = report
+        .extra
+        .get("weak_scaling")
+        .and_then(|ws| ws.get("series"))
+        .and_then(|s| s.as_arr())
+    else {
+        return;
+    };
+    for p in series {
+        let num = |f: &str| p.get(f).and_then(|v| v.as_f64());
+        let ranks = num("ranks").unwrap_or(f64::NAN);
+        let measured = num("measured_efficiency").unwrap_or(f64::NAN);
+        let predicted = num("predicted_efficiency").unwrap_or(f64::NAN);
+        // NaN (absent/malformed efficiency) must gate, not slide through.
+        let bad = !measured.is_finite() || !predicted.is_finite() || measured < predicted - tol;
+        let verdict = if bad { "FAIL" } else { "ok" };
+        println!(
+            "  {verdict:4} {} scaling {ranks:>6.0} ranks: measured efficiency {:.1}% \
+             vs predicted {:.1}%",
+            report.name,
+            measured * 100.0,
+            predicted * 100.0,
+        );
+        if bad {
+            failures.push(format!(
+                "{} weak scaling at {ranks:.0} ranks: measured efficiency {:.1}% fell more \
+                 than PF_SCALE_GATE_TOL {:.0}% below predicted {:.1}%",
+                report.name,
+                measured * 100.0,
+                tol * 100.0,
+                predicted * 100.0
+            ));
+        }
     }
 }
 
@@ -170,12 +232,15 @@ fn diff(baseline_dir: &Path, fresh_dir: &Path) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let tune_tol = tune_tolerance();
+    let scale_tol = scale_tolerance();
     println!(
-        "perf gate: {} fresh artifacts vs baselines in {} (tolerance {:.0}%, regret gate {:.0}%)",
+        "perf gate: {} fresh artifacts vs baselines in {} \
+         (tolerance {:.0}%, regret gate {:.0}%, scaling gate {:.0}%)",
         fresh_files.len(),
         baseline_dir.display(),
         tol * 100.0,
-        tune_tol * 100.0
+        tune_tol * 100.0,
+        scale_tol * 100.0
     );
     let mut failures = Vec::new();
     for fresh_path in &fresh_files {
@@ -245,6 +310,7 @@ fn diff(baseline_dir: &Path, fresh_dir: &Path) -> ExitCode {
             }
         }
         check_regret(&fresh, tune_tol, &mut failures);
+        check_weak_scaling(&fresh, scale_tol, &mut failures);
     }
     if failures.is_empty() {
         println!("perf gate passed");

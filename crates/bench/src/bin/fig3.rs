@@ -50,6 +50,7 @@ fn weak_cpu() -> Json {
     let opts = CommOptions {
         overlap: true,
         gpudirect: false,
+        ..CommOptions::default()
     };
     println!("Fig. 3 (left) — weak scaling on SuperMUC-NG, 60^3 per core");
     println!(
@@ -103,6 +104,7 @@ fn weak_gpu() -> Json {
     let opts = CommOptions {
         overlap: true,
         gpudirect: true,
+        ..CommOptions::default()
     };
     println!("Fig. 3 (middle) — weak scaling on Piz Daint, 400^3 per GPU");
     println!("{:>9} {:>18}", "GPUs", "MLUP/s per GPU");
@@ -127,6 +129,7 @@ fn strong_cpu() -> Json {
     let opts = CommOptions {
         overlap: true,
         gpudirect: false,
+        ..CommOptions::default()
     };
     println!("Fig. 3 (right) — strong scaling, 512x256x256 on SuperMUC-NG");
     println!("{:>9} {:>18} {:>14}", "cores", "MLUP/s per core", "steps/s");

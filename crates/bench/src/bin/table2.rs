@@ -76,6 +76,7 @@ fn main() {
             CommOptions {
                 overlap: *overlap,
                 gpudirect: *gpudirect,
+                ..CommOptions::default()
             },
             128,
         );

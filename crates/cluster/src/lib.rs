@@ -252,6 +252,7 @@ mod tests {
             CommOptions {
                 overlap: true,
                 gpudirect: false,
+                ..CommOptions::default()
             },
             128,
         );
@@ -269,6 +270,7 @@ mod tests {
                 CommOptions {
                     overlap,
                     gpudirect: false,
+                    ..CommOptions::default()
                 },
                 128,
             );
@@ -278,6 +280,7 @@ mod tests {
                 CommOptions {
                     overlap,
                     gpudirect: true,
+                    ..CommOptions::default()
                 },
                 128,
             );
@@ -290,8 +293,14 @@ mod tests {
         // 395 (no/no) < 403 (no/yes) < 422 (yes/no) < 440 (yes/yes)
         let c = piz_daint();
         let w = gpu_workload();
-        let combo =
-            |overlap, gpudirect| mlups_per_unit(&w, &c, CommOptions { overlap, gpudirect }, 128);
+        let combo = |overlap, gpudirect| {
+            let opts = CommOptions {
+                overlap,
+                gpudirect,
+                ..CommOptions::default()
+            };
+            mlups_per_unit(&w, &c, opts, 128)
+        };
         let (nn, ny, yn, yy) = (
             combo(false, false),
             combo(false, true),
@@ -324,6 +333,7 @@ mod tests {
             CommOptions {
                 overlap: true,
                 gpudirect: false,
+                ..CommOptions::default()
             },
             &[16, 1024, 65_536, 262_144],
         );
@@ -345,6 +355,7 @@ mod tests {
             CommOptions {
                 overlap: true,
                 gpudirect: false,
+                ..CommOptions::default()
             },
             &[48, 768, 12_288, 152_064],
             |ranks| {

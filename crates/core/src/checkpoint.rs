@@ -38,6 +38,15 @@
 //! Distributed runs write one file per rank into a per-step set directory,
 //! `<root>/step_<NNNNNNNN>/rank_<RRRR>.ckpt`; a set is *complete* once all
 //! `nranks` files exist, and restart resumes from the newest complete set.
+//!
+//! **Incremental checkpoints** (version 2) carry the same header followed
+//! by the step of the *base* checkpoint they apply on top of and only the
+//! interior rows — one `(field, component, y, z)` run of `shape[0]` values
+//! — whose bits changed since that base. Version-1 readers reject them
+//! with [`CheckpointError::UnsupportedVersion`]; [`load_chain`] walks a
+//! rank file's base chain back to the newest full snapshot and replays the
+//! increments forward. Phase-field fronts touch a thin shell of cells per
+//! step, so far-field slabs drop out of the delta entirely.
 
 use crate::params::ModelParams;
 use crate::sim::{BcKind, Simulation, Variant};
@@ -47,6 +56,8 @@ use std::path::{Path, PathBuf};
 
 pub const MAGIC: [u8; 8] = *b"PFCKPT01";
 pub const VERSION: u32 = 1;
+/// Format version of incremental (dirty-row delta) checkpoint files.
+pub const VERSION_INCREMENTAL: u32 = 2;
 
 /// Everything that can go wrong reading or writing a checkpoint.
 #[derive(Debug)]
@@ -456,7 +467,52 @@ pub fn decode_into(
     let body = verify_checksum(bytes)?;
     let mut r = Reader { buf: body, pos: 0 };
     let h = decode_header(&mut r)?;
+    check_compat(sim, meta, &h)?;
 
+    // Stage the payload fully before touching `sim`, so a truncated file
+    // can't leave it half-restored.
+    let shape = h.shape;
+    let cells = shape[0] * shape[1] * shape[2];
+    let mut phi = vec![0.0f64; h.phases * cells];
+    let mut mu = vec![0.0f64; h.num_mu * cells];
+    for slot in phi.iter_mut().chain(mu.iter_mut()) {
+        *slot = r.f64()?;
+    }
+    if r.pos != body.len() {
+        return Err(CheckpointError::Incompatible(
+            "trailing bytes after payload".into(),
+        ));
+    }
+
+    sim.step_count = h.step;
+    sim.origin = h.origin;
+    let fields = sim.kernels.fields;
+    for (field, comps, data) in [
+        (fields.phi_src, h.phases, &phi),
+        (fields.mu_src, h.num_mu, &mu),
+    ] {
+        let arr = sim.store.get_mut(field);
+        let mut it = data.iter();
+        for comp in 0..comps {
+            for z in 0..shape[2] as isize {
+                for y in 0..shape[1] as isize {
+                    for x in 0..shape[0] as isize {
+                        arr.set(comp, x, y, z, *it.next().unwrap());
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reject a structurally valid header that belongs to a different run
+/// setup. Shared by the full and incremental decoders.
+fn check_compat(
+    sim: &Simulation,
+    meta: &RankMeta,
+    h: &CheckpointHeader,
+) -> Result<(), CheckpointError> {
     let expected_fp = params_fingerprint(&sim.params);
     if h.params_fp != expected_fp {
         return Err(CheckpointError::ParamsMismatch {
@@ -501,42 +557,342 @@ pub fn decode_into(
             sim.params.num_mu()
         ));
     }
+    Ok(())
+}
 
-    // Stage the payload fully before touching `sim`, so a truncated file
-    // can't leave it half-restored.
+// ---------------------------------------------------------------------------
+// Incremental (dirty-row) checkpoints — format version 2
+// ---------------------------------------------------------------------------
+//
+// After the version-1 header fields the file carries:
+//
+// ```text
+// base_step    u64   step of the checkpoint this delta applies on top of
+// nrows        u64
+// per row:     field u8 (0 = φ, 1 = µ), comp u32, y u32, z u32,
+//              shape[0] × f64 bits
+// checksum     u64   FNV-1a over every preceding byte
+// ```
+
+/// In-memory copy of the interiors as of the last checkpoint written —
+/// the diff base for incremental writes. One per rank, refreshed after
+/// every successful write (full or incremental).
+#[derive(Clone)]
+pub struct IncrementalBase {
+    /// Step the base state corresponds to; a set for it exists on disk.
+    pub step: u64,
+    phi: Vec<f64>,
+    mu: Vec<f64>,
+}
+
+impl IncrementalBase {
+    /// Snapshot `sim`'s interiors in payload order (component-major,
+    /// z → y → x rows).
+    pub fn capture(sim: &Simulation) -> Self {
+        let shape = sim.cfg.shape;
+        let grab = |arr: &pf_fields::FieldArray, comps: usize| {
+            let mut v = Vec::with_capacity(comps * shape[0] * shape[1] * shape[2]);
+            for comp in 0..comps {
+                for z in 0..shape[2] as isize {
+                    for y in 0..shape[1] as isize {
+                        for x in 0..shape[0] as isize {
+                            v.push(arr.get(comp, x, y, z));
+                        }
+                    }
+                }
+            }
+            v
+        };
+        IncrementalBase {
+            step: sim.step_count,
+            phi: grab(sim.phi(), sim.params.phases),
+            mu: grab(sim.mu(), sim.params.num_mu()),
+        }
+    }
+}
+
+/// Serialize the dirty rows of `sim` relative to `base` as a version-2
+/// incremental checkpoint. A row is the `shape[0]` x-values of one
+/// `(field, component, y, z)` run; it is written only when its bits differ
+/// from the base, so the untouched far field costs nothing.
+pub fn encode_incremental(sim: &Simulation, meta: &RankMeta, base: &IncrementalBase) -> Vec<u8> {
+    let shape = sim.cfg.shape;
+    let phases = sim.params.phases;
+    let num_mu = sim.params.num_mu();
+    let nx = shape[0];
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION_INCREMENTAL.to_le_bytes());
+    out.extend_from_slice(&params_fingerprint(&sim.params).to_le_bytes());
+    out.extend_from_slice(&sim.step_count.to_le_bytes());
+    out.extend_from_slice(&sim.cfg.seed.to_le_bytes());
+    out.push(variant_code(sim.cfg.phi_variant));
+    out.push(variant_code(sim.cfg.mu_variant));
+    for d in 0..3 {
+        out.push(bc_code(sim.cfg.bc[d]));
+    }
+    out.extend_from_slice(&meta.rank.to_le_bytes());
+    out.extend_from_slice(&meta.nranks.to_le_bytes());
+    for d in 0..3 {
+        out.extend_from_slice(&meta.grid[d].to_le_bytes());
+    }
+    for d in 0..3 {
+        out.extend_from_slice(&meta.global[d].to_le_bytes());
+    }
+    for d in 0..3 {
+        out.extend_from_slice(&sim.origin[d].to_le_bytes());
+    }
+    for s in shape {
+        out.extend_from_slice(&(s as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(phases as u32).to_le_bytes());
+    out.extend_from_slice(&(num_mu as u32).to_le_bytes());
+    out.extend_from_slice(&base.step.to_le_bytes());
+
+    let nrows_at = out.len();
+    out.extend_from_slice(&0u64.to_le_bytes());
+    let mut nrows = 0u64;
+    let mut clean = 0u64;
+    for (fcode, arr, comps, basev) in [
+        (0u8, sim.phi(), phases, &base.phi),
+        (1u8, sim.mu(), num_mu, &base.mu),
+    ] {
+        let mut idx = 0usize;
+        for comp in 0..comps {
+            for z in 0..shape[2] as isize {
+                for y in 0..shape[1] as isize {
+                    let row = &basev[idx..idx + nx];
+                    idx += nx;
+                    let dirty = (0..nx as isize)
+                        .any(|x| arr.get(comp, x, y, z).to_bits() != row[x as usize].to_bits());
+                    if !dirty {
+                        clean += 1;
+                        continue;
+                    }
+                    nrows += 1;
+                    out.push(fcode);
+                    out.extend_from_slice(&(comp as u32).to_le_bytes());
+                    out.extend_from_slice(&(y as u32).to_le_bytes());
+                    out.extend_from_slice(&(z as u32).to_le_bytes());
+                    for x in 0..nx as isize {
+                        out.extend_from_slice(&arr.get(comp, x, y, z).to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+    out[nrows_at..nrows_at + 8].copy_from_slice(&nrows.to_le_bytes());
+    pf_trace::counter("checkpoint.incremental.dirty_rows").incr(nrows);
+    pf_trace::counter("checkpoint.incremental.clean_rows").incr(clean);
+
+    let mut h = Fnv::new();
+    h.write(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+/// Header version of checksummed checkpoint bytes, without committing to a
+/// format: the dispatch point between full and incremental decoding.
+pub fn peek_version(bytes: &[u8]) -> Result<u32, CheckpointError> {
+    let body = verify_checksum(bytes)?;
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    r.u32()
+}
+
+/// Identical field layout to version 1 past the version word, so the two
+/// header decoders differ only in the version they accept.
+fn decode_header_incremental(r: &mut Reader<'_>) -> Result<CheckpointHeader, CheckpointError> {
+    if r.take(8)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION_INCREMENTAL {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let params_fp = r.u64()?;
+    let step = r.u64()?;
+    let seed = r.u32()?;
+    let phi_variant = variant_from(r.u8()?)?;
+    let mu_variant = variant_from(r.u8()?)?;
+    let bc = [bc_from(r.u8()?)?, bc_from(r.u8()?)?, bc_from(r.u8()?)?];
+    let rank = r.u32()?;
+    let nranks = r.u32()?;
+    let grid = [r.u32()?, r.u32()?, r.u32()?];
+    let global = [r.u64()?, r.u64()?, r.u64()?];
+    let origin = [r.i64()?, r.i64()?, r.i64()?];
+    let shape_u = [r.u64()?, r.u64()?, r.u64()?];
+    let phases = r.u32()? as usize;
+    let num_mu = r.u32()? as usize;
+    let mut shape = [0usize; 3];
+    for d in 0..3 {
+        shape[d] = usize::try_from(shape_u[d])
+            .map_err(|_| CheckpointError::Incompatible("shape overflows usize".into()))?;
+    }
+    Ok(CheckpointHeader {
+        version,
+        params_fp,
+        step,
+        rng: CounterState::new(seed, step),
+        phi_variant,
+        mu_variant,
+        bc,
+        meta: RankMeta {
+            rank,
+            nranks,
+            grid,
+            global,
+        },
+        origin,
+        shape,
+        phases,
+        num_mu,
+    })
+}
+
+/// The base step an incremental file applies on top of (header only).
+pub fn incremental_base_step(bytes: &[u8]) -> Result<u64, CheckpointError> {
+    let body = verify_checksum(bytes)?;
+    let mut r = Reader { buf: body, pos: 0 };
+    let _h = decode_header_incremental(&mut r)?;
+    r.u64()
+}
+
+/// Apply a version-2 incremental checkpoint on top of the state `sim`
+/// currently holds, which must be the delta's base (`sim.step_count ==
+/// base_step`). All rows are staged and validated before `sim` is touched;
+/// every failure is typed and leaves `sim` unchanged.
+pub fn apply_incremental(
+    sim: &mut Simulation,
+    meta: &RankMeta,
+    bytes: &[u8],
+) -> Result<(), CheckpointError> {
+    let body = verify_checksum(bytes)?;
+    let mut r = Reader { buf: body, pos: 0 };
+    let h = decode_header_incremental(&mut r)?;
+    check_compat(sim, meta, &h)?;
+    let base_step = r.u64()?;
+    if base_step >= h.step {
+        return Err(CheckpointError::Incompatible(format!(
+            "increment at step {} does not advance its base step {base_step}",
+            h.step
+        )));
+    }
+    if sim.step_count != base_step {
+        return Err(CheckpointError::Incompatible(format!(
+            "increment applies on top of step {base_step} but the simulation holds step {}",
+            sim.step_count
+        )));
+    }
+
     let shape = h.shape;
-    let cells = shape[0] * shape[1] * shape[2];
-    let mut phi = vec![0.0f64; h.phases * cells];
-    let mut mu = vec![0.0f64; h.num_mu * cells];
-    for slot in phi.iter_mut().chain(mu.iter_mut()) {
-        *slot = r.f64()?;
+    let nx = shape[0];
+    let nrows = r.u64()?;
+    let mut rows: Vec<(u8, usize, isize, isize, Vec<f64>)> = Vec::new();
+    for _ in 0..nrows {
+        let fcode = r.u8()?;
+        let comps = match fcode {
+            0 => h.phases,
+            1 => h.num_mu,
+            other => {
+                return Err(CheckpointError::Incompatible(format!(
+                    "unknown field code {other} in incremental row"
+                )))
+            }
+        };
+        let comp = r.u32()? as usize;
+        let y = r.u32()? as usize;
+        let z = r.u32()? as usize;
+        if comp >= comps || y >= shape[1] || z >= shape[2] {
+            return Err(CheckpointError::Incompatible(format!(
+                "incremental row ({fcode},{comp},{y},{z}) outside block {shape:?}"
+            )));
+        }
+        let mut vals = Vec::with_capacity(nx);
+        for _ in 0..nx {
+            vals.push(r.f64()?);
+        }
+        rows.push((fcode, comp, y as isize, z as isize, vals));
     }
     if r.pos != body.len() {
         return Err(CheckpointError::Incompatible(
-            "trailing bytes after payload".into(),
+            "trailing bytes after incremental rows".into(),
         ));
     }
 
     sim.step_count = h.step;
     sim.origin = h.origin;
     let fields = sim.kernels.fields;
-    for (field, comps, data) in [
-        (fields.phi_src, h.phases, &phi),
-        (fields.mu_src, h.num_mu, &mu),
-    ] {
+    for (fcode, comp, y, z, vals) in rows {
+        let field = if fcode == 0 {
+            fields.phi_src
+        } else {
+            fields.mu_src
+        };
         let arr = sim.store.get_mut(field);
-        let mut it = data.iter();
-        for comp in 0..comps {
-            for z in 0..shape[2] as isize {
-                for y in 0..shape[1] as isize {
-                    for x in 0..shape[0] as isize {
-                        arr.set(comp, x, y, z, *it.next().unwrap());
-                    }
-                }
-            }
+        for (x, v) in vals.into_iter().enumerate() {
+            arr.set(comp, x as isize, y, z, v);
         }
     }
     Ok(())
+}
+
+/// Save an incremental checkpoint to `path` (atomic write).
+pub fn save_incremental(
+    sim: &Simulation,
+    meta: &RankMeta,
+    base: &IncrementalBase,
+    path: &Path,
+) -> Result<(), CheckpointError> {
+    let _span = pf_trace::span("checkpoint.save_incremental");
+    let bytes = encode_incremental(sim, meta, base);
+    pf_trace::counter("checkpoint.bytes_written").incr(bytes.len() as u64);
+    pf_trace::counter("checkpoint.incremental_writes").incr(1);
+    write_atomic(path, &bytes)
+}
+
+/// Restore `sim` from the rank file at `step`, following incremental base
+/// links back to the newest full snapshot and replaying the deltas
+/// forward. Returns the number of increments applied (0 = the file was a
+/// full snapshot). Errors are typed; a broken link in the chain surfaces
+/// as the underlying I/O or format error.
+pub fn load_chain(
+    sim: &mut Simulation,
+    meta: &RankMeta,
+    root: &Path,
+    step: u64,
+    rank: usize,
+) -> Result<usize, CheckpointError> {
+    let mut chain: Vec<Vec<u8>> = Vec::new();
+    let mut cur = step;
+    loop {
+        let bytes = std::fs::read(rank_file(root, cur, rank))?;
+        match peek_version(&bytes)? {
+            VERSION => {
+                decode_into(sim, meta, &bytes)?;
+                break;
+            }
+            VERSION_INCREMENTAL => {
+                let base = incremental_base_step(&bytes)?;
+                if base >= cur {
+                    return Err(CheckpointError::Incompatible(format!(
+                        "increment at step {cur} names a non-preceding base step {base}"
+                    )));
+                }
+                chain.push(bytes);
+                cur = base;
+            }
+            other => return Err(CheckpointError::UnsupportedVersion(other)),
+        }
+    }
+    let n = chain.len();
+    for bytes in chain.into_iter().rev() {
+        apply_incremental(sim, meta, &bytes)?;
+    }
+    Ok(n)
 }
 
 // ---------------------------------------------------------------------------
@@ -730,6 +1086,142 @@ mod tests {
         q.temperature.gradient += 0.5;
         assert_ne!(base, params_fingerprint(&q));
         assert_eq!(base, params_fingerprint(&p.clone()));
+    }
+
+    #[test]
+    fn incremental_round_trip_is_bitwise() {
+        let mut sim = mini_sim();
+        sim.run_steps(2);
+        let meta = RankMeta::single(sim.cfg.shape);
+        let full = encode(&sim, &meta);
+        let base = IncrementalBase::capture(&sim);
+        sim.run_steps(2);
+        let delta = encode_incremental(&sim, &meta, &base);
+
+        let mut fresh = mini_sim();
+        decode_into(&mut fresh, &meta, &full).expect("full restore");
+        apply_incremental(&mut fresh, &meta, &delta).expect("delta restore");
+        assert_eq!(fresh.step_count, 4);
+        assert_eq!(fresh.phi().max_abs_diff(sim.phi()), 0.0);
+        assert_eq!(fresh.mu().max_abs_diff(sim.mu()), 0.0);
+        // Re-encoding the restored state reproduces the writer's bytes.
+        assert_eq!(encode(&fresh, &meta), encode(&sim, &meta));
+    }
+
+    #[test]
+    fn version_one_readers_reject_increments_with_a_typed_error() {
+        let mut sim = mini_sim();
+        sim.run_steps(1);
+        let meta = RankMeta::single(sim.cfg.shape);
+        let base = IncrementalBase::capture(&sim);
+        sim.run_steps(1);
+        let delta = encode_incremental(&sim, &meta, &base);
+
+        let mut fresh = mini_sim();
+        assert!(matches!(
+            decode_into(&mut fresh, &meta, &delta),
+            Err(CheckpointError::UnsupportedVersion(VERSION_INCREMENTAL))
+        ));
+        assert!(matches!(
+            parse_header(&delta),
+            Err(CheckpointError::UnsupportedVersion(VERSION_INCREMENTAL))
+        ));
+        // And the untouched reader leaves the simulation alone.
+        assert_eq!(fresh.step_count, 0);
+    }
+
+    #[test]
+    fn a_clean_state_produces_an_empty_delta() {
+        let mut sim = mini_sim();
+        sim.run_steps(2);
+        let meta = RankMeta::single(sim.cfg.shape);
+        let full = encode(&sim, &meta);
+        let base = IncrementalBase::capture(&sim);
+        // No steps in between: every row is clean, but the step count must
+        // still advance for the delta to be applicable — so fake one step
+        // of pure bookkeeping.
+        sim.step_count += 1;
+        let delta = encode_incremental(&sim, &meta, &base);
+        assert!(
+            delta.len() < 200,
+            "empty delta should be header-sized, got {}",
+            delta.len()
+        );
+        assert!(delta.len() < full.len() / 4);
+
+        let mut fresh = mini_sim();
+        decode_into(&mut fresh, &meta, &full).expect("full restore");
+        apply_incremental(&mut fresh, &meta, &delta).expect("empty delta");
+        assert_eq!(fresh.step_count, sim.step_count);
+        assert_eq!(fresh.phi().max_abs_diff(sim.phi()), 0.0);
+    }
+
+    #[test]
+    fn incremental_corruption_and_misapplication_are_typed_errors() {
+        let mut sim = mini_sim();
+        sim.run_steps(1);
+        let meta = RankMeta::single(sim.cfg.shape);
+        let full = encode(&sim, &meta);
+        let base = IncrementalBase::capture(&sim);
+        sim.run_steps(1);
+        let delta = encode_incremental(&sim, &meta, &base);
+
+        let mut fresh = mini_sim();
+        let mut flipped = delta.clone();
+        flipped[60] ^= 0x80;
+        assert!(matches!(
+            apply_incremental(&mut fresh, &meta, &flipped),
+            Err(CheckpointError::ChecksumMismatch)
+        ));
+        for cut in [0, 9, delta.len() / 2, delta.len() - 1] {
+            assert!(matches!(
+                apply_incremental(&mut fresh, &meta, &delta[..cut]),
+                Err(CheckpointError::Truncated | CheckpointError::ChecksumMismatch)
+            ));
+        }
+        // Applying on top of the wrong base step is refused and leaves the
+        // simulation untouched.
+        decode_into(&mut fresh, &meta, &full).expect("full restore");
+        fresh.step_count += 7;
+        let before = encode(&fresh, &meta);
+        assert!(matches!(
+            apply_incremental(&mut fresh, &meta, &delta),
+            Err(CheckpointError::Incompatible(_))
+        ));
+        assert_eq!(encode(&fresh, &meta), before);
+    }
+
+    #[test]
+    fn load_chain_replays_increments_back_to_the_full_snapshot() {
+        let dir = std::env::temp_dir().join(format!("pfckpt_chain_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sim = mini_sim();
+        let meta = RankMeta::single(sim.cfg.shape);
+
+        sim.run_steps(2);
+        save(&sim, &meta, &rank_file(&dir, 2, 0)).expect("full");
+        let mut base = IncrementalBase::capture(&sim);
+        for step in [4u64, 6] {
+            sim.run_steps(2);
+            save_incremental(&sim, &meta, &base, &rank_file(&dir, step, 0)).expect("incr");
+            base = IncrementalBase::capture(&sim);
+        }
+
+        let mut fresh = mini_sim();
+        let applied = load_chain(&mut fresh, &meta, &dir, 6, 0).expect("chain");
+        assert_eq!(applied, 2);
+        assert_eq!(fresh.step_count, 6);
+        assert_eq!(fresh.phi().max_abs_diff(sim.phi()), 0.0);
+        assert_eq!(fresh.mu().max_abs_diff(sim.mu()), 0.0);
+
+        // A broken link (missing base file) is an error, not silence.
+        std::fs::remove_dir_all(set_dir(&dir, 4)).unwrap();
+        let mut broken = mini_sim();
+        assert!(matches!(
+            load_chain(&mut broken, &meta, &dir, 6, 0),
+            Err(CheckpointError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

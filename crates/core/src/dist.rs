@@ -34,6 +34,13 @@ pub struct CheckpointConfig {
     /// Before stepping, restore from the newest complete set under `dir`
     /// (start from the initial conditions if there is none).
     pub resume: bool,
+    /// Write dirty-row increments ([`checkpoint::save_incremental`])
+    /// instead of full snapshots whenever a base exists, falling back to a
+    /// full snapshot every `full_every` increments.
+    pub incremental: bool,
+    /// Consecutive increments allowed before the next write is forced to
+    /// be a full snapshot, bounding restore-chain length.
+    pub full_every: u64,
 }
 
 impl CheckpointConfig {
@@ -43,6 +50,8 @@ impl CheckpointConfig {
             every: 0,
             final_checkpoint: true,
             resume: false,
+            incremental: true,
+            full_every: 4,
         }
     }
 
@@ -53,6 +62,16 @@ impl CheckpointConfig {
 
     pub fn resume(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    pub fn full_every(mut self, n: u64) -> Self {
+        self.full_every = n;
         self
     }
 }
@@ -81,6 +100,12 @@ pub struct DistConfig {
     /// bitwise-neutral knob — so a cache state can change speed but never
     /// results; `PF_TUNE=off` or a cold cache keeps the shape default.
     pub tune_exec: bool,
+    /// Hierarchical (node × socket) decomposition: split `ranks` into
+    /// `ranks / ranks_per_node` nodes refined by `ranks_per_node` ranks
+    /// each ([`Decomposition::hierarchical`]). `None` keeps the flat
+    /// surface-optimal grid. Mapping-only — the flat process grid is the
+    /// product of both levels, so results stay bitwise identical.
+    pub ranks_per_node: Option<usize>,
 }
 
 impl DistConfig {
@@ -97,6 +122,23 @@ impl DistConfig {
             faults: None,
             exec_mode: None,
             tune_exec: true,
+            ranks_per_node: None,
+        }
+    }
+
+    /// The decomposition this configuration runs under: hierarchical when
+    /// `ranks_per_node` is set, flat otherwise.
+    pub fn decomposition(&self) -> Decomposition {
+        match self.ranks_per_node {
+            Some(rpn) => {
+                assert!(
+                    rpn >= 1 && self.ranks.is_multiple_of(rpn),
+                    "{} ranks cannot split into nodes of {rpn}",
+                    self.ranks
+                );
+                Decomposition::hierarchical(self.global, self.ranks / rpn, rpn, self.periodic())
+            }
+            None => Decomposition::new(self.global, self.ranks, self.periodic()),
         }
     }
 
@@ -406,44 +448,16 @@ fn phase_tapes(sim: &Simulation, variant: Variant, phi: bool) -> Vec<Tape> {
     }
 }
 
-/// Synchronize one field: physical boundaries where the block touches the
-/// domain edge, halo exchange everywhere else.
-fn sync_field(
+/// Apply Neumann physical boundaries to one field wherever this block
+/// touches the domain edge (stale ghosts elsewhere get overwritten by the
+/// exchange; the phased exchange then propagates corners correctly).
+fn apply_neumann_edges(
     sim: &mut Simulation,
-    comm: &mut Comm,
+    comm: &Comm,
     dec: &Decomposition,
     field: Field,
-    field_tag: u32,
-    epoch: u64,
     cfg: &DistConfig,
 ) {
-    let bc = cfg.bc;
-    // Neumann edges first (stale ghosts elsewhere get overwritten by the
-    // exchange; the phased exchange then propagates corners correctly).
-    for (d, kind) in bc.iter().enumerate() {
-        if *kind == BcKind::Neumann {
-            let at_low = dec.neighbor(comm.rank(), d, -1).is_none();
-            let at_high = dec.neighbor(comm.rank(), d, 1).is_none();
-            if at_low || at_high {
-                sim.store.get_mut(field).apply_neumann(d);
-            }
-        }
-    }
-    let arr = sim.store.get_mut(field);
-    exchange_halo(comm, dec, arr, field_tag, epoch, cfg.comm);
-}
-
-/// Start synchronizing one field: apply physical boundaries, then post the
-/// halo sends without waiting for the receives.
-fn begin_sync_field(
-    sim: &mut Simulation,
-    comm: &mut Comm,
-    dec: &Decomposition,
-    field: Field,
-    field_tag: u32,
-    epoch: u64,
-    cfg: &DistConfig,
-) -> HaloHandle {
     for (d, kind) in cfg.bc.iter().enumerate() {
         if *kind == BcKind::Neumann {
             let at_low = dec.neighbor(comm.rank(), d, -1).is_none();
@@ -453,20 +467,125 @@ fn begin_sync_field(
             }
         }
     }
-    let arr = sim.store.get_mut(field);
-    begin_exchange(comm, dec, arr, field_tag, epoch, cfg.comm)
 }
 
-fn finish_sync_field(
+/// One field's sync parameters: field, tag, and the epoch the *unbatched*
+/// protocol stamps its messages with (the batched transport uses the
+/// batch's base epoch instead — tags only need to be unique and agreed).
+type SyncSpec = (Field, u32, u64);
+
+/// Run `f` with every spec'd field taken out of the store (split borrow
+/// for the batched multi-field exchange), re-inserting them afterwards.
+fn with_taken_fields(
+    sim: &mut Simulation,
+    specs: &[SyncSpec],
+    f: impl FnOnce(&mut [&mut pf_fields::FieldArray]),
+) {
+    let mut arrs: Vec<pf_fields::FieldArray> = specs
+        .iter()
+        .map(|(field, _, _)| sim.store.take(*field))
+        .collect();
+    {
+        let mut refs: Vec<&mut pf_fields::FieldArray> = arrs.iter_mut().collect();
+        f(&mut refs);
+    }
+    for ((field, _, _), arr) in specs.iter().zip(arrs) {
+        sim.store.insert(*field, arr);
+    }
+}
+
+/// Synchronize several fields at one schedule point. With `comm.batch`
+/// (the default) the fields' face messages coalesce into one packed
+/// message per (neighbour, epoch) — same per-field pack/unpack sequence,
+/// so ghosts are bitwise identical to the unbatched path, which remains
+/// available (`batch: false`) and sends each field at its own tag/epoch.
+fn sync_fields(
     sim: &mut Simulation,
     comm: &mut Comm,
     dec: &Decomposition,
-    field: Field,
-    handle: HaloHandle,
+    specs: &[SyncSpec],
+    batch_epoch: u64,
     cfg: &DistConfig,
 ) {
-    let arr = sim.store.get_mut(field);
-    finish_exchange(comm, dec, arr, handle, cfg.comm);
+    for (field, _, _) in specs {
+        apply_neumann_edges(sim, comm, dec, *field, cfg);
+    }
+    if cfg.comm.batch {
+        with_taken_fields(sim, specs, |arrs| {
+            pf_grid::exchange_halo_batched(comm, dec, arrs, batch_epoch, cfg.comm);
+        });
+    } else {
+        for (field, tag, epoch) in specs {
+            let arr = sim.store.get_mut(*field);
+            exchange_halo(comm, dec, arr, *tag, *epoch, cfg.comm);
+        }
+    }
+}
+
+/// In-flight multi-field sync, batched or per-field.
+enum SyncHandle {
+    Batched(pf_grid::BatchHandle),
+    PerField(Vec<HaloHandle>),
+}
+
+/// Start synchronizing several fields: apply physical boundaries, then
+/// post the halo sends without waiting for the receives — one coalesced
+/// message per neighbour when batching, one per field otherwise.
+fn begin_sync_fields(
+    sim: &mut Simulation,
+    comm: &mut Comm,
+    dec: &Decomposition,
+    specs: &[SyncSpec],
+    batch_epoch: u64,
+    cfg: &DistConfig,
+) -> SyncHandle {
+    for (field, _, _) in specs {
+        apply_neumann_edges(sim, comm, dec, *field, cfg);
+    }
+    if cfg.comm.batch {
+        let mut handle = None;
+        with_taken_fields(sim, specs, |arrs| {
+            handle = Some(pf_grid::begin_exchange_batched(
+                comm,
+                dec,
+                arrs,
+                batch_epoch,
+                cfg.comm,
+            ));
+        });
+        SyncHandle::Batched(handle.expect("begin ran"))
+    } else {
+        SyncHandle::PerField(
+            specs
+                .iter()
+                .map(|(field, tag, epoch)| {
+                    let arr = sim.store.get_mut(*field);
+                    begin_exchange(comm, dec, arr, *tag, *epoch, cfg.comm)
+                })
+                .collect(),
+        )
+    }
+}
+
+fn finish_sync_fields(
+    sim: &mut Simulation,
+    comm: &mut Comm,
+    dec: &Decomposition,
+    specs: &[SyncSpec],
+    handle: SyncHandle,
+    cfg: &DistConfig,
+) {
+    match handle {
+        SyncHandle::Batched(h) => with_taken_fields(sim, specs, |arrs| {
+            pf_grid::finish_exchange_batched(comm, dec, arrs, h, cfg.comm);
+        }),
+        SyncHandle::PerField(handles) => {
+            for ((field, _, _), h) in specs.iter().zip(handles) {
+                let arr = sim.store.get_mut(*field);
+                finish_exchange(comm, dec, arr, h, cfg.comm);
+            }
+        }
+    }
 }
 
 /// One distributed timestep of Algorithm 1 with communication/computation
@@ -499,23 +618,25 @@ pub(crate) fn dist_step_overlapped(
     let f = sim.kernels.fields;
     let epoch = sim.step_count * 4;
 
-    let h_phi = begin_sync_field(sim, comm, dec, f.phi_src, 0, epoch, cfg);
-    let h_mu = begin_sync_field(sim, comm, dec, f.mu_src, 1, epoch + 1, cfg);
+    // φ_src and µ_src begin back-to-back with nothing between them, so
+    // batching folds their face messages into one per (neighbour, epoch).
+    let src_specs = [(f.phi_src, 0u32, epoch), (f.mu_src, 1u32, epoch + 1)];
+    let h_src = begin_sync_fields(sim, comm, dec, &src_specs, epoch, cfg);
     let phi_tapes = phase_tapes(sim, cfg.phi_variant, true);
     let t0 = std::time::Instant::now();
     run_phase_interiors(sim, &phi_tapes, plan.phi, rank);
     pf_trace::counter_at("comm.overlap_window_ns", rank).incr(t0.elapsed().as_nanos() as u64);
-    finish_sync_field(sim, comm, dec, f.phi_src, h_phi, cfg);
-    finish_sync_field(sim, comm, dec, f.mu_src, h_mu, cfg);
+    finish_sync_fields(sim, comm, dec, &src_specs, h_src, cfg);
     run_phase_frontiers(sim, &phi_tapes, plan.phi, rank);
 
     sim.project_simplex(f.phi_dst);
-    let h_dst = begin_sync_field(sim, comm, dec, f.phi_dst, 2, epoch + 2, cfg);
+    let dst_specs = [(f.phi_dst, 2u32, epoch + 2)];
+    let h_dst = begin_sync_fields(sim, comm, dec, &dst_specs, epoch + 2, cfg);
     let mu_tapes = phase_tapes(sim, cfg.mu_variant, false);
     let t0 = std::time::Instant::now();
     run_phase_interiors(sim, &mu_tapes, plan.mu, rank);
     pf_trace::counter_at("comm.overlap_window_ns", rank).incr(t0.elapsed().as_nanos() as u64);
-    finish_sync_field(sim, comm, dec, f.phi_dst, h_dst, cfg);
+    finish_sync_fields(sim, comm, dec, &dst_specs, h_dst, cfg);
     run_phase_frontiers(sim, &mu_tapes, plan.mu, rank);
 
     sim.store.swap(f.phi_src, f.phi_dst);
@@ -528,8 +649,14 @@ pub fn dist_step(sim: &mut Simulation, comm: &mut Comm, dec: &Decomposition, cfg
     let _span = pf_trace::span_at("dist.step", comm.rank());
     let f = sim.kernels.fields;
     let epoch = sim.step_count * 4;
-    sync_field(sim, comm, dec, f.phi_src, 0, epoch, cfg);
-    sync_field(sim, comm, dec, f.mu_src, 1, epoch + 1, cfg);
+    sync_fields(
+        sim,
+        comm,
+        dec,
+        &[(f.phi_src, 0u32, epoch), (f.mu_src, 1u32, epoch + 1)],
+        epoch,
+        cfg,
+    );
 
     let phi_full = sim.kernels.phi_full.clone();
     let phi_split = sim.kernels.phi_split.clone();
@@ -538,7 +665,14 @@ pub fn dist_step(sim: &mut Simulation, comm: &mut Comm, dec: &Decomposition, cfg
         Variant::Split => sim.run_split(&phi_split),
     }
     sim.project_simplex(f.phi_dst);
-    sync_field(sim, comm, dec, f.phi_dst, 2, epoch + 2, cfg);
+    sync_fields(
+        sim,
+        comm,
+        dec,
+        &[(f.phi_dst, 2u32, epoch + 2)],
+        epoch + 2,
+        cfg,
+    );
 
     let mu_full = sim.kernels.mu_full.clone();
     let mu_split = sim.kernels.mu_split.clone();
@@ -573,7 +707,8 @@ pub fn run_distributed<R>(
 where
     R: Send + 'static,
 {
-    let dec = Decomposition::new(cfg.global, cfg.ranks, cfg.periodic());
+    let dec = cfg.decomposition();
+    debug_assert_eq!(dec.nranks(), cfg.ranks);
     // The halo exchange fills dec.ghost_layers layers per sync; a kernel
     // whose loads reach further would read stale or uninitialized ghosts.
     let need = crate::kernels::required_halo_width(kernels);
@@ -640,10 +775,19 @@ where
             sim.init_phi(|x, y, z| init_phi(x as i64 + ox, y as i64 + oy, z as i64 + oz));
             sim.init_mu(|x, y, z| init_mu(x as i64 + ox, y as i64 + oy, z as i64 + oz));
             let meta = cfg.rank_meta(&dec, comm.rank());
+            // Diff base for incremental writes, and how many increments
+            // the set it names already sits on.
+            let mut ckpt_base: Option<checkpoint::IncrementalBase> = None;
+            let mut incs_since_full = 0u64;
             if let (Some(ck), Some(step)) = (&cfg.checkpoint, resume_step) {
-                let path = checkpoint::rank_file(&ck.dir, step, comm.rank());
-                checkpoint::load(&mut sim, &meta, &path)
-                    .unwrap_or_else(|e| panic!("restore from {}: {e}", path.display()));
+                let applied = checkpoint::load_chain(&mut sim, &meta, &ck.dir, step, comm.rank())
+                    .unwrap_or_else(|e| {
+                        panic!("restore from set {step} under {}: {e}", ck.dir.display())
+                    });
+                // The resumed set is on disk and complete, so it can serve
+                // as a base; its chain depth carries over.
+                ckpt_base = Some(checkpoint::IncrementalBase::capture(&sim));
+                incs_since_full = applied as u64;
             }
             while sim.step_count < steps as u64 {
                 if let Some(plan) = comm.fault_plan() {
@@ -669,8 +813,21 @@ where
                         let path = checkpoint::rank_file(&ck.dir, sim.step_count, comm.rank());
                         let _span = pf_trace::span_at("dist.checkpoint_write", comm.rank());
                         let t0 = std::time::Instant::now();
-                        checkpoint::save(&sim, &meta, &path)
-                            .unwrap_or_else(|e| panic!("checkpoint to {}: {e}", path.display()));
+                        let incremental = ck.incremental
+                            && ckpt_base.is_some()
+                            && incs_since_full < ck.full_every.max(1);
+                        if let (true, Some(base)) = (incremental, &ckpt_base) {
+                            checkpoint::save_incremental(&sim, &meta, base, &path).unwrap_or_else(
+                                |e| panic!("checkpoint to {}: {e}", path.display()),
+                            );
+                            incs_since_full += 1;
+                        } else {
+                            checkpoint::save(&sim, &meta, &path).unwrap_or_else(|e| {
+                                panic!("checkpoint to {}: {e}", path.display())
+                            });
+                            incs_since_full = 0;
+                        }
+                        ckpt_base = Some(checkpoint::IncrementalBase::capture(&sim));
                         // The step loop stalls for the whole write — that stall
                         // is the drain the I/O pricing model cares about.
                         pf_trace::gauge_at("dist.checkpoint_drain_s", comm.rank())
@@ -951,6 +1108,127 @@ mod tests {
             mu_frontier.contains(&ks.fields.phi_dst.name()),
             "{mu_frontier:?}"
         );
+    }
+
+    /// The protocol proof carries over to hierarchical decompositions:
+    /// their flat process grid is the node-grid × socket-grid product, so
+    /// `dim_classes` lands on one of the 2³ patterns the verifier already
+    /// covers, and `check_protocol` re-proves the exchange sound for the
+    /// hierarchical neighbour sets at every scale we target.
+    #[test]
+    fn hierarchical_decomposition_protocol_is_proven_sound() {
+        let p = crate::kernels::tests::mini_model();
+        let ks = generate_kernels(&p, &GenOptions::default());
+        for (global, nodes, rpn) in [
+            ([64usize, 64, 32], 16, 16), // 256 ranks, node × socket
+            ([32, 32, 16], 8, 8),        // 64 ranks
+            ([16, 16, 4], 4, 4),         // 16 ranks
+            ([16, 12, 1], 2, 2),         // the bitwise-suite shape
+        ] {
+            let dec = Decomposition::hierarchical(global, nodes, rpn, [true; 3]);
+            assert_eq!(dec.nranks(), nodes * rpn);
+            let classes = dim_classes(&dec);
+            assert!(
+                pf_analyze::all_dim_patterns().contains(&classes),
+                "hierarchical pattern {classes:?} outside the proven set"
+            );
+            let diags = pf_analyze::check_protocol(&overlap_protocol_model(
+                &ks,
+                Variant::Full,
+                Variant::Split,
+                classes,
+            ));
+            assert!(
+                diags.is_empty(),
+                "{nodes}x{rpn} over {global:?}: {}",
+                pf_analyze::render(&diags)
+            );
+        }
+    }
+
+    /// Hierarchical rank placement is mapping-only: the same world run
+    /// with `ranks_per_node` set must reproduce the flat run bit for bit,
+    /// blocking and overlapped alike.
+    #[test]
+    fn hierarchical_mapping_matches_flat_bitwise() {
+        let p = crate::kernels::tests::mini_model();
+        let ks = generate_kernels(&p, &GenOptions::default());
+        let global = [16usize, 12, 1];
+        let init_phi = |x: i64, y: i64, _z: i64| {
+            let d = (((x as f64 - 8.0).powi(2) + (y as f64 - 6.0).powi(2)).sqrt() - 4.0) / 3.0;
+            let solid = 0.5 * (1.0 - d.tanh());
+            vec![1.0 - solid, solid]
+        };
+        let init_mu = |_: i64, _: i64, _: i64| vec![0.1];
+        // Same flat process grid either way, so blocks line up rank-for-rank.
+        assert_eq!(
+            Decomposition::hierarchical(global, 2, 2, [true; 3]).grid,
+            Decomposition::new(global, 4, [true; 3]).grid,
+        );
+        let run = |rpn: Option<usize>, overlap: bool| {
+            let mut dcfg = DistConfig::new(global, 4);
+            dcfg.ranks_per_node = rpn;
+            dcfg.comm.overlap = overlap;
+            run_distributed(&p, &ks, &dcfg, 4, init_phi, init_mu, |sim| {
+                (sim.phi().clone(), sim.mu().clone())
+            })
+        };
+        for overlap in [false, true] {
+            let flat = run(None, overlap);
+            let hier = run(Some(2), overlap);
+            for (f, h) in flat.iter().zip(&hier) {
+                assert_eq!(f.0.max_abs_diff(&h.0), 0.0, "overlap={overlap} phi");
+                assert_eq!(f.1.max_abs_diff(&h.1), 0.0, "overlap={overlap} mu");
+            }
+        }
+    }
+
+    /// Batching is a transport-level refinement: coalescing the per-field
+    /// face messages into one packed message per (neighbour, epoch) must
+    /// leave every ghost byte identical — including when the reliability
+    /// layer is being hammered by dropped, duplicated, and delayed
+    /// messages.
+    #[test]
+    fn batched_exchange_matches_unbatched_bitwise_under_message_faults() {
+        let p = crate::kernels::tests::mini_model();
+        let ks = generate_kernels(&p, &GenOptions::default());
+        let global = [16usize, 12, 1];
+        let init_phi = |x: i64, y: i64, _z: i64| {
+            let d = (((x as f64 - 8.0).powi(2) + (y as f64 - 6.0).powi(2)).sqrt() - 4.0) / 3.0;
+            let solid = 0.5 * (1.0 - d.tanh());
+            vec![1.0 - solid, solid]
+        };
+        let init_mu = |_: i64, _: i64, _: i64| vec![0.1];
+        let run = |batch: bool, overlap: bool, faults: Option<FaultPlan>| {
+            let mut dcfg = DistConfig::new(global, 4);
+            dcfg.comm.batch = batch;
+            dcfg.comm.overlap = overlap;
+            dcfg.faults = faults;
+            run_distributed(&p, &ks, &dcfg, 4, init_phi, init_mu, |sim| {
+                (sim.phi().clone(), sim.mu().clone())
+            })
+        };
+        let plan = || {
+            Some(
+                FaultPlan::new(0xBA7C4)
+                    .drop_prob(0.2)
+                    .dup_prob(0.2)
+                    .delay_prob(0.3),
+            )
+        };
+        for overlap in [false, true] {
+            let clean = run(false, overlap, None);
+            for (label, res) in [
+                ("batched", run(true, overlap, None)),
+                ("batched+faults", run(true, overlap, plan())),
+                ("unbatched+faults", run(false, overlap, plan())),
+            ] {
+                for (c, r) in clean.iter().zip(&res) {
+                    assert_eq!(c.0.max_abs_diff(&r.0), 0.0, "{label} overlap={overlap} phi");
+                    assert_eq!(c.1.max_abs_diff(&r.1), 0.0, "{label} overlap={overlap} mu");
+                }
+            }
+        }
     }
 
     /// Seeded protocol mutations: each distortion of the schedule is

@@ -38,8 +38,36 @@ pub const DEAD_RANK_MARKER: &str = "pf-grid: peer rank presumed dead";
 
 /// How long one tag-matched receive waits before requesting a retransmit.
 const RETRY_TIMEOUT: Duration = Duration::from_millis(10);
-/// Receive attempts before declaring the peer dead (total ≈ 3 s).
+/// Receive attempts before declaring the peer dead (total ≈ 3 s at one
+/// rank per host core). See [`recv_attempt_limit`].
 const MAX_RECV_ATTEMPTS: u32 = 300;
+/// Quiet windows granted after a probe push found the peer's endpoint
+/// gone. A *cleanly finished* peer pushed everything we are owed before
+/// exiting (channel pushes are synchronous), so anything we will ever get
+/// from it is already local and a handful of drain passes finds it; only
+/// a genuinely dead peer leaves the queue dry past this grace. Kept short
+/// deliberately — it bounds how fast a kill cascades across the world,
+/// one neighbour hop per grace period.
+const GRACE_RECV_ATTEMPTS: u32 = 25;
+
+/// Quiet receive windows a rank tolerates before declaring a peer dead.
+///
+/// Worlds larger than the host's core count time-share their rank
+/// threads, so each rank gets proportionally fewer scheduling quanta per
+/// wall-clock second — at 128 simulated ranks on a single core, a healthy
+/// peer can legitimately stay silent for far longer than the 3 s budget
+/// that is right for an unoversubscribed world. The budget therefore
+/// scales with the oversubscription factor `ceil(size / host_threads)`.
+/// This does NOT slow down detection of genuinely dead ranks: a dead
+/// rank's channel endpoint closes when its thread unwinds, and the next
+/// `push` to it fails immediately, independent of this budget.
+fn recv_attempt_limit(size: usize) -> u32 {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let oversub = size.div_ceil(threads).clamp(1, 4096) as u32;
+    MAX_RECV_ATTEMPTS.saturating_mul(oversub)
+}
 /// Bounded retransmit-outbox size per rank (entries, not bytes).
 const OUTBOX_CAP: usize = 1024;
 
@@ -83,7 +111,10 @@ pub struct FaultPlan {
     pub drop_prob: f64,
     pub dup_prob: f64,
     pub delay_prob: f64,
-    pub kill: Option<Kill>,
+    /// Planned rank deaths, possibly several (distinct ranks at distinct
+    /// steps). Kills at the earliest armed step fire first; the resilient
+    /// driver disarms them one wave at a time as it restarts.
+    pub kills: Vec<Kill>,
 }
 
 impl FaultPlan {
@@ -109,22 +140,30 @@ impl FaultPlan {
         self
     }
 
+    /// Plan a rank death. May be called repeatedly to schedule several
+    /// kills (each at its own step); every planned death costs one restart
+    /// of the resilient driver, which allows up to three.
     pub fn kill_rank_at_step(mut self, rank: usize, step: u64) -> Self {
-        self.kill = Some(Kill { rank, step });
+        self.kills.push(Kill { rank, step });
         self
     }
 
-    /// The same plan with the kill removed — used when restarting a cohort
-    /// after the planned death already happened.
+    /// The same plan with the earliest armed kill wave removed — used when
+    /// restarting a cohort after that death already happened. Later kills
+    /// stay armed, so a multi-kill plan replays its deaths one restart at
+    /// a time (execution is deterministic, so the earliest armed kill is
+    /// always the one that just fired).
     pub fn disarmed(&self) -> Self {
         let mut p = self.clone();
-        p.kill = None;
+        if let Some(first) = p.kills.iter().map(|k| k.step).min() {
+            p.kills.retain(|k| k.step != first);
+        }
         p
     }
 
     /// Should `rank` die before executing `step`?
     pub fn should_kill(&self, rank: usize, step: u64) -> bool {
-        matches!(self.kill, Some(k) if k.rank == rank && k.step == step)
+        self.kills.iter().any(|k| k.rank == rank && k.step == step)
     }
 
     fn roll(&self, from: usize, to: usize, tag: u64) -> FaultAction {
@@ -175,6 +214,13 @@ struct TraceProbes {
     retransmits: pf_trace::Counter,
     dedup_dropped: pf_trace::Counter,
     faults_injected: pf_trace::Counter,
+    /// Coalesced messages actually sent by the batched halo exchange.
+    batch_messages: pf_trace::Counter,
+    /// Payload bytes carried by coalesced messages.
+    batch_bytes: pf_trace::Counter,
+    /// Messages the coalescing avoided (fields folded into an existing
+    /// message instead of travelling alone).
+    batch_saved: pf_trace::Counter,
 }
 
 impl TraceProbes {
@@ -187,6 +233,9 @@ impl TraceProbes {
             retransmits: pf_trace::counter_at("comm.retransmits", rank),
             dedup_dropped: pf_trace::counter_at("comm.dedup_dropped", rank),
             faults_injected: pf_trace::counter_at("comm.faults_injected", rank),
+            batch_messages: pf_trace::counter_at("comm.batch.messages", rank),
+            batch_bytes: pf_trace::counter_at("comm.batch.bytes", rank),
+            batch_saved: pf_trace::counter_at("comm.batch.saved_messages", rank),
         }
     }
 }
@@ -236,6 +285,9 @@ pub struct Comm {
     /// Messages the fault injector is holding back; flushed one send later.
     delayed: Vec<(usize, Msg)>,
     faults: Option<Arc<FaultPlan>>,
+    /// Quiet-window budget for `recv`, oversubscription-scaled at world
+    /// creation (see [`recv_attempt_limit`]).
+    recv_attempts: u32,
     pub stats: Arc<CommStats>,
     trace: TraceProbes,
 }
@@ -265,6 +317,7 @@ impl Comm {
                 outbox_order: VecDeque::new(),
                 delayed: Vec::new(),
                 faults: plan.clone(),
+                recv_attempts: recv_attempt_limit(size),
                 stats: Arc::new(CommStats::default()),
                 trace: TraceProbes::for_rank(rank),
             })
@@ -299,8 +352,11 @@ impl Comm {
     }
 
     fn flush_delayed(&mut self) {
+        // A fault-delayed message is a redundant late copy; a peer whose
+        // endpoint is already gone either finished (and no longer wants
+        // it) or died (which its neighbours detect on primary traffic).
         for (to, msg) in std::mem::take(&mut self.delayed) {
-            self.push_or_die(to, msg);
+            let _ = self.push(to, msg);
         }
     }
 
@@ -380,9 +436,25 @@ impl Comm {
             }
             FaultAction::Delay => self.delayed.push((to, msg)),
         }
+        // Same rationale as `flush_delayed`: late copies to a gone peer
+        // are dropped, not fatal.
         for (to, m) in held {
-            self.push_or_die(to, m);
+            let _ = self.push(to, m);
         }
+    }
+
+    /// [`Comm::send`] for a message that coalesces `coalesced` per-field
+    /// face buffers into one payload (the neighbour-batched halo
+    /// exchange). Identical wire behaviour — same reliability layer, same
+    /// fault injection — plus the `comm.batch.*` accounting: one batched
+    /// message saves `coalesced - 1` sends over the unbatched protocol.
+    pub fn send_batched(&mut self, to: usize, tag: u64, data: Vec<f64>, coalesced: usize) {
+        self.trace.batch_messages.incr(1);
+        self.trace.batch_bytes.incr((data.len() * 8) as u64);
+        self.trace
+            .batch_saved
+            .incr(coalesced.saturating_sub(1) as u64);
+        self.send(to, tag, data);
     }
 
     /// Fault-immune tagged send: same bookkeeping as [`Comm::send`], never
@@ -412,7 +484,11 @@ impl Comm {
 
     /// Service a retransmit request for `(requester, tag)` from the outbox.
     /// A request for a message not sent yet is ignored — the requester will
-    /// time out and ask again after we actually send it.
+    /// time out and ask again after we actually send it. A requester whose
+    /// endpoint is gone by the time we serve is also ignored: it either
+    /// received the original and finished, or it died — neither is *our*
+    /// failure, and treating it as one is what turns a single slow rank
+    /// into a world-wide cascade on oversubscribed hosts.
     fn serve_retransmit(&mut self, requester: usize, tag: u64) {
         if let Some((seq, data)) = self.outbox.get(&(requester, tag)) {
             self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
@@ -424,7 +500,7 @@ impl Comm {
                 ctrl: false,
                 data: data.clone(),
             };
-            self.push_or_die(requester, msg);
+            let _ = self.push(requester, msg);
         }
     }
 
@@ -451,7 +527,8 @@ impl Comm {
 
     /// Blocking tag-matched receive with retry: after each quiet
     /// [`RETRY_TIMEOUT`] a retransmit request is sent to `from`; after
-    /// [`MAX_RECV_ATTEMPTS`] quiet windows the peer is declared dead.
+    /// the world's oversubscription-scaled quiet-window budget (see
+    /// [`recv_attempt_limit`]) the peer is declared dead.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         self.flush_delayed();
         if let Some(q) = self.pending.get_mut(&(from, tag)) {
@@ -462,6 +539,8 @@ impl Comm {
         }
         let _wait = WaitTimer::start(&self.trace.recv_wait_ns);
         let mut attempts = 0u32;
+        let mut limit = self.recv_attempts;
+        let mut peer_gone = false;
         loop {
             match self.receiver.recv_timeout(RETRY_TIMEOUT) {
                 Ok(m) => {
@@ -472,15 +551,23 @@ impl Comm {
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     attempts += 1;
-                    if attempts >= MAX_RECV_ATTEMPTS {
+                    if attempts >= limit {
                         panic!(
                             "{DEAD_RANK_MARKER}: rank {} gave up waiting for \
                              rank {from} tag {tag:#x}",
                             self.rank
                         );
                     }
-                    // Ask the sender to retransmit; a dead sender is
-                    // detected right here by the failed push.
+                    if peer_gone {
+                        continue;
+                    }
+                    // Ask the sender to retransmit. A failed push means the
+                    // peer's endpoint is gone — but that alone does not
+                    // prove the message is lost: a cleanly finished peer
+                    // sent everything we are owed before exiting, and the
+                    // payload may simply still be sitting in our queue. So
+                    // switch to draining quietly under a short grace budget;
+                    // only if nothing surfaces is the peer declared dead.
                     let req = Msg {
                         from: self.rank,
                         tag,
@@ -488,7 +575,10 @@ impl Comm {
                         ctrl: true,
                         data: Vec::new(),
                     };
-                    self.push_or_die(from, req);
+                    if self.push(from, req).is_err() {
+                        peer_gone = true;
+                        limit = limit.min(attempts.saturating_add(GRACE_RECV_ATTEMPTS));
+                    }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     // Impossible: we hold a sender to our own channel.
@@ -772,6 +862,26 @@ mod tests {
         assert!(actions.contains(&FaultAction::Drop));
         assert!(actions.contains(&FaultAction::Duplicate));
         assert!(actions.contains(&FaultAction::Deliver));
+    }
+
+    #[test]
+    fn multi_kill_plans_disarm_one_wave_at_a_time() {
+        let plan = FaultPlan::new(1)
+            .kill_rank_at_step(3, 2)
+            .kill_rank_at_step(7, 5)
+            .kill_rank_at_step(1, 9);
+        assert!(plan.should_kill(3, 2) && plan.should_kill(7, 5) && plan.should_kill(1, 9));
+        assert!(!plan.should_kill(3, 5));
+        // Each disarm removes exactly the earliest armed wave.
+        let after_first = plan.disarmed();
+        assert!(!after_first.should_kill(3, 2));
+        assert!(after_first.should_kill(7, 5) && after_first.should_kill(1, 9));
+        let after_second = after_first.disarmed();
+        assert!(!after_second.should_kill(7, 5));
+        assert!(after_second.should_kill(1, 9));
+        assert!(after_second.disarmed().kills.is_empty());
+        // Disarming an empty plan is a no-op, not a panic.
+        assert!(after_second.disarmed().disarmed().kills.is_empty());
     }
 
     #[test]

@@ -22,6 +22,22 @@ pub struct Decomposition {
     /// Ghost layers each block allocates per field (and the exchange
     /// fills); see [`GHOST_LAYERS`].
     pub ghost_layers: usize,
+    /// Hierarchical (node × socket) refinement, if this decomposition was
+    /// built with [`Decomposition::hierarchical`]. The flat `grid` is
+    /// always the per-dimension product `outer * inner`, so every
+    /// rank/coordinate/neighbor query is hierarchy-agnostic; the levels
+    /// only add locality queries ([`node_of`](Self::node_of) etc.).
+    pub hierarchy: Option<Hierarchy>,
+}
+
+/// The two levels of a hierarchical decomposition: an outer inter-node
+/// grid, each cell of which is refined by the same inner intra-node grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hierarchy {
+    /// Inter-node process grid (one cell per node).
+    pub outer: [usize; 3],
+    /// Intra-node process grid (one cell per rank within a node).
+    pub inner: [usize; 3],
 }
 
 /// One rank's block.
@@ -71,6 +87,47 @@ impl Decomposition {
             grid,
             periodic,
             ghost_layers: GHOST_LAYERS,
+            hierarchy: None,
+        }
+    }
+
+    /// Two-level (node × socket) split: `nodes` ranks' worth of outer
+    /// inter-node grid, each node block refined by an inner intra-node
+    /// grid of `ranks_per_node` ranks. The flat process grid is the
+    /// per-dimension product of the two levels, so the world has
+    /// `nodes * ranks_per_node` ranks and every flat query
+    /// (`coords_of`/`rank_of`/`neighbor`/`block`) behaves exactly as for
+    /// [`Decomposition::new`] with the same grid — bitwise-identical
+    /// fields are a corollary, and the overlap-protocol proof carries
+    /// over because it depends only on which dimensions are divided.
+    pub fn hierarchical(
+        global: [usize; 3],
+        nodes: usize,
+        ranks_per_node: usize,
+        periodic: [bool; 3],
+    ) -> Self {
+        assert!(nodes >= 1 && ranks_per_node >= 1);
+        // Outer level: surface-optimal split of the global domain over
+        // the nodes, exactly as the flat constructor would pick it.
+        let outer_dec = Decomposition::new(global, nodes, periodic);
+        let outer = outer_dec.grid;
+        let node_block = outer_dec.block_shape();
+        // Inner level: surface-optimal split of one node's block over the
+        // node's ranks. Every node block is identical, so one inner grid
+        // serves them all.
+        let inner_dec = Decomposition::new(node_block, ranks_per_node, periodic);
+        let inner = inner_dec.grid;
+        let grid = [
+            outer[0] * inner[0],
+            outer[1] * inner[1],
+            outer[2] * inner[2],
+        ];
+        Decomposition {
+            global,
+            grid,
+            periodic,
+            ghost_layers: GHOST_LAYERS,
+            hierarchy: Some(Hierarchy { outer, inner }),
         }
     }
 
@@ -85,6 +142,51 @@ impl Decomposition {
 
     pub fn nranks(&self) -> usize {
         self.grid.iter().product()
+    }
+
+    /// Outer (inter-node) process grid. A flat decomposition is one node
+    /// holding every rank, so its outer grid is `[1, 1, 1]`.
+    pub fn outer_grid(&self) -> [usize; 3] {
+        self.hierarchy.map_or([1, 1, 1], |h| h.outer)
+    }
+
+    /// Inner (intra-node) process grid. For a flat decomposition this is
+    /// the whole flat grid (single node).
+    pub fn inner_grid(&self) -> [usize; 3] {
+        self.hierarchy.map_or(self.grid, |h| h.inner)
+    }
+
+    /// Number of nodes in the outer level.
+    pub fn nnodes(&self) -> usize {
+        self.outer_grid().iter().product()
+    }
+
+    /// Ranks per node in the inner level.
+    pub fn ranks_per_node(&self) -> usize {
+        self.inner_grid().iter().product()
+    }
+
+    /// Which node (outer-grid index, x-fastest like ranks) owns `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        let c = self.coords_of(rank);
+        let inner = self.inner_grid();
+        let outer = self.outer_grid();
+        let n = [c[0] / inner[0], c[1] / inner[1], c[2] / inner[2]];
+        n[0] + outer[0] * (n[1] + outer[1] * n[2])
+    }
+
+    /// `rank`'s index within its node (inner-grid index, x-fastest).
+    pub fn node_local_of(&self, rank: usize) -> usize {
+        let c = self.coords_of(rank);
+        let inner = self.inner_grid();
+        let l = [c[0] % inner[0], c[1] % inner[1], c[2] % inner[2]];
+        l[0] + inner[0] * (l[1] + inner[1] * l[2])
+    }
+
+    /// Whether two ranks share a node (intra-node messages are the cheap
+    /// ones a hierarchical mapping is meant to maximize).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
     }
 
     /// Block shape (equal for all ranks).
@@ -233,5 +335,77 @@ mod tests {
         let d = Decomposition::new([32, 32, 32], 2, [true; 3]);
         assert_eq!(d.ghost_layers, GHOST_LAYERS);
         assert_eq!(d.with_ghost_layers(2).ghost_layers, 2);
+    }
+
+    #[test]
+    fn hierarchical_grid_is_the_product_of_both_levels() {
+        // A 256-rank world: 16 nodes × 16 ranks/node.
+        let d = Decomposition::hierarchical([64, 64, 32], 16, 16, [true; 3]);
+        assert_eq!(d.nranks(), 256);
+        assert_eq!(d.nnodes(), 16);
+        assert_eq!(d.ranks_per_node(), 16);
+        let (outer, inner) = (d.outer_grid(), d.inner_grid());
+        for dim in 0..3 {
+            assert_eq!(d.grid[dim], outer[dim] * inner[dim]);
+        }
+        // The flat queries still tile the domain exactly.
+        let covered: usize = (0..d.nranks())
+            .map(|r| d.block(r).shape.iter().product::<usize>())
+            .sum();
+        assert_eq!(covered, 64 * 64 * 32);
+        for r in 0..d.nranks() {
+            assert_eq!(d.rank_of(d.coords_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn flat_decomposition_is_a_single_node() {
+        let d = Decomposition::new([32, 32, 8], 4, [true; 3]);
+        assert!(d.hierarchy.is_none());
+        assert_eq!(d.outer_grid(), [1, 1, 1]);
+        assert_eq!(d.inner_grid(), d.grid);
+        assert_eq!(d.nnodes(), 1);
+        assert_eq!(d.ranks_per_node(), d.nranks());
+        for r in 0..d.nranks() {
+            assert_eq!(d.node_of(r), 0);
+            assert_eq!(d.node_local_of(r), r);
+        }
+    }
+
+    #[test]
+    fn every_node_holds_exactly_ranks_per_node_ranks() {
+        let d = Decomposition::hierarchical([32, 32, 16], 8, 8, [true; 3]);
+        let mut per_node = vec![0usize; d.nnodes()];
+        for r in 0..d.nranks() {
+            let node = d.node_of(r);
+            assert!(node < d.nnodes());
+            assert!(d.node_local_of(r) < d.ranks_per_node());
+            per_node[node] += 1;
+            assert!(d.same_node(r, r));
+        }
+        assert!(per_node.iter().all(|&n| n == d.ranks_per_node()));
+    }
+
+    #[test]
+    fn hierarchical_blocks_match_the_flat_grid_with_the_same_shape() {
+        // The hierarchy refines the mapping, not the geometry: a flat
+        // decomposition pinned to the same process grid yields identical
+        // blocks and neighbours for every rank.
+        let h = Decomposition::hierarchical([32, 16, 16], 4, 4, [true, false, true]);
+        let flat = Decomposition {
+            global: h.global,
+            grid: h.grid,
+            periodic: h.periodic,
+            ghost_layers: h.ghost_layers,
+            hierarchy: None,
+        };
+        for r in 0..h.nranks() {
+            assert_eq!(h.block(r), flat.block(r));
+            for dim in 0..3 {
+                for side in [-1, 1] {
+                    assert_eq!(h.neighbor(r, dim, side), flat.neighbor(r, dim, side));
+                }
+            }
+        }
     }
 }

@@ -20,9 +20,10 @@ pub use comm::{
     run_ranks, run_ranks_with_faults, with_silenced_dead_rank_panics, Comm, CommStats, FaultPlan,
     Kill, DEAD_RANK_MARKER,
 };
-pub use decompose::{BlockInfo, Decomposition, GHOST_LAYERS};
+pub use decompose::{BlockInfo, Decomposition, Hierarchy, GHOST_LAYERS};
 pub use exchange::{
-    begin_exchange, exchange_halo, exchange_shape, finish_exchange, first_deferred_dim, halo_bytes,
-    pack_face, unpack_face, CommOptions, DimPhase, HaloHandle,
+    begin_exchange, begin_exchange_batched, exchange_halo, exchange_halo_batched, exchange_shape,
+    finish_exchange, finish_exchange_batched, first_deferred_dim, halo_bytes, pack_face,
+    unpack_face, BatchHandle, CommOptions, DimPhase, HaloHandle,
 };
 pub use region::{split_frontier, IterRegion};

@@ -148,6 +148,7 @@ fn main() {
     let opts = CommOptions {
         overlap: true,
         gpudirect: false,
+        ..CommOptions::default()
     };
     println!(
         "{:>10} {:>18} {:>22}",

@@ -62,7 +62,7 @@ test -s "$SMOKE_DIR/LINT_report.json" \
 # Tuned artifacts (table1) consult/fill the tuning cache; keep it hermetic
 # to this run instead of whatever the host's temp dir has accumulated.
 export PF_TUNE_CACHE_DIR="$SMOKE_DIR/tune-cache"
-for b in table1 table2 fig2_left fig2_middle fig2_right fig3 gpu_approx ablation; do
+for b in table1 table2 fig2_left fig2_middle fig2_right fig3 gpu_approx ablation weak_scaling; do
   echo "-- $b"
   PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR="$SMOKE_DIR" "$BIN/$b" > "$SMOKE_DIR/$b.log"
 done
@@ -135,6 +135,16 @@ grep -q '"measured_overlap"' "$SMOKE_DIR/BENCH_table2.json" \
   || { echo "table2 artifact carries no measured_overlap record" >&2; exit 1; }
 grep -q 'overlapped ' "$SMOKE_DIR/table2.log" \
   || { echo "table2 smoke never ran the overlapped schedule" >&2; exit 1; }
+
+echo "== weak scaling smoke =="
+# The weak_scaling binary above drove the real distributed runtime at
+# 2→16 simulated ranks (full mode sweeps to 128) with batched halos and
+# the overlapped schedule; pin that the artifact carries the scaling
+# series the perf gate's efficiency check consumes.
+grep -q '"weak_scaling"' "$SMOKE_DIR/BENCH_weak_scaling.json" \
+  || { echo "weak_scaling artifact carries no extra.weak_scaling block" >&2; exit 1; }
+grep -q 'ranks' "$SMOKE_DIR/weak_scaling.log" \
+  || { echo "weak_scaling smoke printed no scaling table" >&2; exit 1; }
 
 echo "== perf gate =="
 # Reuses the smoke artifacts just produced (skip the second run). Smoke

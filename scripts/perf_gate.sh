@@ -11,7 +11,7 @@
 # instead of re-running the benches (scripts/ci.sh does this to avoid a
 # duplicate smoke pass).
 #
-# Artifacts are validated against schema `pf-bench/5`, whose per-record
+# Artifacts are validated against schema `pf-bench/6`, whose per-record
 # execution modes include the compiled `native` engine. Native records in
 # the committed baselines are only compared when the fresh run produced
 # them too (hosts whose toolchain cannot load cdylibs skip the native
@@ -22,6 +22,14 @@
 # regret at or below PF_TUNE_GATE_TOL (default 0.10 = 10%). A tuner that
 # picks a configuration leaving more than that on the table fails the
 # gate even when raw throughput still clears its baseline floor.
+#
+# And it gates distributed scaling: every point of the weak_scaling
+# artifact's `extra.weak_scaling.series` must keep its measured parallel
+# efficiency within PF_SCALE_GATE_TOL (default 0.30) of the pf-cluster
+# prediction for the same rank count. The measured side is
+# oversubscription-corrected (the sweep time-shares up to 128 rank
+# threads onto however many cores the host has), so what the gate sees
+# is genuine runtime overhead, not host contention.
 #
 # To refresh the baselines after an intentional perf change:
 #   PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR=baselines cargo run --release -p pf-bench --bin <each>
@@ -53,7 +61,7 @@ else
   # Hermetic tuning cache: the tuned artifacts must re-tune from cold here,
   # not inherit whatever the host's temp dir holds.
   export PF_TUNE_CACHE_DIR="$FRESH/tune-cache"
-  for b in table1 table2 fig2_left fig2_middle fig2_right fig3 gpu_approx ablation; do
+  for b in table1 table2 fig2_left fig2_middle fig2_right fig3 gpu_approx ablation weak_scaling; do
     echo "perf_gate: running $b (smoke)"
     PF_BENCH_SMOKE=1 PF_BENCH_OUT_DIR="$FRESH" "target/release/$b" > "$FRESH/$b.log"
   done

@@ -1,0 +1,217 @@
+//! Property tests for the version-2 *incremental* checkpoint format:
+//! any random sequence of dirty regions replays back bitwise through the
+//! increment chain, a version-1 reader rejects v2 bytes with a typed
+//! `UnsupportedVersion`, misapplication to the wrong base state is a
+//! typed `Incompatible`, and any truncation or byte corruption of an
+//! increment is rejected — never a panic, never silently wrong state,
+//! and the victim simulation is left untouched on every failure path.
+
+use pf_core::checkpoint::{
+    apply_incremental, decode_into, encode_incremental, incremental_base_step, peek_version,
+    IncrementalBase, VERSION_INCREMENTAL,
+};
+use pf_core::{generate_kernels, CheckpointError, RankMeta, SimConfig, Simulation, Variant};
+use pf_ir::GenOptions;
+use proptest::prelude::*;
+
+fn mini() -> pf_core::ModelParams {
+    let mut p = pf_core::p1();
+    p.phases = 2;
+    p.components = 2;
+    p.dim = 2;
+    p.dt = 0.005;
+    p.gamma = vec![vec![0.0, 0.4], vec![0.4, 0.0]];
+    p.tau = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+    p.diffusivity = vec![1.0, 0.1];
+    p.a_coeff = vec![vec![-0.5], vec![-0.5]];
+    p.b_coeff = vec![vec![(0.0, 0.05)], vec![(-0.3, 0.05)]];
+    p.c_coeff = vec![(0.01, 0.0), (0.01, 0.0)];
+    p.orientation = vec![0.0, 0.0];
+    p.temperature.gradient = 0.0;
+    p.fluctuation_amplitude = 0.0;
+    p
+}
+
+/// A deterministic simulation at `steps` steps; `salt` varies the initial
+/// condition (and with it which rows each step dirties) between cases.
+fn sim_at(nx: usize, ny: usize, steps: usize, salt: f64) -> (Simulation, RankMeta) {
+    let p = mini();
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let mut cfg = SimConfig::new([nx, ny, 1]);
+    cfg.phi_variant = Variant::Full;
+    cfg.mu_variant = Variant::Split;
+    let mut sim = Simulation::new(p, ks, cfg);
+    sim.init_phi(|x, y, _| {
+        let d = ((x as f64 - nx as f64 / 2.0).powi(2) + (y as f64 - ny as f64 / 2.0).powi(2))
+            .sqrt()
+            - 3.0
+            - salt;
+        let s = 0.5 * (1.0 - (d / 2.0).tanh());
+        vec![1.0 - s, s]
+    });
+    sim.init_mu(|x, y, _| vec![0.05 + 0.002 * salt + 0.001 * ((x + y) % 3) as f64]);
+    sim.run_steps(steps);
+    let meta = RankMeta::single([nx, ny, 1]);
+    (sim, meta)
+}
+
+fn snapshot(sim: &Simulation) -> Vec<u64> {
+    let mut out = Vec::new();
+    let shape = sim.phi().shape();
+    for (arr, comps) in [(sim.phi(), 2usize), (sim.mu(), 1usize)] {
+        for c in 0..comps {
+            for z in 0..shape[2] as isize {
+                for y in 0..shape[1] as isize {
+                    for x in 0..shape[0] as isize {
+                        out.push(arr.get(c, x, y, z).to_bits());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    // Each case regenerates kernels (expensive); a modest deterministic
+    // case count keeps the suite fast while still sweeping shapes, chain
+    // lengths, and corruption positions.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Evolve a front through a random-length sequence of increments —
+    /// each step dirties a different shell of rows, so the dirty-region
+    /// pattern varies per increment and per case — then replay the chain
+    /// onto a fresh simulation parked at the base step. The replayed
+    /// state must equal the source bitwise at every link, exactly as a
+    /// full snapshot would.
+    #[test]
+    fn random_dirty_region_sequences_replay_bitwise(
+        nx in 6usize..14,
+        ny in 6usize..14,
+        base_steps in 0usize..3,
+        increments in 1usize..5,
+        stride in 1usize..3,
+        salt in 0.0f64..2.0,
+    ) {
+        let (mut sim, meta) = sim_at(nx, ny, base_steps, salt);
+        let mut base = IncrementalBase::capture(&sim);
+        let mut chain = Vec::new();
+        for _ in 0..increments {
+            sim.run_steps(stride);
+            let inc = encode_incremental(&sim, &meta, &base);
+            prop_assert_eq!(peek_version(&inc).unwrap(), VERSION_INCREMENTAL);
+            prop_assert_eq!(incremental_base_step(&inc).unwrap(), base.step);
+            chain.push(inc);
+            base = IncrementalBase::capture(&sim);
+        }
+
+        // The replay victim reproduces the base state independently, then
+        // walks the chain forward.
+        let (mut victim, _) = sim_at(nx, ny, base_steps, salt);
+        for inc in &chain {
+            apply_incremental(&mut victim, &meta, inc).expect("apply increment");
+        }
+        prop_assert_eq!(snapshot(&victim), snapshot(&sim));
+        prop_assert_eq!(victim.step_count, sim.step_count);
+    }
+
+    /// A version-1 reader handed version-2 bytes must fail with the typed
+    /// `UnsupportedVersion`, not misparse the delta as a full snapshot.
+    #[test]
+    fn version_one_readers_reject_any_increment(
+        steps in 1usize..4,
+        salt in 0.0f64..2.0,
+    ) {
+        let (mut sim, meta) = sim_at(8, 8, 0, salt);
+        let base = IncrementalBase::capture(&sim);
+        sim.run_steps(steps);
+        let inc = encode_incremental(&sim, &meta, &base);
+
+        let (mut victim, _) = sim_at(8, 8, 0, salt);
+        let before = snapshot(&victim);
+        let err = decode_into(&mut victim, &meta, &inc)
+            .expect_err("a v1 reader must reject v2 bytes");
+        prop_assert!(
+            matches!(err, CheckpointError::UnsupportedVersion(v) if v == VERSION_INCREMENTAL),
+            "unexpected error kind: {err}"
+        );
+        prop_assert_eq!(snapshot(&victim), before);
+    }
+
+    /// Applying an increment to a state that is not its base — too early,
+    /// too late, or differently initialized — is a typed error and leaves
+    /// the victim untouched; it never splices rows onto the wrong state.
+    #[test]
+    fn misapplication_to_the_wrong_base_is_typed(
+        extra in 1usize..3,
+        salt in 0.0f64..2.0,
+    ) {
+        let (mut sim, meta) = sim_at(8, 8, 1, salt);
+        let base = IncrementalBase::capture(&sim);
+        sim.run_steps(1);
+        let inc = encode_incremental(&sim, &meta, &base);
+
+        // Victim sits `extra` steps past the base step.
+        let (mut victim, _) = sim_at(8, 8, 1 + extra, salt);
+        let before = snapshot(&victim);
+        let err = apply_incremental(&mut victim, &meta, &inc)
+            .expect_err("wrong-base apply must be rejected");
+        prop_assert!(
+            matches!(err, CheckpointError::Incompatible(_)),
+            "unexpected error kind: {err}"
+        );
+        prop_assert_eq!(snapshot(&victim), before);
+    }
+
+    /// Any truncation of a valid increment is a typed error, and the
+    /// victim state survives the failed apply unchanged.
+    #[test]
+    fn any_truncation_of_an_increment_is_typed(
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (mut sim, meta) = sim_at(8, 8, 1, 0.0);
+        let base = IncrementalBase::capture(&sim);
+        sim.run_steps(1);
+        let inc = encode_incremental(&sim, &meta, &base);
+        let cut = ((inc.len() - 1) as f64 * cut_frac) as usize;
+        let truncated = &inc[..cut];
+
+        let (mut victim, _) = sim_at(8, 8, 1, 0.0);
+        let before = snapshot(&victim);
+        let err = apply_incremental(&mut victim, &meta, truncated)
+            .expect_err("truncated increment must be rejected");
+        prop_assert!(
+            matches!(err, CheckpointError::Truncated | CheckpointError::ChecksumMismatch),
+            "unexpected error kind: {err}"
+        );
+        prop_assert_eq!(snapshot(&victim), before);
+        // Version sniffing of the truncation must not panic either.
+        let _ = peek_version(truncated);
+        let _ = incremental_base_step(truncated);
+    }
+
+    /// Any single-byte corruption of an increment trips the checksum —
+    /// the trailer covers header, row index, and payload alike.
+    #[test]
+    fn any_single_byte_corruption_of_an_increment_is_typed(
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let (mut sim, meta) = sim_at(8, 8, 1, 0.0);
+        let base = IncrementalBase::capture(&sim);
+        sim.run_steps(1);
+        let mut inc = encode_incremental(&sim, &meta, &base);
+        let pos = ((inc.len() - 1) as f64 * pos_frac) as usize;
+        inc[pos] ^= flip;
+
+        let (mut victim, _) = sim_at(8, 8, 1, 0.0);
+        let before = snapshot(&victim);
+        let err = apply_incremental(&mut victim, &meta, &inc)
+            .expect_err("corrupted increment must be rejected");
+        prop_assert!(
+            matches!(err, CheckpointError::ChecksumMismatch),
+            "corruption at byte {pos} gave {err}"
+        );
+        prop_assert_eq!(snapshot(&victim), before);
+    }
+}

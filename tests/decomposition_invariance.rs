@@ -57,17 +57,19 @@ impl Drop for Scratch {
     }
 }
 
-/// Run a configuration and reassemble the per-rank blocks into the global
-/// φ and µ fields as raw bit patterns, indexed `[comp][z][y][x]`.
-fn global_bits(
+/// Run a configuration on a given global domain and reassemble the
+/// per-rank blocks into the global φ and µ fields as raw bit patterns,
+/// indexed `[comp][z][y][x]`.
+fn global_bits_on(
+    global: [usize; 3],
     p: &pf_core::ModelParams,
     ks: &KernelSet,
     cfg: &DistConfig,
     steps: usize,
 ) -> (Vec<u64>, Vec<u64>) {
-    let init_phi = |x: i64, y: i64, z: i64| {
-        let d = (((x as f64 - GLOBAL[0] as f64 / 2.0).powi(2)
-            + (y as f64 - GLOBAL[1] as f64 / 2.0).powi(2)
+    let init_phi = move |x: i64, y: i64, z: i64| {
+        let d = (((x as f64 - global[0] as f64 / 2.0).powi(2)
+            + (y as f64 - global[1] as f64 / 2.0).powi(2)
             + (z as f64) * (z as f64))
             .sqrt()
             - 4.0)
@@ -80,7 +82,7 @@ fn global_bits(
         (sim.origin, sim.phi().clone(), sim.mu().clone())
     });
 
-    let cells = GLOBAL[0] * GLOBAL[1] * GLOBAL[2];
+    let cells = global[0] * global[1] * global[2];
     let mut phi = vec![0u64; p.phases * cells];
     let mut mu = vec![0u64; p.num_mu() * cells];
     for (origin, bphi, bmu) in blocks {
@@ -89,8 +91,8 @@ fn global_bits(
             for y in 0..shape[1] {
                 for x in 0..shape[0] {
                     let g = (x + origin[0] as usize)
-                        + GLOBAL[0]
-                            * ((y + origin[1] as usize) + GLOBAL[1] * (z + origin[2] as usize));
+                        + global[0]
+                            * ((y + origin[1] as usize) + global[1] * (z + origin[2] as usize));
                     for a in 0..p.phases {
                         phi[a * cells + g] =
                             bphi.get(a, x as isize, y as isize, z as isize).to_bits();
@@ -106,12 +108,25 @@ fn global_bits(
     (phi, mu)
 }
 
-fn cfg(ranks: usize, overlap: bool) -> DistConfig {
-    let mut c = DistConfig::new(GLOBAL, ranks);
+fn global_bits(
+    p: &pf_core::ModelParams,
+    ks: &KernelSet,
+    cfg: &DistConfig,
+    steps: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    global_bits_on(GLOBAL, p, ks, cfg, steps)
+}
+
+fn cfg_on(global: [usize; 3], ranks: usize, overlap: bool) -> DistConfig {
+    let mut c = DistConfig::new(global, ranks);
     c.phi_variant = Variant::Full;
     c.mu_variant = Variant::Split;
     c.comm.overlap = overlap;
     c
+}
+
+fn cfg(ranks: usize, overlap: bool) -> DistConfig {
+    cfg_on(GLOBAL, ranks, overlap)
 }
 
 /// 1, 2, and 4 ranks × blocking/overlapped must all reassemble to the same
@@ -135,6 +150,40 @@ fn rank_count_and_schedule_leave_the_fields_bitwise_invariant() {
                 mu, ref_mu,
                 "mu differs from the 1-rank blocking reference (ranks {ranks}, overlap {overlap})"
             );
+        }
+    }
+}
+
+/// Past toy rank counts: 16 and 64 ranks, flat and hierarchical
+/// (node × socket) decompositions, blocking and overlapped schedules —
+/// every leg must still reassemble the 1-rank fields bit for bit. The
+/// hierarchical legs split 4 nodes × ranks/4 sockets; their flat product
+/// grid routes through exactly the same exchange machinery, so any
+/// hierarchy-dependence in rank mapping, tag assignment, or batching
+/// would surface here as a bitwise diff.
+#[test]
+fn high_rank_counts_and_hierarchical_decompositions_stay_bitwise() {
+    let global = [16, 16, 1];
+    let p = mini();
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let (ref_phi, ref_mu) = global_bits_on(global, &p, &ks, &cfg_on(global, 1, false), STEPS);
+    for ranks in [16usize, 64] {
+        for ranks_per_node in [None, Some(ranks / 4)] {
+            for overlap in [false, true] {
+                let mut c = cfg_on(global, ranks, overlap);
+                c.ranks_per_node = ranks_per_node;
+                let (phi, mu) = global_bits_on(global, &p, &ks, &c, STEPS);
+                let leg =
+                    format!("ranks {ranks}, ranks_per_node {ranks_per_node:?}, overlap {overlap}");
+                assert_eq!(
+                    phi, ref_phi,
+                    "phi differs from the 1-rank blocking reference ({leg})"
+                );
+                assert_eq!(
+                    mu, ref_mu,
+                    "mu differs from the 1-rank blocking reference ({leg})"
+                );
+            }
         }
     }
 }

@@ -179,6 +179,57 @@ fn killed_rank_is_recovered_from_checkpoint() {
     assert_blocks_bitwise(&recovered, &clean, p.phases, p.num_mu());
 }
 
+/// 256-rank soak: three distinct ranks die at three distinct steps, each
+/// kill unwinding the whole world, with incremental (dirty-region)
+/// checkpointing on by default between the failures. Every restart
+/// replays a full-snapshot + increment chain on all 256 ranks; the final
+/// fields must still match the uninterrupted 256-rank run bit for bit.
+/// This exercises the restart budget exactly (MAX_RESTARTS kills), the
+/// chain restore at scale, and the termination protocol on a world that
+/// heavily oversubscribes the host.
+#[test]
+fn soak_256_ranks_recover_bitwise_from_three_staggered_kills() {
+    let p = mini();
+    let ks = generate_kernels(&p, &GenOptions::default());
+    let global = [32usize, 32, 1];
+    let steps = 6;
+    let base = DistConfig::new(global, 256);
+    let clean = run_distributed(&p, &ks, &base, steps, init_phi(global), init_mu, |sim| {
+        (sim.origin, sim.phi().clone(), sim.mu().clone())
+    });
+
+    let scratch = Scratch::new("soak");
+    let mut faulty = base.clone();
+    faulty.checkpoint = Some(CheckpointConfig::new(&scratch.0).every(2));
+    faulty.faults = Some(
+        FaultPlan::new(0x50AC)
+            .kill_rank_at_step(17, 2)
+            .kill_rank_at_step(130, 4)
+            .kill_rank_at_step(255, 5),
+    );
+    let incs0 = counter("checkpoint.incremental_writes");
+    let recovered =
+        run_distributed_resilient(&p, &ks, &faulty, steps, init_phi(global), init_mu, |sim| {
+            (sim.origin, sim.phi().clone(), sim.mu().clone())
+        });
+    if pf_trace::enabled() {
+        assert!(
+            counter("checkpoint.incremental_writes") > incs0,
+            "the soak must actually exercise incremental checkpointing"
+        );
+    }
+
+    assert_blocks_bitwise(&recovered, &clean, p.phases, p.num_mu());
+}
+
+fn counter(name: &str) -> u64 {
+    pf_trace::snapshot()
+        .counters
+        .get(name)
+        .map(|c| c.total)
+        .unwrap_or(0)
+}
+
 #[test]
 fn kill_with_message_faults_and_no_prior_checkpoint_restarts_from_scratch() {
     // The kill fires before the first periodic set is written, so the
